@@ -1,0 +1,43 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and writes
+the rendered rows to ``benchmarks/results/<name>.txt`` (pytest captures
+stdout, so the files are the canonical artifact).  Dataset sizes scale with
+the ``REPRO_BENCH_SCALE`` environment variable: 0 (default) keeps the whole
+suite to a couple of minutes; 1 or 2 stretch toward the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: 0 = quick (CI), larger = closer to the paper's dataset sizes.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "0"))
+
+
+def emit(name: str, text: str) -> Path:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % name)
+    path.write_text(text + "\n")
+    print("\n" + text)
+    print("[written to %s]" % path)
+    return path
+
+
+def table(title: str, header, rows) -> str:
+    """Render an aligned text table."""
+    columns = [header] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(header))]
+    lines = [title, ""]
+    for j, row in enumerate(columns):
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * widths[i]
+                                   for i in range(len(header))))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""A4 — ablation: communication-latency sensitivity.
+
+The paper fixes small constants (2-cycle section creation, 3-cycle
+renaming round trip).  This ablation sweeps the NoC hop latency and the
+section-creation latency, plus the two mechanisms that hide them (the
+stack shortcut of statement ii and the line-grained DMH replies of
+footnote 5), on the forked sum.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import SimConfig, simulate
+
+
+def _sweep():
+    n = 80 << BENCH_SCALE
+    prog = sum_forked_program(paper_array(n))
+    rows = []
+    results = {}
+
+    def run(tag, **kwargs):
+        defaults = dict(n_cores=32, stack_shortcut=True)
+        defaults.update(kwargs)
+        result, _ = simulate(prog, SimConfig(**defaults))
+        assert result.signed_outputs == [n * (n + 1) // 2]
+        rows.append([tag, result.fetch_end, "%.2f" % result.fetch_ipc,
+                     result.retire_end, "%.2f" % result.retire_ipc])
+        results[tag] = result
+
+    for noc in (1, 2, 4, 8):
+        run("noc=%d" % noc, noc_latency=noc)
+    for create in (1, 2, 4, 8):
+        run("create=%d" % create, section_create_latency=create)
+    run("no-shortcut", stack_shortcut=False)
+    run("line=8B (word grain)", line_bytes=8)
+    run("line=128B", line_bytes=128)
+    for hop in (1, 2):
+        run("mesh hop=%d (6x6)" % hop, topology="mesh", n_cores=36,
+            noc_latency=hop)
+    return rows, results
+
+
+def bench_ablation_noc(benchmark):
+    rows, results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Ablation A4 — communication latency sensitivity (forked sum)",
+        ["configuration", "fetch cy", "fetch IPC", "retire cy",
+         "retire IPC"], rows)
+    emit("ablation_noc", text)
+    assert results["noc=1"].retire_end <= results["noc=8"].retire_end
+    assert results["create=1"].fetch_end <= results["create=8"].fetch_end
+    # the shortcut and line replies both pull retirement in
+    assert results["noc=1"].retire_end <= results["no-shortcut"].retire_end

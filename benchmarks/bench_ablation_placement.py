@@ -1,0 +1,66 @@
+"""A3 — ablation: section placement policy.
+
+The paper leaves the hosting-core choice "out of the scope of this paper"
+(footnote 4); this ablation sweeps the simulator's policies on the forked
+sum and a compiled divide-and-conquer program, at several core counts.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import SimConfig, simulate
+
+POLICIES = ["round_robin", "least_loaded", "random", "same_core"]
+
+DC = """
+long A[64];
+long f(long lo, long hi) {
+    if (hi - lo == 1) return A[lo] * lo + 1;
+    long mid = lo + (hi - lo) / 2;
+    return f(lo, mid) + f(mid, hi);
+}
+long main() { out(f(0, 64)); return 0; }
+"""
+
+
+def _programs():
+    n = 80 << BENCH_SCALE
+    dc = compile_source(DC, fork_mode=True)
+    return [
+        ("sum(t,%d)" % n, sum_forked_program(paper_array(n))),
+        ("minic-d&c", dc),
+    ]
+
+
+def _sweep():
+    rows = []
+    results = {}
+    for name, prog in _programs():
+        reference = None
+        for cores in (4, 16):
+            for policy in POLICIES:
+                config = SimConfig(n_cores=cores, placement=policy,
+                                   stack_shortcut=True, placement_seed=7)
+                result, _ = simulate(prog, config)
+                if reference is None:
+                    reference = result.outputs
+                assert result.outputs == reference
+                rows.append([name, cores, policy, result.fetch_end,
+                             "%.2f" % result.fetch_ipc, result.retire_end])
+                results[(name, cores, policy)] = result
+    return rows, results
+
+
+def bench_ablation_placement(benchmark):
+    rows, results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Ablation A3 — section placement policies (paper footnote 4)",
+        ["program", "cores", "policy", "fetch cy", "fetch IPC", "retire cy"],
+        rows)
+    emit("ablation_placement", text)
+    # same_core wastes the machine: distributing policies must fetch faster
+    for name, _prog in _programs():
+        solo = results[(name, 16, "same_core")]
+        spread = results[(name, 16, "round_robin")]
+        assert spread.fetch_end < solo.fetch_end

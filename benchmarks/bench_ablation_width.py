@@ -1,0 +1,61 @@
+"""A7 — ablation: per-core superscalar width.
+
+The paper argues for minimal cores: "each core implements a single
+instruction path (no superscalar or VLIW path) ... Slowness is to be
+compensated by parallelism."  This ablation makes each stage N-wide and
+compares against adding more single-width cores, on the forked sum.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import SimConfig, simulate
+
+
+def _config(cores, width):
+    return SimConfig(n_cores=cores, stack_shortcut=True,
+                     fetch_width=width, rename_width=width,
+                     execute_width=width, addr_rename_width=width,
+                     memory_width=width, retire_width=width)
+
+
+def _sweep():
+    n = 80 << BENCH_SCALE
+    prog = sum_forked_program(paper_array(n))
+    expected = [n * (n + 1) // 2]
+    rows = []
+    results = {}
+    for cores, width in [(8, 1), (8, 2), (8, 4), (16, 1), (32, 1), (32, 4)]:
+        result, _ = simulate(prog, _config(cores, width))
+        assert result.signed_outputs == expected
+        tag = (cores, width)
+        results[tag] = result
+        rows.append(["%d cores x width %d" % (cores, width),
+                     cores * width, result.fetch_end,
+                     "%.2f" % result.fetch_ipc, result.retire_end,
+                     "%.2f" % result.retire_ipc])
+    return rows, results
+
+
+def bench_ablation_width(benchmark):
+    rows, results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Ablation A7 — wide cores vs more simple cores (forked sum)",
+        ["configuration", "total issue slots", "fetch cy", "fetch IPC",
+         "retire cy", "retire IPC"], rows)
+    text += (
+        "\n\nFinding: on the reduction's chain-bound sections, widening a "
+        "core shortens per-section\nfetch latency and therefore the "
+        "section-to-section value chain — at equal slot budget the\nwide "
+        "configuration can beat more simple cores.  The paper's "
+        "single-path bet relies on\nsection counts far exceeding cores "
+        "(its 508K-ILP regime), where width 1 suffices;\nat small scales "
+        "the latency term is visible.  An honest nuance the analytical "
+        "model hides.")
+    emit("ablation_width", text)
+    # factual invariants: both extra cores and extra width help, and the
+    # largest machine is the fastest
+    assert results[(8, 4)].fetch_end < results[(8, 1)].fetch_end
+    assert results[(32, 1)].fetch_end < results[(8, 1)].fetch_end
+    assert results[(32, 4)].fetch_end == min(
+        r.fetch_end for r in results.values())

@@ -1,0 +1,86 @@
+"""A5 — extension: loop parallelization (paper Section 5 future work).
+
+"For loops can be vectorized, each iteration forming a separate section
+... It heritates its iteration counter that can be saved in a register."
+
+Compares three compilations of the same loop program on the simulator:
+
+* sequential (one section),
+* fork_loops with memory-carried loop bookkeeping,
+* fork_loops with the register-carried counter (the paper's sketch),
+
+and sweeps core counts for the register-carried variant.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.machine import run_sequential
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+
+N = 96 << BENCH_SCALE
+
+# The canonical induction form (i < local bound) enables register carrying;
+# the i + 1 < n form falls back to memory-carried forking.
+SRC_REGISTER = """
+long A[%(n)d];
+long B[%(n)d];
+long main() {
+    long i;
+    for (i = 0; i < %(n)d; i = i + 1) A[i] = i * 13 %%%% 29;
+    for (i = 0; i < %(n)d; i = i + 1) B[i] = A[i] * A[i] + 1;
+    long s = 0;
+    for (i = 0; i < %(n)d; i = i + 1) s = s + B[i];
+    out(s);
+    return 0;
+}
+""" % {"n": N}
+SRC_REGISTER = SRC_REGISTER.replace("%%", "%")
+
+SRC_MEMORY = SRC_REGISTER.replace("i < %d" % N, "i + 0 < %d" % N)
+
+
+def _sweep():
+    rows = []
+    seq_prog = compile_source(SRC_REGISTER)
+    expected = run_sequential(seq_prog).output
+
+    plain, _ = simulate(seq_prog, SimConfig(n_cores=1, stack_shortcut=True))
+    assert plain.outputs == expected
+    rows.append(["sequential", 1, plain.instructions, plain.fetch_end,
+                 "%.2f" % plain.fetch_ipc, plain.retire_end])
+
+    memory_prog = compile_source(SRC_MEMORY, fork_mode=True, fork_loops=True)
+    reg_prog = compile_source(SRC_REGISTER, fork_mode=True, fork_loops=True)
+    mem_result, _ = simulate(memory_prog,
+                             SimConfig(n_cores=16, stack_shortcut=True))
+    assert mem_result.outputs == expected
+    rows.append(["forked loops (memory-carried)", 16,
+                 mem_result.instructions, mem_result.fetch_end,
+                 "%.2f" % mem_result.fetch_ipc, mem_result.retire_end])
+
+    reg_results = {}
+    for cores in (1, 4, 16, 64):
+        result, _ = simulate(reg_prog,
+                             SimConfig(n_cores=cores, stack_shortcut=True))
+        assert result.outputs == expected
+        reg_results[cores] = result
+        rows.append(["forked loops (register counter)", cores,
+                     result.instructions, result.fetch_end,
+                     "%.2f" % result.fetch_ipc, result.retire_end])
+    return rows, plain, mem_result, reg_results
+
+
+def bench_ext_loops(benchmark):
+    rows, plain, mem_result, reg_results = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1)
+    text = table(
+        "Extension A5 — loop parallelization (Section 5 future work)",
+        ["compilation", "cores", "instrs", "fetch cy", "fetch IPC",
+         "retire cy"], rows)
+    emit("ext_loops", text)
+    # register-carried launching beats memory-carried launching
+    assert reg_results[16].fetch_end < mem_result.fetch_end
+    # and parallel loop sections beat the single-section run
+    assert reg_results[16].fetch_end < plain.fetch_end / 1.5
+    assert reg_results[64].fetch_end <= reg_results[1].fetch_end

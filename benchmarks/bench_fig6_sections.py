@@ -1,0 +1,40 @@
+"""E2 — Figures 4-6: the forked sum(t,5): sections, call tree, trace.
+
+Regenerates the Figure 5 run's section decomposition and checks the
+paper's structure: 5 sections (plus our main-resume section), section 2
+being the longest at 16 instructions, and the Figure 4 creation tree.
+"""
+
+from _common import emit, table
+
+from repro.fork import render_section_trace, render_section_tree
+from repro.machine import run_forked
+from repro.paper import paper_array, sum_forked_program
+
+
+def _run():
+    prog = sum_forked_program(paper_array(5))
+    result, machine = run_forked(prog, record_trace=True)
+    return result, machine
+
+
+def bench_figure6_sections(benchmark):
+    result, machine = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lengths = {s.sid: s.length for s in machine.section_table()}
+    rows = [
+        ["sections (sum only / with main resume)", "5", "%d" % (len(lengths) - 1) + " / %d" % len(lengths)],
+        ["longest section (paper: section 2)", 16, max(lengths.values())],
+        ["section 3 length", 12, lengths[3]],
+        ["sections 4 and 5 length", "3, 3", "%d, %d" % (lengths[4], lengths[5])],
+        ["creation tree", "{1:[2,.],2:[3,5],3:[4]}",
+         str(machine.section_tree())],
+        ["result", 15, result.signed_output[0]],
+    ]
+    text = table("Figures 4-6 — sections of the forked sum(t,5) run",
+                 ["quantity", "paper", "measured"], rows)
+    text += "\n\nsection tree (Figure 4):\n" + render_section_tree(machine)
+    text += "\n\nper-section trace (Figure 6):\n"
+    text += render_section_trace(result.trace)
+    emit("fig6_sections", text)
+    assert lengths[2] == 16 and lengths[3] == 12
+    assert machine.section_tree() == {1: [2, 6], 2: [3, 5], 3: [4]}

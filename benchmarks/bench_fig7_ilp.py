@@ -1,0 +1,68 @@
+"""E3 — Figure 7: ILP of the ten PBBS benchmarks, parallel vs sequential.
+
+For every Table 1 workload, traces doubling datasets and schedules each
+trace (in one streamed pass) under the paper's two models.  The paper's
+claims to reproduce:
+
+* sequential-model ILP is low (paper: 3.2-5.6) and flat in the dataset;
+* parallel-model ILP is orders of magnitude higher;
+* for the data-parallel benchmarks (1, 2, 5, 6, 9, 10) the parallel ILP
+  *grows* with the dataset.
+
+Dataset sizes are scaled down from the paper's 1M-1G instructions to what
+a Python interpreter sweeps in minutes (see DESIGN.md, substitutions);
+raise REPRO_BENCH_SCALE for larger runs.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL
+from repro.ilp.analyzer import analyze_stream_multi
+from repro.workloads import WORKLOADS
+
+#: dataset scales per workload (geometric doubling, like the paper's 11)
+SCALES = [0, 1, 2, 3, 4] if BENCH_SCALE == 0 else list(range(6 + BENCH_SCALE))
+
+
+def _sweep():
+    rows = []
+    checks = []
+    for workload in WORKLOADS:
+        seq_ilps, par_ilps = [], []
+        for scale in SCALES:
+            inst = workload.instance(scale=scale, seed=1)
+            seq, par = analyze_stream_multi(
+                inst.trace_entries(), [SEQUENTIAL_MODEL, PARALLEL_MODEL])
+            seq_ilps.append(seq.ilp)
+            par_ilps.append(par.ilp)
+            rows.append([workload.key, workload.short, inst.n,
+                         seq.instructions,
+                         "%.2f" % seq.ilp, "%.1f" % par.ilp])
+        growth = par_ilps[-1] / par_ilps[0]
+        checks.append((workload, seq_ilps, par_ilps, growth))
+    return rows, checks
+
+
+def bench_figure7_ilp(benchmark):
+    rows, checks = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Figure 7 — ILP of ten benchmarks, sequential vs parallel models",
+        ["id", "benchmark", "n", "instrs", "seq ILP", "par ILP"], rows)
+    notes = ["", "shape checks (paper's claims):"]
+    for workload, seq_ilps, par_ilps, growth in checks:
+        notes.append(
+            "  %s %-10s seq %.2f..%.2f (flat)  par x%.1f growth%s"
+            % (workload.key, workload.short, min(seq_ilps), max(seq_ilps),
+               growth,
+               "  [data-parallel]" if workload.data_parallel else ""))
+    emit("fig7_ilp", text + "\n" + "\n".join(notes))
+
+    for workload, seq_ilps, par_ilps, growth in checks:
+        # sequential ILP low and flat
+        assert max(seq_ilps) < 8.0
+        assert max(seq_ilps) - min(seq_ilps) < 2.0
+        # parallel >> sequential
+        assert min(p / s for p, s in zip(par_ilps, seq_ilps)) > 2.0
+        # data-parallel benchmarks grow with the dataset
+        if workload.data_parallel:
+            assert growth > 1.5, workload.short

@@ -1,0 +1,63 @@
+"""E7 — Section 3 context: the finite-machine ILP models of the literature.
+
+Reproduces the ordering the paper's related-work review establishes:
+
+    real/limited machines (Wall's "good": ~5)
+      <  ideal speculative cores (the sequential model)
+      <  Wall's "perfect" model
+      <= the paper's parallel model (adds rsp exclusion)
+
+on the Table 1 traces.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.ilp import (
+    PARALLEL_MODEL,
+    SEQUENTIAL_MODEL,
+    wall_good_model,
+    wall_perfect_model,
+)
+from repro.ilp.analyzer import analyze_stream_multi
+from repro.workloads import WORKLOADS
+
+MODELS = [
+    wall_good_model(window_size=64, issue_width=4).derive("wall-small",
+                                                          window_size=64,
+                                                          issue_width=4),
+    wall_good_model(),
+    SEQUENTIAL_MODEL,
+    wall_perfect_model(),
+    PARALLEL_MODEL,
+]
+
+
+def _sweep():
+    rows = []
+    per_workload = []
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=2 + BENCH_SCALE, seed=1)
+        results = analyze_stream_multi(inst.trace_entries(), MODELS)
+        rows.append([workload.key, workload.short, inst.n,
+                     results[0].instructions]
+                    + ["%.2f" % r.ilp for r in results])
+        per_workload.append((workload, results))
+    return rows, per_workload
+
+
+def bench_wall_models(benchmark):
+    rows, per_workload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Section 3 — finite-machine ILP models (Wall) vs the paper's limits",
+        ["id", "benchmark", "n", "instrs"] + [m.name for m in MODELS],
+        rows)
+    emit("wall_models", text)
+    for workload, results in per_workload:
+        small, good, seq, perfect, par = (r.ilp for r in results)
+        # Wall's small machine is the most constrained; the parallel model
+        # dominates everything.
+        assert small <= good * 1.05
+        assert par >= perfect * 0.99
+        assert par > 2 * seq
+        # The paper's Wall-summary: limited machines catch ~5 ILP.
+        assert small < 8

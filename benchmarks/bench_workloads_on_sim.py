@@ -1,0 +1,57 @@
+"""E8 — extension: the Table 1 suite on the simulated many-core.
+
+The paper's Section 5 closes with two in-progress simulators meant to
+"quantify the IPC performance of a many-core processor" on real programs;
+this benchmark runs that experiment on our simulator: each PBBS workload
+is compiled sequentially, fork-transformed automatically (no source
+changes), and executed on 1 vs 32 cores.
+
+Expected shape: divide-and-conquer-rich workloads (the data-parallel six)
+gain fetch parallelism from distribution; the greedy-sequential ones
+(matching, MST's union-find phase) gain little — mirroring Figure 7's
+split dynamically.
+"""
+
+from _common import BENCH_SCALE, emit, table
+
+from repro.fork import fork_transform
+from repro.machine import run_forked
+from repro.sim import SimConfig, simulate
+from repro.workloads import WORKLOADS
+
+
+def _sweep():
+    rows = []
+    speedups = {}
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=BENCH_SCALE, seed=1)
+        prog = fork_transform(inst.program)
+        oracle, _ = run_forked(prog)
+        assert oracle.signed_output == inst.expected_output
+
+        one, _ = simulate(prog, SimConfig(n_cores=1, stack_shortcut=True))
+        many, _ = simulate(prog, SimConfig(n_cores=32, stack_shortcut=True))
+        assert one.outputs == oracle.output == many.outputs
+        speedup = one.fetch_end / many.fetch_end
+        speedups[workload.short] = speedup
+        rows.append([
+            workload.key, workload.short, inst.n, many.instructions,
+            many.sections, one.fetch_end, many.fetch_end,
+            "%.2f" % many.fetch_ipc, "%.2fx" % speedup,
+            "yes" if workload.data_parallel else "no",
+        ])
+    return rows, speedups
+
+
+def bench_workloads_on_sim(benchmark):
+    rows, speedups = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = table(
+        "Extension E8 — fork-transformed Table 1 workloads on the "
+        "simulated many-core (1 vs 32 cores)",
+        ["id", "benchmark", "n", "instrs", "sections", "fetch@1",
+         "fetch@32", "IPC@32", "speedup", "data-par"],
+        rows)
+    emit("workloads_on_sim", text)
+    # distribution must help somewhere, and never hurt
+    assert all(s >= 0.95 for s in speedups.values())
+    assert sum(1 for s in speedups.values() if s > 1.3) >= 4

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's Section 3 ILP limit study (Figure 7).
+
+Picks a few Table 1 workloads, traces them at doubling dataset sizes, and
+schedules each trace under four models:
+
+* the paper's *sequential* model (register renaming, real memory deps),
+* the paper's *parallel* model (everything renamed, no rsp deps),
+* Wall's "good" finite machine (2K window, 64-wide, 2-bit predictor),
+* a no-memory-renaming ablation of the parallel model.
+
+    python examples/ilp_study.py [workload ...]
+"""
+
+import sys
+
+from repro.ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL, wall_good_model
+from repro.ilp.analyzer import analyze_stream_multi
+from repro.workloads import WORKLOADS, get_workload
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["bfs", "quicksort", "mis", "matching"]
+    workloads = [get_workload(name) for name in names]
+    models = [
+        SEQUENTIAL_MODEL,
+        PARALLEL_MODEL,
+        wall_good_model(),
+        PARALLEL_MODEL.derive("par-no-memrename", rename_memory=False),
+    ]
+    header = "%-12s %6s %9s" + " %12s" * len(models)
+    row = "%-12s %6d %9d" + " %12.1f" * len(models)
+    print(header % (("workload", "n", "instrs")
+                    + tuple(m.name for m in models)))
+    for workload in workloads:
+        for scale in (0, 1, 2, 3):
+            inst = workload.instance(scale=scale, seed=1)
+            results = analyze_stream_multi(inst.trace_entries(), models)
+            print(row % ((workload.short, inst.n, results[0].instructions)
+                         + tuple(r.ilp for r in results)))
+        print()
+    print("Things to notice (the paper's Figure 7 story):")
+    print(" * 'sequential' stays flat at ~3-5 regardless of dataset size;")
+    print(" * 'parallel' is 1-3 orders of magnitude higher and grows with")
+    print("   the dataset for the data-parallel workloads;")
+    print(" * Wall's finite machine sits near the sequential limit;")
+    print(" * withholding memory renaming collapses most of the gap —")
+    print("   renaming memory is the key mechanism (paper Section 4.2).")
+
+
+if __name__ == "__main__":
+    main()

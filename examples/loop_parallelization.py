@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The paper's Section 5 extension: parallelizing loops with sections.
+
+"For loops can be vectorized, each iteration forming a separate section ...
+While loops can be parallelized, launching each iteration in sequence (no
+speculation) but parallelizing their bodies."
+
+This example compiles a stencil-style loop program twice — once normally
+and once with ``fork_loops`` (each eligible iteration body becomes its own
+section) — and compares the simulated fetch parallelism.
+
+    python examples/loop_parallelization.py
+"""
+
+from repro import run_forked, run_sequential, simulate, SimConfig
+from repro.minic import compile_source
+
+SOURCE = """
+long A[128];
+long B[128];
+long n = 128;
+
+long main() {
+    // Loop-invariant bounds hoisted into locals, as any optimizing C
+    // compiler would: the forked-loop codegen can then keep the iteration
+    // counter and bound in fork-copied registers (the paper: the
+    // vectorized for "heritates its iteration counter that can be saved
+    // in a register"), so every loop continuation is computed entirely in
+    // the fetch stage.
+    long bound = n;
+    long last = bound - 1;
+    long i;
+    for (i = 0; i < bound; i = i + 1) {
+        A[i] = i * 7 %% 31;
+    }
+    // A 3-point stencil: every iteration body is independent, the classic
+    // "for loop vectorization" target.
+    for (i = 1; i < last; i = i + 1) {
+        B[i] = (A[i - 1] + 2 * A[i] + A[i + 1]) / 4;
+    }
+    long s = 0;
+    for (i = 0; i < bound; i = i + 1) {
+        s = s + B[i];
+    }
+    out(s);
+    return 0;
+}
+""".replace("%%", "%")
+
+
+def main() -> None:
+    seq = run_sequential(compile_source(SOURCE))
+    print("sequential      : %6d instructions, checksum %d"
+          % (seq.steps, seq.signed_output[0]))
+
+    looped = compile_source(SOURCE, fork_mode=True, fork_loops=True)
+    forked, machine = run_forked(looped)
+    assert forked.output == seq.output
+    print("loop-forked     : %6d instructions, %d sections"
+          % (forked.steps, len(machine.section_table())))
+
+    for cores in (1, 4, 16, 64):
+        # Loop bookkeeping lives in the stack frame, so the paper's stack
+        # shortcut is essential for the continuation chain to flow.
+        result, _ = simulate(looped, SimConfig(n_cores=cores,
+                                               stack_shortcut=True))
+        assert result.outputs == seq.output
+        print("  %3d cores: fetch %5d cycles (%.2f IPC), retire %5d cycles"
+              % (cores, result.fetch_end, result.fetch_ipc,
+                 result.retire_end))
+    print("\nEach iteration body became a section: fetch parallelism grows")
+    print("with cores until the loop-bookkeeping chain dominates.")
+
+
+if __name__ == "__main__":
+    main()

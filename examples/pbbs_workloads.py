@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Tour of the Table 1 benchmark suite.
+
+Builds every PBBS workload at a small scale, checks the compiled MiniC
+program against its Python oracle, and prints trace statistics (the raw
+material of Figure 7).
+
+    python examples/pbbs_workloads.py [scale]
+"""
+
+import sys
+
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    print("%-3s %-36s %6s %9s %7s %7s %7s" % (
+        "id", "benchmark", "n", "instrs", "mem%", "stack%", "branch%"))
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=scale, seed=1)
+        inst.verify()
+        result = inst.run(record_trace=True)
+        trace = result.trace
+        steps = len(trace)
+        print("%-3s %-36s %6d %9d %6.1f%% %6.1f%% %6.1f%%" % (
+            workload.key, workload.name, inst.n, steps,
+            100.0 * trace.memory_ops() / steps,
+            100.0 * trace.stack_ops() / steps,
+            100.0 * trace.branches() / steps))
+    print("\nAll ten compiled programs matched their Python oracles.")
+    print("Note the stack traffic share — the serialization the paper's")
+    print("Section 3 identifies as a main obstacle to ILP capture.")
+
+
+if __name__ == "__main__":
+    main()

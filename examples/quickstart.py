@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Runs the Figure 2 sequential ``sum`` and the Figure 5 forked ``sum`` on the
+functional machines, shows the section structure (Figures 4/6), then
+simulates the forked program on five cores and prints the Figure 10 timing
+table.
+
+    python examples/quickstart.py [n_elements]
+"""
+
+import sys
+
+from repro import run_forked, run_sequential, simulate, SimConfig
+from repro.fork import render_section_tree
+from repro.paper import paper_array, sum_forked_program, sum_sequential_program
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    values = paper_array(n)
+    print("summing t[0..%d] = 1..%d (expected %d)\n" % (n - 1, n, sum(values)))
+
+    # 1. Figure 2: sequential call/ret execution.
+    seq = run_sequential(sum_sequential_program(values))
+    print("sequential run : result=%d in %d instructions"
+          % (seq.signed_output[0], seq.steps))
+
+    # 2. Figure 5: the same algorithm under the fork/endfork section model.
+    forked_prog = sum_forked_program(values)
+    forked, machine = run_forked(forked_prog)
+    print("forked run     : result=%d in %d instructions, %d sections"
+          % (forked.signed_output[0], forked.steps,
+             len(machine.section_table())))
+    print("\nsection tree (the paper's Figure 4):")
+    print(render_section_tree(machine))
+
+    # 3. The distributed many-core simulator (Figures 8-10).
+    cores = min(16, len(machine.section_table()))
+    result, proc = simulate(forked_prog, SimConfig(n_cores=cores))
+    print("\nsimulated on %d cores: %s" % (cores, result.describe()))
+    assert result.signed_outputs == seq.signed_output
+    print("simulator result matches the sequential machine: OK")
+
+    if n <= 8:
+        print("\nper-instruction stage timing (the paper's Figure 10):")
+        print(proc.timing_table())
+
+
+if __name__ == "__main__":
+    main()

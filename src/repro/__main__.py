@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``        — run an assembly (.s) or MiniC (.c) program on the
+                        sequential machine and print its output.
+* ``runfork FILE``    — run a fork/endfork program (or MiniC with --fork)
+                        on the section machine; print output + sections.
+* ``simulate FILE``   — cycle-simulate on the distributed many-core.
+* ``compile FILE``    — compile MiniC to assembly text (stdout).
+* ``transform FILE``  — apply the call→fork transformation; print the
+                        rewritten listing.
+* ``ilp FILE``        — trace the program and report ILP under the
+                        paper's sequential and parallel models.
+* ``workloads``       — list the Table 1 benchmark suite.
+
+File type is chosen by suffix: ``.c`` compiles as MiniC, anything else
+assembles as toy x86.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .errors import ReproError
+from .fork import fork_transform, render_section_tree
+from .ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL
+from .ilp.analyzer import analyze_stream_multi
+from .isa import assemble
+from .machine import SequentialMachine, run_forked, run_sequential
+from .minic import compile_source, compile_to_asm
+from .sim import SimConfig, simulate
+from .workloads import WORKLOADS
+
+
+def _load_program(path: str, fork: bool, fork_loops: bool):
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".c"):
+        return compile_source(source, fork_mode=fork, fork_loops=fork_loops)
+    return assemble(source)
+
+
+def _print_result(result) -> None:
+    for value in result.signed_output:
+        print(value)
+    print("# %d instructions, rax=%d, halted=%s"
+          % (result.steps, result.return_value, result.halted))
+
+
+def cmd_run(args) -> int:
+    result = run_sequential(_load_program(args.file, False, False))
+    _print_result(result)
+    return 0
+
+
+def cmd_runfork(args) -> int:
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    result, machine = run_forked(prog)
+    _print_result(result)
+    print("# %d sections" % len(machine.section_table()))
+    if args.tree:
+        print(render_section_tree(machine))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    config = SimConfig(n_cores=args.cores, stack_shortcut=args.shortcut,
+                       placement=args.placement)
+    result, proc = simulate(prog, config)
+    for value in result.signed_outputs:
+        print(value)
+    print("# " + result.describe())
+    if args.timing:
+        print(proc.timing_table())
+    return 0
+
+
+def cmd_compile(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    sys.stdout.write(compile_to_asm(source, fork_mode=args.fork,
+                                    fork_loops=args.fork_loops))
+    return 0
+
+
+def cmd_transform(args) -> int:
+    prog = _load_program(args.file, False, False)
+    sys.stdout.write(fork_transform(prog).listing())
+    return 0
+
+
+def cmd_ilp(args) -> int:
+    prog = _load_program(args.file, False, False)
+    seq, par = analyze_stream_multi(
+        SequentialMachine(prog).step_entries(),
+        [SEQUENTIAL_MODEL, PARALLEL_MODEL])
+    print(seq.describe())
+    print(par.describe())
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    for workload in WORKLOADS:
+        print("%s  %-36s %s" % (workload.key, workload.name,
+                                workload.description))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Toward a Core Design to Distribute "
+                    "an Execution on a Many-Core Processor' (PaCT 2015).")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run sequentially")
+    run.add_argument("file")
+    run.set_defaults(func=cmd_run)
+
+    runfork = sub.add_parser("runfork", help="run under section semantics")
+    runfork.add_argument("file")
+    runfork.add_argument("--fork-loops", action="store_true")
+    runfork.add_argument("--tree", action="store_true",
+                         help="print the section tree")
+    runfork.set_defaults(func=cmd_runfork)
+
+    sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
+    sim.add_argument("file")
+    sim.add_argument("--cores", type=int, default=8)
+    sim.add_argument("--shortcut", action="store_true",
+                     help="enable the stack shortcut")
+    sim.add_argument("--placement", default="round_robin",
+                     choices=["round_robin", "least_loaded", "same_core",
+                              "random"])
+    sim.add_argument("--fork-loops", action="store_true")
+    sim.add_argument("--timing", action="store_true",
+                     help="print the Figure 10 stage table")
+    sim.set_defaults(func=cmd_simulate)
+
+    comp = sub.add_parser("compile", help="compile MiniC to assembly")
+    comp.add_argument("file")
+    comp.add_argument("--fork", action="store_true")
+    comp.add_argument("--fork-loops", action="store_true")
+    comp.set_defaults(func=cmd_compile)
+
+    trans = sub.add_parser("transform", help="call→fork transformation")
+    trans.add_argument("file")
+    trans.set_defaults(func=cmd_transform)
+
+    ilp = sub.add_parser("ilp", help="Figure 7 ILP models on one program")
+    ilp.add_argument("file")
+    ilp.set_defaults(func=cmd_ilp)
+
+    wl = sub.add_parser("workloads", help="list the Table 1 suite")
+    wl.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Analytical performance model of Section 5 (the sum reduction).
+
+The paper evaluates the proposed design analytically on ``sum(t, 5·2ⁿ)``:
+
+* dynamic instruction count   N(n) = 45·2ⁿ + 14·(2ⁿ − 1)
+* fetch time                  F(n) = 30 + 12·n cycles
+* retirement time             R(n) = 43 + 15·n cycles
+
+giving fetch IPC N/F (1.5 at n=0, ≈2.5 at n=1, ≈120 at n=8) and retire IPC
+N/R (≈92 at n=8).  This module implements the closed forms plus the section
+/ fork counts of the sum call tree, and is validated against both the
+functional machines and the cycle simulator in the benchmark suite.
+"""
+
+from .summodel import (
+    SumModelPoint,
+    fetch_cycles,
+    fetch_ipc,
+    instructions,
+    paper_table,
+    retire_cycles,
+    retire_ipc,
+    sections,
+    sum_sizes,
+)
+
+__all__ = [
+    "SumModelPoint", "fetch_cycles", "fetch_ipc", "instructions",
+    "paper_table", "retire_cycles", "retire_ipc", "sections", "sum_sizes",
+]

@@ -1,0 +1,110 @@
+"""Closed-form model of the ``sum`` reduction run (paper Section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List
+
+
+def sum_sizes(n: int) -> int:
+    """Array length of the n-th evaluation point: 5·2ⁿ elements."""
+    _check(n)
+    return 5 * (2 ** n)
+
+
+def instructions(n: int) -> int:
+    """Dynamic instructions of the forked sum: N(n) = 45·2ⁿ + 14·(2ⁿ−1).
+
+    45 for ``sum(t,5)``, 104 for ``sum(t,10)``, 15090 for 1280 elements —
+    the paper's numbers.
+    """
+    _check(n)
+    return 45 * 2 ** n + 14 * (2 ** n - 1)
+
+
+def fetch_cycles(n: int) -> int:
+    """Total fetch time: F(n) = 30 + 12·n cycles.
+
+    "Only fetch latency can impact the fetch time.  It is independent of
+    renaming and execute latencies."
+    """
+    _check(n)
+    return 30 + 12 * n
+
+
+def retire_cycles(n: int) -> int:
+    """Total retirement time: R(n) = 43 + 15·n cycles."""
+    _check(n)
+    return 43 + 15 * n
+
+
+def fetch_ipc(n: int) -> float:
+    """Fetched instructions per cycle: 1.5 at n=0, ≈120 at n=8."""
+    return instructions(n) / fetch_cycles(n)
+
+
+def retire_ipc(n: int) -> float:
+    """Retired instructions per cycle: ≈92 at n=8."""
+    return instructions(n) / retire_cycles(n)
+
+
+@lru_cache(maxsize=None)
+def forks(elements: int) -> int:
+    """Fork instructions executed by ``sum`` over *elements* elements."""
+    if elements <= 2:
+        return 0
+    half = elements // 2
+    return 2 + forks(half) + forks(elements - half)
+
+
+def sections(n: int) -> int:
+    """Sections of the ``sum(t, 5·2ⁿ)`` run (forks + the root section)."""
+    return forks(sum_sizes(n)) + 1
+
+
+@dataclass
+class SumModelPoint:
+    """One row of the Section 5 evaluation."""
+
+    n: int
+    elements: int
+    instructions: int
+    fetch_cycles: int
+    retire_cycles: int
+    sections: int
+
+    @property
+    def fetch_ipc(self) -> float:
+        return self.instructions / self.fetch_cycles
+
+    @property
+    def retire_ipc(self) -> float:
+        return self.instructions / self.retire_cycles
+
+    def row(self) -> str:
+        return ("n=%d  %5d elements  %6d instrs  fetch %4d cy (%6.1f IPC)  "
+                "retire %4d cy (%6.1f IPC)  %5d sections"
+                % (self.n, self.elements, self.instructions,
+                   self.fetch_cycles, self.fetch_ipc,
+                   self.retire_cycles, self.retire_ipc, self.sections))
+
+
+def paper_table(max_n: int = 8) -> List[SumModelPoint]:
+    """The Section 5 evaluation table for n = 0..max_n."""
+    return [
+        SumModelPoint(
+            n=n,
+            elements=sum_sizes(n),
+            instructions=instructions(n),
+            fetch_cycles=fetch_cycles(n),
+            retire_cycles=retire_cycles(n),
+            sections=sections(n),
+        )
+        for n in range(max_n + 1)
+    ]
+
+
+def _check(n: int) -> None:
+    if n < 0:
+        raise ValueError("n must be >= 0")

@@ -1,0 +1,51 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Keeping a single root (:class:`ReproError`) lets callers distinguish library
+failures from genuine Python bugs with one ``except`` clause, while each
+subsystem still raises a precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all errors raised by the repro library."""
+
+
+class AssemblerError(ReproError):
+    """A source program could not be assembled.
+
+    Carries the offending line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """A machine hit an illegal state while running a program."""
+
+
+class MemoryError_(ExecutionError):
+    """Bad memory access: misaligned, unmapped, or out of range."""
+
+
+class CompileError(ReproError):
+    """A MiniC program failed to compile.
+
+    Carries the source position (line, column), both 1-based, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.src_line = line
+        self.src_col = col
+        if line:
+            message = "%d:%d: %s" % (line, col, message)
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""

@@ -1,0 +1,16 @@
+"""The fork transformation and section tooling (paper Section 2).
+
+* :func:`fork_transform` — rewrite a call/ret program into fork/endfork
+  form (Figure 2 → Figure 5), with optional save/restore elision.
+* :func:`find_functions` / :func:`call_targets` — program structure helpers.
+* :func:`render_section_tree` / :func:`render_section_trace` — the paper's
+  Figure 4 / Figure 6 renderings of a forked run.
+"""
+
+from .sections import render_section_trace, render_section_tree
+from .transform import FunctionRegion, call_targets, find_functions, fork_transform
+
+__all__ = [
+    "FunctionRegion", "call_targets", "find_functions", "fork_transform",
+    "render_section_trace", "render_section_tree",
+]

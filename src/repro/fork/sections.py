@@ -1,0 +1,63 @@
+"""Rendering of section structures: the paper's Figures 4 and 6.
+
+Given a completed :class:`~repro.machine.forked.ForkedMachine` (and its
+trace), these helpers draw the section call tree and the per-section trace
+listing, matching the paper's presentation of the ``sum(t,5)`` run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..machine.forked import ForkedMachine
+from ..machine.trace import Trace
+
+
+def render_section_tree(machine: ForkedMachine) -> str:
+    """ASCII rendering of the section creation tree (Figure 4, right).
+
+    Children are the sections a section forked, in creation order; section
+    ids themselves are in total (trace) order.
+    """
+    tree = machine.section_tree()
+    infos = {s.sid: s for s in machine.section_table()}
+    lines: List[str] = []
+    roots = [s.sid for s in machine.section_table() if s.parent == 0]
+    for root in roots:
+        _render(root, prefix="", is_last=True, is_root=True, tree=tree,
+                infos=infos, lines=lines)
+    return "\n".join(lines)
+
+
+def _render(sid: int, prefix: str, is_last: bool, is_root: bool, tree,
+            infos, lines: List[str]) -> None:
+    info = infos[sid]
+    text = "section %d (depth %d, %d instrs)" % (sid, info.depth, info.length)
+    if is_root:
+        lines.append(text)
+        child_prefix = ""
+    else:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + text)
+        child_prefix = prefix + ("    " if is_last else "|   ")
+    children = tree.get(sid, [])
+    for i, child in enumerate(children):
+        _render(child, child_prefix, i == len(children) - 1, False, tree,
+                infos, lines)
+
+
+def render_section_trace(trace: Trace) -> str:
+    """The per-section instruction listing of Figure 6: every dynamic
+    instruction tagged ``section-index``, grouped by section in total
+    order."""
+    by_section: Dict[int, List] = {}
+    for entry in trace:
+        by_section.setdefault(entry.section, []).append(entry)
+    blocks: List[str] = []
+    for sid in sorted(by_section):
+        lines = ["// section %d" % sid]
+        for entry in by_section[sid]:
+            lines.append("%-7s %s" % ("%d-%d" % (sid, entry.section_index + 1),
+                                      entry.instr))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,195 @@
+"""The Figure 2 → Figure 5 program transformation, at the assembly level.
+
+Rules (paper, Section 2):
+
+* ``call f``  → ``fork f``   — no return address is saved; the resume path
+  becomes a new section that receives copies of rsp and the non-volatile
+  registers;
+* ``ret``     → ``endfork``  — the flow simply ends;
+* callee-save ``push``/``pop`` pairs around a fork become dead (the copies
+  replace them) and can be elided.
+
+The transformation is function-granular: a function either keeps the
+call/ret protocol or moves fully to fork/endfork; every call site of a
+converted function is rewritten.  Keeping a push/pop pair that the paper
+would delete is always *correct* under the section model (memory renaming
+resolves the stack traffic); eliding is an optimization, and the built-in
+peephole only fires when it can prove safety:
+
+* the push and pop use the same register, which fork copies,
+* the pair brackets at least one ``fork``,
+* no instruction between them touches rsp (directly or through a memory
+  operand) or is itself an unmatched stack op,
+* no label (= potential branch target) lies strictly between them.
+
+Compiler-generated MiniC code needs no elision (its codegen already keeps
+nothing callee-saved across calls); the peephole exists for hand-written
+Figure-2-style code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..isa import Program, Reg, assemble
+from ..isa.registers import FORK_COPIED_REGS, STACK_POINTER
+
+
+@dataclass
+class FunctionRegion:
+    """A contiguous code region belonging to one function."""
+
+    name: str
+    start: int      #: first instruction index
+    end: int        #: one past the last instruction index
+
+
+def find_functions(program: Program) -> List[FunctionRegion]:
+    """Split the code at function labels.
+
+    Convention (followed by the MiniC code generator and the paper's
+    listings): labels not starting with ``.`` open a new function; ``.L``
+    labels are function-local.
+    """
+    starts: List[Tuple[int, str]] = sorted(
+        (addr, name) for name, addr in program.code_symbols.items()
+        if not name.startswith("."))
+    regions: List[FunctionRegion] = []
+    for i, (start, name) in enumerate(starts):
+        if regions and regions[-1].start == start:
+            continue  # two labels on the same instruction: keep the first
+        end = starts[i + 1][0] if i + 1 < len(starts) else len(program.code)
+        regions.append(FunctionRegion(name=name, start=start, end=end))
+    return regions
+
+
+def call_targets(program: Program) -> Set[str]:
+    """Names of all functions reached by a ``call``."""
+    out: Set[str] = set()
+    for instr in program.code:
+        if instr.opcode == "call" and instr.target_label is not None:
+            out.add(instr.target_label.name)
+    return out
+
+
+def fork_transform(program: Program,
+                   fork_functions: Optional[Sequence[str]] = None,
+                   elide_saves: bool = True) -> Program:
+    """Rewrite *program* into the paper's fork/endfork form.
+
+    ``fork_functions`` selects which functions move to the section protocol
+    (default: every function that is the target of a ``call``).  The result
+    is reassembled, so instruction addresses may shift when saves are
+    elided.
+    """
+    regions = find_functions(program)
+    region_names = {r.name for r in regions}
+    if fork_functions is None:
+        selected = call_targets(program) & region_names
+    else:
+        selected = set(fork_functions)
+        unknown = selected - region_names
+        if unknown:
+            raise ReproError("not functions: %s" % ", ".join(sorted(unknown)))
+    if not selected:
+        raise ReproError("nothing to transform: no forkable functions")
+
+    lines: List[str] = []
+    region_of: Dict[int, FunctionRegion] = {}
+    for region in regions:
+        for addr in range(region.start, region.end):
+            region_of[addr] = region
+
+    for instr in program.code:
+        for label in instr.labels:
+            lines.append("%s:" % label)
+        region = region_of.get(instr.addr)
+        in_selected = region is not None and region.name in selected
+        if (instr.opcode == "call" and instr.target_label is not None
+                and instr.target_label.name in selected):
+            lines.append("    fork %s" % instr.target_label.name)
+        elif instr.opcode == "ret" and in_selected:
+            lines.append("    endfork")
+        else:
+            lines.append("    %s" % instr)
+
+    if elide_saves:
+        lines = _elide_saves(lines)
+
+    source = "\n".join(lines) + "\n" + _data_section_text(program)
+    entry = program.entry_symbol()
+    return assemble(source, entry=entry)
+
+
+# -- save/restore elision -----------------------------------------------------
+
+
+def _elide_saves(lines: List[str]) -> List[str]:
+    """Remove provably-dead ``push X … pop X`` pairs bracketing a fork."""
+    doomed: Set[int] = set()
+    stack: List[Tuple[int, str, bool]] = []   # (line index, reg, saw fork)
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if text.endswith(":"):
+            stack.clear()                      # label: potential join point
+            continue
+        if text.startswith("fork"):
+            stack = [(j, reg, True) for (j, reg, _) in stack]
+            continue
+        pushed = _push_reg(text)
+        if pushed is not None:
+            stack.append((i, pushed, False))
+            continue
+        popped = _pop_reg(text)
+        if popped is not None:
+            if stack:
+                j, reg, saw_fork = stack.pop()
+                if (reg == popped and saw_fork
+                        and reg in FORK_COPIED_REGS
+                        and reg != STACK_POINTER):
+                    doomed.add(j)
+                    doomed.add(i)
+            else:
+                stack.clear()
+            continue
+        if _touches_rsp(text) or text.startswith(("call", "ret", "jmp", "j",
+                                                  "endfork", "hlt")):
+            stack.clear()
+    return [line for i, line in enumerate(lines) if i not in doomed]
+
+
+def _push_reg(text: str) -> Optional[str]:
+    if text.startswith(("pushq ", "push ")):
+        operand = text.split(None, 1)[1].strip()
+        if operand.startswith("%"):
+            return operand[1:]
+    return None
+
+
+def _pop_reg(text: str) -> Optional[str]:
+    if text.startswith(("popq ", "pop ")):
+        operand = text.split(None, 1)[1].strip()
+        if operand.startswith("%"):
+            return operand[1:]
+    return None
+
+
+def _touches_rsp(text: str) -> bool:
+    return "%rsp" in text
+
+
+def _data_section_text(program: Program) -> str:
+    if not program.data and not program.data_symbols:
+        return ""
+    by_addr: Dict[int, List[str]] = {}
+    for name, addr in program.data_symbols.items():
+        by_addr.setdefault(addr, []).append(name)
+    lines = [".data"]
+    for addr in sorted(set(program.data) | set(by_addr)):
+        for name in by_addr.get(addr, ()):
+            lines.append("%s:" % name)
+        if addr in program.data:
+            lines.append("    .quad %d" % program.data[addr])
+    return "\n".join(lines) + "\n"

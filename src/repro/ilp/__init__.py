@@ -1,0 +1,32 @@
+"""Trace-based ILP limit study (the paper's Section 3 / Figure 7 machinery).
+
+Quick use::
+
+    from repro.ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL, analyze
+    from repro.machine import SequentialMachine
+
+    seq_ilp = analyze(SequentialMachine(prog).step_entries(), SEQUENTIAL_MODEL)
+    par_ilp = analyze(SequentialMachine(prog).step_entries(), PARALLEL_MODEL)
+"""
+
+from .analyzer import DataflowScheduler, ILPResult, analyze, analyze_under_models
+from .models import (
+    DependencyModel,
+    PARALLEL_MODEL,
+    SEQUENTIAL_MODEL,
+    wall_good_model,
+    wall_perfect_model,
+)
+from .predictor import (
+    NoPredictor,
+    PerfectPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "DataflowScheduler", "DependencyModel", "ILPResult", "NoPredictor",
+    "PARALLEL_MODEL", "PerfectPredictor", "SEQUENTIAL_MODEL",
+    "TwoBitPredictor", "analyze", "analyze_under_models", "make_predictor",
+    "wall_good_model", "wall_perfect_model",
+]

@@ -1,0 +1,223 @@
+"""The ideal dataflow machine: trace scheduling under a dependency model.
+
+Scheduling rule (paper, Section 3): "Each instruction on the trace is run at
+the cycle next to the last source reception.  The processor is assumed to run
+all the ready instructions in the same cycle with a single cycle latency."
+
+    cycle(i) = 1 + max(cycle(p) for producers p of i)      (empty max = 0)
+
+so independent instructions all run at cycle 1 and the run's makespan is the
+longest dependency chain.  ILP = instructions / makespan.
+
+The analyzer is *streaming*: it consumes an iterable of
+:class:`~repro.machine.trace.TraceEntry` and keeps only last-writer /
+last-reader tables, so gigabyte-scale traces never need to be materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..isa.registers import STACK_POINTER
+from .models import DependencyModel
+from .predictor import make_predictor
+
+
+@dataclass
+class ILPResult:
+    """Outcome of scheduling one trace under one model."""
+
+    model: str
+    instructions: int
+    cycles: int                       #: makespan (longest dependency chain)
+    branch_lookups: int = 0
+    branch_mispredictions: int = 0
+    #: histogram of producer→consumer trace distances of the *critical*
+    #: source of each instruction, bucketed by powers of two; index k counts
+    #: distances in [2**k, 2**(k+1)).  Filled when track_distance=True.
+    critical_distance_hist: Optional[List[int]] = None
+
+    @property
+    def ilp(self) -> float:
+        if self.cycles == 0:
+            return float(self.instructions) if self.instructions else 0.0
+        return self.instructions / self.cycles
+
+    def describe(self) -> str:
+        return "%-12s %9d instructions / %8d cycles = ILP %.1f" % (
+            self.model, self.instructions, self.cycles, self.ilp)
+
+
+class DataflowScheduler:
+    """Incremental scheduler; feed entries, then read the result.
+
+    Usage::
+
+        sched = DataflowScheduler(PARALLEL_MODEL)
+        for entry in machine.step_entries():
+            sched.feed(entry)
+        result = sched.result()
+    """
+
+    def __init__(self, model: DependencyModel, track_distance: bool = False):
+        self.model = model
+        self.track_distance = track_distance
+        # reg/mem availability: location -> (cycle value is ready, writer seq)
+        self._reg_ready: Dict[str, int] = {}
+        self._reg_writer: Dict[str, int] = {}
+        self._mem_ready: Dict[int, int] = {}
+        self._mem_writer: Dict[int, int] = {}
+        # last-reader cycles, needed only when false dependencies are kept
+        self._reg_last_read: Dict[str, int] = {}
+        self._mem_last_read: Dict[int, int] = {}
+        self._control_ready = 0       # earliest cycle after last serializing branch
+        self._predictor = make_predictor(model.branch_predictor)
+        self._count = 0
+        self._makespan = 0
+        self._window: List[int] = []  # completion cycles of last W instrs
+        self._window_pos = 0
+        self._issued_in_cycle: Dict[int, int] = {}
+        self._distance_hist: List[int] = [0] * 40 if track_distance else None
+
+    # -- feeding --------------------------------------------------------------
+
+    def feed(self, entry) -> int:
+        """Schedule one trace entry; returns its issue cycle."""
+        model = self.model
+        ready = 0         # latest source-ready cycle
+        critical_producer = -1
+
+        for reg in entry.reg_reads:
+            if model.ignore_stack_pointer and reg == STACK_POINTER:
+                continue
+            cycle = self._reg_ready.get(reg, 0)
+            if cycle > ready:
+                ready = cycle
+                critical_producer = self._reg_writer.get(reg, -1)
+        if model.memory_dependencies:
+            for addr in entry.mem_reads:
+                cycle = self._mem_ready.get(addr, 0)
+                if cycle > ready:
+                    ready = cycle
+                    critical_producer = self._mem_writer.get(addr, -1)
+
+        if not model.rename_registers:
+            for reg in entry.reg_writes:
+                if model.ignore_stack_pointer and reg == STACK_POINTER:
+                    continue
+                # WAW: wait for the previous writer; WAR: for the last reader.
+                waw = self._reg_ready.get(reg, 0)
+                war = self._reg_last_read.get(reg, 0)
+                ready = max(ready, waw, war)
+        if model.memory_dependencies and not model.rename_memory:
+            for addr in entry.mem_writes:
+                waw = self._mem_ready.get(addr, 0)
+                war = self._mem_last_read.get(addr, 0)
+                ready = max(ready, waw, war)
+
+        if model.control_dependencies:
+            ready = max(ready, self._control_ready)
+
+        issue = ready  # issues the cycle after sources arrive; see below
+        # Window: instruction i waits for instruction i-W's completion.
+        if model.window_size is not None:
+            if len(self._window) == model.window_size:
+                issue = max(issue, self._window[self._window_pos])
+        # Width: at most issue_width instructions share a cycle.  The +1
+        # convention: "issue" stored here is the cycle *before* execution;
+        # the instruction runs during cycle issue+1.
+        cycle = issue + 1
+        if model.issue_width is not None:
+            while self._issued_in_cycle.get(cycle, 0) >= model.issue_width:
+                cycle += 1
+            self._issued_in_cycle[cycle] = self._issued_in_cycle.get(cycle, 0) + 1
+
+        # -- record this instruction's effects --------------------------------
+
+        seq = self._count
+        for reg in entry.reg_writes:
+            self._reg_ready[reg] = cycle
+            self._reg_writer[reg] = seq
+        if not model.rename_registers:
+            for reg in entry.reg_reads:
+                prev = self._reg_last_read.get(reg, 0)
+                if cycle > prev:
+                    self._reg_last_read[reg] = cycle
+        for addr in entry.mem_writes:
+            self._mem_ready[addr] = cycle
+            self._mem_writer[addr] = seq
+        if model.memory_dependencies and not model.rename_memory:
+            for addr in entry.mem_reads:
+                prev = self._mem_last_read.get(addr, 0)
+                if cycle > prev:
+                    self._mem_last_read[addr] = cycle
+
+        if model.control_dependencies and entry.taken is not None:
+            correct = self._predictor.predict_and_update(entry.addr,
+                                                         entry.taken)
+            if not correct:
+                # Later instructions wait for this branch to resolve.
+                self._control_ready = max(self._control_ready, cycle)
+
+        if model.window_size is not None:
+            if len(self._window) < model.window_size:
+                self._window.append(cycle)
+            else:
+                self._window[self._window_pos] = cycle
+                self._window_pos = (self._window_pos + 1) % model.window_size
+
+        if self._distance_hist is not None and critical_producer >= 0:
+            distance = seq - critical_producer
+            bucket = distance.bit_length() - 1 if distance > 0 else 0
+            if bucket >= len(self._distance_hist):
+                bucket = len(self._distance_hist) - 1
+            self._distance_hist[bucket] += 1
+
+        self._count += 1
+        if cycle > self._makespan:
+            self._makespan = cycle
+        return cycle
+
+    def feed_all(self, entries: Iterable) -> "DataflowScheduler":
+        for entry in entries:
+            self.feed(entry)
+        return self
+
+    # -- results -----------------------------------------------------------
+
+    def result(self) -> ILPResult:
+        return ILPResult(
+            model=self.model.name,
+            instructions=self._count,
+            cycles=self._makespan,
+            branch_lookups=self._predictor.lookups,
+            branch_mispredictions=self._predictor.mispredictions,
+            critical_distance_hist=(
+                list(self._distance_hist)
+                if self._distance_hist is not None else None),
+        )
+
+
+def analyze(entries: Iterable, model: DependencyModel,
+            track_distance: bool = False) -> ILPResult:
+    """Schedule a trace (any iterable of entries) under *model*."""
+    return DataflowScheduler(
+        model, track_distance=track_distance).feed_all(entries).result()
+
+
+def analyze_under_models(trace, models) -> List[ILPResult]:
+    """Schedule one *materialized* trace under several models."""
+    return [analyze(trace, model) for model in models]
+
+
+def analyze_stream_multi(entries: Iterable, models,
+                         track_distance: bool = False) -> List[ILPResult]:
+    """Schedule one *streamed* trace under several models in a single pass
+    (the trace is never materialized — each entry feeds every scheduler)."""
+    schedulers = [DataflowScheduler(model, track_distance=track_distance)
+                  for model in models]
+    for entry in entries:
+        for scheduler in schedulers:
+            scheduler.feed(entry)
+    return [scheduler.result() for scheduler in schedulers]

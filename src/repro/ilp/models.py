@@ -1,0 +1,134 @@
+"""Dependency/resource models for the trace-based ILP limit study.
+
+The paper's Section 3 measures two ideal-machine ILPs over the same dynamic
+trace:
+
+* the **sequential model** — "all the dependencies excluding the register
+  false ones (Write After Read and Write After Write), assuming an unlimited
+  register renaming capacity, and excluding the control flow ones, assuming
+  perfect branch prediction" — i.e. register RAW only, *all* memory
+  dependencies (memory is not renamed), stack pointer included.  This is the
+  ultimate performance of a speculative out-of-order core.
+* the **parallel model** — "the trace is available when the run starts (no
+  fetch delay) and in the same time all the destinations (including memory)
+  are renamed.  The stack pointer dependencies are not considered." — i.e.
+  RAW-only everywhere, rsp ignored.  This is the paper's distributed
+  execution model upper bound.
+
+:class:`DependencyModel` generalizes both, and also expresses the
+finite-resource models of the Section 3 literature review (Wall's "good" and
+"perfect" configurations) through window size, issue width and a branch
+predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DependencyModel:
+    """Configuration of the ideal dataflow machine.
+
+    Dependency switches:
+
+    ``rename_registers``
+        Drop register WAR/WAW dependencies (unlimited renaming).
+    ``rename_memory``
+        Drop memory WAR/WAW dependencies (every store gets a fresh
+        location, the paper's run-time single-assignment form).
+    ``memory_dependencies``
+        Honour memory RAW dependencies at all (disabling them models an
+        oracle that bypasses memory entirely; used only for ablations).
+    ``ignore_stack_pointer``
+        Drop every dependency carried by rsp, the paper's parallel-model
+        rule (stack *memory* dependencies remain).
+    ``control_dependencies``
+        When True, instructions cannot issue before the previous
+        unpredicted/mispredicted branch resolves; the ``branch_predictor``
+        decides which branches those are.
+
+    Resource limits (``None`` = unlimited):
+
+    ``window_size``
+        In-order instruction window: instruction *i* cannot issue before
+        instruction *i - window_size* has completed.
+    ``issue_width``
+        Maximum instructions issued per cycle.
+    ``branch_predictor``
+        ``"perfect"``, ``"twobit"`` (infinite table of 2-bit counters, the
+        predictor of Wall's "good" model) or ``"none"`` (every conditional
+        branch serializes).  Only meaningful with ``control_dependencies``.
+    """
+
+    name: str
+    rename_registers: bool = True
+    rename_memory: bool = False
+    memory_dependencies: bool = True
+    ignore_stack_pointer: bool = False
+    control_dependencies: bool = False
+    window_size: Optional[int] = None
+    issue_width: Optional[int] = None
+    branch_predictor: str = "perfect"
+
+    def __post_init__(self):
+        if self.branch_predictor not in ("perfect", "twobit", "none"):
+            raise ValueError(
+                "bad branch_predictor %r" % (self.branch_predictor,))
+        if self.window_size is not None and self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.issue_width is not None and self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+
+    def derive(self, name: str, **changes) -> "DependencyModel":
+        """A copy with *changes* applied (for ablation sweeps)."""
+        return replace(self, name=name, **changes)
+
+
+#: The paper's sequential-run model (Figure 7, blue "seq11" bars).
+SEQUENTIAL_MODEL = DependencyModel(
+    name="sequential",
+    rename_registers=True,
+    rename_memory=False,
+    ignore_stack_pointer=False,
+    control_dependencies=False,
+)
+
+#: The paper's parallel-run model (Figure 7, bars 1..11).
+PARALLEL_MODEL = DependencyModel(
+    name="parallel",
+    rename_registers=True,
+    rename_memory=True,
+    ignore_stack_pointer=True,
+    control_dependencies=False,
+)
+
+
+def wall_good_model(window_size: int = 2048, issue_width: int = 64) -> DependencyModel:
+    """Wall's "good" configuration (Section 3 footnote 2): 2K-instruction
+    window, 64-wide issue, 2-bit counter predictor, perfect memory aliasing
+    disambiguation (register renaming assumed unlimited here; Wall's 256
+    CPU+256 FPU rename registers are far above the toy ISA's pressure)."""
+    return DependencyModel(
+        name="wall-good",
+        rename_registers=True,
+        rename_memory=True,          # perfect disambiguation = RAW only
+        ignore_stack_pointer=False,
+        control_dependencies=True,
+        branch_predictor="twobit",
+        window_size=window_size,
+        issue_width=issue_width,
+    )
+
+
+def wall_perfect_model() -> DependencyModel:
+    """Wall's "perfect" configuration: the good model with infinite
+    renaming, a perfect predictor and no window/width limits."""
+    return DependencyModel(
+        name="wall-perfect",
+        rename_registers=True,
+        rename_memory=True,
+        ignore_stack_pointer=False,
+        control_dependencies=False,
+    )

@@ -1,0 +1,83 @@
+"""Branch predictors for the finite-resource ILP models."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class TwoBitPredictor:
+    """An infinite table of saturating 2-bit counters, one per static
+    branch — Wall's "good"-model predictor.
+
+    Counters start weakly not-taken (1); >= 2 predicts taken.
+    """
+
+    def __init__(self):
+        self._counters: Dict[int, int] = {}
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, addr: int, taken: bool) -> bool:
+        """Return True when the prediction was correct, updating state."""
+        counter = self._counters.get(addr, 1)
+        prediction = counter >= 2
+        self.lookups += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[addr] = counter
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+
+class PerfectPredictor:
+    """Always right (the paper's assumption for both Figure 7 models)."""
+
+    def __init__(self):
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, addr: int, taken: bool) -> bool:
+        self.lookups += 1
+        return True
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0
+
+
+class NoPredictor:
+    """Never predicts: every conditional branch serializes the flow."""
+
+    def __init__(self):
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, addr: int, taken: bool) -> bool:
+        self.lookups += 1
+        self.mispredictions += 1
+        return False
+
+    @property
+    def accuracy(self) -> float:
+        return 0.0
+
+
+def make_predictor(kind: str):
+    """Factory keyed by :class:`DependencyModel.branch_predictor`."""
+    if kind == "perfect":
+        return PerfectPredictor()
+    if kind == "twobit":
+        return TwoBitPredictor()
+    if kind == "none":
+        return NoPredictor()
+    raise ValueError("unknown predictor kind %r" % (kind,))

@@ -1,0 +1,45 @@
+"""Toy x86-64 ISA: registers, instructions, operands, assembler, programs.
+
+This package defines the machine language everything else in :mod:`repro`
+operates on.  The ISA is the gas/AT&T-syntax subset used by the paper's
+Figures 2 and 5, extended with the paper's ``fork``/``endfork`` section
+instructions.
+
+Typical use::
+
+    from repro.isa import assemble
+
+    program = assemble('''
+    main:
+        movq $21, %rax
+        addq %rax, %rax
+        out %rax
+        hlt
+    ''')
+"""
+
+from .assembler import assemble
+from .instructions import CONDITION_CODES, OPCODES, Instruction, OpInfo, opcode_info
+from .operands import Imm, LabelRef, Mem, Operand, Reg
+from .program import DATA_BASE, HALT_ADDR, STACK_TOP, WORD, Program
+from .registers import (
+    ALL_REGS,
+    ARG_REGS,
+    FLAGS,
+    FORK_COPIED_REGS,
+    GPRS,
+    RETURN_REG,
+    STACK_POINTER,
+    describe_flags,
+    is_gpr,
+    is_register,
+    pack_flags,
+)
+
+__all__ = [
+    "ALL_REGS", "ARG_REGS", "CONDITION_CODES", "DATA_BASE", "FLAGS",
+    "FORK_COPIED_REGS", "GPRS", "HALT_ADDR", "Imm", "Instruction",
+    "LabelRef", "Mem", "OPCODES", "OpInfo", "Operand", "Program", "Reg",
+    "RETURN_REG", "STACK_POINTER", "STACK_TOP", "WORD", "assemble",
+    "describe_flags", "is_gpr", "is_register", "opcode_info", "pack_flags",
+]

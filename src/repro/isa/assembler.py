@@ -1,0 +1,377 @@
+"""Two-pass assembler for the gas/AT&T-syntax toy x86-64 subset.
+
+Accepted source shape (a superset of the paper's Figures 2 and 5)::
+
+    # comment, // comment
+    .text                     # switch to code (default)
+    .data                     # switch to data
+    sum:                      # label (code or data, by current section)
+    .L2: movq %rsi, %rbx      # labels may share a line with an instruction
+        cmpq $2, %rsi
+        ja .L2
+        movq (%rdi), %rax
+        leaq (%rdi,%rsi,8), %rdi
+        movq tab(%rip), %rax  # rip-relative data reference
+        movq tab, %rax        # absolute data reference
+        fork sum
+        endfork
+    .data
+    tab: .quad 1, 2, 3
+    buf: .zero 64             # 64 bytes (8 words) of zeros
+    n:   .quad tab            # a symbol address as initializer
+
+The ``q`` size suffix on mnemonics is optional (``mov`` == ``movq``); only
+64-bit operations exist.  Numbers may be decimal (optionally negative) or
+``0x`` hexadecimal.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .instructions import CONDITION_CODES, OPCODES, Instruction
+from .operands import Imm, LabelRef, Mem, Operand, Reg
+from .program import DATA_BASE, WORD, Program
+from .registers import is_gpr
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_INT_RE = re.compile(r"^-?(0[xX][0-9a-fA-F]+|\d+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+#: Mnemonics that take a code label as their operand.
+_CONTROL_OPS = (frozenset(("jmp", "call", "fork", "forkloop"))
+                | frozenset(CONDITION_CODES))
+
+
+def assemble(source: str, entry: Optional[str] = None) -> Program:
+    """Assemble *source* into a :class:`Program`.
+
+    *entry* names the entry label; it defaults to ``main`` when such a label
+    exists, otherwise instruction 0.
+    """
+    return _Assembler(source).assemble(entry)
+
+
+class _Assembler:
+    def __init__(self, source: str):
+        self.source = source
+        self.code: List[Instruction] = []
+        self.data: Dict[int, int] = {}
+        self.code_symbols: Dict[str, int] = {}
+        self.data_symbols: Dict[str, int] = {}
+        self._data_cursor = DATA_BASE
+        self._pending_labels: List[str] = []
+        self._section = "text"
+        self._line_no = 0
+        # (instr index, operand slot, label name, line) fixups for pass 2
+        self._fixups: List[Tuple[int, int, str, int]] = []
+        # (data addr, label name, line) fixups for symbol initializers
+        self._data_fixups: List[Tuple[int, str, int]] = []
+
+    # -- driver -----------------------------------------------------------
+
+    def assemble(self, entry: Optional[str]) -> Program:
+        for raw in self.source.splitlines():
+            self._line_no += 1
+            self._line(raw)
+        if self._pending_labels and self._section == "text":
+            # Trailing labels point one past the end; give them a hlt target
+            # so "label at end of function" sources stay well-formed.
+            self._emit(Instruction("hlt", source_line=self._line_no))
+        self._resolve()
+        entry_addr = 0
+        if entry is not None:
+            if entry not in self.code_symbols:
+                raise AssemblerError("entry label %r not defined" % entry)
+            entry_addr = self.code_symbols[entry]
+        elif "main" in self.code_symbols:
+            entry_addr = self.code_symbols["main"]
+        return Program(
+            code=self.code,
+            data=self.data,
+            code_symbols=dict(self.code_symbols),
+            data_symbols=dict(self.data_symbols),
+            entry=entry_addr,
+            source=self.source,
+        )
+
+    def _err(self, message: str) -> AssemblerError:
+        return AssemblerError(message, self._line_no)
+
+    # -- pass 1 -------------------------------------------------------------
+
+    def _line(self, raw: str) -> None:
+        text = _strip_comment(raw).strip()
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            self._define_label(match.group(1))
+            text = match.group(2).strip()
+        if not text:
+            return
+        if text.startswith("."):
+            head = text.split(None, 1)[0]
+            if not _is_directive_known(head):
+                raise self._err("unknown directive %r" % head)
+            self._directive(head, text[len(head):].strip())
+            return
+        self._instruction(text)
+
+    def _define_label(self, name: str) -> None:
+        if self._section == "text":
+            if name in self.code_symbols:
+                raise self._err("duplicate label %r" % name)
+            self._pending_labels.append(name)
+        else:
+            if name in self.data_symbols:
+                raise self._err("duplicate data label %r" % name)
+            self.data_symbols[name] = self._data_cursor
+            self._pending_labels = []
+
+    def _directive(self, head: str, rest: str) -> None:
+        if head == ".text":
+            self._section = "text"
+        elif head == ".data":
+            if self._pending_labels:
+                raise self._err("code label before .data")
+            self._section = "data"
+        elif head == ".quad":
+            self._require_data(head)
+            for field in _split_operands(rest):
+                addr = self._data_cursor
+                self._data_cursor += WORD
+                if _INT_RE.match(field):
+                    self.data[addr] = _parse_int(field) & 0xFFFFFFFFFFFFFFFF
+                elif _IDENT_RE.match(field):
+                    self._data_fixups.append((addr, field, self._line_no))
+                else:
+                    raise self._err("bad .quad value %r" % field)
+        elif head in (".zero", ".space"):
+            self._require_data(head)
+            n = _parse_int(rest)
+            if n < 0 or n % WORD:
+                raise self._err("%s size must be a positive multiple of %d"
+                                % (head, WORD))
+            for _ in range(n // WORD):
+                self.data[self._data_cursor] = 0
+                self._data_cursor += WORD
+        elif head in (".global", ".globl", ".align"):
+            pass  # accepted and ignored
+
+    def _require_data(self, head: str) -> None:
+        if self._section != "data":
+            raise self._err("%s outside .data" % head)
+
+    def _instruction(self, text: str) -> None:
+        if self._section != "text":
+            raise self._err("instruction in .data section")
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        opcode = _canonical_opcode(mnemonic)
+        if opcode is None:
+            raise self._err("unknown mnemonic %r" % mnemonic)
+        operand_text = parts[1] if len(parts) > 1 else ""
+        fields = _split_operands(operand_text)
+        operands: List[Operand] = []
+        for slot, field in enumerate(fields):
+            operands.append(self._operand(opcode, slot, field))
+        try:
+            instr = Instruction(
+                opcode,
+                tuple(operands),
+                addr=len(self.code),
+                labels=tuple(self._pending_labels),
+                source_line=self._line_no,
+            )
+        except ValueError as exc:
+            raise self._err(str(exc)) from None
+        self._emit(instr)
+
+    def _emit(self, instr: Instruction) -> None:
+        for name in self._pending_labels:
+            self.code_symbols[name] = len(self.code)
+        self._pending_labels = []
+        instr.addr = len(self.code)
+        self.code.append(instr)
+
+    def _operand(self, opcode: str, slot: int, field: str) -> Operand:
+        if opcode in _CONTROL_OPS:
+            if not _IDENT_RE.match(field):
+                raise self._err("control target must be a label: %r" % field)
+            self._fixups.append((len(self.code), slot, field, self._line_no))
+            return LabelRef(field)
+        if field.startswith("$"):
+            body = field[1:]
+            if _INT_RE.match(body):
+                return Imm(_parse_int(body))
+            if _IDENT_RE.match(body):
+                self._fixups.append((len(self.code), slot, "$" + body,
+                                     self._line_no))
+                return Imm(0, symbol=body)
+            raise self._err("bad immediate %r" % field)
+        if field.startswith("%"):
+            name = field[1:].lower()
+            if not is_gpr(name):
+                raise self._err("unknown register %r" % field)
+            return Reg(name)
+        if "(" in field:
+            return self._memref(field)
+        if _INT_RE.match(field):
+            return Mem(disp=_parse_int(field))
+        if _IDENT_RE.match(field):
+            # Bare symbol: absolute data reference (load/store at symbol).
+            self._fixups.append((len(self.code), slot, "@" + field,
+                                 self._line_no))
+            return Mem(symbol=field)
+        raise self._err("cannot parse operand %r" % field)
+
+    def _memref(self, field: str) -> Mem:
+        match = re.match(r"^([^()]*)\(([^()]*)\)$", field)
+        if not match:
+            raise self._err("bad memory operand %r" % field)
+        disp_text, inner = match.group(1).strip(), match.group(2).strip()
+        disp, symbol = 0, None
+        if disp_text:
+            if _INT_RE.match(disp_text):
+                disp = _parse_int(disp_text)
+            elif _IDENT_RE.match(disp_text):
+                symbol = disp_text
+                self._fixups.append((len(self.code), -1, "@" + disp_text,
+                                     self._line_no))
+            else:
+                raise self._err("bad displacement %r" % disp_text)
+        parts = [p.strip() for p in inner.split(",")] if inner else []
+        base = index = None
+        scale = 1
+        if parts and parts[0]:
+            base = self._reg_name(parts[0])
+        if len(parts) >= 2 and parts[1]:
+            index = self._reg_name(parts[1])
+        if len(parts) >= 3 and parts[2]:
+            scale = _parse_int(parts[2])
+        if len(parts) > 3:
+            raise self._err("bad memory operand %r" % field)
+        # %rip-relative addressing: the displacement symbol is an absolute
+        # data address in the toy ISA, so drop the rip base.
+        if base == "rip":
+            base = None
+        try:
+            return Mem(disp=disp, base=base, index=index, scale=scale,
+                       symbol=symbol)
+        except ValueError as exc:
+            raise self._err(str(exc)) from None
+
+    def _reg_name(self, field: str) -> str:
+        if not field.startswith("%"):
+            raise self._err("expected register, got %r" % field)
+        name = field[1:].lower()
+        if name != "rip" and not is_gpr(name):
+            raise self._err("unknown register %r" % field)
+        return name
+
+    # -- pass 2 -------------------------------------------------------------
+
+    def _resolve(self) -> None:
+        for addr, name, line in self._data_fixups:
+            value = self._lookup(name, line)
+            self.data[addr] = value & 0xFFFFFFFFFFFFFFFF
+        for idx, slot, name, line in self._fixups:
+            instr = self.code[idx]
+            if name.startswith("$"):
+                symbol = name[1:]
+                value = self._lookup(symbol, line)
+                instr.operands = _replace(instr.operands,
+                                          lambda op: isinstance(op, Imm)
+                                          and op.symbol == symbol,
+                                          Imm(value, symbol=symbol))
+            elif name.startswith("@"):
+                symbol = name[1:]
+                if symbol not in self.data_symbols:
+                    raise AssemblerError("unknown data symbol %r" % symbol,
+                                         line)
+                addr = self.data_symbols[symbol]
+                instr.operands = _replace(
+                    instr.operands,
+                    lambda op: isinstance(op, Mem) and op.symbol == symbol,
+                    None,
+                    lambda op: Mem(disp=addr + op.disp, base=op.base,
+                                   index=op.index, scale=op.scale,
+                                   symbol=symbol))
+            else:
+                if name not in self.code_symbols:
+                    raise AssemblerError("undefined label %r" % name, line)
+                target = self.code_symbols[name]
+                instr.operands = _replace(
+                    instr.operands,
+                    lambda op: isinstance(op, LabelRef) and op.name == name,
+                    LabelRef(name, target=target))
+
+    def _lookup(self, symbol: str, line: int) -> int:
+        if symbol in self.data_symbols:
+            return self.data_symbols[symbol]
+        if symbol in self.code_symbols:
+            return self.code_symbols[symbol]
+        raise AssemblerError("undefined symbol %r" % symbol, line)
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside parentheses."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return [f for f in out if f]
+
+
+def _canonical_opcode(mnemonic: str):
+    if mnemonic in OPCODES:
+        return mnemonic
+    if mnemonic.endswith("q") and mnemonic[:-1] in OPCODES:
+        return mnemonic[:-1]
+    return None
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    if not _INT_RE.match(text):
+        raise AssemblerError("bad integer %r" % text)
+    return int(text, 0)
+
+
+def _is_directive_known(head: str) -> bool:
+    return head in (".text", ".data", ".quad", ".zero", ".space", ".global",
+                    ".globl", ".align")
+
+
+def _replace(operands, predicate, replacement, transform=None):
+    out = []
+    for op in operands:
+        if predicate(op):
+            out.append(transform(op) if transform is not None else replacement)
+        else:
+            out.append(op)
+    return tuple(out)

@@ -1,0 +1,319 @@
+"""Instruction set definition: opcodes, their static metadata, and the
+:class:`Instruction` record that programs are made of.
+
+The instruction set is the minimal x86-64 subset needed to express the
+paper's examples (Figures 2 and 5) plus what the MiniC code generator emits,
+extended with the paper's two new control instructions:
+
+* ``fork <label>`` -- start a new *section* at the next instruction (the
+  resume path) while the current section continues at ``<label>``; copies the
+  stack pointer and the non-volatile registers to the new section and does
+  NOT push a return address (paper, Section 2).
+* ``endfork`` -- terminate the current section; does NOT pop a return
+  address.
+
+Plus two conveniences for testing and workloads:
+
+* ``out <src>`` -- append a value to the machine's output channel,
+* ``hlt`` -- stop the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .operands import Imm, LabelRef, Mem, Operand, Reg
+from .registers import FLAGS, STACK_POINTER
+
+# --------------------------------------------------------------------------
+# Opcode metadata
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of an opcode.
+
+    ``arity``        -- number of explicit operands.
+    ``writes_dest``  -- last operand is written.
+    ``reads_dest``   -- last operand is also read (read-modify-write ops).
+    ``writes_flags`` / ``reads_flags`` -- interaction with ``rflags``.
+    ``kind``         -- coarse class used by the pipelines: one of
+                        ``"alu"``, ``"mov"``, ``"lea"``, ``"muldiv"``,
+                        ``"push"``, ``"pop"``, ``"call"``, ``"ret"``,
+                        ``"jmp"``, ``"jcc"``, ``"fork"``, ``"endfork"``,
+                        ``"out"``, ``"nop"``, ``"hlt"``, ``"cqo"``,
+                        ``"idiv"``.
+    """
+
+    name: str
+    arity: int
+    writes_dest: bool = False
+    reads_dest: bool = False
+    writes_flags: bool = False
+    reads_flags: bool = False
+    kind: str = "alu"
+
+
+def _alu(name: str) -> OpInfo:
+    return OpInfo(name, 2, writes_dest=True, reads_dest=True, writes_flags=True)
+
+
+def _unary(name: str, writes_flags: bool = True,
+           reads_flags: bool = False) -> OpInfo:
+    return OpInfo(name, 1, writes_dest=True, reads_dest=True,
+                  writes_flags=writes_flags, reads_flags=reads_flags)
+
+
+#: All known opcodes (canonical names, without the ``q`` size suffix).
+OPCODES = {
+    info.name: info
+    for info in (
+        OpInfo("mov", 2, writes_dest=True, kind="mov"),
+        _alu("add"),
+        _alu("sub"),
+        _alu("and"),
+        _alu("or"),
+        _alu("xor"),
+        OpInfo("imul", 2, writes_dest=True, reads_dest=True,
+               writes_flags=True, kind="muldiv"),
+        OpInfo("cmp", 2, writes_flags=True),
+        OpInfo("test", 2, writes_flags=True),
+        OpInfo("lea", 2, writes_dest=True, kind="lea"),
+        # inc/dec preserve CF, so they read the previous flags (an x86
+        # partial-flag merge dependency the pipelines must see).
+        _unary("inc", reads_flags=True),
+        _unary("dec", reads_flags=True),
+        _unary("neg"),
+        _unary("not", writes_flags=False),
+        # Shifts: 1-operand form shifts by one; 2-operand form takes an
+        # immediate count (the %cl form is not supported by the toy ISA).
+        OpInfo("shl", -1, writes_dest=True, reads_dest=True, writes_flags=True),
+        OpInfo("shr", -1, writes_dest=True, reads_dest=True, writes_flags=True),
+        OpInfo("sar", -1, writes_dest=True, reads_dest=True, writes_flags=True),
+        OpInfo("push", 1, kind="push"),
+        OpInfo("pop", 1, writes_dest=True, kind="pop"),
+        OpInfo("call", 1, kind="call"),
+        OpInfo("ret", 0, kind="ret"),
+        OpInfo("jmp", 1, kind="jmp"),
+        OpInfo("fork", 1, kind="fork"),
+        # Loop-iteration fork (paper §5 loop parallelization): same section
+        # semantics as fork, but the forking flow stays in the *same stack
+        # frame* — renaming shortcuts must not bypass its stores.
+        OpInfo("forkloop", 1, kind="fork"),
+        OpInfo("endfork", 0, kind="endfork"),
+        OpInfo("cqo", 0, kind="cqo"),
+        OpInfo("idiv", 1, kind="idiv"),
+        OpInfo("out", 1, kind="out"),
+        OpInfo("nop", 0, kind="nop"),
+        OpInfo("hlt", 0, kind="hlt"),
+    )
+}
+
+#: Conditional jumps, keyed by mnemonic; value is the condition-code name
+#: evaluated by :func:`repro.machine.executor.condition_holds`.
+CONDITION_CODES = {
+    "je": "e", "jz": "e",
+    "jne": "ne", "jnz": "ne",
+    "ja": "a", "jnbe": "a",
+    "jae": "ae", "jnb": "ae",
+    "jb": "b", "jnae": "b",
+    "jbe": "be", "jna": "be",
+    "jg": "g", "jnle": "g",
+    "jge": "ge", "jnl": "ge",
+    "jl": "l", "jnge": "l",
+    "jle": "le", "jng": "le",
+    "js": "s",
+    "jns": "ns",
+}
+
+for _mnemonic in CONDITION_CODES:
+    OPCODES[_mnemonic] = OpInfo(_mnemonic, 1, reads_flags=True, kind="jcc")
+
+
+def opcode_info(name: str) -> OpInfo:
+    """Look up opcode metadata; raises KeyError for unknown opcodes."""
+    return OPCODES[name]
+
+
+# --------------------------------------------------------------------------
+# Instruction
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Instruction:
+    """One static instruction of a program.
+
+    ``addr`` is the instruction's index in the program code list (the toy ISA
+    addresses code by instruction, not by byte).  ``labels`` records the
+    symbolic labels attached to this address, for disassembly.
+    """
+
+    opcode: str
+    operands: Tuple[Operand, ...] = ()
+    addr: int = -1
+    labels: Tuple[str, ...] = ()
+    source_line: int = 0
+
+    def __post_init__(self):
+        if self.opcode not in OPCODES:
+            raise ValueError("unknown opcode: %r" % (self.opcode,))
+        info = OPCODES[self.opcode]
+        if info.arity >= 0 and len(self.operands) != info.arity:
+            raise ValueError(
+                "%s expects %d operand(s), got %d"
+                % (self.opcode, info.arity, len(self.operands)))
+        if info.arity == -1 and len(self.operands) not in (1, 2):
+            raise ValueError("%s expects 1 or 2 operands" % self.opcode)
+
+    # -- static classification ------------------------------------------
+
+    @property
+    def info(self) -> OpInfo:
+        return OPCODES[self.opcode]
+
+    @property
+    def kind(self) -> str:
+        return self.info.kind
+
+    @property
+    def is_control(self) -> bool:
+        """True for instructions that may change the instruction pointer."""
+        return self.kind in ("jmp", "jcc", "call", "ret", "fork", "endfork", "hlt")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in ("jmp", "jcc")
+
+    @property
+    def target_label(self) -> Optional[LabelRef]:
+        """The code-label operand of a control transfer, if any."""
+        for op in self.operands:
+            if isinstance(op, LabelRef):
+                return op
+        return None
+
+    @property
+    def target(self) -> Optional[int]:
+        ref = self.target_label
+        return None if ref is None else ref.target
+
+    # -- static register read/write sets ---------------------------------
+
+    def mem_operand(self) -> Optional[Mem]:
+        """The (single) explicit memory operand, if any."""
+        for op in self.operands:
+            if isinstance(op, Mem):
+                return op
+        return None
+
+    def reads_memory(self) -> bool:
+        """True when executing this instruction loads from data memory."""
+        kind = self.kind
+        if kind in ("pop", "ret"):
+            return True
+        if kind in ("lea", "nop", "hlt", "fork", "endfork", "call", "push"):
+            return False
+        mem = self.mem_operand()
+        if mem is None:
+            return False
+        info = self.info
+        # A memory destination is loaded only by read-modify-write opcodes;
+        # a memory source is always loaded.
+        if info.writes_dest and self.operands[-1] is mem:
+            return info.reads_dest
+        return True
+
+    def writes_memory(self) -> bool:
+        """True when executing this instruction stores to data memory."""
+        kind = self.kind
+        if kind in ("push", "call"):
+            return True
+        if kind in ("lea", "pop", "ret", "nop", "hlt", "fork", "endfork"):
+            return False
+        info = self.info
+        mem = self.mem_operand()
+        return bool(info.writes_dest and mem is not None
+                    and self.operands and self.operands[-1] is mem)
+
+    def reg_reads(self) -> Tuple[str, ...]:
+        """Architectural registers read, including implicit ones (address
+        registers, rsp for stack ops, rflags for conditional jumps)."""
+        info = self.info
+        regs = []
+        kind = self.kind
+
+        def add(name):
+            if name not in regs:
+                regs.append(name)
+
+        for i, op in enumerate(self.operands):
+            is_dest = info.writes_dest and i == len(self.operands) - 1
+            if isinstance(op, Reg):
+                if not is_dest or info.reads_dest:
+                    add(op.name)
+            elif isinstance(op, Mem):
+                # Address registers are read even for lea and for memory
+                # destinations: the effective address must be formed.
+                for r in op.regs():
+                    add(r)
+        if kind in ("push", "pop", "call", "ret"):
+            add(STACK_POINTER)
+        if kind == "cqo":
+            add("rax")
+        if kind == "idiv":
+            add("rax")
+            add("rdx")
+        if info.reads_flags:
+            add(FLAGS)
+        return tuple(regs)
+
+    def reg_writes(self) -> Tuple[str, ...]:
+        """Architectural registers written, including implicit ones."""
+        info = self.info
+        regs = []
+        kind = self.kind
+
+        def add(name):
+            if name not in regs:
+                regs.append(name)
+
+        if info.writes_dest and self.operands:
+            dest = self.operands[-1]
+            if isinstance(dest, Reg):
+                add(dest.name)
+        if kind in ("push", "pop", "call", "ret"):
+            add(STACK_POINTER)
+        if kind == "cqo":
+            add("rdx")
+        if kind == "idiv":
+            add("rax")
+            add("rdx")
+        if info.writes_flags:
+            add(FLAGS)
+        return tuple(regs)
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        text = self.opcode + ("q" if _takes_suffix(self.opcode) else "")
+        return ("%s %s" % (text, ops)) if ops else text
+
+    def describe(self) -> str:
+        """Rendering with leading labels, as it would appear in source."""
+        prefix = "".join("%s: " % lab for lab in self.labels)
+        return prefix + str(self)
+
+
+_NO_SUFFIX = frozenset(
+    ("ret", "jmp", "call", "fork", "forkloop", "endfork", "nop", "hlt",
+     "cqo", "out")
+    + tuple(CONDITION_CODES)
+)
+
+
+def _takes_suffix(opcode: str) -> bool:
+    return opcode not in _NO_SUFFIX

@@ -1,0 +1,112 @@
+"""Operand model for the toy x86-64 subset (AT&T order: sources first).
+
+Three concrete operand kinds exist:
+
+* :class:`Imm`  -- ``$42`` or ``$label`` (resolved to an address at assembly),
+* :class:`Reg`  -- ``%rax``,
+* :class:`Mem`  -- ``disp(base,index,scale)`` in full generality.
+
+All operands are immutable so instructions can be shared freely between the
+functional machines, the ILP analyzer and the cycle simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .registers import is_gpr
+
+
+class Operand:
+    """Base class for instruction operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Imm(Operand):
+    """An immediate value.  ``symbol`` keeps the source name for display when
+    the immediate came from ``$label``."""
+
+    value: int
+    symbol: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.symbol is not None:
+            return "$%s" % self.symbol
+        return "$%d" % self.value
+
+
+@dataclass(frozen=True)
+class Reg(Operand):
+    """A direct register operand, e.g. ``%rax``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not is_gpr(self.name):
+            raise ValueError("not a general purpose register: %r" % (self.name,))
+
+    def __str__(self) -> str:
+        return "%%%s" % self.name
+
+
+@dataclass(frozen=True)
+class Mem(Operand):
+    """A memory operand ``disp(base,index,scale)``.
+
+    ``symbol`` preserves a symbolic displacement (``label(%rip)`` style data
+    references assemble to an absolute displacement with ``symbol`` set).
+    Effective address = ``disp + R[base] + R[index] * scale``.
+    """
+
+    disp: int = 0
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    symbol: Optional[str] = None
+
+    def __post_init__(self):
+        if self.base is not None and not is_gpr(self.base):
+            raise ValueError("bad base register: %r" % (self.base,))
+        if self.index is not None and not is_gpr(self.index):
+            raise ValueError("bad index register: %r" % (self.index,))
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError("bad scale: %r" % (self.scale,))
+
+    def regs(self) -> Tuple[str, ...]:
+        """Registers read to form the effective address."""
+        out = []
+        if self.base is not None:
+            out.append(self.base)
+        if self.index is not None:
+            out.append(self.index)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        disp = self.symbol if self.symbol is not None else (
+            "%d" % self.disp if self.disp else "")
+        if self.base is None and self.index is None:
+            return disp or "0"
+        inner = "%%%s" % self.base if self.base else ""
+        if self.index is not None:
+            inner += ",%%%s" % self.index
+            if self.scale != 1:
+                inner += ",%d" % self.scale
+        return "%s(%s)" % (disp, inner)
+
+
+@dataclass(frozen=True)
+class LabelRef(Operand):
+    """A code-label operand of a control transfer (``jmp .L2``, ``call sum``).
+
+    ``target`` is filled in by the assembler's second pass with the index of
+    the destination instruction in the program's code list.
+    """
+
+    name: str
+    target: Optional[int] = None
+
+    def __str__(self) -> str:
+        return self.name

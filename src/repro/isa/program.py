@@ -1,0 +1,106 @@
+"""Program container and memory layout for the toy machine.
+
+The toy ISA addresses *code by instruction index* (an "address" is a position
+in ``Program.code``) and *data by byte address* in a flat 64-bit space, with
+every access 8-byte wide and 8-byte aligned.  Word addressing keeps the
+functional machines, the memory-renaming simulator structures and the ILP
+analyzer simple while preserving everything the paper's model depends on
+(real addresses, aliasing, stack growth).
+
+Layout (all configurable at machine construction):
+
+* code: indices ``0 .. len(code)-1``
+* global data segment: grows up from :data:`DATA_BASE`
+* stack: grows down from :data:`STACK_TOP`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .instructions import Instruction
+
+#: First byte address of the global data segment.
+DATA_BASE = 0x100000
+
+#: Initial stack pointer (first push stores at ``STACK_TOP - 8``).
+STACK_TOP = 0x8000000
+
+#: Word size of the machine in bytes; every data access moves one word.
+WORD = 8
+
+#: Sentinel return address pushed below ``main``; a ``ret`` to it halts.
+HALT_ADDR = -1
+
+
+@dataclass
+class Program:
+    """An assembled program: code, initial data image and symbol tables."""
+
+    code: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    code_symbols: Dict[str, int] = field(default_factory=dict)
+    data_symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    source: str = ""
+
+    def __post_init__(self):
+        for addr in self.data:
+            if addr % WORD:
+                raise AssemblerError("misaligned data word at %#x" % addr)
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def label_of(self, addr: int) -> Optional[str]:
+        """First label attached to the instruction at *addr*, if any."""
+        if 0 <= addr < len(self.code) and self.code[addr].labels:
+            return self.code[addr].labels[0]
+        return None
+
+    def symbol_addr(self, name: str) -> int:
+        """Data-segment byte address of symbol *name*."""
+        try:
+            return self.data_symbols[name]
+        except KeyError:
+            raise AssemblerError("unknown data symbol: %r" % (name,)) from None
+
+    def entry_symbol(self) -> Optional[str]:
+        return self.label_of(self.entry)
+
+    def listing(self) -> str:
+        """Disassembly listing with addresses and labels (round-trips
+        through the assembler)."""
+        lines = []
+        for instr in self.code:
+            for lab in instr.labels:
+                lines.append("%s:" % lab)
+            lines.append("    %s" % instr)
+        if self.data or self.data_symbols:
+            lines.append(".data")
+            by_addr: Dict[int, List[str]] = {}
+            for name, addr in self.data_symbols.items():
+                by_addr.setdefault(addr, []).append(name)
+            for addr in sorted(set(self.data) | set(by_addr)):
+                for name in by_addr.get(addr, ()):
+                    lines.append("%s:" % name)
+                if addr in self.data:
+                    lines.append("    .quad %d" % self.data[addr])
+        return "\n".join(lines) + "\n"
+
+    def patch_data(self, symbol: str, values) -> None:
+        """Overwrite the words starting at *symbol* with *values*.
+
+        This is how workload harnesses install datasets into a compiled
+        program image before running it.
+        """
+        base = self.symbol_addr(symbol)
+        for i, value in enumerate(values):
+            self.data[base + i * WORD] = value & 0xFFFFFFFFFFFFFFFF
+
+    def read_data(self, symbol: str, count: int) -> List[int]:
+        """Read *count* words starting at *symbol* from the initial image."""
+        base = self.symbol_addr(symbol)
+        return [self.data.get(base + i * WORD, 0) for i in range(count)]

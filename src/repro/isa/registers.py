@@ -1,0 +1,80 @@
+"""Register file definition for the toy x86-64 subset.
+
+The paper's examples use gas (AT&T) syntax on x86-64, so we model the sixteen
+64-bit general purpose registers plus the architectural flags register.  The
+flags register is exposed as an ordinary renameable location named
+``"rflags"`` because the paper's fetch-decode stage computes compare/branch
+pairs in order, and the ILP analyzer treats flag producers/consumers like any
+other register dependency.
+"""
+
+from __future__ import annotations
+
+#: The sixteen general-purpose 64-bit registers, in conventional order.
+GPRS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: Pseudo register holding the condition flags (ZF/SF/CF/OF packed).
+FLAGS = "rflags"
+
+#: Every architectural location an instruction may name.
+ALL_REGS = GPRS + (FLAGS,)
+
+#: The stack pointer, special-cased by the paper's "parallel" ILP model
+#: (stack-pointer dependencies are excluded) and copied on ``fork``.
+STACK_POINTER = "rsp"
+
+#: Registers whose values a ``fork`` instruction copies into the section
+#: creation message (the paper: "Non volatile registers (i.e. rbx, rdi and
+#: rsi in this example) are copied to the forked path" plus the stack
+#: pointer).  We take the paper's example set union the SysV callee-saved
+#: set, so both hand-written and MiniC-generated code fork correctly.
+FORK_COPIED_REGS = frozenset(
+    {"rbx", "rbp", "rsp", "rdi", "rsi", "r12", "r13", "r14", "r15"}
+)
+
+#: SysV AMD64 integer argument registers, used by the MiniC code generator.
+ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+#: Register carrying a function's return value.
+RETURN_REG = "rax"
+
+_GPR_SET = frozenset(GPRS)
+_ALL_SET = frozenset(ALL_REGS)
+
+
+def is_gpr(name: str) -> bool:
+    """Return True when *name* is one of the sixteen GPRs."""
+    return name in _GPR_SET
+
+
+def is_register(name: str) -> bool:
+    """Return True when *name* names any architectural location."""
+    return name in _ALL_SET
+
+
+# --- flag bit packing -------------------------------------------------------
+#
+# The four flags the toy ISA models are packed into one integer so the flags
+# register can flow through renaming and value-forwarding machinery exactly
+# like a data register.
+
+ZF = 1 << 0  #: zero flag
+SF = 1 << 1  #: sign flag
+CF = 1 << 2  #: carry flag (unsigned overflow / borrow)
+OF = 1 << 3  #: overflow flag (signed overflow)
+
+FLAG_NAMES = {ZF: "ZF", SF: "SF", CF: "CF", OF: "OF"}
+
+
+def pack_flags(zf: bool, sf: bool, cf: bool, of: bool) -> int:
+    """Pack the four condition flags into a single integer value."""
+    return (ZF if zf else 0) | (SF if sf else 0) | (CF if cf else 0) | (OF if of else 0)
+
+
+def describe_flags(value: int) -> str:
+    """Human readable rendering of a packed flags value, e.g. ``"ZF|CF"``."""
+    names = [name for bit, name in FLAG_NAMES.items() if value & bit]
+    return "|".join(names) if names else "-"

@@ -1,0 +1,24 @@
+"""Functional execution engines: sequential (call/ret) and forked (sections).
+
+* :class:`SequentialMachine` / :func:`run_sequential` — the paper's Figure 3
+  baseline semantics.
+* :class:`ForkedMachine` / :func:`run_forked` — the paper's Section 2
+  execution model, producing per-instruction ``(section, index)`` labels and
+  the section table/tree of Figures 4 and 6.
+* :class:`Trace` / :class:`TraceEntry` — dynamic traces for the ILP study.
+* :mod:`repro.machine.executor` — the single definition of instruction
+  semantics, shared with the cycle simulator.
+"""
+
+from .base import BaseMachine, HALT_SENTINEL, RunResult
+from .executor import to_signed, to_unsigned
+from .forked import ForkedMachine, SectionInfo, run_forked
+from .memory import Memory
+from .sequential import SequentialMachine, run_sequential
+from .trace import Trace, TraceEntry
+
+__all__ = [
+    "BaseMachine", "ForkedMachine", "HALT_SENTINEL", "Memory", "RunResult",
+    "SectionInfo", "SequentialMachine", "Trace", "TraceEntry", "run_forked",
+    "run_sequential", "to_signed", "to_unsigned",
+]

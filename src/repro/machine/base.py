@@ -1,0 +1,303 @@
+"""Shared interpreter core for the sequential and forked functional machines.
+
+The two machines differ only in how they treat the four control-transfer
+opcodes ``call``/``ret``/``fork``/``endfork``; everything else — operand
+evaluation, ALU semantics, memory, tracing — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..isa.instructions import CONDITION_CODES, Instruction
+from ..isa.operands import Imm, Mem, Reg
+from ..isa.program import HALT_ADDR, Program, STACK_TOP, WORD
+from ..isa.registers import ALL_REGS, FLAGS, STACK_POINTER
+from . import executor
+from .executor import MASK
+from .memory import Memory
+from .trace import Trace, TraceEntry
+
+#: The value stored as the bottom-of-stack return address; ``ret`` into it
+#: halts the machine.
+HALT_SENTINEL = HALT_ADDR & MASK
+
+#: Default dynamic instruction budget; exceeded means a runaway program.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of a complete program run."""
+
+    output: List[int]
+    steps: int
+    regs: Dict[str, int]
+    halted: str                      #: "hlt", "ret" or "endfork"
+    memory: Memory
+    trace: Optional[Trace] = None
+
+    @property
+    def return_value(self) -> int:
+        """Value of rax at halt (the C ``main`` result)."""
+        return self.regs["rax"]
+
+    @property
+    def signed_output(self) -> List[int]:
+        return [executor.to_signed(v) for v in self.output]
+
+
+class BaseMachine:
+    """Functional interpreter over a :class:`Program`.
+
+    Subclasses provide the control semantics via ``_op_call``, ``_op_ret``,
+    ``_op_fork`` and ``_op_endfork`` hooks; each returns the next instruction
+    index or ``None`` to halt.
+    """
+
+    def __init__(self, program: Program, max_steps: int = DEFAULT_MAX_STEPS,
+                 initial_regs: Dict[str, int] = None):
+        self.program = program
+        self.max_steps = max_steps
+        self.regs: Dict[str, int] = {r: 0 for r in ALL_REGS}
+        self.regs[STACK_POINTER] = STACK_TOP
+        if initial_regs:
+            for name, value in initial_regs.items():
+                self.regs[name] = value & MASK
+        self.mem = Memory(program.data)
+        self.ip = program.entry
+        self.output: List[int] = []
+        self.steps = 0
+        self.halted: Optional[str] = None
+        self.depth = 0
+        self.section = 0
+        self.section_index = 0
+        self._push_value(HALT_SENTINEL)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, record_trace: bool = False) -> RunResult:
+        """Run to completion; optionally keep the full trace."""
+        entries = [] if record_trace else None
+        for entry in self.step_entries():
+            if entries is not None:
+                entries.append(entry)
+        return RunResult(
+            output=list(self.output),
+            steps=self.steps,
+            regs=dict(self.regs),
+            halted=self.halted or "hlt",
+            memory=self.mem,
+            trace=Trace(entries) if entries is not None else None,
+        )
+
+    def step_entries(self) -> Iterator[TraceEntry]:
+        """Generator over executed-instruction records; runs the machine."""
+        while self.halted is None:
+            yield self.step()
+
+    # -- single step ----------------------------------------------------------
+
+    def step(self) -> TraceEntry:
+        if self.halted is not None:
+            raise ExecutionError("machine already halted")
+        if self.steps >= self.max_steps:
+            raise ExecutionError(
+                "instruction budget exhausted (%d steps) at ip=%d"
+                % (self.max_steps, self.ip))
+        if not 0 <= self.ip < len(self.program.code):
+            raise ExecutionError("instruction pointer out of code: %d" % self.ip)
+
+        instr = self.program.code[self.ip]
+        mem_reads: List[int] = []
+        mem_writes: List[int] = []
+        taken: Optional[bool] = None
+        next_ip: Optional[int] = self.ip + 1
+        op = instr.opcode
+        kind = instr.kind
+        # The executing instruction belongs to the section/depth current at
+        # dispatch time; control hooks may switch both for the *next* one.
+        entry_section = self.section
+        entry_index = self.section_index
+        entry_depth = self.depth
+
+        if op == "mov":
+            value = self._value(instr.operands[0], mem_reads)
+            self._write(instr.operands[1], value, mem_writes)
+        elif op in ("add", "sub", "and", "or", "xor", "imul"):
+            src = self._value(instr.operands[0], mem_reads)
+            dst = self._value(instr.operands[1], mem_reads)
+            result, flags = executor.binary_result(op, src, dst)
+            self._write(instr.operands[1], result, mem_writes)
+            if flags is not None:
+                self.regs[FLAGS] = flags
+        elif op in ("cmp", "test"):
+            src = self._value(instr.operands[0], mem_reads)
+            dst = self._value(instr.operands[1], mem_reads)
+            self.regs[FLAGS] = executor.compare_flags(op, src, dst)
+        elif op in ("inc", "dec", "neg", "not"):
+            value = self._value(instr.operands[0], mem_reads)
+            result, flags = executor.unary_result(op, value, self.regs[FLAGS])
+            self._write(instr.operands[0], result, mem_writes)
+            if flags is not None:
+                self.regs[FLAGS] = flags
+        elif op in ("shl", "shr", "sar"):
+            if len(instr.operands) == 1:
+                count, target = 1, instr.operands[0]
+            else:
+                count = self._value(instr.operands[0], mem_reads)
+                target = instr.operands[1]
+            value = self._value(target, mem_reads)
+            result, flags = executor.shift_result(op, value, count)
+            self._write(target, result, mem_writes)
+            self.regs[FLAGS] = flags
+        elif op == "lea":
+            mem = instr.operands[0]
+            if not isinstance(mem, Mem):
+                raise ExecutionError("lea needs a memory operand")
+            self._write(instr.operands[1], self._ea(mem), mem_writes)
+        elif op == "push":
+            value = self._value(instr.operands[0], mem_reads)
+            mem_writes.append(self._push_value(value))
+        elif op == "pop":
+            value, addr = self._pop_value()
+            mem_reads.append(addr)
+            self._write(instr.operands[0], value, mem_writes)
+        elif op == "cqo":
+            self.regs["rdx"] = executor.cqo_result(self.regs["rax"])
+        elif op == "idiv":
+            divisor = self._value(instr.operands[0], mem_reads)
+            quotient, remainder = executor.idiv_result(
+                self.regs["rax"], self.regs["rdx"], divisor)
+            self.regs["rax"] = quotient
+            self.regs["rdx"] = remainder
+        elif op == "out":
+            self.output.append(self._value(instr.operands[0], mem_reads))
+        elif op == "nop":
+            pass
+        elif op == "jmp":
+            next_ip = self._target(instr)
+        elif kind == "jcc":
+            taken = executor.condition_holds(
+                CONDITION_CODES[op], self.regs[FLAGS])
+            if taken:
+                next_ip = self._target(instr)
+        elif op == "call":
+            next_ip = self._op_call(instr, mem_reads, mem_writes)
+        elif op == "ret":
+            next_ip = self._op_ret(instr, mem_reads, mem_writes)
+        elif kind == "fork":
+            next_ip = self._op_fork(instr)
+        elif op == "endfork":
+            next_ip = self._op_endfork(instr)
+        elif op == "hlt":
+            next_ip = self._op_hlt(instr)
+        else:  # pragma: no cover - the opcode table is closed
+            raise ExecutionError("unimplemented opcode %r" % op)
+
+        entry = TraceEntry(
+            seq=self.steps,
+            addr=instr.addr,
+            instr=instr,
+            reg_reads=instr.reg_reads(),
+            reg_writes=instr.reg_writes(),
+            mem_reads=tuple(mem_reads),
+            mem_writes=tuple(mem_writes),
+            taken=taken,
+            depth=entry_depth,
+            section=entry_section,
+            section_index=entry_index,
+        )
+        self.steps += 1
+        if self.section == entry_section:
+            self.section_index = entry_index + 1
+        else:
+            self.section_index = 0
+        if next_ip is None:
+            if self.halted is None:
+                self.halted = "hlt"
+        else:
+            self.ip = next_ip
+        return entry
+
+    # -- control hooks (overridden by subclasses) ---------------------------
+
+    def _op_call(self, instr, mem_reads, mem_writes) -> Optional[int]:
+        mem_writes.append(self._push_value(self.ip + 1))
+        self.depth += 1
+        return self._target(instr)
+
+    def _op_ret(self, instr, mem_reads, mem_writes) -> Optional[int]:
+        value, addr = self._pop_value()
+        mem_reads.append(addr)
+        if value == HALT_SENTINEL:
+            self.halted = "ret"
+            return None
+        if value >= len(self.program.code):
+            raise ExecutionError("ret to bad address %#x" % value)
+        self.depth -= 1
+        return value
+
+    def _op_fork(self, instr) -> Optional[int]:
+        raise ExecutionError(
+            "fork instruction requires a ForkedMachine (at ip=%d)" % self.ip)
+
+    def _op_endfork(self, instr) -> Optional[int]:
+        raise ExecutionError(
+            "endfork instruction requires a ForkedMachine (at ip=%d)" % self.ip)
+
+    def _op_hlt(self, instr) -> Optional[int]:
+        self.halted = "hlt"
+        return None
+
+    # -- operand helpers ------------------------------------------------------
+
+    def _ea(self, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.regs[mem.base]
+        if mem.index is not None:
+            addr += self.regs[mem.index] * mem.scale
+        return addr & MASK
+
+    def _value(self, operand, mem_reads: List[int]) -> int:
+        if isinstance(operand, Imm):
+            return operand.value & MASK
+        if isinstance(operand, Reg):
+            return self.regs[operand.name]
+        if isinstance(operand, Mem):
+            addr = self._ea(operand)
+            mem_reads.append(addr)
+            return self.mem.load(addr)
+        raise ExecutionError("cannot read operand %r" % (operand,))
+
+    def _write(self, operand, value: int, mem_writes: List[int]) -> None:
+        if isinstance(operand, Reg):
+            self.regs[operand.name] = value & MASK
+            return
+        if isinstance(operand, Mem):
+            addr = self._ea(operand)
+            mem_writes.append(addr)
+            self.mem.store(addr, value)
+            return
+        raise ExecutionError("cannot write operand %r" % (operand,))
+
+    def _push_value(self, value: int) -> int:
+        self.regs[STACK_POINTER] = (self.regs[STACK_POINTER] - WORD) & MASK
+        addr = self.regs[STACK_POINTER]
+        self.mem.store(addr, value)
+        return addr
+
+    def _pop_value(self) -> Tuple[int, int]:
+        addr = self.regs[STACK_POINTER]
+        value = self.mem.load(addr)
+        self.regs[STACK_POINTER] = (addr + WORD) & MASK
+        return value, addr
+
+    def _target(self, instr: Instruction) -> int:
+        target = instr.target
+        if target is None:
+            raise ExecutionError("unresolved control target in %s" % instr)
+        return target

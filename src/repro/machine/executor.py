@@ -1,0 +1,227 @@
+"""Pure instruction semantics, shared by every execution engine.
+
+The functional machines (:mod:`repro.machine.sequential`,
+:mod:`repro.machine.forked`), the cycle simulator's fetch-stage ALU and its
+execute-stage functional units all call into this module, so a single
+definition of "what does ``addq`` do" exists in the library.
+
+All values are 64-bit, represented as Python ints in ``[0, 2**64)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ExecutionError
+from ..isa.registers import CF, OF, SF, ZF, pack_flags
+
+MASK = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+WIDTH = 64
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate a Python int to the 64-bit unsigned representation."""
+    return value & MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned representation as a signed value."""
+    value &= MASK
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def _zf_sf(result: int) -> Tuple[bool, bool]:
+    return result == 0, bool(result & SIGN_BIT)
+
+
+def _add_flags(a: int, b: int, result: int) -> int:
+    zf, sf = _zf_sf(result)
+    cf = (a + b) > MASK
+    of = (to_signed(a) + to_signed(b)) != to_signed(result)
+    return pack_flags(zf, sf, cf, of)
+
+
+def _sub_flags(a: int, b: int, result: int) -> int:
+    """Flags of ``a - b`` (note: AT&T ``cmp src,dst`` computes dst - src)."""
+    zf, sf = _zf_sf(result)
+    cf = a < b  # borrow
+    of = (to_signed(a) - to_signed(b)) != to_signed(result)
+    return pack_flags(zf, sf, cf, of)
+
+
+def _logic_flags(result: int) -> int:
+    zf, sf = _zf_sf(result)
+    return pack_flags(zf, sf, False, False)
+
+
+def binary_result(opcode: str, src: int, dst: int) -> Tuple[int, Optional[int]]:
+    """Result and new flags of a two-operand instruction ``op src, dst``.
+
+    ``mov`` and ``lea`` return ``(src, None)``: no flag update.
+    """
+    src &= MASK
+    dst &= MASK
+    if opcode in ("mov", "lea"):
+        return src, None
+    if opcode == "add":
+        result = (dst + src) & MASK
+        return result, _add_flags(dst, src, result)
+    if opcode == "sub":
+        result = (dst - src) & MASK
+        return result, _sub_flags(dst, src, result)
+    if opcode == "and":
+        result = dst & src
+        return result, _logic_flags(result)
+    if opcode == "or":
+        result = dst | src
+        return result, _logic_flags(result)
+    if opcode == "xor":
+        result = dst ^ src
+        return result, _logic_flags(result)
+    if opcode == "imul":
+        wide = to_signed(dst) * to_signed(src)
+        result = wide & MASK
+        overflow = wide != to_signed(result)
+        zf, sf = _zf_sf(result)
+        # Real x86 leaves ZF/SF undefined after imul; the toy ISA defines
+        # them from the result so traces are deterministic.
+        return result, pack_flags(zf, sf, overflow, overflow)
+    raise ExecutionError("binary_result: bad opcode %r" % opcode)
+
+
+def unary_result(opcode: str, value: int, flags_in: int) -> Tuple[int, Optional[int]]:
+    """Result and flags of a one-operand arithmetic instruction."""
+    value &= MASK
+    if opcode == "inc":
+        result = (value + 1) & MASK
+        new = _add_flags(value, 1, result)
+        # inc/dec preserve CF.
+        return result, (new & ~CF) | (flags_in & CF)
+    if opcode == "dec":
+        result = (value - 1) & MASK
+        new = _sub_flags(value, 1, result)
+        return result, (new & ~CF) | (flags_in & CF)
+    if opcode == "neg":
+        result = (-value) & MASK
+        flags = _sub_flags(0, value, result)
+        return result, flags
+    if opcode == "not":
+        return (~value) & MASK, None
+    raise ExecutionError("unary_result: bad opcode %r" % opcode)
+
+
+def shift_result(opcode: str, value: int, count: int) -> Tuple[int, int]:
+    """Result and flags of ``shl/shr/sar`` by *count* (masked to 6 bits)."""
+    value &= MASK
+    count &= 0x3F
+    if count == 0:
+        zf, sf = _zf_sf(value)
+        return value, pack_flags(zf, sf, False, False)
+    if opcode == "shl":
+        carry = bool((value >> (WIDTH - count)) & 1) if count <= WIDTH else False
+        result = (value << count) & MASK
+    elif opcode == "shr":
+        carry = bool((value >> (count - 1)) & 1)
+        result = value >> count
+    elif opcode == "sar":
+        carry = bool((value >> (count - 1)) & 1)
+        result = (to_signed(value) >> count) & MASK
+    else:
+        raise ExecutionError("shift_result: bad opcode %r" % opcode)
+    zf, sf = _zf_sf(result)
+    # OF is only architecturally defined for 1-bit shifts; the toy ISA
+    # reports 0, which no generated code depends on.
+    return result, pack_flags(zf, sf, carry, False)
+
+
+def compare_flags(opcode: str, src: int, dst: int) -> int:
+    """Flags produced by ``cmp src,dst`` (dst - src) or ``test src,dst``."""
+    src &= MASK
+    dst &= MASK
+    if opcode == "cmp":
+        return _sub_flags(dst, src, (dst - src) & MASK)
+    if opcode == "test":
+        return _logic_flags(dst & src)
+    raise ExecutionError("compare_flags: bad opcode %r" % opcode)
+
+
+def cqo_result(rax: int) -> int:
+    """Value of rdx after ``cqo`` (sign extension of rax)."""
+    return MASK if rax & SIGN_BIT else 0
+
+
+def idiv_result(rax: int, rdx: int, divisor: int) -> Tuple[int, int]:
+    """(quotient, remainder) of the signed 128/64 division ``idiv``.
+
+    The toy ISA requires rdx to be the cqo sign-extension of rax (it rejects
+    true 128-bit dividends), matching what compiled code always does.
+    Division by zero and INT_MIN/-1 overflow raise :class:`ExecutionError`,
+    mirroring the hardware #DE exception.
+    """
+    if divisor & MASK == 0 or to_signed(divisor) == 0:
+        raise ExecutionError("integer division by zero")
+    expected_rdx = cqo_result(rax)
+    if rdx != expected_rdx:
+        raise ExecutionError(
+            "idiv without matching cqo: rdx=%#x for rax=%#x" % (rdx, rax))
+    a = to_signed(rax)
+    b = to_signed(divisor)
+    # C semantics: truncation toward zero (floating point would lose
+    # precision above 2**53, so divide magnitudes and reapply the sign).
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    remainder = a - quotient * b
+    if not (-(1 << 63) <= quotient < (1 << 63)):
+        raise ExecutionError("idiv overflow: %d / %d" % (a, b))
+    return quotient & MASK, remainder & MASK
+
+
+def condition_holds(cc: str, flags: int) -> bool:
+    """Evaluate an x86 condition code against packed flags."""
+    zf = bool(flags & ZF)
+    sf = bool(flags & SF)
+    cf = bool(flags & CF)
+    of = bool(flags & OF)
+    if cc == "e":
+        return zf
+    if cc == "ne":
+        return not zf
+    if cc == "a":
+        return not cf and not zf
+    if cc == "ae":
+        return not cf
+    if cc == "b":
+        return cf
+    if cc == "be":
+        return cf or zf
+    if cc == "g":
+        return not zf and sf == of
+    if cc == "ge":
+        return sf == of
+    if cc == "l":
+        return sf != of
+    if cc == "le":
+        return zf or sf != of
+    if cc == "s":
+        return sf
+    if cc == "ns":
+        return not sf
+    raise ExecutionError("unknown condition code %r" % cc)
+
+
+#: Instruction kinds the paper's fetch-decode stage can compute in order
+#: (Section 4.1: "Floating point instructions, memory accesses, complex
+#: integer instructions and instructions having empty sources are not
+#: computed in the fetch stage").
+FETCH_COMPUTABLE_KINDS = frozenset(
+    ("alu", "mov", "lea", "jmp", "jcc", "cqo", "nop")
+)
+
+
+def fetch_stage_computable(kind: str, has_memory_operand: bool) -> bool:
+    """Can the fetch-decode stage compute this instruction (sources full)?"""
+    if has_memory_operand:
+        return False
+    return kind in FETCH_COMPUTABLE_KINDS

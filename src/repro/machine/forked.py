@@ -1,0 +1,170 @@
+"""Functional semantics of fork/endfork programs: the section machine.
+
+The paper's execution model (Section 2) divides a run into *sections*:
+
+* ``fork <f>`` starts a new section at the *resume point* (the instruction
+  following the fork) while the current section continues at ``<f>``.  The
+  new section receives copies of the stack pointer and the non-volatile
+  registers as of the fork; its other registers are *empty* and will be
+  satisfied by renaming requests to the preceding section.
+* ``endfork`` terminates a section.
+* Sections are *totally ordered*; the order reconstructs the sequential
+  trace, and every read matches the closest preceding write in that order.
+
+This machine realizes those semantics exactly by executing the program
+depth-first in the total order: at a ``fork`` it pushes the resume point
+(with the copied-register snapshot) and continues into the target; at an
+``endfork`` it pops the most recent resume point, restores the copied
+registers from the snapshot, and *keeps* every other register and all of
+memory — which is precisely the "closest preceding write in the total order"
+value that distributed renaming would deliver.  Section ids are assigned in
+pop order, matching the paper's Figure 4/6 numbering (1-based).
+
+The machine therefore serves as the oracle for the distributed cycle
+simulator: same final registers, memory, and output, with every dynamic
+instruction labeled ``(section, index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..isa.program import Program
+from ..isa.registers import FORK_COPIED_REGS
+from .base import DEFAULT_MAX_STEPS, BaseMachine, RunResult
+
+
+@dataclass
+class SectionInfo:
+    """Static description of one section of a forked run."""
+
+    sid: int                  #: 1-based section id, in total (trace) order
+    parent: int               #: id of the creating section (0 for the root)
+    fork_seq: int             #: trace seq of the creating fork (-1 for root)
+    start_ip: int             #: static instruction index of the first instr
+    depth: int                #: call level of the section's first instr
+    first_seq: int = -1       #: trace seq of the section's first instr
+    length: int = 0           #: number of dynamic instructions
+
+    def describe(self) -> str:
+        return "section %d: start=%d parent=%d depth=%d len=%d" % (
+            self.sid, self.start_ip, self.parent, self.depth, self.length)
+
+
+@dataclass
+class _Resume:
+    ip: int
+    saved_regs: Dict[str, int]
+    parent: int
+    fork_seq: int
+    depth: int
+
+
+class ForkedMachine(BaseMachine):
+    """Executes a fork/endfork program in the paper's section model.
+
+    ``call``/``ret`` remain available (a program may fork only some
+    functions), and ``fork``/``endfork`` implement sections.  The run ends
+    when a section endforks with no pending resume point (the root section's
+    end) — reported as ``halted == "endfork"``.
+    """
+
+    def __init__(self, program: Program, max_steps: int = DEFAULT_MAX_STEPS,
+                 copied_regs=FORK_COPIED_REGS, initial_regs=None):
+        super().__init__(program, max_steps=max_steps,
+                         initial_regs=initial_regs)
+        self.copied_regs = frozenset(copied_regs)
+        self._pending: List[_Resume] = []
+        self.section = 1
+        self.sections: List[SectionInfo] = [
+            SectionInfo(sid=1, parent=0, fork_seq=-1,
+                        start_ip=program.entry, depth=0, first_seq=0)
+        ]
+        self.forks_executed = 0
+
+    # -- control hooks ------------------------------------------------------
+
+    def _op_fork(self, instr) -> Optional[int]:
+        snapshot = {r: self.regs[r] for r in self.copied_regs}
+        self._pending.append(_Resume(
+            ip=self.ip + 1,
+            saved_regs=snapshot,
+            parent=self.section,
+            fork_seq=self.steps,
+            depth=self.depth,
+        ))
+        self.forks_executed += 1
+        # The current section continues into the callee, one level deeper.
+        self.depth += 1
+        return self._target(instr)
+
+    def _op_endfork(self, instr) -> Optional[int]:
+        self._finish_section()
+        if not self._pending:
+            self.halted = "endfork"
+            return None
+        resume = self._pending.pop()
+        self.regs.update(resume.saved_regs)
+        self.depth = resume.depth
+        self.section += 1
+        self.sections.append(SectionInfo(
+            sid=self.section,
+            parent=resume.parent,
+            fork_seq=resume.fork_seq,
+            start_ip=resume.ip,
+            depth=resume.depth,
+            first_seq=self.steps + 1,
+        ))
+        return resume.ip
+
+    def _op_ret(self, instr, mem_reads, mem_writes) -> Optional[int]:
+        next_ip = super()._op_ret(instr, mem_reads, mem_writes)
+        if self.halted == "ret":
+            if self._pending:
+                raise ExecutionError(
+                    "ret to the halt sentinel with %d live section(s) pending")
+            self._finish_section()
+        return next_ip
+
+    def _op_hlt(self, instr) -> Optional[int]:
+        if self._pending:
+            raise ExecutionError(
+                "hlt with %d live section(s) pending — the fork "
+                "transformation must end every flow with endfork"
+                % len(self._pending))
+        self._finish_section()
+        self.halted = "hlt"
+        return None
+
+    def _finish_section(self) -> None:
+        info = self.sections[self.section - 1]
+        info.length = self.section_index + 1
+
+    # -- section structure ----------------------------------------------------
+
+    def section_table(self) -> List[SectionInfo]:
+        """All sections of the (completed) run, in total order."""
+        if self.halted is None:
+            raise ExecutionError("run the machine to completion first")
+        return list(self.sections)
+
+    def section_tree(self) -> Dict[int, List[int]]:
+        """Creator → created-sections adjacency (the paper's Figure 4)."""
+        tree: Dict[int, List[int]] = {}
+        for info in self.sections:
+            if info.parent:
+                tree.setdefault(info.parent, []).append(info.sid)
+        return tree
+
+
+def run_forked(program: Program, record_trace: bool = False,
+               max_steps: int = None,
+               copied_regs=FORK_COPIED_REGS) -> Tuple[RunResult, ForkedMachine]:
+    """Run a forked program; returns (result, machine) so callers can read
+    the section table."""
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    machine = ForkedMachine(program, copied_regs=copied_regs, **kwargs)
+    result = machine.run(record_trace=record_trace)
+    return result, machine

@@ -1,0 +1,66 @@
+"""Word-addressed flat data memory shared by the execution engines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import MemoryError_
+from ..isa.program import WORD
+from .executor import MASK
+
+
+class Memory:
+    """Sparse 64-bit word memory.
+
+    Every access is one aligned 8-byte word; misalignment raises
+    :class:`repro.errors.MemoryError_` (the toy ISA has no sub-word
+    accesses).  Unwritten words read as zero, like a zero-initialized
+    address space.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self, image: Dict[int, int] = None):
+        self._words: Dict[int, int] = dict(image) if image else {}
+
+    @staticmethod
+    def check_aligned(addr: int) -> None:
+        if addr % WORD:
+            raise MemoryError_("misaligned access at %#x" % addr)
+        if addr < 0 or addr > MASK:
+            raise MemoryError_("address out of range: %#x" % addr)
+
+    def load(self, addr: int) -> int:
+        self.check_aligned(addr)
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.check_aligned(addr)
+        self._words[addr] = value & MASK
+
+    def load_range(self, addr: int, count: int) -> List[int]:
+        """Read *count* consecutive words starting at *addr*."""
+        return [self.load(addr + i * WORD) for i in range(count)]
+
+    def store_range(self, addr: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.store(addr + i * WORD, value)
+
+    def nonzero_words(self) -> Dict[int, int]:
+        """Snapshot of all words currently holding a nonzero value."""
+        return {a: v for a, v in self._words.items() if v}
+
+    def written_words(self) -> Dict[int, int]:
+        """Snapshot of every word that was ever stored (even zeros)."""
+        return dict(self._words)
+
+    def copy(self) -> "Memory":
+        return Memory(self._words)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self.nonzero_words() == other.nonzero_words()
+
+    def __len__(self) -> int:
+        return len(self._words)

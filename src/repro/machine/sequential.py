@@ -1,0 +1,27 @@
+"""The sequential reference machine: classic call/ret execution.
+
+This is the baseline semantics of the paper's Figure 2/3: one instruction
+flow, a return-address stack, depth-first traversal of the call tree.  Every
+other engine in the library (forked machine, cycle simulator) is validated
+against its results.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .base import BaseMachine, RunResult
+
+
+class SequentialMachine(BaseMachine):
+    """Interprets a call/ret program sequentially.
+
+    ``fork``/``endfork`` are rejected; use :class:`ForkedMachine` for
+    programs produced by the fork transformation.
+    """
+
+
+def run_sequential(program: Program, record_trace: bool = False,
+                   max_steps: int = None) -> RunResult:
+    """Convenience wrapper: build a machine, run to completion."""
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    return SequentialMachine(program, **kwargs).run(record_trace=record_trace)

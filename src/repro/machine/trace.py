@@ -1,0 +1,101 @@
+"""Dynamic instruction trace records.
+
+A trace is what the paper's ILP study (Section 3) operates on: the dynamic
+sequence of executed instructions with, for each one, the architectural
+registers it read and wrote and the data-memory word addresses it loaded and
+stored.  Values are deliberately not recorded (a million-instruction trace
+must stay cheap); engines that need values re-execute.
+
+Traces can be materialized (:class:`Trace`, used for the paper's figures and
+in tests) or streamed entry-by-entry from a machine's ``step_entries()``
+generator for large ILP runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction instance."""
+
+    __slots__ = ("seq", "addr", "instr", "reg_reads", "reg_writes",
+                 "mem_reads", "mem_writes", "taken", "depth", "section",
+                 "section_index")
+
+    seq: int                      #: position in the dynamic trace (0-based)
+    addr: int                     #: static instruction index
+    instr: Instruction
+    reg_reads: Tuple[str, ...]
+    reg_writes: Tuple[str, ...]
+    mem_reads: Tuple[int, ...]    #: byte addresses of words loaded
+    mem_writes: Tuple[int, ...]   #: byte addresses of words stored
+    taken: Optional[bool]         #: branch outcome; None for non-branches
+    depth: int                    #: call (fork) nesting level
+    section: int                  #: section id (0 for sequential runs)
+    section_index: int            #: ordinal within the section (0-based)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.taken is not None
+
+    def describe(self) -> str:
+        tag = "%d-%d" % (self.section, self.section_index + 1)
+        return "%-8s %s" % (tag, self.instr)
+
+
+class Trace:
+    """A materialized dynamic trace with summary statistics."""
+
+    def __init__(self, entries: Iterable[TraceEntry]):
+        self.entries: List[TraceEntry] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    # -- statistics -------------------------------------------------------
+
+    def count_kind(self, *kinds: str) -> int:
+        return sum(1 for e in self.entries if e.instr.kind in kinds)
+
+    def memory_ops(self) -> int:
+        return sum(1 for e in self.entries if e.mem_reads or e.mem_writes)
+
+    def stack_ops(self) -> int:
+        """Instructions that touch rsp (the serializers of Section 3)."""
+        return sum(1 for e in self.entries
+                   if "rsp" in e.reg_reads or "rsp" in e.reg_writes)
+
+    def branches(self) -> int:
+        return sum(1 for e in self.entries if e.is_branch)
+
+    def sections(self) -> int:
+        return len({e.section for e in self.entries}) if self.entries else 0
+
+    def section_slice(self, section: int) -> List[TraceEntry]:
+        return [e for e in self.entries if e.section == section]
+
+    def max_depth(self) -> int:
+        return max((e.depth for e in self.entries), default=0)
+
+    # -- display ------------------------------------------------------------
+
+    def listing(self, numbered: bool = True) -> str:
+        """Render the trace like the paper's Figure 3 / Figure 6 listings."""
+        lines = []
+        for entry in self.entries:
+            if numbered:
+                lines.append("%4d  %s" % (entry.seq + 1, entry.describe()))
+            else:
+                lines.append(entry.describe())
+        return "\n".join(lines)

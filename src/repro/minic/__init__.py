@@ -1,0 +1,30 @@
+"""MiniC: the C subset compiler that produces the paper's workload traces.
+
+The paper's premise is running *unchanged C programs* in parallel; MiniC is
+the library's C stand-in.  Typical use::
+
+    from repro.minic import compile_source
+    from repro.machine import run_sequential
+
+    prog = compile_source('''
+        long A[4] = {1, 2, 3, 4};
+        long main() {
+            long i; long s = 0;
+            for (i = 0; i < 4; i = i + 1) s = s + A[i];
+            return s;
+        }
+    ''')
+    assert run_sequential(prog).return_value == 10
+"""
+
+from .ast import TranslationUnit
+from .compiler import compile_source, compile_to_asm, compile_to_ast
+from .lexer import Token, tokenize
+from .parser import parse
+from .sema import OUT_BUILTIN, Symbol, analyze
+
+__all__ = [
+    "OUT_BUILTIN", "Symbol", "Token", "TranslationUnit", "analyze",
+    "compile_source", "compile_to_asm", "compile_to_ast", "parse",
+    "tokenize",
+]

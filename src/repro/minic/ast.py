@@ -1,0 +1,184 @@
+"""Abstract syntax tree for MiniC.
+
+Types are represented by their pointer depth: ``0`` is ``long``, ``1`` is
+``long*``, ``2`` is ``long**``, and so on.  Global and local arrays exist
+only as declarations (``long a[10]``); the name decays to a pointer in
+expressions, exactly like C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: pointer depth of the expression's value, filled by semantic analysis.
+    depth: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+    #: resolved by sema: "local", "param", "global", "global_array",
+    #: "local_array" or "func"
+    storage: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""            #: "-", "!", "~", "*" (deref) or "&" (address-of)
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr = None     #: Var, Index or Unary("*")
+    value: Expr = None
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ptr_depth: int = 0
+    array_size: Optional[int] = None    #: None for scalars
+    init: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None         #: VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    post: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    ptr_depth: int = 0
+    array_size: Optional[int] = None
+    init_values: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ptr_depth: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

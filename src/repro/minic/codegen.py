@@ -1,0 +1,725 @@
+"""MiniC → toy x86-64 code generation.
+
+The generator produces gas-syntax text (assembled by :mod:`repro.isa`), in
+the style of a classic one-pass C compiler:
+
+* rbp-based stack frames; parameters arrive in the SysV argument registers
+  and are spilled to frame slots so recursion works;
+* rax is the accumulator, rcx the secondary operand; expression temporaries
+  are pushed on the stack — the very stack traffic whose serializing effect
+  the paper analyzes in Section 3;
+* conditions feed branches directly (no setcc in the toy ISA); ``&&``/``||``
+  short-circuit;
+* pointer arithmetic scales by the 8-byte word.
+
+The output deliberately resembles the paper's Figure 2 listing: function
+calls with ``call``/``ret``, callee frames, stack saves.  The fork
+transformation (:mod:`repro.fork`) then rewrites it into Figure 5 style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CompileError
+from ..isa.registers import ARG_REGS
+from . import ast
+from .sema import OUT_BUILTIN, Symbol
+
+#: Condition code per MiniC comparison operator (signed, as in C longs).
+_CMP_CC = {"==": "e", "!=": "ne", "<": "l", "<=": "le", ">": "g", ">=": "ge"}
+_CC_INVERSE = {"e": "ne", "ne": "e", "l": "ge", "le": "g", "g": "le",
+               "ge": "l"}
+
+#: Entry stub: run main, keep its result in rax, stop.
+ENTRY_STUB = ["_start:", "    call main", "    hlt"]
+
+#: Entry stub in fork mode: main becomes the root section's continuation;
+#: the ``hlt`` runs in the last section, after every fork has ended.
+FORK_ENTRY_STUB = ["_start:", "    fork main", "    hlt"]
+
+
+class CodeGen:
+    """Generates a whole translation unit.  One instance per compile.
+
+    ``fork_mode`` compiles every call as a ``fork`` and every return as an
+    ``endfork`` — the Figure 5 style.  Fork mode needs no callee-saved
+    bookkeeping at all: the resume path receives register copies from the
+    fork, and the section never "returns", so the epilogue's stack repair
+    disappears along with the return address traffic.
+
+    ``fork_loops`` (implies nothing about calls) additionally forks every
+    eligible loop body into its own section — the paper's Section 5
+    loop-parallelization sketch.  A body is eligible when no ``return``
+    escapes it and no ``break``/``continue`` targets the forked loop
+    itself (nested loops keep theirs).  Canonical ``for`` loops further
+    get the paper's register-carried iteration counter
+    (:meth:`_register_forked_loop`).
+    """
+
+    def __init__(self, unit: ast.TranslationUnit, fork_mode: bool = False,
+                 fork_loops: bool = False, entry_stub: bool = True):
+        self.unit = unit
+        self.fork_mode = fork_mode
+        self.fork_loops = fork_loops
+        self.entry_stub = entry_stub
+        self.lines: List[str] = []
+        self._label_counter = 0
+        # per-function state
+        self._offsets: Dict[int, int] = {}     # id(Symbol) -> rbp offset
+        self._epilogue_label = ""
+        self._break_label: List[str] = []
+        self._continue_label: List[str] = []
+        self._loop_regs_free: List[str] = list(self._LOOP_REGS)
+
+    # -- driver -----------------------------------------------------------
+
+    def generate(self) -> str:
+        if self.entry_stub:
+            self.lines = list(FORK_ENTRY_STUB if self.fork_mode else ENTRY_STUB)
+        else:
+            self.lines = []
+        for func in self.unit.functions:
+            self._function(func)
+        self._data_section()
+        return "\n".join(self.lines) + "\n"
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def _label(self, text: str) -> None:
+        self.lines.append(text + ":")
+
+    def _fresh(self, hint: str) -> str:
+        self._label_counter += 1
+        return ".L%s%d" % (hint, self._label_counter)
+
+    # -- functions ------------------------------------------------------------
+
+    def _function(self, func: ast.FuncDecl) -> None:
+        frame_words = 0
+        self._offsets = {}
+        for sym in func.sym_params:
+            frame_words += 1
+            self._offsets[id(sym)] = -8 * frame_words
+        for sym in func.sym_locals:
+            words = sym.array_size if sym.is_array else 1
+            frame_words += words
+            self._offsets[id(sym)] = -8 * frame_words
+        self._epilogue_label = self._fresh("ret_" + func.name + "_")
+        self._loop_regs_free = list(self._LOOP_REGS)
+
+        self._label(func.name)
+        if self.fork_mode:
+            # No need to save the caller's rbp: the resume path receives it
+            # as a fork copy (the paper's replacement for save/restore).
+            self._emit("movq %rsp, %rbp")
+        else:
+            self._emit("pushq %rbp")
+            self._emit("movq %rsp, %rbp")
+        if frame_words:
+            self._emit("subq $%d, %%rsp" % (8 * frame_words))
+        for i, sym in enumerate(func.sym_params):
+            self._emit("movq %%%s, %d(%%rbp)" % (ARG_REGS[i],
+                                                 self._offsets[id(sym)]))
+        self._statement(func.body)
+        # Falling off the end returns 0 (defined behaviour in MiniC).
+        self._emit("movq $0, %rax")
+        self._label(self._epilogue_label)
+        if self.fork_mode:
+            # The section simply ends: no stack repair, no return address.
+            # The resume path restored rsp/rbp from the fork's copies.
+            self._emit("endfork")
+        else:
+            self._emit("movq %rbp, %rsp")
+            self._emit("popq %rbp")
+            self._emit("ret")
+
+    def _offset(self, sym: Symbol) -> int:
+        return self._offsets[id(sym)]
+
+    # -- statements ----------------------------------------------------------
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._statement(child)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._expr(stmt.init)
+                self._emit("movq %%rax, %d(%%rbp)"
+                           % self._offset(stmt.symbol))
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            else:
+                self._emit("movq $0, %rax")
+            self._emit("jmp %s" % self._epilogue_label)
+        elif isinstance(stmt, ast.Break):
+            self._emit("jmp %s" % self._break_label[-1])
+        elif isinstance(stmt, ast.Continue):
+            self._emit("jmp %s" % self._continue_label[-1])
+        else:  # pragma: no cover
+            raise CompileError("cannot generate %r" % stmt, stmt.line, stmt.col)
+
+    def _if(self, stmt: ast.If) -> None:
+        end = self._fresh("endif")
+        target = self._fresh("else") if stmt.other is not None else end
+        self._branch(stmt.cond, target, when_true=False)
+        self._statement(stmt.then)
+        if stmt.other is not None:
+            self._emit("jmp %s" % end)
+            self._label(target)
+            self._statement(stmt.other)
+        self._label(end)
+
+    def _while(self, stmt: ast.While) -> None:
+        if self.fork_loops and _forkable_body(stmt.body):
+            self._forked_loop(cond=stmt.cond, body=stmt.body, post=None)
+            return
+        head = self._fresh("while")
+        end = self._fresh("wend")
+        self._label(head)
+        self._branch(stmt.cond, end, when_true=False)
+        self._break_label.append(end)
+        self._continue_label.append(head)
+        self._statement(stmt.body)
+        self._break_label.pop()
+        self._continue_label.pop()
+        self._emit("jmp %s" % head)
+        self._label(end)
+
+    def _for(self, stmt: ast.For) -> None:
+        if self.fork_loops and _forkable_body(stmt.body):
+            if stmt.init is not None:
+                self._statement(stmt.init)
+            if self._register_forked_loop(stmt):
+                return
+            self._forked_loop(cond=stmt.cond, body=stmt.body, post=stmt.post)
+            return
+        head = self._fresh("for")
+        post = self._fresh("fpost")
+        end = self._fresh("fend")
+        if stmt.init is not None:
+            self._statement(stmt.init)
+        self._label(head)
+        if stmt.cond is not None:
+            self._branch(stmt.cond, end, when_true=False)
+        self._break_label.append(end)
+        self._continue_label.append(post)
+        self._statement(stmt.body)
+        self._break_label.pop()
+        self._continue_label.pop()
+        self._label(post)
+        if stmt.post is not None:
+            self._expr(stmt.post)
+        self._emit("jmp %s" % head)
+        self._label(end)
+
+    def _forked_loop(self, cond, body, post) -> None:
+        """Loop with each iteration body in its own section (paper §5).
+
+        Layout — the fork's *next* instruction is the resume point, so the
+        loop bookkeeping (post + back-jump) follows the fork inline while
+        the body sits out of line::
+
+            head:  <cond false -> end>
+                   fork body        ; current section runs the body,
+            post:  <post>           ; a new section resumes the loop here
+                   jmp head
+            end:   jmp after
+            body:  <body> endfork
+            after:
+        """
+        head = self._fresh("ploop")
+        end = self._fresh("plend")
+        body_label = self._fresh("plbody")
+        after = self._fresh("plafter")
+        self._label(head)
+        if cond is not None:
+            self._branch(cond, end, when_true=False)
+        self._emit("forkloop %s" % body_label)
+        if post is not None:
+            self._expr(post)
+        self._emit("jmp %s" % head)
+        self._label(end)
+        self._emit("jmp %s" % after)
+        self._label(body_label)
+        self._statement(body)
+        self._emit("endfork")
+        self._label(after)
+
+    #: scratch pool for register-carried loop counters; all fork-copied.
+    _LOOP_REGS = ("r12", "r13", "r14", "r15")
+
+    def _register_forked_loop(self, stmt: ast.For) -> bool:
+        """The paper's "vectorized for": the iteration counter lives in a
+        fork-copied register, so the loop continuation section computes the
+        next index and the exit test entirely in the fetch stage — one
+        iteration launches every few cycles, no renaming round trip.
+
+        Applies to the canonical shape ``for (...; i REL limit; i = i ± c)``
+        where ``i`` is a local scalar the body neither assigns nor takes
+        the address of, and ``limit`` is a constant or a loop-invariant
+        local.  Returns False (caller falls back to the memory-carried
+        forked loop) when the shape or register budget does not fit.
+        """
+        plan = _plan_register_loop(stmt)
+        if plan is None:
+            return False
+        counter_sym, limit, op, step = plan
+        need = 1 if isinstance(limit, ast.Num) else 2
+        if len(self._loop_regs_free) < need:
+            return False
+        counter_reg = self._loop_regs_free.pop()
+        if isinstance(limit, ast.Num):
+            limit_operand = "$%d" % limit.value
+            limit_reg = None
+        else:
+            limit_reg = self._loop_regs_free.pop()
+            limit_operand = "%%%s" % limit_reg
+            self._emit("movq %d(%%rbp), %%%s"
+                       % (self._offset(limit.symbol), limit_reg))
+        slot = self._offset(counter_sym)
+        head = self._fresh("rloop")
+        end = self._fresh("rlend")
+        body_label = self._fresh("rlbody")
+        after = self._fresh("rlafter")
+
+        self._emit("movq %d(%%rbp), %%%s" % (slot, counter_reg))
+        self._label(head)
+        self._emit("cmpq %s, %%%s" % (limit_operand, counter_reg))
+        self._emit("j%s %s" % (_CC_INVERSE[_CMP_CC[op]], end))
+        self._emit("movq %%%s, %d(%%rbp)" % (counter_reg, slot))
+        self._emit("forkloop %s" % body_label)
+        # resume: pure register bookkeeping, fetch-computable
+        self._emit("%s $%d, %%%s" % ("addq" if step >= 0 else "subq",
+                                     abs(step), counter_reg))
+        self._emit("jmp %s" % head)
+        self._label(end)
+        self._emit("movq %%%s, %d(%%rbp)" % (counter_reg, slot))
+        self._emit("jmp %s" % after)
+        self._label(body_label)
+        self._statement(stmt.body)
+        self._emit("endfork")
+        self._label(after)
+        self._loop_regs_free.append(counter_reg)
+        if limit_reg is not None:
+            self._loop_regs_free.append(limit_reg)
+        return True
+
+    # -- conditions -------------------------------------------------------------
+
+    def _branch(self, cond: ast.Expr, target: str, when_true: bool) -> None:
+        """Jump to *target* when cond's truth equals *when_true*."""
+        if isinstance(cond, ast.Num):
+            if bool(cond.value) == when_true:
+                self._emit("jmp %s" % target)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._branch(cond.operand, target, not when_true)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _CMP_CC:
+            self._compare(cond)
+            cc = _CMP_CC[cond.op]
+            if not when_true:
+                cc = _CC_INVERSE[cc]
+            self._emit("j%s %s" % (cc, target))
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            if when_true:
+                skip = self._fresh("and")
+                self._branch(cond.left, skip, when_true=False)
+                self._branch(cond.right, target, when_true=True)
+                self._label(skip)
+            else:
+                self._branch(cond.left, target, when_true=False)
+                self._branch(cond.right, target, when_true=False)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            if when_true:
+                self._branch(cond.left, target, when_true=True)
+                self._branch(cond.right, target, when_true=True)
+            else:
+                skip = self._fresh("or")
+                self._branch(cond.left, skip, when_true=True)
+                self._branch(cond.right, target, when_true=False)
+                self._label(skip)
+            return
+        self._expr(cond)
+        self._emit("cmpq $0, %rax")
+        self._emit("j%s %s" % ("ne" if when_true else "e", target))
+
+    def _compare(self, cond: ast.Binary) -> None:
+        """Emit the cmp for a comparison, left in rax vs right."""
+        operand = self._simple_operand(cond.right)
+        if operand is not None:
+            self._expr(cond.left)
+            self._emit("cmpq %s, %%rax" % operand)
+        else:
+            self._binary_operands(cond.left, cond.right)
+            self._emit("cmpq %rcx, %rax")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _simple_operand(self, expr: ast.Expr) -> Optional[str]:
+        """Render *expr* as a direct operand when it needs no computation."""
+        if isinstance(expr, ast.Num):
+            return "$%d" % expr.value
+        if isinstance(expr, ast.Var):
+            sym = expr.symbol
+            if sym.kind in ("local", "param"):
+                return "%d(%%rbp)" % self._offset(sym)
+            if sym.kind == "global":
+                return sym.name
+        return None
+
+    def _binary_operands(self, left: ast.Expr, right: ast.Expr) -> None:
+        """Evaluate left → rax and right → rcx (via a stack temporary)."""
+        self._expr(left)
+        self._emit("pushq %rax")
+        self._expr(right)
+        self._emit("movq %rax, %rcx")
+        self._emit("popq %rax")
+
+    def _expr(self, expr: ast.Expr) -> None:
+        """Evaluate *expr* into rax."""
+        if isinstance(expr, ast.Num):
+            self._emit("movq $%d, %%rax" % expr.value)
+        elif isinstance(expr, ast.Var):
+            self._var_value(expr)
+        elif isinstance(expr, ast.Unary):
+            self._unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._binary(expr)
+        elif isinstance(expr, ast.Assign):
+            self._assign(expr)
+        elif isinstance(expr, ast.Cond):
+            self._ternary(expr)
+        elif isinstance(expr, ast.Call):
+            self._call(expr)
+        elif isinstance(expr, ast.Index):
+            self._address(expr)
+            self._emit("movq (%rax), %rax")
+        else:  # pragma: no cover
+            raise CompileError("cannot generate %r" % expr, expr.line,
+                               expr.col)
+
+    def _var_value(self, expr: ast.Var) -> None:
+        sym = expr.symbol
+        if sym.kind in ("local", "param"):
+            self._emit("movq %d(%%rbp), %%rax" % self._offset(sym))
+        elif sym.kind == "global":
+            self._emit("movq %s, %%rax" % sym.name)
+        elif sym.kind == "global_array":
+            self._emit("movq $%s, %%rax" % sym.name)
+        elif sym.kind == "local_array":
+            self._emit("leaq %d(%%rbp), %%rax" % self._offset(sym))
+        else:  # pragma: no cover
+            raise CompileError("bad storage %r" % sym.kind, expr.line,
+                               expr.col)
+
+    def _unary(self, expr: ast.Unary) -> None:
+        if expr.op == "*":
+            self._expr(expr.operand)
+            self._emit("movq (%rax), %rax")
+            return
+        if expr.op == "&":
+            self._address(expr.operand)
+            return
+        if expr.op == "!":
+            self._materialize_bool(expr)
+            return
+        self._expr(expr.operand)
+        if expr.op == "-":
+            self._emit("negq %rax")
+        elif expr.op == "~":
+            self._emit("notq %rax")
+
+    def _binary(self, expr: ast.Binary) -> None:
+        op = expr.op
+        if op in _CMP_CC or op in ("&&", "||"):
+            self._materialize_bool(expr)
+            return
+        if op == "+" and getattr(expr, "ptr_side", None) == "right":
+            # long + ptr: evaluate as ptr + long so scaling hits the long.
+            expr = ast.Binary(line=expr.line, col=expr.col, op="+",
+                              left=expr.right, right=expr.left)
+            expr.ptr_side = "left"
+            expr.is_ptr_diff = False
+        scaled = getattr(expr, "ptr_side", None) == "left" and op in ("+", "-")
+
+        simple = self._simple_operand(expr.right)
+        if simple is not None and not scaled and op in (
+                "+", "-", "*", "&", "|", "^"):
+            self._expr(expr.left)
+            mnemonic = {"+": "addq", "-": "subq", "*": "imulq",
+                        "&": "andq", "|": "orq", "^": "xorq"}[op]
+            self._emit("%s %s, %%rax" % (mnemonic, simple))
+            if getattr(expr, "is_ptr_diff", False):
+                self._emit("sarq $3, %rax")
+            return
+        if isinstance(expr.right, ast.Num) and op in ("<<", ">>"):
+            self._expr(expr.left)
+            mnemonic = "shlq" if op == "<<" else "sarq"
+            self._emit("%s $%d, %%rax" % (mnemonic, expr.right.value & 63))
+            return
+
+        self._binary_operands(expr.left, expr.right)
+        if scaled:
+            self._emit("shlq $3, %rcx")       # scale the long by the word
+        if op == "+":
+            self._emit("addq %rcx, %rax")
+        elif op == "-":
+            self._emit("subq %rcx, %rax")
+            if getattr(expr, "is_ptr_diff", False):
+                self._emit("sarq $3, %rax")
+        elif op == "*":
+            self._emit("imulq %rcx, %rax")
+        elif op in ("/", "%"):
+            self._emit("cqo")
+            self._emit("idivq %rcx")
+            if op == "%":
+                self._emit("movq %rdx, %rax")
+        elif op == "<<":
+            self._emit("shlq %rcx, %rax")
+        elif op == ">>":
+            self._emit("sarq %rcx, %rax")
+        elif op == "&":
+            self._emit("andq %rcx, %rax")
+        elif op == "|":
+            self._emit("orq %rcx, %rax")
+        elif op == "^":
+            self._emit("xorq %rcx, %rax")
+        else:  # pragma: no cover
+            raise CompileError("cannot generate operator %r" % op,
+                               expr.line, expr.col)
+
+    def _materialize_bool(self, expr: ast.Expr) -> None:
+        """Evaluate a boolean-producing expression to 0/1 in rax."""
+        true_label = self._fresh("btrue")
+        end = self._fresh("bend")
+        self._branch(expr, true_label, when_true=True)
+        self._emit("movq $0, %rax")
+        self._emit("jmp %s" % end)
+        self._label(true_label)
+        self._emit("movq $1, %rax")
+        self._label(end)
+
+    def _assign(self, expr: ast.Assign) -> None:
+        target = expr.target
+        if isinstance(target, ast.Var):
+            sym = target.symbol
+            self._expr(expr.value)
+            if sym.kind in ("local", "param"):
+                self._emit("movq %%rax, %d(%%rbp)" % self._offset(sym))
+            else:  # global scalar
+                self._emit("movq %%rax, %s" % sym.name)
+            return
+        self._expr(expr.value)
+        self._emit("pushq %rax")
+        self._address(target)
+        self._emit("popq %rcx")
+        self._emit("movq %rcx, (%rax)")
+        self._emit("movq %rcx, %rax")  # the assignment's value
+
+    def _ternary(self, expr: ast.Cond) -> None:
+        other = self._fresh("celse")
+        end = self._fresh("cend")
+        self._branch(expr.cond, other, when_true=False)
+        self._expr(expr.then)
+        self._emit("jmp %s" % end)
+        self._label(other)
+        self._expr(expr.other)
+        self._label(end)
+
+    def _call(self, expr: ast.Call) -> None:
+        if expr.name == OUT_BUILTIN:
+            self._expr(expr.args[0])
+            self._emit("out %rax")
+            return
+        for arg in expr.args:
+            self._expr(arg)
+            self._emit("pushq %rax")
+        for i in reversed(range(len(expr.args))):
+            self._emit("popq %%%s" % ARG_REGS[i])
+        self._emit("%s %s" % ("fork" if self.fork_mode else "call",
+                              expr.name))
+
+    def _address(self, expr: ast.Expr) -> None:
+        """Evaluate the address of an lvalue into rax."""
+        if isinstance(expr, ast.Var):
+            sym = expr.symbol
+            if sym.kind in ("local", "param", "local_array"):
+                self._emit("leaq %d(%%rbp), %%rax" % self._offset(sym))
+            else:
+                self._emit("movq $%s, %%rax" % sym.name)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, ast.Index):
+            index = expr.index
+            if isinstance(index, ast.Num):
+                self._expr(expr.base)
+                if index.value:
+                    self._emit("addq $%d, %%rax" % (8 * index.value))
+                return
+            self._expr(expr.base)
+            self._emit("pushq %rax")
+            self._expr(index)
+            self._emit("shlq $3, %rax")
+            self._emit("popq %rcx")
+            self._emit("addq %rcx, %rax")
+            return
+        raise CompileError("expression has no address", expr.line, expr.col)
+
+    # -- data -------------------------------------------------------------------
+
+    def _data_section(self) -> None:
+        if not self.unit.globals:
+            return
+        self.lines.append(".data")
+        for decl in self.unit.globals:
+            self._label(decl.name)
+            if decl.array_size is None:
+                value = decl.init_values[0] if decl.init_values else 0
+                self._emit(".quad %d" % value)
+            else:
+                values = list(decl.init_values)
+                values += [0] * (decl.array_size - len(values))
+                # chunk long arrays for readable listings
+                for start in range(0, len(values), 16):
+                    chunk = values[start:start + 16]
+                    self._emit(".quad %s" % ", ".join(str(v) for v in chunk))
+
+
+def _plan_register_loop(stmt: ast.For):
+    """Match ``for (...; i REL limit; i = i ± c)`` with a safe body.
+
+    Returns ``(counter_symbol, limit_expr, relop, step)`` or None.
+    """
+    post, cond = stmt.post, stmt.cond
+    if not isinstance(post, ast.Assign) or not isinstance(post.target, ast.Var):
+        return None
+    counter = post.target
+    if counter.symbol.kind not in ("local", "param"):
+        return None
+    value = post.value
+    if not isinstance(value, ast.Binary) or value.op not in ("+", "-"):
+        return None
+    if (isinstance(value.left, ast.Var) and isinstance(value.right, ast.Num)
+            and value.left.name == counter.name):
+        step = value.right.value
+    elif (value.op == "+" and isinstance(value.right, ast.Var)
+          and isinstance(value.left, ast.Num)
+          and value.right.name == counter.name):
+        step = value.left.value
+    else:
+        return None
+    if value.op == "-":
+        step = -step
+    if step == 0:
+        return None
+    if not isinstance(cond, ast.Binary) or cond.op not in ("<", "<=", ">",
+                                                           ">="):
+        return None
+    if not (isinstance(cond.left, ast.Var)
+            and cond.left.name == counter.name):
+        return None
+    limit = cond.right
+    if isinstance(limit, ast.Num):
+        invariant_names = {counter.name}
+    elif (isinstance(limit, ast.Var)
+          and limit.symbol.kind in ("local", "param")):
+        invariant_names = {counter.name, limit.name}
+    else:
+        return None
+    if _mutates_or_escapes(stmt.body, invariant_names):
+        return None
+    return counter.symbol, limit, cond.op, step
+
+
+def _mutates_or_escapes(node, names) -> bool:
+    """Does any statement/expression under *node* assign one of *names* or
+    take its address?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Assign):
+        if isinstance(node.target, ast.Var) and node.target.name in names:
+            return True
+        return (_mutates_or_escapes(node.target, names)
+                or _mutates_or_escapes(node.value, names))
+    if isinstance(node, ast.Unary):
+        if (node.op == "&" and isinstance(node.operand, ast.Var)
+                and node.operand.name in names):
+            return True
+        return _mutates_or_escapes(node.operand, names)
+    if isinstance(node, ast.Binary):
+        return (_mutates_or_escapes(node.left, names)
+                or _mutates_or_escapes(node.right, names))
+    if isinstance(node, ast.Cond):
+        return any(_mutates_or_escapes(c, names)
+                   for c in (node.cond, node.then, node.other))
+    if isinstance(node, ast.Call):
+        return any(_mutates_or_escapes(a, names) for a in node.args)
+    if isinstance(node, ast.Index):
+        return (_mutates_or_escapes(node.base, names)
+                or _mutates_or_escapes(node.index, names))
+    if isinstance(node, ast.ExprStmt):
+        return _mutates_or_escapes(node.expr, names)
+    if isinstance(node, ast.VarDecl):
+        # An inner declaration shadows the name: conservatively reject.
+        if node.name in names:
+            return True
+        return _mutates_or_escapes(node.init, names)
+    if isinstance(node, ast.Block):
+        return any(_mutates_or_escapes(s, names) for s in node.stmts)
+    if isinstance(node, ast.If):
+        return any(_mutates_or_escapes(s, names)
+                   for s in (node.cond, node.then, node.other))
+    if isinstance(node, ast.While):
+        return (_mutates_or_escapes(node.cond, names)
+                or _mutates_or_escapes(node.body, names))
+    if isinstance(node, ast.For):
+        return any(_mutates_or_escapes(s, names)
+                   for s in (node.init, node.cond, node.post, node.body))
+    if isinstance(node, ast.Return):
+        return _mutates_or_escapes(node.value, names)
+    return False
+
+
+def _forkable_body(stmt: ast.Stmt, loop_depth: int = 0) -> bool:
+    """A loop body can fork iff no return escapes it and no break/continue
+    targets the loop being forked (break/continue inside *nested* loops are
+    fine — they resolve within the body's own section)."""
+    if isinstance(stmt, ast.Return):
+        return False
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        return loop_depth > 0
+    if isinstance(stmt, ast.Block):
+        return all(_forkable_body(s, loop_depth) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        if not _forkable_body(stmt.then, loop_depth):
+            return False
+        return stmt.other is None or _forkable_body(stmt.other, loop_depth)
+    if isinstance(stmt, ast.While):
+        return _forkable_body(stmt.body, loop_depth + 1)
+    if isinstance(stmt, ast.For):
+        return _forkable_body(stmt.body, loop_depth + 1)
+    return True
+
+
+def generate(unit: ast.TranslationUnit, fork_mode: bool = False,
+             fork_loops: bool = False, entry_stub: bool = True) -> str:
+    """Generate assembly text for an analyzed translation unit."""
+    return CodeGen(unit, fork_mode=fork_mode, fork_loops=fork_loops,
+                   entry_stub=entry_stub).generate()

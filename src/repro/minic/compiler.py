@@ -1,0 +1,54 @@
+"""MiniC compilation driver: source → AST → checked AST → asm → Program."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CompileError
+from ..isa import Program, assemble
+from . import ast
+from .codegen import generate
+from .parser import parse
+from .sema import analyze
+
+
+def compile_to_ast(source: str) -> ast.TranslationUnit:
+    """Parse and type-check; returns the annotated AST."""
+    return analyze(parse(source))
+
+
+def compile_to_asm(source: str, require_main: bool = True,
+                   fork_mode: bool = False, fork_loops: bool = False) -> str:
+    """Compile MiniC source to gas-syntax assembly text.
+
+    ``fork_mode`` compiles calls/returns as fork/endfork (Figure 5 style);
+    ``fork_loops`` additionally puts each eligible loop-iteration body in
+    its own section (the paper's Section 5 loop parallelization).  Programs
+    built with either flag must run on a :class:`ForkedMachine` or the
+    distributed simulator.
+    """
+    unit = compile_to_ast(source)
+    has_main = any(f.name == "main" for f in unit.functions)
+    if require_main:
+        if not has_main:
+            raise CompileError("no main() function")
+        main = unit.function("main")
+        if main.params:
+            raise CompileError("main() takes no parameters",
+                               main.line, main.col)
+    return generate(unit, fork_mode=fork_mode, fork_loops=fork_loops,
+                    entry_stub=has_main)
+
+
+def compile_source(source: str, require_main: bool = True,
+                   fork_mode: bool = False, fork_loops: bool = False) -> Program:
+    """Compile MiniC source to a runnable :class:`Program`.
+
+    The program starts at ``_start`` (call — or in fork mode, fork — main,
+    then halt); ``main``'s return value lands in rax, readable as
+    ``RunResult.return_value``; ``out(x)`` calls append to
+    ``RunResult.output``.
+    """
+    asm = compile_to_asm(source, require_main=require_main,
+                         fork_mode=fork_mode, fork_loops=fork_loops)
+    return assemble(asm, entry="_start" if require_main else None)

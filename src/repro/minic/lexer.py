@@ -1,0 +1,144 @@
+"""Lexer for MiniC, the C subset the paper's workloads are written in.
+
+MiniC is deliberately close to the C the paper compiles (Figure 1a): ``long``
+scalars and pointers, global arrays, functions, the full integer operator
+set, and ``// …`` / ``/* … */`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset((
+    "long", "if", "else", "while", "for", "return", "break", "continue",
+))
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=", ">>=",  # recognized to give a clear "not supported" error
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is ``"num"``, ``"ident"``, ``"kw"``,
+    ``"op"`` or ``"eof"``; ``text`` is the lexeme; numbers carry ``value``."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+    value: int = 0
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "op" and self.text in texts
+
+    def is_kw(self, *texts: str) -> bool:
+        return self.kind == "kw" and self.text in texts
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return "'%s'" % self.text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex *source* into a token list ending with an ``eof`` token."""
+    return list(_Lexer(source).tokens())
+
+
+class _Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _err(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(src):
+                yield Token("eof", "", self.line, self.col)
+                return
+            line, col = self.line, self.col
+            ch = src[self.pos]
+            if ch.isdigit():
+                yield self._number(line, col)
+            elif ch.isalpha() or ch == "_":
+                start = self.pos
+                while (self.pos < len(src)
+                       and (src[self.pos].isalnum() or src[self.pos] == "_")):
+                    self._advance()
+                text = src[start:self.pos]
+                kind = "kw" if text in KEYWORDS else "ident"
+                yield Token(kind, text, line, col)
+            else:
+                for op in _OPERATORS:
+                    if src.startswith(op, self.pos):
+                        if op in ("<<=", ">>="):
+                            raise self._err(
+                                "compound assignment %r is not MiniC" % op)
+                        self._advance(len(op))
+                        yield Token("op", op, line, col)
+                        break
+                else:
+                    raise self._err("unexpected character %r" % ch)
+
+    def _number(self, line: int, col: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                self._advance()
+            text = src[start:self.pos]
+            if len(text) == 2:
+                raise self._err("bad hex literal")
+            value = int(text, 16)
+        else:
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+            text = src[start:self.pos]
+            value = int(text)
+        if self.pos < len(src) and (src[self.pos].isalpha() or src[self.pos] == "_"):
+            raise self._err("bad numeric literal")
+        if value >= 2**63:
+            raise self._err("literal %s does not fit in long" % text)
+        return Token("num", text, line, col, value=value)
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self._err("unterminated /* comment")
+                while self.pos < end + 2:
+                    self._advance()
+            else:
+                return

@@ -1,0 +1,347 @@
+"""Recursive-descent parser for MiniC with precedence-climbing expressions."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import CompileError
+from . import ast
+from .lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).  Assignment and the
+#: ternary operator are handled separately (right-associative).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_UNARY_OPS = ("-", "!", "~", "*", "&")
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source into an (untyped) AST."""
+    return _Parser(tokenize(source)).unit()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tok
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _err(self, message: str, token: Token = None) -> CompileError:
+        token = token or self.tok
+        return CompileError(message, token.line, token.col)
+
+    def _expect_op(self, text: str) -> Token:
+        if not self.tok.is_op(text):
+            raise self._err("expected '%s', found %s" % (text, self.tok.describe()))
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.tok.kind != "ident":
+            raise self._err("expected identifier, found %s" % self.tok.describe())
+        return self._advance()
+
+    def _accept_op(self, text: str) -> bool:
+        if self.tok.is_op(text):
+            self._advance()
+            return True
+        return False
+
+    # -- top level ------------------------------------------------------------
+
+    def unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1, col=1)
+        while self.tok.kind != "eof":
+            depth, name = self._decl_header()
+            if self.tok.is_op("("):
+                unit.functions.append(self._function(depth, name))
+            else:
+                unit.globals.append(self._global(depth, name))
+        return unit
+
+    def _decl_header(self) -> Tuple[int, Token]:
+        if not self.tok.is_kw("long"):
+            raise self._err("expected 'long', found %s" % self.tok.describe())
+        self._advance()
+        depth = 0
+        while self._accept_op("*"):
+            depth += 1
+        return depth, self._expect_ident()
+
+    def _function(self, depth: int, name: Token) -> ast.FuncDecl:
+        if depth:
+            raise self._err("functions return long (no pointer returns)", name)
+        self._expect_op("(")
+        params: List[ast.Param] = []
+        if not self.tok.is_op(")"):
+            while True:
+                pdepth, pname = self._decl_header()
+                params.append(ast.Param(line=pname.line, col=pname.col,
+                                        name=pname.text, ptr_depth=pdepth))
+                if not self._accept_op(","):
+                    break
+        self._expect_op(")")
+        body = self._block()
+        return ast.FuncDecl(line=name.line, col=name.col, name=name.text,
+                            params=params, body=body)
+
+    def _global(self, depth: int, name: Token) -> ast.GlobalDecl:
+        size = None
+        if self._accept_op("["):
+            size = self._const_int("array size")
+            if size <= 0:
+                raise self._err("array size must be positive", name)
+            self._expect_op("]")
+        init: List[int] = []
+        if self._accept_op("="):
+            if self._accept_op("{"):
+                if size is None:
+                    raise self._err("brace initializer on a scalar", name)
+                if not self.tok.is_op("}"):
+                    while True:
+                        init.append(self._const_int("initializer"))
+                        if not self._accept_op(","):
+                            break
+                self._expect_op("}")
+                if len(init) > size:
+                    raise self._err("too many initializers for %s" % name.text,
+                                    name)
+            else:
+                if size is not None:
+                    raise self._err("array initializer needs braces", name)
+                init.append(self._const_int("initializer"))
+        self._expect_op(";")
+        return ast.GlobalDecl(line=name.line, col=name.col, name=name.text,
+                              ptr_depth=depth, array_size=size,
+                              init_values=init)
+
+    def _const_int(self, what: str) -> int:
+        negative = self.tok.is_op("-")
+        if negative:
+            self._advance()
+        if self.tok.kind != "num":
+            raise self._err("expected constant %s" % what)
+        value = self._advance().value
+        return -value if negative else value
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        start = self._expect_op("{")
+        stmts: List[ast.Stmt] = []
+        while not self.tok.is_op("}"):
+            if self.tok.kind == "eof":
+                raise self._err("unterminated block", start)
+            stmts.append(self._statement())
+        self._advance()
+        return ast.Block(line=start.line, col=start.col, stmts=stmts)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.tok
+        if token.is_op("{"):
+            return self._block()
+        if token.is_op(";"):
+            self._advance()
+            return ast.Block(line=token.line, col=token.col)
+        if token.is_kw("long"):
+            return self._var_decl()
+        if token.is_kw("if"):
+            return self._if()
+        if token.is_kw("while"):
+            return self._while()
+        if token.is_kw("for"):
+            return self._for()
+        if token.is_kw("return"):
+            self._advance()
+            value = None
+            if not self.tok.is_op(";"):
+                value = self._expression()
+            self._expect_op(";")
+            return ast.Return(line=token.line, col=token.col, value=value)
+        if token.is_kw("break"):
+            self._advance()
+            self._expect_op(";")
+            return ast.Break(line=token.line, col=token.col)
+        if token.is_kw("continue"):
+            self._advance()
+            self._expect_op(";")
+            return ast.Continue(line=token.line, col=token.col)
+        expr = self._expression()
+        self._expect_op(";")
+        return ast.ExprStmt(line=expr.line, col=expr.col, expr=expr)
+
+    def _var_decl(self) -> ast.VarDecl:
+        depth, name = self._decl_header()
+        size = None
+        if self._accept_op("["):
+            size = self._const_int("array size")
+            if size <= 0:
+                raise self._err("array size must be positive", name)
+            self._expect_op("]")
+        init = None
+        if self._accept_op("="):
+            if size is not None:
+                raise self._err("local arrays cannot be initialized", name)
+            init = self._expression()
+        self._expect_op(";")
+        return ast.VarDecl(line=name.line, col=name.col, name=name.text,
+                           ptr_depth=depth, array_size=size, init=init)
+
+    def _if(self) -> ast.If:
+        token = self._advance()
+        self._expect_op("(")
+        cond = self._expression()
+        self._expect_op(")")
+        then = self._statement()
+        other = None
+        if self.tok.is_kw("else"):
+            self._advance()
+            other = self._statement()
+        return ast.If(line=token.line, col=token.col, cond=cond, then=then,
+                      other=other)
+
+    def _while(self) -> ast.While:
+        token = self._advance()
+        self._expect_op("(")
+        cond = self._expression()
+        self._expect_op(")")
+        return ast.While(line=token.line, col=token.col, cond=cond,
+                         body=self._statement())
+
+    def _for(self) -> ast.For:
+        token = self._advance()
+        self._expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if self.tok.is_kw("long"):
+            init = self._var_decl()               # consumes the ';'
+        elif self._accept_op(";"):
+            init = None
+        else:
+            expr = self._expression()
+            self._expect_op(";")
+            init = ast.ExprStmt(line=expr.line, col=expr.col, expr=expr)
+        cond = None
+        if not self.tok.is_op(";"):
+            cond = self._expression()
+        self._expect_op(";")
+        post = None
+        if not self.tok.is_op(")"):
+            post = self._expression()
+        self._expect_op(")")
+        return ast.For(line=token.line, col=token.col, init=init, cond=cond,
+                       post=post, body=self._statement())
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._ternary()
+        if self.tok.is_op("="):
+            token = self._advance()
+            value = self._assignment()           # right associative
+            if not isinstance(left, (ast.Var, ast.Index, ast.Unary)) or (
+                    isinstance(left, ast.Unary) and left.op != "*"):
+                raise self._err("assignment target is not an lvalue", token)
+            return ast.Assign(line=token.line, col=token.col, target=left,
+                              value=value)
+        return left
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(1)
+        if self.tok.is_op("?"):
+            token = self._advance()
+            then = self._expression()
+            self._expect_op(":")
+            other = self._ternary()
+            return ast.Cond(line=token.line, col=token.col, cond=cond,
+                            then=then, other=other)
+        return cond
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.tok
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._advance()
+            right = self._binary(prec + 1)
+            left = ast.Binary(line=token.line, col=token.col, op=token.text,
+                              left=left, right=right)
+
+    def _unary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "op" and token.text in _UNARY_OPS:
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(line=token.line, col=token.col, op=token.text,
+                             operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self.tok.is_op("["):
+                token = self._advance()
+                index = self._expression()
+                self._expect_op("]")
+                expr = ast.Index(line=token.line, col=token.col, base=expr,
+                                 index=index)
+            elif self.tok.is_op("("):
+                token = self._advance()
+                if not isinstance(expr, ast.Var):
+                    raise self._err("call target must be a function name",
+                                    token)
+                args: List[ast.Expr] = []
+                if not self.tok.is_op(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept_op(","):
+                            break
+                self._expect_op(")")
+                expr = ast.Call(line=token.line, col=token.col,
+                                name=expr.name, args=args)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "num":
+            self._advance()
+            return ast.Num(line=token.line, col=token.col, value=token.value)
+        if token.kind == "ident":
+            self._advance()
+            return ast.Var(line=token.line, col=token.col, name=token.text)
+        if token.is_op("("):
+            self._advance()
+            expr = self._expression()
+            self._expect_op(")")
+            return expr
+        raise self._err("expected expression, found %s" % token.describe())

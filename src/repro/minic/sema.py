@@ -1,0 +1,352 @@
+"""Semantic analysis for MiniC: scopes, arity, pointer-depth typing.
+
+The analyzer decorates the AST in place:
+
+* every expression node gets its ``depth`` (pointer depth; 0 = long),
+* every :class:`~repro.minic.ast.Var` gets ``storage`` and a ``symbol``,
+* pointer arithmetic nodes get ``ptr_side`` / ``is_ptr_diff`` markers the
+  code generator uses to scale by the word size,
+* every function gets ``sym_params`` and ``sym_locals`` symbol lists from
+  which the code generator lays out the stack frame.
+
+MiniC typing rules (C-like, pointer depth only):
+
+* ``ptr + long`` / ``long + ptr`` / ``ptr - long`` give the pointer type,
+* ``ptr - ptr`` (equal depths) gives long (the element distance),
+* comparisons accept equal depths (or a literal), give long,
+* all other operators require longs,
+* ``*e`` needs depth >= 1; ``&lvalue`` adds one level,
+* assignment requires equal depths, or an integer literal on the right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CompileError
+from . import ast
+
+#: Name of the output builtin: ``out(x)`` emits x and evaluates to x.
+OUT_BUILTIN = "out"
+
+#: Maximum number of function parameters (the SysV argument registers).
+MAX_PARAMS = 6
+
+
+@dataclass
+class Symbol:
+    """A named entity: variable, array, parameter or function."""
+
+    name: str
+    kind: str                 #: "global", "global_array", "local",
+                              #: "local_array", "param" or "func"
+    ptr_depth: int = 0        #: element depth for arrays
+    array_size: Optional[int] = None
+    arity: int = 0            #: functions only
+    index: int = 0            #: declaration ordinal (frame layout input)
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind in ("global_array", "local_array")
+
+    @property
+    def value_depth(self) -> int:
+        """Depth of the symbol used as an expression (arrays decay)."""
+        return self.ptr_depth + 1 if self.is_array else self.ptr_depth
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, node: ast.Node) -> None:
+        if sym.name in self.names:
+            raise CompileError("redefinition of %r" % sym.name,
+                               node.line, node.col)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def analyze(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Type-check and annotate *unit* in place; returns it for chaining."""
+    _Analyzer(unit).run()
+    return unit
+
+
+class _Analyzer:
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals = _Scope()
+        self.current_func: Optional[ast.FuncDecl] = None
+        self.scope: _Scope = self.globals
+        self.loop_depth = 0
+
+    def _err(self, message: str, node: ast.Node) -> CompileError:
+        return CompileError(message, node.line, node.col)
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> None:
+        for decl in self.unit.globals:
+            kind = "global_array" if decl.array_size is not None else "global"
+            self.globals.define(Symbol(
+                name=decl.name, kind=kind, ptr_depth=decl.ptr_depth,
+                array_size=decl.array_size), decl)
+        for func in self.unit.functions:
+            if len(func.params) > MAX_PARAMS:
+                raise self._err(
+                    "too many parameters (max %d)" % MAX_PARAMS, func)
+            self.globals.define(Symbol(
+                name=func.name, kind="func", arity=len(func.params)), func)
+        for func in self.unit.functions:
+            self._function(func)
+        self.unit.global_symbols = dict(self.globals.names)
+
+    def _function(self, func: ast.FuncDecl) -> None:
+        self.current_func = func
+        func.sym_params = []
+        func.sym_locals = []
+        self.scope = _Scope(self.globals)
+        for i, param in enumerate(func.params):
+            sym = Symbol(name=param.name, kind="param",
+                         ptr_depth=param.ptr_depth, index=i)
+            self.scope.define(sym, param)
+            func.sym_params.append(sym)
+        self._block(func.body, new_scope=False)
+        self.scope = self.globals
+        self.current_func = None
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scope = _Scope(self.scope)
+        for stmt in block.stmts:
+            self._statement(stmt)
+        if new_scope:
+            self.scope = self.scope.parent
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond)
+            self._statement(stmt.then)
+            if stmt.other is not None:
+                self._statement(stmt.other)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond)
+            self.loop_depth += 1
+            self._statement(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self.scope = _Scope(self.scope)   # for-scope holds the init decl
+            if stmt.init is not None:
+                self._statement(stmt.init)
+            if stmt.cond is not None:
+                self._expr(stmt.cond)
+            if stmt.post is not None:
+                self._expr(stmt.post)
+            self.loop_depth += 1
+            self._statement(stmt.body)
+            self.loop_depth -= 1
+            self.scope = self.scope.parent
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                depth = self._expr(stmt.value)
+                if depth != 0 and not isinstance(stmt.value, ast.Num):
+                    raise self._err("functions return long, not pointers",
+                                    stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_depth:
+                raise self._err("break outside a loop", stmt)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_depth:
+                raise self._err("continue outside a loop", stmt)
+        else:  # pragma: no cover
+            raise self._err("unknown statement %r" % stmt, stmt)
+
+    def _var_decl(self, stmt: ast.VarDecl) -> None:
+        kind = "local_array" if stmt.array_size is not None else "local"
+        sym = Symbol(name=stmt.name, kind=kind, ptr_depth=stmt.ptr_depth,
+                     array_size=stmt.array_size,
+                     index=len(self.current_func.sym_locals))
+        if stmt.init is not None:
+            depth = self._expr(stmt.init)
+            self._check_assignable(stmt.ptr_depth, depth, stmt.init, stmt)
+        self.scope.define(sym, stmt)
+        self.current_func.sym_locals.append(sym)
+        stmt.symbol = sym
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> int:
+        depth = self._expr_inner(expr)
+        expr.depth = depth
+        return depth
+
+    def _expr_inner(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Num):
+            return 0
+        if isinstance(expr, ast.Var):
+            return self._var(expr)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.Cond):
+            return self._cond(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Index):
+            return self._index(expr)
+        raise self._err("unknown expression %r" % expr, expr)  # pragma: no cover
+
+    def _var(self, expr: ast.Var) -> int:
+        sym = self.scope.lookup(expr.name)
+        if sym is None:
+            raise self._err("undeclared identifier %r" % expr.name, expr)
+        if sym.kind == "func":
+            raise self._err("function %r used as a value" % expr.name, expr)
+        expr.storage = sym.kind
+        expr.symbol = sym
+        return sym.value_depth
+
+    def _unary(self, expr: ast.Unary) -> int:
+        depth = self._expr(expr.operand)
+        if expr.op == "*":
+            if depth < 1:
+                raise self._err("cannot dereference a long", expr)
+            return depth - 1
+        if expr.op == "&":
+            if isinstance(expr.operand, ast.Var) and expr.operand.symbol.is_array:
+                raise self._err("'&' on an array (the name already decays)",
+                                expr)
+            self._check_lvalue(expr.operand, expr)
+            return depth + 1
+        if depth != 0:
+            raise self._err("unary '%s' needs a long operand" % expr.op, expr)
+        return 0
+
+    def _binary(self, expr: ast.Binary) -> int:
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        op = expr.op
+        expr.ptr_side = None
+        expr.is_ptr_diff = False
+        if op == "+":
+            if left and right:
+                raise self._err("cannot add two pointers", expr)
+            if left:
+                expr.ptr_side = "left"
+                return left
+            if right:
+                expr.ptr_side = "right"
+                return right
+            return 0
+        if op == "-":
+            if left and right:
+                if left != right:
+                    raise self._err("pointer difference needs equal types",
+                                    expr)
+                expr.is_ptr_diff = True
+                return 0
+            if right:
+                raise self._err("cannot subtract a pointer from a long", expr)
+            if left:
+                expr.ptr_side = "left"
+                return left
+            return 0
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left != right and not (
+                    isinstance(expr.left, ast.Num)
+                    or isinstance(expr.right, ast.Num)):
+                raise self._err("comparison of incompatible types", expr)
+            return 0
+        # &&, ||, arithmetic, bitwise, shifts: longs only.
+        if left or right:
+            raise self._err("operator '%s' needs long operands" % op, expr)
+        return 0
+
+    def _assign(self, expr: ast.Assign) -> int:
+        target_depth = self._expr(expr.target)
+        self._check_lvalue(expr.target, expr)
+        value_depth = self._expr(expr.value)
+        self._check_assignable(target_depth, value_depth, expr.value, expr)
+        return target_depth
+
+    def _check_assignable(self, target_depth, value_depth, value, node) -> None:
+        if target_depth == value_depth:
+            return
+        # The only depth-crossing assignment C allows without a cast is the
+        # null-pointer literal.
+        if isinstance(value, ast.Num) and value.value == 0:
+            return
+        raise self._err(
+            "cannot assign depth-%d value to depth-%d target"
+            % (value_depth, target_depth), node)
+
+    def _check_lvalue(self, expr: ast.Expr, node: ast.Node) -> None:
+        if isinstance(expr, ast.Var):
+            if expr.symbol.is_array:
+                raise self._err("arrays are not assignable", node)
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise self._err("not an lvalue", node)
+
+    def _cond(self, expr: ast.Cond) -> int:
+        self._expr(expr.cond)
+        then_depth = self._expr(expr.then)
+        other_depth = self._expr(expr.other)
+        if then_depth != other_depth and not (
+                isinstance(expr.then, ast.Num)
+                or isinstance(expr.other, ast.Num)):
+            raise self._err("ternary branches have incompatible types", expr)
+        return max(then_depth, other_depth)
+
+    def _call(self, expr: ast.Call) -> int:
+        if expr.name == OUT_BUILTIN:
+            if len(expr.args) != 1:
+                raise self._err("out() takes exactly one argument", expr)
+            self._expr(expr.args[0])
+            return 0
+        sym = self.globals.lookup(expr.name)
+        if sym is None or sym.kind != "func":
+            raise self._err("call to undeclared function %r" % expr.name,
+                            expr)
+        if len(expr.args) != sym.arity:
+            raise self._err(
+                "%s() takes %d argument(s), got %d"
+                % (expr.name, sym.arity, len(expr.args)), expr)
+        func = self.unit.function(expr.name)
+        for arg, param in zip(expr.args, func.params):
+            depth = self._expr(arg)
+            self._check_assignable(param.ptr_depth, depth, arg, expr)
+        return 0
+
+    def _index(self, expr: ast.Index) -> int:
+        base_depth = self._expr(expr.base)
+        if base_depth < 1:
+            raise self._err("indexed value is not a pointer", expr)
+        index_depth = self._expr(expr.index)
+        if index_depth != 0:
+            raise self._err("array index must be a long", expr)
+        return base_depth - 1

@@ -1,0 +1,122 @@
+"""The paper's running example, verbatim: the ``sum`` vector reduction.
+
+Two program builders are exported:
+
+* :func:`sum_sequential_program` — Figure 2's x86 code (call/ret, stack
+  saves), wrapped in a tiny ``main`` that loads the arguments, calls ``sum``
+  and emits the result with ``out``.
+* :func:`sum_forked_program` — Figure 5's fork/endfork version, wrapped in a
+  ``main`` that forks ``sum``; the resume path consumes the final value (the
+  paper: "the instruction consuming the final sum to be displayed receives
+  its source from instruction 5-1").
+
+Both run on any array length (the paper uses 5·2ⁿ elements for its
+analytical evaluation; see :mod:`repro.analytic`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .isa import Program, assemble
+
+#: Figure 2 — the sum function in x86 (gas syntax; rightmost operand is the
+#: destination).  Labels match the paper's listing.
+SUM_SEQUENTIAL_ASM = """
+main:
+    movq $tab, %rdi         # rdi = t
+    movq n, %rsi            # rsi = n
+    call sum
+    out %rax
+    hlt
+sum:                        # sum(t, n)
+    cmpq $2, %rsi           # n ? 2
+    ja .L2                  # if (n > 2) goto .L2
+    movq (%rdi), %rax       # rax = t[0]
+    jne .L1                 # if (n != 2) goto .L1
+    addq 8(%rdi), %rax      # rax += t[1]
+.L1:
+    ret                     # return rax
+.L2:
+    pushq %rbx              # save rbx
+    pushq %rdi              # save t
+    pushq %rsi              # save n
+    shrq %rsi               # rsi = n/2
+    call sum                # sum(t, n/2)
+    popq %rbx               # rbx = n
+    pushq %rbx              # save n
+    subq $8, %rsp           # allocate temp
+    movq %rax, 0(%rsp)      # temp = sum(t, n/2)
+    leaq (%rdi,%rsi,8), %rdi  # rdi = &t[n/2]
+    subq %rsi, %rbx         # rbx = n - n/2
+    movq %rbx, %rsi         # rsi = n - n/2
+    call sum                # sum(&t[n/2], n - n/2)
+    addq 0(%rsp), %rax      # rax += temp
+    addq $8, %rsp           # free temp
+    popq %rsi               # restore rsi (n)
+    popq %rdi               # restore rdi (t)
+    popq %rbx               # restore rbx
+    ret                     # return rax
+"""
+
+#: Figure 5 — the sum function modified by fork instructions.  Note what the
+#: transformation removed: the callee-save push/pop pairs (fork copies the
+#: non-volatile registers), the return-address traffic (fork saves none) and
+#: the save/restore of n (now a register move before the fork).
+SUM_FORKED_ASM = """
+main:
+    movq $tab, %rdi         # rdi = t
+    movq n, %rsi            # rsi = n
+    fork sum
+    out %rax                # consumes the final sum via renaming
+    endfork
+sum:                        # sum(t, n)
+    cmpq $2, %rsi           # n ? 2
+    ja .L2                  # if (n > 2) goto .L2
+    movq (%rdi), %rax       # rax = t[0]
+    jne .L1                 # if (n != 2) goto .L1
+    addq 8(%rdi), %rax      # rax += t[1]
+.L1:
+    endfork                 # return rax
+.L2:
+    movq %rsi, %rbx         # rbx = n
+    shrq %rsi               # rsi = n/2
+    fork sum                # sum(t, n/2)
+    subq $8, %rsp           # allocate temp
+    movq %rax, 0(%rsp)      # temp = sum(t, n/2)
+    leaq (%rdi,%rsi,8), %rdi  # rdi = &t[n/2]
+    subq %rsi, %rbx         # rbx = n - n/2
+    movq %rbx, %rsi         # rsi = n - n/2
+    fork sum                # sum(&t[n/2], n - n/2)
+    addq 0(%rsp), %rax      # rax += temp
+    addq $8, %rsp           # free temp
+    endfork                 # return rax
+"""
+
+_DATA_TEMPLATE = """
+.data
+n:   .quad %d
+tab: .quad %s
+"""
+
+
+def _with_data(asm: str, values: Sequence[int]) -> str:
+    if not values:
+        raise ValueError("sum needs at least one element")
+    words = ", ".join(str(int(v)) for v in values)
+    return asm + _DATA_TEMPLATE % (len(values), words)
+
+
+def sum_sequential_program(values: Sequence[int]) -> Program:
+    """Figure 2's program, summing *values* (any length >= 1)."""
+    return assemble(_with_data(SUM_SEQUENTIAL_ASM, values))
+
+
+def sum_forked_program(values: Sequence[int]) -> Program:
+    """Figure 5's program, summing *values* (any length >= 1)."""
+    return assemble(_with_data(SUM_FORKED_ASM, values))
+
+
+def paper_array(n: int = 5) -> list:
+    """The canonical test array t[0..n-1] = 1..n (sum = n(n+1)/2)."""
+    return list(range(1, n + 1))

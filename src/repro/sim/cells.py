@@ -1,0 +1,135 @@
+"""Value cells and dynamic instructions — the simulator's dataflow fabric.
+
+A :class:`Cell` is one renamed destination: the pair *(section,
+instruction)* of the paper's renaming scheme, reified as an object that is
+*empty* until its producer runs and *full* afterwards.  Every architectural
+write (register, flags, or memory word) allocates a fresh cell, which makes
+the run single-assignment: "Memory renaming transforms the code at run time
+into a single assignment form" (Section 4.2).
+
+Cells are also the synchronization device: consumers (instructions in the
+IQ/LSQ, stalled fetch stages, remote renaming requests) simply wait until
+``cell.ready``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+
+
+class Cell:
+    """A renamed location: empty until produced, then immutable."""
+
+    __slots__ = ("value", "ready_cycle", "origin", "is_import")
+
+    def __init__(self, origin: str = "", is_import: bool = False):
+        self.value: Optional[int] = None
+        self.ready_cycle: Optional[int] = None
+        self.origin = origin          #: debugging tag, e.g. "s3:i5:rax"
+        self.is_import = is_import    #: caches a predecessor's value
+
+    @property
+    def ready(self) -> bool:
+        return self.value is not None
+
+    def fill(self, value: int, cycle: int) -> None:
+        if self.ready:
+            raise AssertionError(
+                "double write to renamed location %s" % self.origin)
+        self.value = value
+        self.ready_cycle = cycle
+
+    @staticmethod
+    def full(value: int, cycle: int = 0, origin: str = "") -> "Cell":
+        cell = Cell(origin=origin)
+        cell.value = value
+        cell.ready_cycle = cycle
+        return cell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "=%d@%s" % (self.value, self.ready_cycle) if self.ready else "(empty)"
+        return "<Cell %s%s>" % (self.origin, state)
+
+
+@dataclass
+class Timing:
+    """Cycle stamps of one dynamic instruction through the six stages
+    (None = the stage did not apply, e.g. no ar/ma for register ops)."""
+
+    fd: Optional[int] = None
+    rr: Optional[int] = None
+    ew: Optional[int] = None
+    ar: Optional[int] = None
+    ma: Optional[int] = None
+    ret: Optional[int] = None
+
+    def row(self) -> Tuple:
+        return (self.fd, self.rr, self.ew, self.ar, self.ma, self.ret)
+
+
+class DynInstr:
+    """One dynamic instruction flowing through a core's pipeline."""
+
+    __slots__ = (
+        "instr", "section", "index", "timing",
+        "src_cells", "dest_cells", "computed_at_fetch",
+        "is_load", "is_store", "addr_src_cells", "addr_value",
+        "store_value_cell", "load_src_cell", "mem_dest_cell",
+        "mem_renamed", "mem_done", "executed", "control_resolved",
+        "out_value", "retired",
+        "missing_srcs", "addr_regs", "in_iq", "in_lsq",
+    )
+
+    def __init__(self, instr: Instruction, section, index: int):
+        self.instr = instr
+        self.section = section
+        self.index = index                      #: 0-based ordinal in section
+        self.timing = Timing()
+        #: register sources: name -> Cell (filled at rename)
+        self.src_cells: Dict[str, Cell] = {}
+        #: register destinations: name -> Cell
+        self.dest_cells: Dict[str, Cell] = {}
+        self.computed_at_fetch = False
+        self.is_load = instr.reads_memory()
+        self.is_store = instr.writes_memory()
+        #: cells needed to form the effective address
+        self.addr_src_cells: Dict[str, Cell] = {}
+        self.addr_value: Optional[int] = None   #: set by ew
+        self.store_value_cell: Optional[Cell] = None
+        self.load_src_cell: Optional[Cell] = None   #: renamed memory source
+        self.mem_dest_cell: Optional[Cell] = None   #: renamed memory dest
+        self.mem_renamed = False
+        self.mem_done = not (self.is_load or self.is_store)
+        self.executed = False
+        self.control_resolved = not instr.is_control
+        self.out_value: Optional[int] = None
+        self.retired = False
+        #: registers whose fetch binding was empty, to resolve at rename
+        self.missing_srcs: List[str] = []
+        #: registers needed to form the effective address
+        self.addr_regs: Tuple[str, ...] = ()
+        self.in_iq = False
+        self.in_lsq = False
+
+    @property
+    def tag(self) -> str:
+        return "%d-%d" % (self.section.sid, self.index + 1)
+
+    def sources_ready(self) -> bool:
+        return all(cell.ready for cell in self.src_cells.values())
+
+    def terminated(self) -> bool:
+        """Retirement condition: every effect of the instruction exists."""
+        if not self.executed and not self.computed_at_fetch:
+            return False
+        if not self.mem_done:
+            return False
+        if not self.control_resolved:
+            return False
+        return all(cell.ready for cell in self.dest_cells.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DynInstr %s %s>" % (self.tag, self.instr)

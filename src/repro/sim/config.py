@@ -1,0 +1,80 @@
+"""Configuration of the distributed many-core simulator.
+
+Latency defaults follow the paper's Figure 10 narration: a forked section
+starts fetching 2 cycles after the fork ("the creation time of the forked
+section (2 cycles)"), and a renaming round trip to a neighbour core costs a
+request hop, a lookup and a reply hop ("counting 3 cycles to reach the
+producer and return the t[0] value").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimConfig:
+    """Knobs of the simulated processor.
+
+    Stage widths are per core per cycle; the paper's analytical model uses
+    width 1 everywhere ("we assume each pipeline stage manipulates a single
+    instruction").
+    """
+
+    n_cores: int = 8
+    #: cycles between a fork's fetch and the new section's first fetch
+    section_create_latency: int = 2
+    #: one-way message latency between two different cores (per hop for
+    #: the mesh topology)
+    noc_latency: int = 1
+    #: NoC topology: "uniform" (flat core-to-core latency, the paper's
+    #: accounting) or "mesh" (2D mesh, XY routing, DMH port at a corner)
+    topology: str = "uniform"
+    #: extra cycles to read a line from the data memory hierarchy (the
+    #: loader-installed image) when a renaming request walks off the oldest
+    #: section
+    dmh_latency: int = 1
+    #: per-stage throughput (instructions per cycle per core)
+    fetch_width: int = 1
+    rename_width: int = 1
+    execute_width: int = 1
+    addr_rename_width: int = 1
+    memory_width: int = 1
+    retire_width: int = 1
+    #: section placement policy: "round_robin", "least_loaded", "same_core"
+    #: or "random"
+    placement: str = "round_robin"
+    placement_seed: int = 12345
+    #: enable the paper's stack shortcut (statement ii in Section 4.2):
+    #: memory renaming requests for addresses at or above the requester's
+    #: stack pointer skip sections at a deeper call level.  Safe only for
+    #: programs that never pass addresses of stack locals down the call
+    #: tree (the paper's compiler-controlled stack discipline).
+    stack_shortcut: bool = False
+    #: memory line size in bytes for DMH replies (paper footnote 5: full
+    #: lines are fetched and cached along the return path)
+    line_bytes: int = 64
+    #: simulation budget; exceeding it raises (deadlock guard)
+    max_cycles: int = 2_000_000
+
+    def __post_init__(self):
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.placement not in ("round_robin", "least_loaded", "same_core",
+                                  "random"):
+            raise ValueError("unknown placement %r" % (self.placement,))
+        for name in ("fetch_width", "rename_width", "execute_width",
+                     "addr_rename_width", "memory_width", "retire_width"):
+            if getattr(self, name) < 1:
+                raise ValueError("%s must be >= 1" % name)
+        if self.line_bytes < 8 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two >= 8")
+        if self.topology not in ("uniform", "mesh"):
+            raise ValueError("unknown topology %r" % (self.topology,))
+
+
+#: Configuration of the paper's Figure 10 experiment: five cores, one
+#: section each, unit-width stages.
+def figure10_config(n_cores: int = 5) -> SimConfig:
+    return SimConfig(n_cores=n_cores, placement="round_robin",
+                     stack_shortcut=False)

@@ -1,0 +1,422 @@
+"""One core of the many-core processor: the six-stage pipeline of Figure 9.
+
+Stage order inside a cycle is reverse pipeline order (retire, memory,
+address-rename, execute, rename, fetch) so values produced in cycle *c* are
+consumed no earlier than *c + 1*, like hardware latches.
+
+The fetch-decode stage implements Figure 8: it holds the section's register
+file with full/empty bits, computes simple register instructions in order
+(including most control flow — there is no branch predictor), and stalls
+with an empty IP when a control instruction's sources are not yet full; the
+execute or memory stage later resolves the target and restarts fetch.  As a
+liveness extension over the paper (which assumes one section per core in
+its example), a stalled fetch yields to another runnable hosted section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..isa.instructions import Instruction
+from ..isa.registers import FLAGS, STACK_POINTER
+from ..machine.base import HALT_SENTINEL
+from ..machine.executor import MASK, fetch_stage_computable
+from .cells import Cell, DynInstr
+from .evaluate import effective_address, evaluate
+from .section import SectionState
+
+
+class Core:
+    """One core: pipeline state + hosted sections."""
+
+    def __init__(self, core_id: int, proc):
+        self.id = core_id
+        self.proc = proc
+        self.hosted: List[SectionState] = []
+        self.current_fetch: Optional[SectionState] = None
+        self.rename_queue: List[DynInstr] = []   # fetch order, per-section FIFO
+        self.iq: List[DynInstr] = []
+        self.lsq: List[DynInstr] = []
+        # statistics
+        self.fetched = 0
+        self.fetch_computed = 0
+        self.executed = 0
+        self.retired = 0
+
+    # ------------------------------------------------------------------
+    # cycle driver
+    # ------------------------------------------------------------------
+
+    def cycle(self, now: int) -> None:
+        self._retire(now)
+        self._memory(now)
+        self._addr_rename(now)
+        self._execute(now)
+        self._rename(now)
+        self._fetch(now)
+
+    # ------------------------------------------------------------------
+    # fetch-decode
+    # ------------------------------------------------------------------
+
+    def _runnable_sections(self, now: int) -> List[SectionState]:
+        return [s for s in self.hosted
+                if not s.fetch_done and s.first_fetch_cycle <= now
+                and s.waiting_control is None and s.ip is not None]
+
+    def _fetch(self, now: int) -> None:
+        for _ in range(self.proc.cfg.fetch_width):
+            runnable = self._runnable_sections(now)
+            if not runnable:
+                return
+            if self.current_fetch in runnable:
+                sec = self.current_fetch
+            else:
+                sec = min(runnable, key=lambda s: s.order_index)
+                self.current_fetch = sec
+            self._fetch_one(sec, now)
+
+    def _fetch_one(self, sec: SectionState, now: int) -> None:
+        code = self.proc.program.code
+        if not 0 <= sec.ip < len(code):
+            raise SimulationError(
+                "section %d fetched past the code (ip=%d)" % (sec.sid, sec.ip))
+        instr = code[sec.ip]
+        dyn = DynInstr(instr, sec, len(sec.instructions))
+        dyn.timing.fd = now
+        sec.instructions.append(dyn)
+        sec.fetch_started = True
+        self.fetched += 1
+
+        # -- bind sources against the fetch register file ----------------
+        for reg in instr.reg_reads():
+            entry = sec.freg_binding(reg)
+            if entry is None:
+                dyn.missing_srcs.append(reg)
+            elif isinstance(entry, Cell):
+                dyn.src_cells[reg] = entry
+            else:
+                dyn.src_cells[reg] = Cell.full(entry, origin="k:%s" % reg)
+        dyn.addr_regs = self._addr_regs(instr)
+        if dyn.is_store:
+            sec.stores_pending += 1
+
+        kind = instr.kind
+        next_ip: Optional[int] = sec.ip + 1
+
+        if kind == "fork":
+            self.proc.fork_section(sec, dyn, now)
+            sec.fetch_depth += 1
+            dyn.computed_at_fetch = True
+            dyn.control_resolved = True
+            next_ip = instr.target
+        elif kind == "endfork":
+            sec.fetch_done = True
+            dyn.computed_at_fetch = True
+            dyn.control_resolved = True
+            next_ip = None
+        elif kind == "hlt":
+            sec.fetch_done = True
+            sec.ends_program = True
+            dyn.computed_at_fetch = True
+            dyn.control_resolved = True
+            next_ip = None
+        elif kind == "call":
+            self._fetch_rsp_update(dyn, sec, now, delta=-8)
+            sec.fetch_depth += 1
+            dyn.control_resolved = True
+            next_ip = instr.target
+        elif kind == "ret":
+            self._fetch_rsp_update(dyn, sec, now, delta=+8)
+            sec.fetch_depth -= 1
+            next_ip = None                      # resolved by the memory stage
+            sec.waiting_control = dyn
+        elif kind in ("push", "pop"):
+            self._fetch_rsp_update(dyn, sec, now,
+                                   delta=-8 if kind == "push" else +8)
+            if kind == "pop":
+                self._make_pending_dests(dyn, sec, skip=(STACK_POINTER,))
+        else:
+            computable = (fetch_stage_computable(kind,
+                                                 instr.mem_operand() is not None
+                                                 or dyn.is_load or dyn.is_store)
+                          and not dyn.missing_srcs
+                          and all(cell.ready for cell in dyn.src_cells.values()))
+            if computable:
+                values = {r: c.value for r, c in dyn.src_cells.items()}
+                result = evaluate(instr, values.__getitem__)
+                for reg, value in result.reg_writes.items():
+                    cell = Cell.full(value, now,
+                                     origin="s%d:%d:%s" % (sec.sid, dyn.index, reg))
+                    dyn.dest_cells[reg] = cell
+                    sec.fregs[reg] = value
+                dyn.computed_at_fetch = True
+                self.fetch_computed += 1
+                if instr.is_branch:
+                    dyn.control_resolved = True
+                    if result.taken:
+                        next_ip = result.next_ip
+            else:
+                self._make_pending_dests(dyn, sec)
+                if instr.is_branch:
+                    # IP is set to empty until the target is computed.
+                    next_ip = None
+                    sec.waiting_control = dyn
+
+        sec.ip = next_ip
+        self.rename_queue.append(dyn)
+
+    def _fetch_rsp_update(self, dyn: DynInstr, sec: SectionState, now: int,
+                          delta: int) -> None:
+        """push/pop/call/ret move rsp; the fetch ALU computes the new value
+        when the old one is full, keeping address chains flowing."""
+        cell = Cell(origin="s%d:%d:rsp" % (sec.sid, dyn.index))
+        dyn.dest_cells[STACK_POINTER] = cell
+        old = sec.freg_value(STACK_POINTER)
+        if old is not None:
+            new = (old + delta) & MASK
+            cell.fill(new, now)
+            sec.fregs[STACK_POINTER] = new
+        else:
+            sec.fregs[STACK_POINTER] = cell
+
+    def _make_pending_dests(self, dyn: DynInstr, sec: SectionState,
+                            skip=()) -> None:
+        for reg in dyn.instr.reg_writes():
+            if reg in skip or reg in dyn.dest_cells:
+                continue
+            cell = Cell(origin="s%d:%d:%s" % (sec.sid, dyn.index, reg))
+            dyn.dest_cells[reg] = cell
+            sec.fregs[reg] = cell
+
+    @staticmethod
+    def _addr_regs(instr: Instruction):
+        if instr.kind in ("push", "pop", "call", "ret"):
+            return (STACK_POINTER,)
+        mem = instr.mem_operand()
+        if mem is not None and instr.kind != "lea" and (
+                instr.reads_memory() or instr.writes_memory()):
+            return mem.regs()
+        return ()
+
+    # ------------------------------------------------------------------
+    # register rename
+    # ------------------------------------------------------------------
+
+    def _rename(self, now: int) -> None:
+        budget = self.proc.cfg.rename_width
+        while budget and self.rename_queue:
+            dyn = self.rename_queue[0]
+            if dyn.timing.fd == now:
+                return  # fetched this very cycle; rename next cycle
+            self.rename_queue.pop(0)
+            self._rename_one(dyn, now)
+            budget -= 1
+
+    def _rename_one(self, dyn: DynInstr, now: int) -> None:
+        sec = dyn.section
+        dyn.timing.rr = now
+        for reg in dyn.missing_srcs:
+            cell = sec.imports.get(reg)
+            if cell is None:
+                cell = Cell(origin="s%d:import:%s" % (sec.sid, reg),
+                            is_import=True)
+                sec.imports[reg] = cell
+                if reg not in sec.fregs:
+                    sec.fregs[reg] = cell
+                self.proc.send_reg_request(sec, reg, cell, now)
+            dyn.src_cells[reg] = cell
+        dyn.addr_src_cells = {r: dyn.src_cells[r] for r in dyn.addr_regs}
+        sec.rob.append(dyn)
+        sec.renamed_count += 1
+        if dyn.is_load or dyn.is_store:
+            sec.arq.append(dyn)
+            dyn.in_iq = True
+            self.iq.append(dyn)
+        elif not dyn.computed_at_fetch:
+            dyn.in_iq = True
+            self.iq.append(dyn)
+
+    # ------------------------------------------------------------------
+    # execute / write back (and address computation for memory ops)
+    # ------------------------------------------------------------------
+
+    def _execute(self, now: int) -> None:
+        budget = self.proc.cfg.execute_width
+        if not self.iq or not budget:
+            return
+        self.iq.sort(key=lambda d: (d.section.order_index, d.index))
+        done: List[DynInstr] = []
+        for dyn in self.iq:
+            if not budget:
+                break
+            if dyn.timing.rr is None or dyn.timing.rr >= now:
+                continue
+            if dyn.is_load or dyn.is_store:
+                if not all(c.ready for c in dyn.addr_src_cells.values()):
+                    continue
+            elif not dyn.sources_ready():
+                continue
+            self._execute_one(dyn, now)
+            done.append(dyn)
+            budget -= 1
+        for dyn in done:
+            dyn.in_iq = False
+            self.iq.remove(dyn)
+
+    def _execute_one(self, dyn: DynInstr, now: int) -> None:
+        sec = dyn.section
+        instr = dyn.instr
+        dyn.timing.ew = now
+        self.executed += 1
+        if dyn.is_load or dyn.is_store:
+            old_rsp = None
+            if STACK_POINTER in dyn.addr_src_cells:
+                old_rsp = dyn.addr_src_cells[STACK_POINTER].value
+            kind = instr.kind
+            if kind in ("push", "call"):
+                dyn.addr_value = (old_rsp - 8) & MASK
+                self._fill_rsp(dyn, now, dyn.addr_value)
+            elif kind in ("pop", "ret"):
+                dyn.addr_value = old_rsp
+                self._fill_rsp(dyn, now, (old_rsp + 8) & MASK)
+            else:
+                values = {r: c.value for r, c in dyn.addr_src_cells.items()}
+                dyn.addr_value = effective_address(instr.mem_operand(),
+                                                   values.__getitem__)
+            # data side continues in the ar/ma stages
+            return
+        values = {r: c.value for r, c in dyn.src_cells.items()}
+        result = evaluate(instr, values.__getitem__)
+        for reg, value in result.reg_writes.items():
+            cell = dyn.dest_cells.get(reg)
+            if cell is not None and not cell.ready:
+                cell.fill(value, now)
+        if result.out_value is not None:
+            sec.outs.append((dyn.index, result.out_value))
+        if instr.is_branch and not dyn.control_resolved:
+            sec.ip = (result.next_ip if result.next_ip is not None
+                      else instr.addr + 1)
+            if sec.waiting_control is dyn:
+                sec.waiting_control = None
+            dyn.control_resolved = True
+        dyn.executed = True
+
+    def _fill_rsp(self, dyn: DynInstr, now: int, new_rsp: int) -> None:
+        cell = dyn.dest_cells.get(STACK_POINTER)
+        if cell is not None and not cell.ready:
+            cell.fill(new_rsp, now)
+
+    # ------------------------------------------------------------------
+    # address rename
+    # ------------------------------------------------------------------
+
+    def _addr_rename(self, now: int) -> None:
+        budget = self.proc.cfg.addr_rename_width
+        for sec in sorted(self.hosted, key=lambda s: s.order_index):
+            while budget and sec.arq:
+                dyn = sec.arq[0]
+                if dyn.addr_value is None or dyn.timing.ew == now:
+                    break       # in-order: the head blocks the queue
+                sec.arq.popleft()
+                self._rename_addr_one(dyn, now)
+                budget -= 1
+            if not budget:
+                return
+
+    def _rename_addr_one(self, dyn: DynInstr, now: int) -> None:
+        sec = dyn.section
+        addr = dyn.addr_value
+        dyn.timing.ar = now
+        if dyn.is_load:
+            cell = sec.maat.get(addr)
+            if cell is None:
+                cell = Cell(origin="s%d:mimport:%x" % (sec.sid, addr),
+                            is_import=True)
+                sec.maat[addr] = cell
+                self.proc.send_mem_request(sec, addr, cell, now)
+            dyn.load_src_cell = cell
+        if dyn.is_store:
+            new_cell = Cell(origin="s%d:%d:mem:%x" % (sec.sid, dyn.index, addr))
+            sec.maat[addr] = new_cell
+            dyn.mem_dest_cell = new_cell
+            sec.stores_pending -= 1
+        dyn.mem_renamed = True
+        dyn.in_lsq = True
+        self.lsq.append(dyn)
+
+    # ------------------------------------------------------------------
+    # memory access
+    # ------------------------------------------------------------------
+
+    def _memory(self, now: int) -> None:
+        budget = self.proc.cfg.memory_width
+        if not self.lsq or not budget:
+            return
+        self.lsq.sort(key=lambda d: (d.section.order_index, d.index))
+        done: List[DynInstr] = []
+        for dyn in self.lsq:
+            if not budget:
+                break
+            if dyn.timing.ar is None or dyn.timing.ar >= now:
+                continue
+            if dyn.is_load and not dyn.load_src_cell.ready:
+                continue
+            if not dyn.sources_ready():
+                continue
+            self._memory_one(dyn, now)
+            done.append(dyn)
+            budget -= 1
+        for dyn in done:
+            dyn.in_lsq = False
+            self.lsq.remove(dyn)
+
+    def _memory_one(self, dyn: DynInstr, now: int) -> None:
+        sec = dyn.section
+        instr = dyn.instr
+        dyn.timing.ma = now
+        values = {r: c.value for r, c in dyn.src_cells.items()}
+        loaded = dyn.load_src_cell.value if dyn.is_load else None
+        result = evaluate(instr, values.__getitem__, loaded=loaded)
+        for reg, value in result.reg_writes.items():
+            cell = dyn.dest_cells.get(reg)
+            if cell is not None and not cell.ready:
+                cell.fill(value, now)
+        if dyn.is_store:
+            if result.mem_value is None:
+                raise SimulationError("store %s produced no value" % dyn.tag)
+            dyn.mem_dest_cell.fill(result.mem_value, now)
+        if result.out_value is not None:
+            sec.outs.append((dyn.index, result.out_value))
+        if instr.opcode == "ret":
+            target = result.next_ip
+            if target == HALT_SENTINEL:
+                sec.fetch_done = True
+                sec.ends_program = True
+            elif not 0 <= target < len(self.proc.program.code):
+                raise SimulationError(
+                    "section %d: ret to bad address %#x" % (sec.sid, target))
+            else:
+                sec.ip = target
+            if sec.waiting_control is dyn:
+                sec.waiting_control = None
+            dyn.control_resolved = True
+        dyn.executed = True
+        dyn.mem_done = True
+
+    # ------------------------------------------------------------------
+    # retire
+    # ------------------------------------------------------------------
+
+    def _retire(self, now: int) -> None:
+        budget = self.proc.cfg.retire_width
+        for sec in sorted(self.hosted, key=lambda s: s.order_index):
+            while budget and sec.rob and sec.rob[0].terminated():
+                dyn = sec.rob.popleft()
+                dyn.timing.ret = now
+                dyn.retired = True
+                self.retired += 1
+                budget -= 1
+            if not budget:
+                return

@@ -1,0 +1,145 @@
+"""Pure evaluation of one instruction for the simulator's three compute
+sites: the fetch-stage ALU (register-only instructions with full sources),
+the execute stage (register-only instructions from the IQ), and the memory
+stage (instructions with a renamed memory source and/or destination).
+
+All three call :func:`evaluate`; memory instructions additionally pass the
+loaded value (for memory sources) and receive the value to store (for
+memory destinations).  The arithmetic itself is delegated to
+:mod:`repro.machine.executor`, so the simulator cannot drift from the
+functional machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..errors import SimulationError
+from ..isa.instructions import CONDITION_CODES, Instruction
+from ..isa.operands import Imm, Mem, Reg
+from ..isa.registers import FLAGS
+from ..machine import executor
+from ..machine.executor import MASK
+
+
+@dataclass
+class EvalResult:
+    """Architectural effects of one instruction."""
+
+    reg_writes: Dict[str, int] = field(default_factory=dict)
+    mem_value: Optional[int] = None       #: value stored (when is_store)
+    taken: Optional[bool] = None          #: branch outcome
+    next_ip: Optional[int] = None         #: resolved control target
+    out_value: Optional[int] = None
+
+
+def effective_address(mem: Mem, value_of: Callable[[str], int]) -> int:
+    addr = mem.disp
+    if mem.base is not None:
+        addr += value_of(mem.base)
+    if mem.index is not None:
+        addr += value_of(mem.index) * mem.scale
+    return addr & MASK
+
+
+def evaluate(instr: Instruction, value_of: Callable[[str], int],
+             loaded: Optional[int] = None) -> EvalResult:
+    """Compute *instr*'s effects.
+
+    ``value_of`` supplies register source values (including rflags).
+    ``loaded`` is the value of the renamed memory source for instructions
+    that read memory; instructions that write memory get the stored value
+    in ``EvalResult.mem_value``.  Control transfers report ``taken`` and
+    ``next_ip`` (``None`` next_ip for a not-taken branch means fall
+    through; ret reports the loaded return target).
+    """
+    op = instr.opcode
+    kind = instr.kind
+    result = EvalResult()
+
+    def operand_value(operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value & MASK
+        if isinstance(operand, Reg):
+            return value_of(operand.name)
+        if isinstance(operand, Mem):
+            if loaded is None:
+                raise SimulationError(
+                    "memory source of %s evaluated without a loaded value"
+                    % instr)
+            return loaded
+        raise SimulationError("bad operand %r" % (operand,))
+
+    def write_dest(value: int, flags: Optional[int]) -> None:
+        dest = instr.operands[-1]
+        if isinstance(dest, Reg):
+            result.reg_writes[dest.name] = value & MASK
+        else:
+            result.mem_value = value & MASK
+        if flags is not None:
+            result.reg_writes[FLAGS] = flags
+
+    if op == "mov":
+        write_dest(operand_value(instr.operands[0]), None)
+    elif op in ("add", "sub", "and", "or", "xor", "imul"):
+        src = operand_value(instr.operands[0])
+        dst = operand_value(instr.operands[1])
+        value, flags = executor.binary_result(op, src, dst)
+        write_dest(value, flags)
+    elif op in ("cmp", "test"):
+        src = operand_value(instr.operands[0])
+        dst = operand_value(instr.operands[1])
+        result.reg_writes[FLAGS] = executor.compare_flags(op, src, dst)
+    elif op in ("inc", "dec", "neg", "not"):
+        value, flags = executor.unary_result(
+            op, operand_value(instr.operands[0]), value_of(FLAGS)
+            if instr.info.reads_flags else 0)
+        write_dest(value, flags)
+    elif op in ("shl", "shr", "sar"):
+        if len(instr.operands) == 1:
+            count, target = 1, instr.operands[0]
+        else:
+            count = operand_value(instr.operands[0])
+            target = instr.operands[1]
+        value, flags = executor.shift_result(op, operand_value(target), count)
+        if isinstance(target, Reg):
+            result.reg_writes[target.name] = value
+        else:
+            result.mem_value = value
+        result.reg_writes[FLAGS] = flags
+    elif op == "lea":
+        mem = instr.operands[0]
+        result.reg_writes[instr.operands[1].name] = effective_address(
+            mem, value_of)
+    elif op == "cqo":
+        result.reg_writes["rdx"] = executor.cqo_result(value_of("rax"))
+    elif op == "idiv":
+        quotient, remainder = executor.idiv_result(
+            value_of("rax"), value_of("rdx"),
+            operand_value(instr.operands[0]))
+        result.reg_writes["rax"] = quotient
+        result.reg_writes["rdx"] = remainder
+    elif op == "out":
+        result.out_value = operand_value(instr.operands[0])
+    elif op == "nop":
+        pass
+    elif op == "jmp":
+        result.taken = True
+        result.next_ip = instr.target
+    elif kind == "jcc":
+        taken = executor.condition_holds(CONDITION_CODES[op], value_of(FLAGS))
+        result.taken = taken
+        result.next_ip = instr.target if taken else None
+    elif op == "push":
+        result.mem_value = operand_value(instr.operands[0])
+    elif op == "pop":
+        result.reg_writes[instr.operands[0].name] = loaded & MASK
+    elif op == "call":
+        result.mem_value = (instr.addr + 1) & MASK
+        result.next_ip = instr.target
+    elif op == "ret":
+        result.next_ip = loaded
+    else:
+        raise SimulationError("evaluate: unhandled opcode %r" % op)
+    return result

@@ -1,0 +1,76 @@
+"""Network-on-chip latency models.
+
+The paper assumes the cores are "connected by a Network-on-Chip" (Section
+4.2) without fixing a topology.  Two models are provided:
+
+* ``uniform`` — every core-to-core message costs ``noc_latency`` cycles
+  (the model behind the paper's flat "3 cycles to reach the producer and
+  return" accounting);
+* ``mesh``    — cores arranged in a near-square 2D mesh with XY routing:
+  a message costs ``noc_latency`` per Manhattan hop.  The DMH port sits at
+  core 0 (a corner), so walking off the oldest section gets realistically
+  more expensive from far cores.
+
+Both are deterministic and contention-free (the paper models no NoC
+contention either); the ablation benchmark sweeps them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+class UniformNoc:
+    """Flat latency between distinct cores."""
+
+    def __init__(self, n_cores: int, hop_latency: int):
+        self.n_cores = n_cores
+        self.hop_latency = hop_latency
+
+    def latency(self, src: int, dst: int) -> int:
+        return 0 if src == dst else self.hop_latency
+
+    def dmh_latency_from(self, core: int) -> int:
+        return self.hop_latency
+
+    def describe(self) -> str:
+        return "uniform(noc=%d)" % self.hop_latency
+
+
+class MeshNoc:
+    """Near-square 2D mesh with XY (dimension-ordered) routing."""
+
+    def __init__(self, n_cores: int, hop_latency: int):
+        self.n_cores = n_cores
+        self.hop_latency = hop_latency
+        self.width = max(1, int(math.ceil(math.sqrt(n_cores))))
+
+    def coords(self, core: int) -> Tuple[int, int]:
+        return core % self.width, core // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        return self.hops(src, dst) * self.hop_latency
+
+    def dmh_latency_from(self, core: int) -> int:
+        # The memory port sits at core 0's corner.
+        return max(1, self.hops(core, 0)) * self.hop_latency
+
+    def describe(self) -> str:
+        return "mesh(%dx%d, hop=%d)" % (
+            self.width, (self.n_cores + self.width - 1) // self.width,
+            self.hop_latency)
+
+
+def make_noc(topology: str, n_cores: int, hop_latency: int):
+    """Factory keyed by :attr:`repro.sim.SimConfig.topology`."""
+    if topology == "uniform":
+        return UniformNoc(n_cores, hop_latency)
+    if topology == "mesh":
+        return MeshNoc(n_cores, hop_latency)
+    raise ValueError("unknown NoC topology %r" % (topology,))

@@ -1,0 +1,497 @@
+"""The many-core processor: cores, section order, renaming traffic, DMH.
+
+The processor owns the *total order of sections* (the paper: "the sections
+are totally ordered.  New sections are inserted in place in the list of
+existing sections, possibly in parallel, building the sequential trace of
+the run").  A fork inserts the new section immediately after its creator,
+which — because a resume point follows everything its callee descent will
+ever produce — reconstructs exactly the sequential trace order.
+
+Renaming requests walk this order backward (see :mod:`repro.sim.requests`);
+walking off the oldest end reads the architectural state: initial register
+values and the loader-installed data memory hierarchy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..isa.program import HALT_ADDR, Program, STACK_TOP, WORD
+from ..isa.registers import ALL_REGS, FORK_COPIED_REGS, STACK_POINTER
+from ..machine.executor import MASK
+from .cells import Cell, DynInstr
+from .config import SimConfig
+from .core import Core
+from .noc import make_noc
+from .requests import RenameRequest
+from .section import SectionState, initial_root_fregs
+from .stats import SimResult
+
+
+class Processor:
+    """Simulates a program on the distributed core design."""
+
+    def __init__(self, program: Program, config: Optional[SimConfig] = None,
+                 initial_regs: Optional[Dict[str, int]] = None,
+                 copied_regs=FORK_COPIED_REGS):
+        self.program = program
+        self.cfg = config or SimConfig()
+        self.copied_regs = frozenset(copied_regs)
+        # Mirror BaseMachine's startup exactly: registers zero (plus caller
+        # overrides), then the halt sentinel pushed below the stack top.
+        self.initial_regs = {name: 0 for name in ALL_REGS}
+        self.initial_regs[STACK_POINTER] = STACK_TOP
+        if initial_regs:
+            for name, value in initial_regs.items():
+                self.initial_regs[name] = value & MASK
+        sentinel_addr = (self.initial_regs[STACK_POINTER] - WORD) & MASK
+        self.initial_regs[STACK_POINTER] = sentinel_addr
+        #: the data memory hierarchy: loader image + the halt sentinel
+        self.dmh: Dict[int, int] = dict(program.data)
+        self.dmh[sentinel_addr] = HALT_ADDR & MASK
+
+        self.noc = make_noc(self.cfg.topology, self.cfg.n_cores,
+                            self.cfg.noc_latency)
+        self.cores = [Core(i, self) for i in range(self.cfg.n_cores)]
+        self.sections: List[SectionState] = []
+        self.order: List[SectionState] = []
+        self.requests: List[RenameRequest] = []
+        self.cycle = 0
+        #: architectural register state of all folded (fully retired
+        #: oldest) sections — "the oldest section dumps its renamings"
+        self.arch_regs: Dict[str, int] = dict(self.initial_regs)
+        #: sections order[0:folded_upto] have been dumped to arch_regs/dmh
+        self.folded_upto = 0
+        self._rng = random.Random(self.cfg.placement_seed)
+        self._rr_next = 1 % self.cfg.n_cores
+
+        root = SectionState(
+            sid=1, start_ip=program.entry, core_id=0,
+            fregs=initial_root_fregs(self.initial_regs), depth=0,
+            created_cycle=0, first_fetch_cycle=1)
+        self.sections.append(root)
+        self.order.append(root)
+        self.cores[0].hosted.append(root)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        while not self._finished():
+            self.cycle += 1
+            if self.cycle > self.cfg.max_cycles:
+                raise SimulationError(
+                    "cycle budget exhausted at cycle %d: %s"
+                    % (self.cycle, self._stall_diagnostic()))
+            self._advance_fold()
+            self._process_requests(self.cycle)
+            for core in self.cores:
+                core.cycle(self.cycle)
+        return self._result()
+
+    def _advance_fold(self) -> None:
+        """Dump completed oldest sections into the architectural state (the
+        paper's footnote 6), bounding how far renaming requests walk."""
+        while (self.folded_upto < len(self.order)
+               and self.order[self.folded_upto].complete):
+            section = self.order[self.folded_upto]
+            if any(isinstance(e, Cell) and not e.ready
+                   for e in section.fregs.values()):
+                return      # an import still in flight; fold later
+            for reg, entry in section.fregs.items():
+                self.arch_regs[reg] = (entry.value if isinstance(entry, Cell)
+                                       else entry)
+            for addr, cell in section.maat.items():
+                if not cell.is_import:
+                    self.dmh[addr] = cell.value
+            self.folded_upto += 1
+
+    def _finished(self) -> bool:
+        if not self.sections[0].fetch_started and self.cycle == 0:
+            return False
+        return (all(sec.complete for sec in self.sections)
+                and all(req.done for req in self.requests))
+
+    # ------------------------------------------------------------------
+    # section creation (fork)
+    # ------------------------------------------------------------------
+
+    def fork_section(self, parent: SectionState, dyn: DynInstr,
+                     now: int) -> SectionState:
+        snapshot = {}
+        for reg in self.copied_regs:
+            entry = parent.fregs.get(reg)
+            if entry is None:
+                raise SimulationError(
+                    "section %d forked with copied register %s empty"
+                    % (parent.sid, reg))
+            snapshot[reg] = entry
+        core_id = self._place(parent)
+        sec = SectionState(
+            sid=len(self.sections) + 1,
+            start_ip=dyn.instr.addr + 1,
+            core_id=core_id,
+            fregs=snapshot,
+            depth=parent.fetch_depth,
+            created_cycle=now,
+            first_fetch_cycle=now + self.cfg.section_create_latency + 1,
+            parent_sid=parent.sid,
+            created_at_index=dyn.index,
+        )
+        sec.created_by_loop = dyn.instr.opcode == "forkloop"
+        self.sections.append(sec)
+        position = parent.order_index + 1
+        self.order.insert(position, sec)
+        for index in range(position, len(self.order)):
+            self.order[index].order_index = index
+        self.cores[core_id].hosted.append(sec)
+        return sec
+
+    def _place(self, parent: SectionState) -> int:
+        policy = self.cfg.placement
+        if policy == "same_core":
+            return parent.core_id
+        if policy == "random":
+            return self._rng.randrange(self.cfg.n_cores)
+        if policy == "least_loaded":
+            loads = [sum(1 for s in core.hosted if not s.complete)
+                     for core in self.cores]
+            return loads.index(min(loads))
+        # round robin
+        core_id = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.cfg.n_cores
+        return core_id
+
+    # ------------------------------------------------------------------
+    # renaming requests
+    # ------------------------------------------------------------------
+
+    def send_reg_request(self, sec: SectionState, reg: str, cell: Cell,
+                         now: int) -> None:
+        self.requests.append(RenameRequest(
+            kind="reg", requester=sec, dest_cell=cell, reg=reg,
+            before=sec, cur_core=sec.core_id, issued_cycle=now,
+            wake_cycle=now + 1))
+
+    def send_mem_request(self, sec: SectionState, addr: int, cell: Cell,
+                         now: int) -> None:
+        use_shortcut = False
+        depth = sec.depth
+        if self.cfg.stack_shortcut:
+            rsp = sec.freg_value(STACK_POINTER)
+            if rsp is not None and addr >= rsp:
+                use_shortcut = True
+        self.requests.append(RenameRequest(
+            kind="mem", requester=sec, dest_cell=cell, addr=addr,
+            use_shortcut=use_shortcut, requester_depth=depth,
+            before=sec, cut_child=sec, cur_core=sec.core_id,
+            issued_cycle=now, wake_cycle=now + 1))
+
+    def _hop(self, src_core: int, dst_core: int) -> int:
+        return 0 if src_core == dst_core else self.noc.latency(src_core,
+                                                               dst_core)
+
+    def _walk_pred(self, req: RenameRequest,
+                   before: SectionState) -> Optional[SectionState]:
+        """Current total-order predecessor of *before*; None once the walk
+        reaches folded (architecturally dumped) sections."""
+        index = before.order_index - 1
+        if index < self.folded_upto:
+            return None
+        return self.order[index]
+
+    def _process_requests(self, now: int) -> None:
+        for req in self.requests:
+            if req.done:
+                continue
+            self._step_request(req, now)
+
+    def _step_request(self, req: RenameRequest, now: int) -> None:
+        # reply in flight
+        if req.reply_cycle is not None:
+            if now >= req.reply_cycle:
+                req.dest_cell.fill(req.value, now)
+                if req.line_values:
+                    self._install_line(req, now)
+                req.done = True
+            return
+        # waiting for the producer's value
+        if req.hit_cell is not None:
+            if req.hit_cell.ready:
+                req.value = req.hit_cell.value
+                delay = self._hop(req.producer_core, req.requester.core_id)
+                if delay == 0:
+                    req.dest_cell.fill(req.value, now)
+                    req.done = True
+                else:
+                    req.reply_cycle = now + delay
+            return
+        if now < req.wake_cycle:
+            return
+        if req.use_shortcut:
+            self._step_shortcut_request(req, now)
+            return
+        # (re)route to the current predecessor of `before` — sections may
+        # have been inserted between the parked position and the requester
+        pred = self._walk_pred(req, req.before)
+        if pred is None:
+            self._answer_architectural(req, now)
+            return
+        if pred is not req.at_section:
+            hops = self._hop(req.cur_core, pred.core_id)
+            req.at_section = pred
+            req.cur_core = pred.core_id
+            req.hops += 1
+            if hops:
+                req.wake_cycle = now + hops
+                return
+            # same core: fall through, the lookup proceeds this cycle
+        pred = req.at_section
+        # parked at `pred`: answer only from final state
+        if req.kind == "reg":
+            if not pred.fetch_done:
+                return
+            entry = pred.fregs.get(req.reg)
+        else:
+            if not pred.mem_final:
+                return
+            entry = pred.maat.get(req.addr)
+            if req.line_clean:
+                if self._line_touched(pred, req.addr):
+                    req.line_clean = False
+                else:
+                    if req.visited is None:
+                        req.visited = []
+                    req.visited.append(pred)
+        if entry is None:
+            if req.kind == "mem" and self._pending_line_import(pred,
+                                                               req.addr):
+                # A walk for the same memory line is already in flight
+                # through this section: coalesce (MSHR-style) — once that
+                # import fills, the line lands here and we hit locally.
+                req.wake_cycle = now + 1
+                return
+            # miss: hop to the next predecessor right away (one cycle per
+            # section visited — "the renaming request travels from section
+            # to section until a producer is found")
+            req.before = pred
+            nxt = self._walk_pred(req, pred)
+            if nxt is None:
+                self._answer_architectural(req, now)
+                return
+            req.at_section = nxt
+            hop = self._hop(req.cur_core, nxt.core_id)
+            req.cur_core = nxt.core_id
+            req.hops += 1
+            req.wake_cycle = now + max(hop, 1)
+            return
+        if isinstance(entry, Cell):
+            req.hit_cell = entry
+            req.producer_core = pred.core_id
+        else:
+            req.value = entry
+            delay = self._hop(pred.core_id, req.requester.core_id)
+            req.reply_cycle = now + max(delay, 1)
+
+    def _install_line(self, req: RenameRequest, now: int) -> None:
+        """Cache the DMH line along the return path: the requester and
+        every visited section get ready import cells in their MAATs, so
+        later requests for neighbouring words hit close by.  Sound because
+        the clean-line walk proved no earlier section touched the line
+        (and visited sections are fetch-complete, so no new forks can
+        insert writers behind them)."""
+        holders = [req.requester] + (req.visited or [])
+        for section in holders:
+            for word, value in req.line_values:
+                if word in section.maat:
+                    continue
+                cell = Cell(origin="s%d:line:%x" % (section.sid, word),
+                            is_import=True)
+                cell.fill(value, now)
+                section.maat[word] = cell
+
+    def _pending_line_import(self, section, addr: int) -> bool:
+        """Does *section* hold a not-yet-filled import for addr's line?"""
+        base = addr & ~(self.cfg.line_bytes - 1)
+        for word in range(base, base + self.cfg.line_bytes, WORD):
+            cell = section.maat.get(word)
+            if cell is not None and cell.is_import and not cell.ready:
+                return True
+        return False
+
+    def _line_touched(self, section, addr: int) -> bool:
+        """Does *section*'s MAAT hold any word of addr's memory line
+        (other than addr itself)?"""
+        base = addr & ~(self.cfg.line_bytes - 1)
+        for word in range(base, base + self.cfg.line_bytes, WORD):
+            if word != addr and word in section.maat:
+                return True
+        return False
+
+    def _step_shortcut_request(self, req: RenameRequest, now: int) -> None:
+        """Stack-shortcut walk: query the creator chain against pre-fork
+        cuts (see :mod:`repro.sim.requests`)."""
+        if req.at_section is None:
+            child = req.cut_child
+            if child.parent_sid == 0:
+                self._answer_architectural(req, now)
+                return
+            parent = self.sections[child.parent_sid - 1]
+            # Loop links invalidate the cut (-1): see below.
+            req.cut_index = -1 if child.created_by_loop else child.created_at_index
+            req.at_section = parent
+            req.hops += 1
+            hops = self._hop(req.cur_core, parent.core_id)
+            req.cur_core = parent.core_id
+            req.wake_cycle = now + max(hops, 1)
+            return
+        section = req.at_section
+        if req.cut_index < 0:
+            # The link crossed was a forkloop: the parent's post-fork flow
+            # (the loop body) shares the requester's frame, so its stores
+            # count — wait for the whole section to be memory-final.
+            if not section.mem_final:
+                return
+        else:
+            # Call link: answerable once every pre-cut store has been
+            # address-renamed.  All pre-cut instructions are fetched (the
+            # fork ran), so renaming plus the in-order ARQ give the cut.
+            if section.renamed_count <= req.cut_index:
+                return
+            if section.arq and section.arq[0].index < req.cut_index:
+                return
+        entry = section.maat.get(req.addr)
+        if entry is None:
+            req.cut_child = section
+            req.at_section = None
+            return
+        req.hit_cell = entry
+        req.producer_core = section.core_id
+
+    def _answer_architectural(self, req: RenameRequest, now: int) -> None:
+        """The walk fell off the oldest live section: read the architectural
+        state (initial values plus everything folded so far)."""
+        port = self.noc.dmh_latency_from(req.requester.core_id)
+        if req.kind == "reg":
+            req.value = self.arch_regs.get(req.reg, 0)
+            delay = port
+        else:
+            req.value = self.dmh.get(req.addr, 0)
+            delay = self.cfg.dmh_latency + port
+            # Full-line reply (paper: "the hardware can access full cache
+            # lines instead of single words and cache the accessed lines
+            # along the return path", footnote 5): when the walk proved no
+            # earlier section touched the line, the requester caches the
+            # neighbouring words, so neighbour sections reading t[i+1]
+            # find them one hop away instead of walking back to the DMH.
+            if req.line_clean and not req.use_shortcut:
+                base = req.addr & ~(self.cfg.line_bytes - 1)
+                req.line_values = [
+                    (word, self.dmh.get(word, 0))
+                    for word in range(base, base + self.cfg.line_bytes, WORD)]
+        req.reply_cycle = now + max(delay, 1)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def final_state(self) -> Tuple[Dict[str, int], Dict[int, int]]:
+        """Architectural registers and memory after completion: fold every
+        section's end state in total order (the paper's successive "oldest
+        section dumps its renamings to the DMH")."""
+        regs = dict(self.initial_regs)
+        memory = dict(self.dmh)
+        for sec in self.order:
+            for reg, entry in sec.fregs.items():
+                regs[reg] = entry.value if isinstance(entry, Cell) else entry
+            for addr, cell in sec.maat.items():
+                if not cell.is_import:
+                    memory[addr] = cell.value
+        return regs, memory
+
+    def outputs(self) -> List[int]:
+        out: List[Tuple[int, int, int]] = []
+        for sec in self.order:
+            for index, value in sec.outs:
+                out.append((sec.order_index, index, value))
+        out.sort()
+        return [value for _, _, value in out]
+
+    def all_instructions(self) -> List[DynInstr]:
+        result: List[DynInstr] = []
+        for sec in self.order:
+            result.extend(sec.instructions)
+        return result
+
+    def _result(self) -> SimResult:
+        self._advance_fold()      # the final sections complete on the last
+        regs, memory = self.final_state()   # cycle, after the cycle's fold
+        instrs = self.all_instructions()
+        fetch_end = max((d.timing.fd for d in instrs), default=0)
+        retire_end = max((d.timing.ret for d in instrs
+                          if d.timing.ret is not None), default=0)
+        return SimResult(
+            cycles=self.cycle,
+            instructions=len(instrs),
+            sections=len(self.sections),
+            outputs=self.outputs(),
+            final_regs=regs,
+            final_memory=memory,
+            fetch_end=fetch_end,
+            retire_end=retire_end,
+            fetch_computed=sum(core.fetch_computed for core in self.cores),
+            requests=len(self.requests),
+            request_hops=sum(req.hops for req in self.requests),
+            per_core_instructions=[core.fetched for core in self.cores],
+            request_latencies=[
+                req.dest_cell.ready_cycle - req.issued_cycle
+                for req in self.requests
+                if req.done and req.dest_cell.ready_cycle is not None],
+        )
+
+    def _stall_diagnostic(self) -> str:
+        stuck = [sec for sec in self.sections if not sec.complete]
+        parts = []
+        for sec in stuck[:8]:
+            head = sec.rob[0] if sec.rob else None
+            parts.append("s%d(ip=%s, fetched=%d, renamed=%d, rob=%d, head=%s)"
+                         % (sec.sid, sec.ip, len(sec.instructions),
+                            sec.renamed_count, len(sec.rob),
+                            head.tag if head else "-"))
+        pending = [req.describe() for req in self.requests if not req.done]
+        return "stuck sections: %s; pending requests: %s" % (
+            "; ".join(parts), "; ".join(pending[:8]))
+
+    # -- presentation -------------------------------------------------------
+
+    def timing_table(self) -> str:
+        """Figure 10: one block per core, stage cycles per instruction."""
+        blocks: List[str] = []
+        for core in self.cores:
+            hosted = sorted(core.hosted, key=lambda s: s.order_index)
+            if not any(sec.instructions for sec in hosted):
+                continue
+            lines = ["core %d pipeline" % (core.id + 1),
+                     "%-8s %5s %5s %5s %5s %5s %5s" % (
+                         "", "fd", "rr", "ew", "ar", "ma", "ret")]
+            for sec in hosted:
+                for dyn in sec.instructions:
+                    cells = ["%5s" % ("" if v is None else v)
+                             for v in dyn.timing.row()]
+                    lines.append("%-8s %s  %s" % (
+                        "%d-%d" % (sec.order_index + 1, dyn.index + 1),
+                        " ".join(cells), dyn.instr))
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+
+def simulate(program: Program, config: Optional[SimConfig] = None,
+             initial_regs: Optional[Dict[str, int]] = None) -> Tuple[SimResult, Processor]:
+    """Run *program* on the simulated many-core; returns (result, processor)
+    so callers can inspect per-instruction timing."""
+    proc = Processor(program, config=config, initial_regs=initial_regs)
+    result = proc.run()
+    return result, proc

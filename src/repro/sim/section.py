@@ -1,0 +1,111 @@
+"""Per-section state: the unit of distribution in the paper's model.
+
+A section owns
+
+* its *fetch register file* ``fregs`` — the paper's Figure 8 RF with
+  full/empty bits.  An entry maps a register to a plain int (value known at
+  fetch time), to a :class:`~repro.sim.cells.Cell` (renamed destination not
+  yet produced) or is absent (empty: never written in this section and not
+  copied at the fork);
+* its register import table (the paper's "destination d serves as a caching
+  of the missing source");
+* its MAAT — Memory Address Alias Table — mapping word addresses to renamed
+  memory cells (stores and cached imports);
+* its ROB (in-order retirement) and the per-section ARQ discipline.
+
+At ``fetch_done`` (endfork fetched), ``fregs`` *is* the end-of-section
+register state that successor sections' renaming requests resolve against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..isa.registers import ALL_REGS
+from .cells import Cell, DynInstr
+
+FetchValue = Union[int, Cell]
+
+
+class SectionState:
+    """One section, hosted on one core."""
+
+    def __init__(self, sid: int, start_ip: int, core_id: int,
+                 fregs: Dict[str, FetchValue], depth: int,
+                 created_cycle: int, first_fetch_cycle: int,
+                 parent_sid: int = 0, created_at_index: int = -1):
+        self.sid = sid                      #: creation id (stable)
+        self.order_index = 0                #: rank in the total order
+        self.start_ip = start_ip
+        self.core_id = core_id
+        self.depth = depth                  #: call level at section start
+        self.parent_sid = parent_sid
+        #: index (in the parent) of the fork that created this section —
+        #: the "cut": parent instructions before it are this section's
+        #: logical past at the same call level
+        self.created_at_index = created_at_index
+        #: created by ``forkloop``: the parent's post-fork flow (the loop
+        #: body) shares this section's stack frame, so renaming shortcuts
+        #: may not cut it away
+        self.created_by_loop = False
+        self.created_cycle = created_cycle
+        self.first_fetch_cycle = first_fetch_cycle
+
+        self.ip: Optional[int] = start_ip   #: None = fetch stalled/finished
+        self.fregs: Dict[str, FetchValue] = dict(fregs)
+        self.imports: Dict[str, Cell] = {}
+        self.maat: Dict[int, Cell] = {}
+        self.rob: Deque[DynInstr] = deque()
+        self.instructions: List[DynInstr] = []
+        self.renamed_count = 0
+        self.arq: Deque[DynInstr] = deque()
+
+        self.fetch_started = False
+        self.fetch_done = False
+        self.fetch_depth = depth            #: call level at the fetch point
+        self.waiting_control: Optional[DynInstr] = None
+        self.stores_pending = 0             #: stores fetched, not yet renamed
+        self.outs: List[Tuple[int, int]] = []   #: (index, value) from out
+        self.ends_program = False           #: section fetched hlt / sentinel
+
+    # -- fetch-time register file access -----------------------------------
+
+    def freg_value(self, reg: str) -> Optional[int]:
+        """The register's value if available *right now* at the fetch
+        stage, else None (pending cell or empty)."""
+        entry = self.fregs.get(reg)
+        if entry is None:
+            return None
+        if isinstance(entry, Cell):
+            return entry.value          # None while pending
+        return entry
+
+    def freg_binding(self, reg: str) -> Optional[FetchValue]:
+        """Raw fetch-RF entry: int, Cell, or None when empty."""
+        return self.fregs.get(reg)
+
+    # -- status -----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return (self.fetch_done
+                and self.renamed_count == len(self.instructions)
+                and not self.rob)
+
+    @property
+    def mem_final(self) -> bool:
+        """May this section answer "no store to that address"?  Only once
+        every one of its stores has gone through address renaming."""
+        return self.fetch_done and self.stores_pending == 0
+
+    def describe(self) -> str:
+        return ("section %d (core %d, start=%d, depth=%d, %d instrs%s)"
+                % (self.sid, self.core_id, self.start_ip, self.depth,
+                   len(self.instructions),
+                   ", done" if self.complete else ""))
+
+
+def initial_root_fregs(regs: Dict[str, int]) -> Dict[str, FetchValue]:
+    """The root section starts with every architectural register full."""
+    return {name: regs.get(name, 0) for name in ALL_REGS}

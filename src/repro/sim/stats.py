@@ -1,0 +1,66 @@
+"""Simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..machine.executor import to_signed
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    cycles: int                       #: total cycles to completion
+    instructions: int                 #: dynamic instructions
+    sections: int                     #: sections created
+    outputs: List[int]                #: out-instruction values, total order
+    final_regs: Dict[str, int]
+    final_memory: Dict[int, int]
+    fetch_end: int                    #: cycle of the last fetch
+    retire_end: int                   #: cycle of the last retirement
+    fetch_computed: int               #: instructions computed at fetch
+    requests: int                     #: renaming requests issued
+    request_hops: int                 #: section-to-section hops walked
+    per_core_instructions: List[int] = field(default_factory=list)
+    #: issue-to-fill latency of every resolved renaming request, in cycles
+    request_latencies: List[int] = field(default_factory=list, repr=False)
+
+    def request_latency_stats(self) -> Dict[str, float]:
+        """min/mean/p50/p90/max of renaming-request latencies."""
+        lat = sorted(self.request_latencies)
+        if not lat:
+            return {"count": 0, "min": 0, "mean": 0.0, "p50": 0, "p90": 0,
+                    "max": 0}
+        return {
+            "count": len(lat),
+            "min": lat[0],
+            "mean": sum(lat) / len(lat),
+            "p50": lat[len(lat) // 2],
+            "p90": lat[(len(lat) * 9) // 10],
+            "max": lat[-1],
+        }
+
+    @property
+    def fetch_ipc(self) -> float:
+        return self.instructions / self.fetch_end if self.fetch_end else 0.0
+
+    @property
+    def retire_ipc(self) -> float:
+        return self.instructions / self.retire_end if self.retire_end else 0.0
+
+    @property
+    def return_value(self) -> int:
+        return self.final_regs.get("rax", 0)
+
+    @property
+    def signed_outputs(self) -> List[int]:
+        return [to_signed(v) for v in self.outputs]
+
+    def describe(self) -> str:
+        return ("%d instructions / %d sections in %d cycles "
+                "(fetch %d cycles = %.2f IPC, retire %d cycles = %.2f IPC)"
+                % (self.instructions, self.sections, self.cycles,
+                   self.fetch_end, self.fetch_ipc,
+                   self.retire_end, self.retire_ipc))

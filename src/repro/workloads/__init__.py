@@ -1,0 +1,50 @@
+"""The Table 1 benchmark suite: ten PBBS algorithms in MiniC.
+
+Registry access::
+
+    from repro.workloads import WORKLOADS, get_workload
+
+    inst = get_workload("quicksort").instance(scale=2, seed=1)
+    inst.verify()                       # compiled program vs Python oracle
+    entries = inst.trace_entries()      # stream for repro.ilp.analyze
+"""
+
+from .base import Workload, WorkloadInstance
+from .generators import (
+    random_edge_list,
+    random_graph_csr,
+    random_keys,
+    random_points,
+    random_values,
+)
+from .geometry import KNN, QUICKHULL
+from .graphs import BFS, MATCHING, MIS, MST
+from .hashing import DEDUP, DICTIONARY
+from .sorting import QUICKSORT, RADIX_SORT
+
+#: All ten Table 1 workloads, in the paper's numbering order.
+WORKLOADS = sorted(
+    (BFS, QUICKSORT, QUICKHULL, DICTIONARY, RADIX_SORT, MIS, MATCHING, MST,
+     KNN, DEDUP),
+    key=lambda w: w.key)
+
+_BY_SHORT = {w.short: w for w in WORKLOADS}
+_BY_KEY = {w.key: w for w in WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by short name ("bfs") or Table 1 key ("01")."""
+    if name in _BY_SHORT:
+        return _BY_SHORT[name]
+    if name in _BY_KEY:
+        return _BY_KEY[name]
+    raise KeyError("unknown workload %r (known: %s)"
+                   % (name, ", ".join(sorted(_BY_SHORT))))
+
+
+__all__ = [
+    "BFS", "DEDUP", "DICTIONARY", "KNN", "MATCHING", "MIS", "MST",
+    "QUICKHULL", "QUICKSORT", "RADIX_SORT", "WORKLOADS", "Workload",
+    "WorkloadInstance", "get_workload", "random_edge_list",
+    "random_graph_csr", "random_keys", "random_points", "random_values",
+]

@@ -1,0 +1,90 @@
+"""Workload framework for the Table 1 / Figure 7 benchmark suite.
+
+Each workload packages:
+
+* a MiniC program (the PBBS algorithm re-written in the library's C
+  subset),
+* a seeded dataset generator with geometric size scaling (the paper runs
+  each benchmark on 11 doubling datasets),
+* a Python oracle implementing the *same algorithm deterministically*, so
+  the compiled program's ``out()`` stream can be checked exactly.
+
+A :class:`WorkloadInstance` owns the compiled, data-patched program and
+exposes trace streaming for the ILP analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..machine import SequentialMachine, run_sequential
+from ..minic import compile_source
+
+
+@dataclass
+class WorkloadInstance:
+    """One (workload, dataset size) pair, ready to run."""
+
+    key: str
+    name: str
+    n: int                       #: dataset size parameter
+    source: str                  #: generated MiniC source
+    expected_output: List[int]   #: the Python oracle's out() stream
+
+    def __post_init__(self):
+        self._program = None
+
+    @property
+    def program(self):
+        if self._program is None:
+            self._program = compile_source(self.source)
+        return self._program
+
+    def run(self, record_trace: bool = False):
+        """Run sequentially; the result's output must equal the oracle's."""
+        return run_sequential(self.program, record_trace=record_trace)
+
+    def trace_entries(self, max_steps: Optional[int] = None):
+        """Stream trace entries for the ILP analyzer (one fresh run)."""
+        kwargs = {} if max_steps is None else {"max_steps": max_steps}
+        return SequentialMachine(self.program, **kwargs).step_entries()
+
+    def verify(self) -> "WorkloadInstance":
+        """Raise if the compiled program disagrees with the oracle."""
+        result = self.run()
+        got = result.signed_output
+        if got != self.expected_output:
+            raise AssertionError(
+                "%s(n=%d): program output %r != oracle %r"
+                % (self.key, self.n, got[:8], self.expected_output[:8]))
+        return self
+
+
+@dataclass
+class Workload:
+    """A Table 1 benchmark: builder + metadata."""
+
+    key: str                     #: "01".."10", the paper's numbering
+    name: str                    #: PBBS name, e.g. "comparisonSort/quickSort"
+    short: str                   #: library identifier, e.g. "quicksort"
+    description: str
+    #: does parallel-model ILP grow with the dataset (paper: benchmarks
+    #: 1, 2, 5, 6, 9 and 10 are data parallel)?
+    data_parallel: bool
+    #: build(n, seed) -> (minic source, oracle output)
+    builder: Callable[[int, int], "tuple"] = None
+    #: dataset size for scale 0; scale k uses base_n << k
+    base_n: int = 16
+
+    def instance(self, scale: int = 0, seed: int = 1,
+                 n: Optional[int] = None) -> WorkloadInstance:
+        size = n if n is not None else self.base_n << scale
+        source, expected = self.builder(size, seed)
+        return WorkloadInstance(key=self.key, name=self.name, n=size,
+                                source=source, expected_output=expected)
+
+
+def render_array(values: Iterable[int]) -> str:
+    """Comma-separated initializer body for a MiniC global array."""
+    return ", ".join(str(int(v)) for v in values)

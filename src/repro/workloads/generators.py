@@ -1,0 +1,81 @@
+"""Seeded dataset generators shared by the workloads.
+
+Everything is deterministic in (n, seed) so traces, oracles and benchmark
+numbers are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def rng(n: int, seed: int) -> random.Random:
+    return random.Random((seed * 1_000_003) ^ n)
+
+
+def random_values(n: int, seed: int, lo: int = 0, hi: int = 1 << 20) -> List[int]:
+    r = rng(n, seed)
+    return [r.randrange(lo, hi) for _ in range(n)]
+
+
+def random_keys(n: int, seed: int, universe_factor: int = 2) -> List[int]:
+    """Keys with deliberate duplicates (universe ~ n/universe_factor...n*2)."""
+    r = rng(n, seed)
+    universe = max(4, n * 2 // max(1, universe_factor))
+    return [r.randrange(universe) for _ in range(n)]
+
+
+def random_graph_csr(n: int, seed: int,
+                     avg_degree: int = 3) -> Tuple[List[int], List[int]]:
+    """Undirected random graph in CSR form: (offsets[n+1], adjacency).
+
+    Degree-bounded Erdős–Rényi-style: avg_degree*n/2 undirected edges,
+    self-loops excluded, duplicates allowed (the algorithms tolerate them).
+    A Hamiltonian-ish backbone keeps the graph mostly connected so BFS
+    reaches most vertices.
+    """
+    r = rng(n, seed)
+    adjacency = [[] for _ in range(n)]
+    for v in range(1, n):
+        u = r.randrange(v)          # backbone: attach to an earlier vertex
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    extra = max(0, (avg_degree - 2) * n // 2)
+    for _ in range(extra):
+        u = r.randrange(n)
+        v = r.randrange(n)
+        if u != v:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    offsets = [0]
+    flat: List[int] = []
+    for v in range(n):
+        flat.extend(adjacency[v])
+        offsets.append(len(flat))
+    return offsets, flat
+
+
+def random_edge_list(n: int, seed: int,
+                     m_factor: int = 3) -> List[Tuple[int, int, int]]:
+    """Weighted edge list (u, v, w) over n vertices, connected backbone."""
+    r = rng(n, seed)
+    edges: List[Tuple[int, int, int]] = []
+    for v in range(1, n):
+        edges.append((r.randrange(v), v, r.randrange(1, 1 << 16)))
+    for _ in range(max(0, (m_factor - 1) * n)):
+        u = r.randrange(n)
+        v = r.randrange(n)
+        if u != v:
+            edges.append((u, v, r.randrange(1, 1 << 16)))
+    return edges
+
+
+def random_points(n: int, seed: int, span: int = None) -> Tuple[List[int], List[int]]:
+    """2D integer points in a square of side ~4*sqrt(n) (dense grid)."""
+    r = rng(n, seed)
+    if span is None:
+        span = max(8, 4 * int(n ** 0.5))
+    xs = [r.randrange(span) for _ in range(n)]
+    ys = [r.randrange(span) for _ in range(n)]
+    return xs, ys

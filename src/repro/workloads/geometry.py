@@ -1,0 +1,311 @@
+"""Table 1 geometry workloads: 03 convex hull (quickhull) and
+09 nearest neighbors (grid buckets).
+
+Both algorithms are defined *deterministically* (explicit tie-breaks,
+fixed scan orders) and the Python oracles mirror the MiniC code statement
+for statement, so outputs compare exactly.
+
+The nearest-neighbor code replaces PBBS's oct-tree with a uniform grid
+(counting-sort buckets + expanding ring search), which exercises the same
+trace structure — indirect loads, per-point independent work — without a
+pointer-based tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Workload, render_array
+from .generators import random_points
+from .snippets import TREE_COPY, TREE_SCAN
+
+# --------------------------------------------------------------------------
+# 03: convex hull (quickhull)
+# --------------------------------------------------------------------------
+
+_QUICKHULL_TEMPLATE = """
+long XS[%(n)d] = {%(xs)s};
+long YS[%(n)d] = {%(ys)s};
+long IDX[%(n)d];
+long TMP[%(n)d];
+long HCHK[1];
+long n = %(n)d;
+
+long cross(long o, long a, long b) {
+    return (XS[a] - XS[o]) * (YS[b] - YS[o])
+         - (YS[a] - YS[o]) * (XS[b] - XS[o]);
+}
+
+long hull(long a, long b, long lo, long hi) {
+    if (lo >= hi) return 0;
+    long best = IDX[lo];
+    long bestd = cross(a, b, best);
+    long i;
+    for (i = lo + 1; i < hi; i = i + 1) {
+        long d = cross(a, b, IDX[i]);
+        if (d > bestd) {
+            bestd = d;
+            best = IDX[i];
+        }
+    }
+    long c = best;
+    HCHK[0] = HCHK[0] + c;
+    for (i = lo; i < hi; i = i + 1) TMP[i] = IDX[i];
+    long k1 = lo;
+    for (i = lo; i < hi; i = i + 1) {
+        if (cross(a, c, TMP[i]) > 0) {
+            IDX[k1] = TMP[i];
+            k1 = k1 + 1;
+        }
+    }
+    long k2 = k1;
+    for (i = lo; i < hi; i = i + 1) {
+        if (cross(c, b, TMP[i]) > 0) {
+            IDX[k2] = TMP[i];
+            k2 = k2 + 1;
+        }
+    }
+    return hull(a, c, lo, k1) + 1 + hull(c, b, k1, k2);
+}
+
+long main() {
+    long left = 0;
+    long right = 0;
+    long i;
+    for (i = 1; i < n; i = i + 1) {
+        if (XS[i] < XS[left] || (XS[i] == XS[left] && YS[i] < YS[left]))
+            left = i;
+        if (XS[i] > XS[right] || (XS[i] == XS[right] && YS[i] > YS[right]))
+            right = i;
+    }
+    if (left == right) {
+        out(1);
+        out(left);
+        return 0;
+    }
+    long k1 = 0;
+    for (i = 0; i < n; i = i + 1) {
+        if (cross(left, right, i) > 0) {
+            IDX[k1] = i;
+            k1 = k1 + 1;
+        }
+    }
+    long k2 = k1;
+    for (i = 0; i < n; i = i + 1) {
+        if (cross(right, left, i) > 0) {
+            IDX[k2] = i;
+            k2 = k2 + 1;
+        }
+    }
+    long count = 2 + hull(left, right, 0, k1) + hull(right, left, k1, k2);
+    out(count);
+    out(HCHK[0] + left + right);
+    return 0;
+}
+"""
+
+
+def _quickhull_oracle(xs: List[int], ys: List[int]) -> List[int]:
+    n = len(xs)
+    chk = [0]
+
+    def cross(o, a, b):
+        return ((xs[a] - xs[o]) * (ys[b] - ys[o])
+                - (ys[a] - ys[o]) * (xs[b] - xs[o]))
+
+    def hull(a, b, pts):
+        if not pts:
+            return 0
+        best = pts[0]
+        bestd = cross(a, b, best)
+        for p in pts[1:]:
+            d = cross(a, b, p)
+            if d > bestd:
+                bestd = d
+                best = p
+        c = best
+        chk[0] += c
+        left1 = [p for p in pts if cross(a, c, p) > 0]
+        left2 = [p for p in pts if cross(c, b, p) > 0]
+        return hull(a, c, left1) + 1 + hull(c, b, left2)
+
+    left = right = 0
+    for i in range(1, n):
+        if xs[i] < xs[left] or (xs[i] == xs[left] and ys[i] < ys[left]):
+            left = i
+        if xs[i] > xs[right] or (xs[i] == xs[right] and ys[i] > ys[right]):
+            right = i
+    if left == right:
+        return [1, left]
+    upper = [i for i in range(n) if cross(left, right, i) > 0]
+    lower = [i for i in range(n) if cross(right, left, i) > 0]
+    count = 2 + hull(left, right, upper) + hull(right, left, lower)
+    return [count, chk[0] + left + right]
+
+
+def _build_quickhull(n: int, seed: int) -> Tuple[str, List[int]]:
+    xs, ys = random_points(n, seed)
+    source = _QUICKHULL_TEMPLATE % {
+        "n": n, "xs": render_array(xs), "ys": render_array(ys)}
+    return source, _quickhull_oracle(xs, ys)
+
+
+QUICKHULL = Workload(
+    key="03", name="convexHull/quickHull", short="quickhull",
+    description="Recursive quickhull over 2D integer points, emitting hull "
+                "size and a hull-vertex checksum.",
+    data_parallel=False, builder=_build_quickhull, base_n=16)
+
+# --------------------------------------------------------------------------
+# 09: nearest neighbors (uniform grid, expanding ring search)
+# --------------------------------------------------------------------------
+
+_CELL = 4  #: grid cell side
+
+_KNN_TEMPLATE = TREE_SCAN + TREE_COPY + """
+long XS[%(n)d] = {%(xs)s};
+long YS[%(n)d] = {%(ys)s};
+long CNT[%(cells1)d];
+long START[%(cells1)d];
+long SUMS[%(sums)d];
+long PTS[%(n)d];
+long n = %(n)d;
+long g = %(g)d;
+
+long count_points(long lo, long hi) {
+    if (hi - lo == 1) {
+        long c = (YS[lo] / %(cell)d) * g + XS[lo] / %(cell)d;
+        CNT[c] = CNT[c] + 1;
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    count_points(lo, mid);
+    count_points(mid, hi);
+    return 0;
+}
+
+long scatter_points(long lo, long hi) {
+    if (hi - lo == 1) {
+        long c = (YS[lo] / %(cell)d) * g + XS[lo] / %(cell)d;
+        PTS[CNT[c]] = lo;
+        CNT[c] = CNT[c] + 1;
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    scatter_points(lo, mid);
+    scatter_points(mid, hi);
+    return 0;
+}
+
+long nearest(long i) {
+    long cx = XS[i] / %(cell)d;
+    long cy = YS[i] / %(cell)d;
+    long best = 0 - 1;
+    long r = 1;
+    while (best < 0 && r <= g) {
+        long dy;
+        for (dy = 0 - r; dy <= r; dy = dy + 1) {
+            long yy = cy + dy;
+            if (yy >= 0 && yy < g) {
+                long dx;
+                for (dx = 0 - r; dx <= r; dx = dx + 1) {
+                    long xx = cx + dx;
+                    if (xx >= 0 && xx < g) {
+                        long cell = yy * g + xx;
+                        long k;
+                        for (k = START[cell]; k < CNT[cell]; k = k + 1) {
+                            long j = PTS[k];
+                            if (j != i) {
+                                long ddx = XS[j] - XS[i];
+                                long ddy = YS[j] - YS[i];
+                                long d2 = ddx * ddx + ddy * ddy;
+                                if (best < 0 || d2 < best) best = d2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        r = r + 1;
+    }
+    return best < 0 ? 0 : best;
+}
+
+long search_all(long lo, long hi) {
+    if (hi - lo == 1) return nearest(lo);
+    long mid = lo + (hi - lo) / 2;
+    return search_all(lo, mid) + search_all(mid, hi);
+}
+
+long main() {
+    long cells = g * g;
+    count_points(0, n);
+    exclusive_scan(CNT, SUMS, cells);
+    tree_copy(START, CNT, 0, cells);
+    scatter_points(0, n);
+    out(search_all(0, n) %% 1000000007);
+    return 0;
+}
+"""
+
+
+def _knn_oracle(xs: List[int], ys: List[int], grid: int) -> List[int]:
+    n = len(xs)
+    cells = grid * grid
+    count = [0] * (cells + 1)
+    for i in range(n):
+        count[(ys[i] // _CELL) * grid + xs[i] // _CELL] += 1
+    start = [0] * (cells + 1)
+    acc = 0
+    for c in range(cells):
+        start[c] = acc
+        acc += count[c]
+    end = list(start)
+    pts = [0] * n
+    for i in range(n):
+        cc = (ys[i] // _CELL) * grid + xs[i] // _CELL
+        pts[end[cc]] = i
+        end[cc] += 1
+    total = 0
+    for i in range(n):
+        cx, cy = xs[i] // _CELL, ys[i] // _CELL
+        best = -1
+        r = 1
+        while best < 0 and r <= grid:
+            for dy in range(-r, r + 1):
+                yy = cy + dy
+                if 0 <= yy < grid:
+                    for dx in range(-r, r + 1):
+                        xx = cx + dx
+                        if 0 <= xx < grid:
+                            cell = yy * grid + xx
+                            for k in range(start[cell], end[cell]):
+                                j = pts[k]
+                                if j != i:
+                                    d2 = ((xs[j] - xs[i]) ** 2
+                                          + (ys[j] - ys[i]) ** 2)
+                                    if best < 0 or d2 < best:
+                                        best = d2
+            r += 1
+        if best >= 0:
+            total += best
+    return [total % 1_000_000_007]
+
+
+def _build_knn(n: int, seed: int) -> Tuple[str, List[int]]:
+    xs, ys = random_points(n, seed)
+    grid = max(xs + ys) // _CELL + 1
+    cells = grid * grid
+    source = _KNN_TEMPLATE % {
+        "n": n, "xs": render_array(xs), "ys": render_array(ys),
+        "g": grid, "cells1": cells + 1, "sums": 4 * cells + 4,
+        "cell": _CELL}
+    return source, _knn_oracle(xs, ys, grid)
+
+
+KNN = Workload(
+    key="09", name="nearestNeighbors/octTree2Neighbors", short="knn",
+    description="Nearest neighbor per point via uniform-grid buckets "
+                "(tree-built with plusScan) and expanding ring search "
+                "(oct-tree substitute).",
+    data_parallel=True, builder=_build_knn, base_n=16)

@@ -1,0 +1,345 @@
+"""Table 1 graph workloads: 01 BFS, 06 maximal independent set,
+07 maximal matching, 08 minimum spanning tree (Kruskal).
+
+BFS and MIS — the two the paper marks as data parallel — are written in
+the PBBS parallel style: their per-vertex work is driven by
+divide-and-conquer recursions (the sequential elision of a parallel_for),
+so dependency chains follow the data (graph edges, BFS levels), not a loop
+counter.  Matching and MST keep their inherently sequential greedy loops,
+matching the paper's observation that their ILP does not grow with the
+dataset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Workload, render_array
+from .generators import random_edge_list, random_graph_csr
+from .snippets import TREE_FILL
+
+# --------------------------------------------------------------------------
+# 01: breadth-first search (level-synchronous, tree-driven)
+# --------------------------------------------------------------------------
+
+_BFS_TEMPLATE = TREE_FILL + """
+long OFF[%(n1)d] = {%(offsets)s};
+long ADJ[%(m)d] = {%(adjacency)s};
+long DIST[%(n)d];
+long n = %(n)d;
+
+long advance(long lo, long hi, long level) {
+    if (hi - lo == 1) {
+        long v = lo;
+        if (DIST[v] >= 0) return 0;
+        long e;
+        for (e = OFF[v]; e < OFF[v + 1]; e = e + 1) {
+            if (DIST[ADJ[e]] == level) {
+                DIST[v] = level + 1;
+                return 1;
+            }
+        }
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    return advance(lo, mid, level) + advance(mid, hi, level);
+}
+
+long visited(long lo, long hi) {
+    if (hi - lo == 1) return DIST[lo] >= 0 ? 1 : 0;
+    long mid = lo + (hi - lo) / 2;
+    return visited(lo, mid) + visited(mid, hi);
+}
+
+long distsum(long lo, long hi) {
+    if (hi - lo == 1) return DIST[lo] >= 0 ? DIST[lo] : 0;
+    long mid = lo + (hi - lo) / 2;
+    return distsum(lo, mid) + distsum(mid, hi);
+}
+
+long main() {
+    tree_fill(DIST, 0, n, 0 - 1);
+    DIST[0] = 0;
+    long level = 0;
+    long changed = 1;
+    while (changed) {
+        changed = advance(0, n, level);
+        level = level + 1;
+    }
+    out(visited(0, n));
+    out(distsum(0, n));
+    return 0;
+}
+"""
+
+
+def _bfs_oracle(offsets: List[int], adjacency: List[int], n: int) -> List[int]:
+    # Level-synchronous relaxation computes plain BFS distances.
+    dist = [-1] * n
+    dist[0] = 0
+    queue = [0]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for e in range(offsets[u], offsets[u + 1]):
+            v = adjacency[e]
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    visited = sum(1 for d in dist if d >= 0)
+    return [visited, sum(d for d in dist if d >= 0)]
+
+
+def _build_bfs(n: int, seed: int) -> Tuple[str, List[int]]:
+    offsets, adjacency = random_graph_csr(n, seed)
+    source = _BFS_TEMPLATE % {
+        "n": n, "n1": n + 1, "m": max(1, len(adjacency)),
+        "offsets": render_array(offsets),
+        "adjacency": render_array(adjacency or [0]),
+    }
+    return source, _bfs_oracle(offsets, adjacency, n)
+
+
+BFS = Workload(
+    key="01", name="breadthFirstSearch/ndBFS", short="bfs",
+    description="Level-synchronous BFS with tree-recursive vertex sweeps "
+                "(parallel_for elision); emits reached count and distance "
+                "sum.",
+    data_parallel=True, builder=_build_bfs, base_n=16)
+
+# --------------------------------------------------------------------------
+# 06: maximal independent set (greedy by vertex id, tree-driven)
+# --------------------------------------------------------------------------
+
+_MIS_TEMPLATE = """
+long OFF[%(n1)d] = {%(offsets)s};
+long ADJ[%(m)d] = {%(adjacency)s};
+long IN[%(n)d];
+long n = %(n)d;
+
+long mis(long lo, long hi) {
+    if (hi - lo == 1) {
+        long v = lo;
+        long keep = 1;
+        long e;
+        for (e = OFF[v]; e < OFF[v + 1]; e = e + 1) {
+            long u = ADJ[e];
+            if (u < v && IN[u]) keep = 0;
+        }
+        IN[v] = keep;
+        return keep;
+    }
+    long mid = lo + (hi - lo) / 2;
+    return mis(lo, mid) + mis(mid, hi);
+}
+
+long chksum(long lo, long hi) {
+    if (hi - lo == 1) return IN[lo] ? lo : 0;
+    long mid = lo + (hi - lo) / 2;
+    return chksum(lo, mid) + chksum(mid, hi);
+}
+
+long main() {
+    out(mis(0, n));
+    out(chksum(0, n));
+    return 0;
+}
+"""
+
+
+def _mis_oracle(offsets, adjacency, n) -> List[int]:
+    selected = [False] * n
+    for v in range(n):
+        keep = True
+        for e in range(offsets[v], offsets[v + 1]):
+            u = adjacency[e]
+            if u < v and selected[u]:
+                keep = False
+        selected[v] = keep
+    return [sum(selected), sum(v for v in range(n) if selected[v])]
+
+
+def _build_mis(n: int, seed: int) -> Tuple[str, List[int]]:
+    offsets, adjacency = random_graph_csr(n, seed)
+    source = _MIS_TEMPLATE % {
+        "n": n, "n1": n + 1, "m": max(1, len(adjacency)),
+        "offsets": render_array(offsets),
+        "adjacency": render_array(adjacency or [0]),
+    }
+    return source, _mis_oracle(offsets, adjacency, n)
+
+
+MIS = Workload(
+    key="06", name="maximalIndependentSet/ndMIS", short="mis",
+    description="Greedy (lowest-id-first) maximal independent set over a "
+                "CSR random graph.",
+    data_parallel=True, builder=_build_mis, base_n=16)
+
+# --------------------------------------------------------------------------
+# 07: maximal matching (greedy over the edge list)
+# --------------------------------------------------------------------------
+
+_MATCHING_TEMPLATE = """
+long EU[%(m)d] = {%(eu)s};
+long EV[%(m)d] = {%(ev)s};
+long MATCH[%(n)d];
+long n = %(n)d;
+long m = %(m)d;
+
+long main() {
+    long v;
+    for (v = 0; v < n; v = v + 1) MATCH[v] = 0 - 1;
+    long count = 0;
+    long chk = 0;
+    long e;
+    for (e = 0; e < m; e = e + 1) {
+        long a = EU[e];
+        long b = EV[e];
+        if (MATCH[a] < 0 && MATCH[b] < 0) {
+            MATCH[a] = b;
+            MATCH[b] = a;
+            count = count + 1;
+            chk = chk + e;
+        }
+    }
+    out(count);
+    out(chk);
+    return 0;
+}
+"""
+
+
+def _matching_oracle(edges, n) -> List[int]:
+    match = [-1] * n
+    count = 0
+    chk = 0
+    for index, (u, v, _w) in enumerate(edges):
+        if match[u] < 0 and match[v] < 0:
+            match[u] = v
+            match[v] = u
+            count += 1
+            chk += index
+    return [count, chk]
+
+
+def _build_matching(n: int, seed: int) -> Tuple[str, List[int]]:
+    edges = random_edge_list(n, seed)
+    source = _MATCHING_TEMPLATE % {
+        "n": n, "m": len(edges),
+        "eu": render_array(u for u, _, _ in edges),
+        "ev": render_array(v for _, v, _ in edges),
+    }
+    return source, _matching_oracle(edges, n)
+
+
+MATCHING = Workload(
+    key="07", name="maximalMatching/ndMatching", short="matching",
+    description="Greedy maximal matching over a random weighted edge list.",
+    data_parallel=False, builder=_build_matching, base_n=16)
+
+# --------------------------------------------------------------------------
+# 08: minimum spanning tree (Kruskal: sort packed keys + union-find)
+# --------------------------------------------------------------------------
+
+_MST_TEMPLATE = """
+long EU[%(m)d] = {%(eu)s};
+long EV[%(m)d] = {%(ev)s};
+long KEY[%(m)d] = {%(keys)s};
+long PARENT[%(n)d];
+long n = %(n)d;
+long m = %(m)d;
+
+long quicksort(long* a, long lo, long hi) {
+    if (hi - lo < 2) return 0;
+    long pivot = a[lo + (hi - lo) / 2];
+    long i = lo;
+    long j = hi - 1;
+    while (i <= j) {
+        while (a[i] < pivot) i = i + 1;
+        while (a[j] > pivot) j = j - 1;
+        if (i <= j) {
+            long t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    quicksort(a, lo, j + 1);
+    quicksort(a, i, hi);
+    return 0;
+}
+
+long find(long x) {
+    while (PARENT[x] != x) {
+        PARENT[x] = PARENT[PARENT[x]];
+        x = PARENT[x];
+    }
+    return x;
+}
+
+long main() {
+    long i;
+    for (i = 0; i < n; i = i + 1) PARENT[i] = i;
+    quicksort(KEY, 0, m);
+    long total = 0;
+    long used = 0;
+    for (i = 0; i < m; i = i + 1) {
+        long e = KEY[i] & 16777215;
+        long w = KEY[i] >> 24;
+        long ru = find(EU[e]);
+        long rv = find(EV[e]);
+        if (ru != rv) {
+            PARENT[ru] = rv;
+            total = total + w;
+            used = used + 1;
+        }
+    }
+    out(used);
+    out(total);
+    return 0;
+}
+"""
+
+
+def _mst_oracle(edges, n) -> List[int]:
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    order = sorted((w << 24) | i for i, (_u, _v, w) in enumerate(edges))
+    total = used = 0
+    for key in order:
+        index = key & 0xFFFFFF
+        weight = key >> 24
+        u, v, _ = edges[index]
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += weight
+            used += 1
+    return [used, total]
+
+
+def _build_mst(n: int, seed: int) -> Tuple[str, List[int]]:
+    edges = random_edge_list(n, seed)
+    keys = [(w << 24) | i for i, (_u, _v, w) in enumerate(edges)]
+    source = _MST_TEMPLATE % {
+        "n": n, "m": len(edges),
+        "eu": render_array(u for u, _, _ in edges),
+        "ev": render_array(v for _, v, _ in edges),
+        "keys": render_array(keys),
+    }
+    return source, _mst_oracle(edges, n)
+
+
+MST = Workload(
+    key="08", name="minSpanningTree/parallelKruskal", short="mst",
+    description="Kruskal MST: quicksort on weight-packed edge keys plus "
+                "path-halving union-find.",
+    data_parallel=False, builder=_build_mst, base_n=16)

@@ -1,0 +1,123 @@
+"""Table 1 hashing workloads: 04 dictionary and 10 remove duplicates.
+
+Both use the PBBS deterministicHash structure: an open-addressing table
+with linear probing and a multiplicative hash.  The dictionary inserts n
+keys then probes n lookups; removeDuplicates counts distinct keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Workload, render_array
+from .generators import random_keys
+from .snippets import TREE_FILL
+
+_HASH_MULT = 2654435761  # Knuth's multiplicative constant
+
+
+def _table_size(n: int) -> int:
+    size = 4
+    while size < 2 * n:
+        size *= 2
+    return size
+
+
+_DICTIONARY_TEMPLATE = """
+long KEYS[%(n)d] = {%(keys)s};
+long PROBES[%(n)d] = {%(probes)s};
+long TABLE[%(t)d];
+long n = %(n)d;
+long tsize = %(t)d;
+
+long slot(long k) {
+    return (k * %(mult)d) & (tsize - 1);
+}
+
+long main() {
+    long i;
+    for (i = 0; i < tsize; i = i + 1) TABLE[i] = 0 - 1;
+    for (i = 0; i < n; i = i + 1) {
+        long k = KEYS[i];
+        long h = slot(k);
+        while (TABLE[h] >= 0 && TABLE[h] != k) h = (h + 1) & (tsize - 1);
+        TABLE[h] = k;
+    }
+    long hits = 0;
+    for (i = 0; i < n; i = i + 1) {
+        long k = PROBES[i];
+        long h = slot(k);
+        while (TABLE[h] >= 0 && TABLE[h] != k) h = (h + 1) & (tsize - 1);
+        if (TABLE[h] == k) hits = hits + 1;
+    }
+    out(hits);
+    return 0;
+}
+"""
+
+_DEDUP_TEMPLATE = TREE_FILL + """
+long KEYS[%(n)d] = {%(keys)s};
+long TABLE[%(t)d];
+long n = %(n)d;
+long tsize = %(t)d;
+
+long insert(long k) {
+    long h = (k * %(mult)d) & (tsize - 1);
+    while (TABLE[h] >= 0 && TABLE[h] != k) h = (h + 1) & (tsize - 1);
+    if (TABLE[h] == k) return 0;
+    TABLE[h] = k;
+    return 1;
+}
+
+long dedup(long lo, long hi) {
+    if (hi - lo == 1) return insert(KEYS[lo]) ? KEYS[lo] + %(big)d : 0;
+    long mid = lo + (hi - lo) / 2;
+    return dedup(lo, mid) + dedup(mid, hi);
+}
+
+long main() {
+    tree_fill(TABLE, 0, tsize, 0 - 1);
+    long packed = dedup(0, n);
+    out(packed / %(big)d);
+    out(packed %% %(big)d);
+    return 0;
+}
+"""
+
+
+def _build_dictionary(n: int, seed: int) -> Tuple[str, List[int]]:
+    keys = random_keys(n, seed)
+    probes = random_keys(n, seed + 17)
+    present = set(keys)
+    hits = sum(1 for p in probes if p in present)
+    source = _DICTIONARY_TEMPLATE % {
+        "n": n, "t": _table_size(n), "mult": _HASH_MULT,
+        "keys": render_array(keys), "probes": render_array(probes)}
+    return source, [hits]
+
+
+def _build_dedup(n: int, seed: int) -> Tuple[str, List[int]]:
+    keys = random_keys(n, seed)
+    seen = set()
+    unique = chk = 0
+    for k in keys:
+        if k not in seen:
+            seen.add(k)
+            unique += 1
+            chk += k
+    source = _DEDUP_TEMPLATE % {
+        "n": n, "t": _table_size(n), "mult": _HASH_MULT, "big": 1 << 40,
+        "keys": render_array(keys)}
+    return source, [unique, chk]
+
+
+DICTIONARY = Workload(
+    key="04", name="dictionary/deterministicHash", short="dictionary",
+    description="Open-addressing hash dictionary: n inserts + n lookups "
+                "with linear probing.",
+    data_parallel=False, builder=_build_dictionary, base_n=16)
+
+DEDUP = Workload(
+    key="10", name="removeDuplicates/deterministicHash", short="dedup",
+    description="Distinct-key count via a linear-probing hash set.",
+    data_parallel=True, builder=_build_dedup, base_n=16)

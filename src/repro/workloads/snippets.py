@@ -1,0 +1,76 @@
+"""Shared MiniC building blocks for the parallel-structured workloads.
+
+PBBS codes are *parallel* programs; traced sequentially (as the paper
+does), their ``parallel_for``/``plusScan`` primitives become
+divide-and-conquer recursions whose dependency chains are logarithmic, not
+linear.  These snippets are the MiniC equivalents: a tree fill, and the
+classic upsweep/downsweep exclusive prefix scan.  Workloads splice them
+into their sources so the Figure 7 growth shape (parallel ILP rising with
+the dataset for data-parallel benchmarks) is reproduced for the same
+structural reason as in the paper.
+"""
+
+#: Fill a[lo..hi) with a value, tree-recursively (no counter chain).
+TREE_FILL = """
+long tree_fill(long* a, long lo, long hi, long value) {
+    if (hi - lo <= 0) return 0;
+    if (hi - lo == 1) {
+        a[lo] = value;
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    tree_fill(a, lo, mid, value);
+    tree_fill(a, mid, hi, value);
+    return 0;
+}
+"""
+
+#: Copy src[lo..hi) into dst, tree-recursively.
+TREE_COPY = """
+long tree_copy(long* dst, long* src, long lo, long hi) {
+    if (hi - lo <= 0) return 0;
+    if (hi - lo == 1) {
+        dst[lo] = src[lo];
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    tree_copy(dst, src, lo, mid);
+    tree_copy(dst, src, mid, hi);
+    return 0;
+}
+"""
+
+#: Work-efficient exclusive prefix scan (PBBS plusScan): an upsweep
+#: computing segment sums into a segment-tree scratch array (size >= 4*len)
+#: followed by a downsweep distributing offsets.  Both passes have
+#: logarithmic dependency depth.
+TREE_SCAN = """
+long scan_upsweep(long* a, long* sums, long node, long lo, long hi) {
+    if (hi - lo == 1) {
+        sums[node] = a[lo];
+        return sums[node];
+    }
+    long mid = lo + (hi - lo) / 2;
+    sums[node] = scan_upsweep(a, sums, 2 * node, lo, mid)
+               + scan_upsweep(a, sums, 2 * node + 1, mid, hi);
+    return sums[node];
+}
+
+long scan_downsweep(long* a, long* sums, long node, long lo, long hi,
+                    long offset) {
+    if (hi - lo == 1) {
+        a[lo] = offset;
+        return 0;
+    }
+    long mid = lo + (hi - lo) / 2;
+    scan_downsweep(a, sums, 2 * node, lo, mid, offset);
+    scan_downsweep(a, sums, 2 * node + 1, mid, hi, offset + sums[2 * node]);
+    return 0;
+}
+
+long exclusive_scan(long* a, long* sums, long len) {
+    scan_upsweep(a, sums, 1, 0, len);
+    scan_downsweep(a, sums, 1, 0, len, 0);
+    return 0;
+}
+"""

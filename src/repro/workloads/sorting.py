@@ -1,0 +1,175 @@
+"""Table 1 workloads 02 and 05: comparison sort and integer sort.
+
+* ``02 comparisonSort/quickSort`` — recursive Hoare-partition quicksort.
+* ``05 integerSort/blockRadixSort`` — LSD radix sort, 4-bit digits.
+
+Both emit the same two-value certificate: a sortedness flag and a
+position-weighted checksum of the sorted array, which depends only on the
+multiset of inputs — so any correct sort produces the oracle's output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Workload, render_array
+from .generators import random_values
+from .snippets import TREE_COPY, TREE_FILL, TREE_SCAN
+
+_CHECK_MOD = 1_000_000_007
+
+#: tree-reduction sortedness/checksum certificate (log-depth chains)
+_CERT = """
+long cert_sorted(long* a, long lo, long hi) {
+    if (hi - lo == 1) return lo == 0 || a[lo - 1] <= a[lo] ? 1 : 0;
+    long mid = lo + (hi - lo) / 2;
+    return cert_sorted(a, lo, mid) & cert_sorted(a, mid, hi);
+}
+
+long cert_sum(long* a, long lo, long hi) {
+    if (hi - lo == 1) return a[lo] * (lo + 1);
+    long mid = lo + (hi - lo) / 2;
+    return cert_sum(a, lo, mid) + cert_sum(a, mid, hi);
+}
+"""
+
+_QUICKSORT_TEMPLATE = _CERT + """
+long A[%(n)d] = {%(values)s};
+long n = %(n)d;
+
+long quicksort(long* a, long lo, long hi) {
+    if (hi - lo < 2) return 0;
+    long pivot = a[lo + (hi - lo) / 2];
+    long i = lo;
+    long j = hi - 1;
+    while (i <= j) {
+        while (a[i] < pivot) i = i + 1;
+        while (a[j] > pivot) j = j - 1;
+        if (i <= j) {
+            long t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    quicksort(a, lo, j + 1);
+    quicksort(a, i, hi);
+    return 0;
+}
+
+long main() {
+    quicksort(A, 0, n);
+    out(cert_sorted(A, 0, n));
+    out(cert_sum(A, 0, n) %% %(mod)d);
+    return 0;
+}
+"""
+
+_BLOCK = 64  #: elements per radix block (PBBS blockRadixSort)
+
+_RADIX_TEMPLATE = TREE_SCAN + TREE_COPY + TREE_FILL + _CERT + """
+long A[%(n)d] = {%(values)s};
+long B[%(n)d];
+long BCNT[%(slots)d];
+long SUMS[%(sums)d];
+long n = %(n)d;
+long nb = %(nb)d;
+
+// count the digits of block b into column-major BCNT[digit * nb + b]
+long count_block(long b, long shift) {
+    long lo = b * %(block)d;
+    long hi = lo + %(block)d;
+    if (hi > n) hi = n;
+    long i;
+    for (i = lo; i < hi; i = i + 1) {
+        long d = (A[i] >> shift) & 15;
+        BCNT[d * nb + b] = BCNT[d * nb + b] + 1;
+    }
+    return 0;
+}
+
+long count_tree(long blo, long bhi, long shift) {
+    if (bhi - blo == 1) return count_block(blo, shift);
+    long mid = blo + (bhi - blo) / 2;
+    count_tree(blo, mid, shift);
+    count_tree(mid, bhi, shift);
+    return 0;
+}
+
+// scatter block b using its scanned offsets
+long scatter_block(long b, long shift) {
+    long lo = b * %(block)d;
+    long hi = lo + %(block)d;
+    if (hi > n) hi = n;
+    long i;
+    for (i = lo; i < hi; i = i + 1) {
+        long d = (A[i] >> shift) & 15;
+        B[BCNT[d * nb + b]] = A[i];
+        BCNT[d * nb + b] = BCNT[d * nb + b] + 1;
+    }
+    return 0;
+}
+
+long scatter_tree(long blo, long bhi, long shift) {
+    if (bhi - blo == 1) return scatter_block(blo, shift);
+    long mid = blo + (bhi - blo) / 2;
+    scatter_tree(blo, mid, shift);
+    scatter_tree(mid, bhi, shift);
+    return 0;
+}
+
+long main() {
+    long slots = 16 * nb;
+    long shift;
+    for (shift = 0; shift < 24; shift = shift + 4) {
+        tree_fill(BCNT, 0, slots, 0);
+        count_tree(0, nb, shift);
+        exclusive_scan(BCNT, SUMS, slots);
+        scatter_tree(0, nb, shift);
+        tree_copy(A, B, 0, n);
+    }
+    out(cert_sorted(A, 0, n));
+    out(cert_sum(A, 0, n) %% %(mod)d);
+    return 0;
+}
+"""
+
+
+def _sort_certificate(values: List[int]) -> List[int]:
+    chk = 0
+    for i, value in enumerate(sorted(values)):
+        chk = (chk + value * (i + 1)) % _CHECK_MOD
+    return [1, chk]
+
+
+def _build_quicksort(n: int, seed: int) -> Tuple[str, List[int]]:
+    values = random_values(n, seed, hi=1 << 20)
+    source = _QUICKSORT_TEMPLATE % {
+        "n": n, "values": render_array(values), "mod": _CHECK_MOD}
+    return source, _sort_certificate(values)
+
+
+def _build_radix(n: int, seed: int) -> Tuple[str, List[int]]:
+    # 24-bit passes sort 20-bit keys completely.
+    values = random_values(n, seed, hi=1 << 20)
+    nb = (n + _BLOCK - 1) // _BLOCK
+    slots = 16 * nb
+    source = _RADIX_TEMPLATE % {
+        "n": n, "values": render_array(values), "mod": _CHECK_MOD,
+        "nb": nb, "block": _BLOCK, "slots": slots, "sums": 4 * slots + 4}
+    return source, _sort_certificate(values)
+
+
+QUICKSORT = Workload(
+    key="02", name="comparisonSort/quickSort", short="quicksort",
+    description="Recursive Hoare-partition quicksort with a sorted-order "
+                "certificate.",
+    data_parallel=True, builder=_build_quicksort, base_n=16)
+
+RADIX_SORT = Workload(
+    key="05", name="integerSort/blockRadixSort", short="radixsort",
+    description="Block radix sort: LSD 4-bit digits with per-block counts "
+                "combined by a tree prefix scan (PBBS blockRadixSort "
+                "structure).",
+    data_parallel=True, builder=_build_radix, base_n=16)

@@ -1,0 +1,17 @@
+"""Shared fixtures: the paper's running example in both execution styles."""
+
+import pytest
+
+from repro.paper import paper_array, sum_forked_program, sum_sequential_program
+
+
+@pytest.fixture
+def sum5_seq():
+    """Figure 2's program for sum(t, 5), t = [1..5]."""
+    return sum_sequential_program(paper_array(5))
+
+
+@pytest.fixture
+def sum5_fork():
+    """Figure 5's program for sum(t, 5), t = [1..5]."""
+    return sum_forked_program(paper_array(5))

@@ -1,0 +1,43 @@
+"""Tests for the Figure 4 / Figure 6 section renderings."""
+
+from repro.fork import render_section_trace, render_section_tree
+from repro.machine import run_forked
+from repro.paper import paper_array, sum_forked_program
+
+
+class TestRenderings:
+    def test_tree_shape_for_sum5(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        text = render_section_tree(machine)
+        lines = text.splitlines()
+        assert lines[0].startswith("section 1")
+        assert len(lines) == 6
+        # Figure 4: sections 3 and 5 hang off section 2.
+        assert any("section 3" in l and "|" in l for l in lines)
+
+    def test_tree_lists_lengths(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        text = render_section_tree(machine)
+        assert "16 instrs" in text            # section 2, Figure 6
+
+    def test_trace_grouping(self, sum5_fork):
+        result, _ = run_forked(sum5_fork, record_trace=True)
+        text = render_section_trace(result.trace)
+        assert "// section 1" in text
+        assert "2-16" in text                 # section 2 has 16 instructions
+        assert "endfork" in text
+
+    def test_trace_tags_match_figure6(self, sum5_fork):
+        result, _ = run_forked(sum5_fork, record_trace=True)
+        text = render_section_trace(result.trace)
+        # Section 5 of the paper (our numbering shifts by main's section):
+        # the final-sum consumer reads the stack temp.
+        assert "addq (%rsp), %rax" in text or "addq 0(%rsp), %rax" in text
+
+    def test_larger_run_renders(self):
+        result, machine = run_forked(sum_forked_program(paper_array(40)),
+                                     record_trace=True)
+        tree = render_section_tree(machine)
+        assert tree.count("section") == len(machine.section_table())
+        trace = render_section_trace(result.trace)
+        assert trace.count("// section") == len(machine.section_table())

@@ -1,0 +1,260 @@
+"""Unit tests for the call→fork transformation and save-elision peephole."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fork import call_targets, find_functions, fork_transform
+from repro.isa import assemble
+from repro.machine import run_forked, run_sequential
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_sequential_program
+
+
+class TestFunctionDiscovery:
+    def test_regions(self):
+        prog = assemble("""
+        main:
+            call f
+            hlt
+        f:
+        .L1:
+            nop
+            ret
+        g:
+            ret
+        """)
+        regions = {r.name: (r.start, r.end) for r in find_functions(prog)}
+        assert regions == {"main": (0, 2), "f": (2, 4), "g": (4, 5)}
+
+    def test_local_labels_do_not_split(self):
+        prog = assemble("f:\n.L1: nop\n.L2: ret")
+        assert [r.name for r in find_functions(prog)] == ["f"]
+
+    def test_call_targets(self):
+        prog = assemble("""
+        main:
+            call f
+            call f
+            jmp skip
+        skip:
+            hlt
+        f:  ret
+        """)
+        assert call_targets(prog) == {"f"}
+
+
+class TestTransform:
+    def test_call_becomes_fork(self):
+        prog = assemble("""
+        main:
+            call f
+            out %rax
+            hlt
+        f:
+            movq $9, %rax
+            ret
+        """)
+        forked = fork_transform(prog)
+        opcodes = [i.opcode for i in forked.code]
+        assert "fork" in opcodes and "endfork" in opcodes
+        assert "call" not in opcodes and "ret" not in opcodes
+        result, _ = run_forked(forked)
+        assert result.output == [9]
+
+    def test_selective_transform(self):
+        prog = assemble("""
+        main:
+            call f
+            call g
+            out %rax
+            hlt
+        f:
+            movq $1, %rax
+            ret
+        g:
+            addq $2, %rax
+            ret
+        """)
+        forked = fork_transform(prog, fork_functions=["g"])
+        opcodes = [i.opcode for i in forked.code]
+        assert opcodes.count("fork") == 1
+        assert opcodes.count("call") == 1
+        result, _ = run_forked(forked)
+        assert result.output == [3]
+
+    def test_unknown_function_rejected(self):
+        prog = assemble("main: call f\nhlt\nf: ret")
+        with pytest.raises(ReproError):
+            fork_transform(prog, fork_functions=["nope"])
+
+    def test_nothing_to_transform_rejected(self):
+        prog = assemble("main: hlt")
+        with pytest.raises(ReproError):
+            fork_transform(prog)
+
+    def test_entry_preserved(self):
+        prog = assemble("""
+        helper: ret
+        main:
+            call helper
+            hlt
+        """)
+        forked = fork_transform(prog)
+        assert forked.entry_symbol() == "main"
+
+    def test_data_preserved(self):
+        prog = assemble("""
+        main:
+            call f
+            out %rax
+            hlt
+        f:
+            movq cell, %rax
+            ret
+        .data
+        cell: .quad 123
+        """)
+        forked = fork_transform(prog)
+        result, _ = run_forked(forked)
+        assert result.output == [123]
+
+    @pytest.mark.parametrize("n", [1, 4, 5, 16, 37])
+    def test_figure2_to_forked_equivalence(self, n):
+        prog = sum_sequential_program(paper_array(n))
+        forked = fork_transform(prog)
+        seq = run_sequential(prog)
+        fork, _ = run_forked(forked)
+        assert fork.output == seq.output
+
+    def test_minic_program_equivalence(self):
+        src = """
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        long main() { out(fib(12)); return 0; }
+        """
+        prog = compile_source(src)
+        forked = fork_transform(prog)
+        seq = run_sequential(prog)
+        fork, machine = run_forked(forked)
+        assert fork.output == seq.output == [144]
+        assert len(machine.section_table()) > 100   # every call forked
+
+
+class TestSaveElision:
+    def test_simple_bracket_elided(self):
+        prog = assemble("""
+        main:
+            movq $7, %rbx
+            call f
+            out %rbx
+            hlt
+        f:
+            pushq %rbx
+            movq $0, %rbx
+            call g
+            popq %rbx
+            ret
+        g:
+            ret
+        """)
+        forked = fork_transform(prog, elide_saves=True)
+        pushes = [i for i in forked.code if i.opcode == "push"]
+        assert not pushes                       # the pair was removed
+        result, _ = run_forked(forked)
+        assert result.output == [7]
+
+    def test_pair_without_fork_kept(self):
+        prog = assemble("""
+        main:
+            call f
+            out %rax
+            hlt
+        f:
+            pushq %rbx
+            movq $1, %rax
+            popq %rbx
+            ret
+        """)
+        forked = fork_transform(prog, elide_saves=True)
+        assert sum(1 for i in forked.code if i.opcode == "push") == 1
+
+    def test_volatile_register_pair_kept(self):
+        # rax is not fork-copied: its save/restore cannot be elided.
+        prog = assemble("""
+        main:
+            movq $3, %rax
+            call f
+            out %rax
+            hlt
+        f:
+            pushq %rax
+            call g
+            popq %rax
+            ret
+        g:
+            movq $99, %rax
+            ret
+        """)
+        forked = fork_transform(prog, elide_saves=True)
+        assert sum(1 for i in forked.code if i.opcode == "push") == 1
+
+    def test_rsp_relative_access_blocks_elision(self):
+        prog = assemble("""
+        main:
+            call f
+            out %rax
+            hlt
+        f:
+            pushq %rbx
+            movq 0(%rsp), %rax
+            call g
+            popq %rbx
+            ret
+        g:
+            ret
+        """)
+        forked = fork_transform(prog, elide_saves=True)
+        assert sum(1 for i in forked.code if i.opcode == "push") == 1
+
+    def test_label_inside_region_blocks_elision(self):
+        prog = assemble("""
+        main:
+            call f
+            hlt
+        f:
+            pushq %rbx
+        again:
+            call g
+            popq %rbx
+            ret
+        g:
+            ret
+        """)
+        forked = fork_transform(prog, elide_saves=True)
+        assert sum(1 for i in forked.code if i.opcode == "push") == 1
+
+    def test_elision_optional(self):
+        prog = assemble("""
+        main:
+            call f
+            hlt
+        f:
+            pushq %rbx
+            call g
+            popq %rbx
+            ret
+        g:
+            ret
+        """)
+        kept = fork_transform(prog, elide_saves=False)
+        assert sum(1 for i in kept.code if i.opcode == "push") == 1
+
+    def test_figure2_mismatched_pairs_survive(self):
+        # Figure 2 pops %rbx where %rsi was pushed (lines 10/13): the
+        # peephole must not touch non-LIFO-matching pairs.
+        prog = sum_sequential_program(paper_array(5))
+        forked = fork_transform(prog, elide_saves=True)
+        result, _ = run_forked(forked)
+        assert result.signed_output == [15]

@@ -1,0 +1,246 @@
+"""Unit + property tests for the dataflow scheduler (hand-computed traces)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp import (
+    DependencyModel,
+    PARALLEL_MODEL,
+    SEQUENTIAL_MODEL,
+    analyze,
+    wall_good_model,
+)
+from repro.ilp.analyzer import analyze_stream_multi
+from repro.isa import Instruction
+from repro.machine import SequentialMachine
+from repro.machine.trace import TraceEntry
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_sequential_program
+
+_NOP = Instruction("nop")
+
+
+def entry(seq, reads=(), writes=(), mreads=(), mwrites=(), taken=None,
+          addr=0):
+    return TraceEntry(seq=seq, addr=addr, instr=_NOP,
+                      reg_reads=tuple(reads), reg_writes=tuple(writes),
+                      mem_reads=tuple(mreads), mem_writes=tuple(mwrites),
+                      taken=taken, depth=0, section=0, section_index=seq)
+
+
+FREE = DependencyModel("free", rename_registers=True, rename_memory=True,
+                       ignore_stack_pointer=True)
+
+
+class TestHandTraces:
+    def test_independent_instructions_all_at_cycle_1(self):
+        trace = [entry(i, writes=["r%d" % i]) for i in range(8)]
+        result = analyze(trace, FREE)
+        assert result.cycles == 1
+        assert result.ilp == 8.0
+
+    def test_pure_chain(self):
+        # r1 = ...; r2 = f(r1); r3 = f(r2); ...
+        trace = [entry(0, writes=["rax"])]
+        trace += [entry(i, reads=["rax"], writes=["rax"]) for i in range(1, 6)]
+        result = analyze(trace, FREE)
+        assert result.cycles == 6
+        assert result.ilp == 1.0
+
+    def test_diamond(self):
+        trace = [
+            entry(0, writes=["rax"]),
+            entry(1, reads=["rax"], writes=["rbx"]),
+            entry(2, reads=["rax"], writes=["rcx"]),
+            entry(3, reads=["rbx", "rcx"], writes=["rdx"]),
+        ]
+        result = analyze(trace, FREE)
+        assert result.cycles == 3
+
+    def test_memory_raw_dependency(self):
+        trace = [
+            entry(0, mwrites=[0x100]),
+            entry(1, mreads=[0x100]),
+        ]
+        result = analyze(trace, PARALLEL_MODEL)
+        assert result.cycles == 2
+
+    def test_memory_waw_only_in_unrenamed_model(self):
+        trace = [
+            entry(0, mwrites=[0x100]),
+            entry(1, mwrites=[0x100]),
+            entry(2, mwrites=[0x100]),
+        ]
+        assert analyze(trace, PARALLEL_MODEL).cycles == 1
+        assert analyze(trace, SEQUENTIAL_MODEL).cycles == 3
+
+    def test_memory_war_in_unrenamed_model(self):
+        trace = [
+            entry(0, mreads=[0x100]),
+            entry(1, mwrites=[0x100]),
+        ]
+        assert analyze(trace, SEQUENTIAL_MODEL).cycles == 2
+        assert analyze(trace, PARALLEL_MODEL).cycles == 1
+
+    def test_register_waw_dropped_when_renamed(self):
+        trace = [
+            entry(0, writes=["rax"]),
+            entry(1, writes=["rax"]),
+        ]
+        assert analyze(trace, SEQUENTIAL_MODEL).cycles == 1
+
+    def test_register_false_deps_kept_when_not_renamed(self):
+        model = FREE.derive("norename", rename_registers=False)
+        trace = [
+            entry(0, writes=["rax"]),
+            entry(1, reads=["rax"]),
+            entry(2, writes=["rax"]),   # WAR on entry 1
+        ]
+        assert analyze(trace, model).cycles == 3
+        assert analyze(trace, FREE).cycles == 2
+
+    def test_stack_pointer_chain_ignored_in_parallel_model(self):
+        trace = [entry(i, reads=["rsp"], writes=["rsp"]) for i in range(6)]
+        assert analyze(trace, PARALLEL_MODEL).cycles == 1
+        assert analyze(trace, SEQUENTIAL_MODEL).cycles == 6
+
+    def test_issue_width_limits(self):
+        model = FREE.derive("narrow", issue_width=2)
+        trace = [entry(i, writes=["r%d" % i]) for i in range(8)]
+        result = analyze(trace, model)
+        assert result.cycles == 4
+
+    def test_window_limits(self):
+        model = FREE.derive("tiny-window", window_size=2)
+        trace = [entry(i, writes=["r%d" % i]) for i in range(6)]
+        # With a 2-entry window, instruction i waits for i-2's completion.
+        result = analyze(trace, model)
+        assert result.cycles == 3
+
+    def test_control_serialization_with_no_predictor(self):
+        model = FREE.derive("ctl", control_dependencies=True,
+                            branch_predictor="none")
+        trace = [
+            entry(0, taken=True, addr=0),
+            entry(1, writes=["rax"]),
+            entry(2, taken=False, addr=1),
+            entry(3, writes=["rbx"]),
+        ]
+        result = analyze(trace, model)
+        assert result.cycles == 3  # each branch fences the next group
+        assert result.branch_mispredictions == 2
+
+    def test_perfect_prediction_no_fence(self):
+        model = FREE.derive("ctl-perfect", control_dependencies=True,
+                            branch_predictor="perfect")
+        trace = [entry(0, taken=True, addr=0), entry(1, writes=["rax"])]
+        assert analyze(trace, model).cycles == 1
+
+    def test_empty_trace(self):
+        result = analyze([], FREE)
+        assert result.instructions == 0
+        assert result.ilp == 0.0
+
+    def test_distance_histogram(self):
+        trace = [entry(0, writes=["rax"])] + [
+            entry(i, reads=["rax"], writes=["rbx"]) for i in range(1, 10)]
+        result = analyze(trace, FREE, track_distance=True)
+        hist = result.critical_distance_hist
+        assert hist is not None
+        assert sum(hist) == 9                 # every consumer has a producer
+        assert hist[3] == 2                   # distances 8 and 9
+
+
+class TestOnRealPrograms:
+    def test_sum_sequential_vs_parallel(self):
+        prog = sum_sequential_program(paper_array(40))
+        seq, par = analyze_stream_multi(
+            SequentialMachine(prog).step_entries(),
+            [SEQUENTIAL_MODEL, PARALLEL_MODEL])
+        assert seq.instructions == par.instructions
+        assert par.ilp > 3 * seq.ilp
+
+    def test_parallel_ilp_grows_with_sum_size(self):
+        ilps = []
+        for n in (20, 80, 320):
+            prog = sum_sequential_program(paper_array(n))
+            ilps.append(analyze(SequentialMachine(prog).step_entries(),
+                                PARALLEL_MODEL).ilp)
+        assert ilps[0] < ilps[1] < ilps[2]
+
+    def test_sequential_ilp_flat(self):
+        ilps = []
+        for n in (40, 160, 640):
+            prog = sum_sequential_program(paper_array(n))
+            ilps.append(analyze(SequentialMachine(prog).step_entries(),
+                                SEQUENTIAL_MODEL).ilp)
+        assert max(ilps) - min(ilps) < 1.0
+
+    def test_wall_good_below_parallel(self):
+        prog = sum_sequential_program(paper_array(80))
+        good, par = analyze_stream_multi(
+            SequentialMachine(prog).step_entries(),
+            [wall_good_model(), PARALLEL_MODEL])
+        assert good.ilp < par.ilp
+
+    def test_stream_multi_matches_individual(self):
+        prog = compile_source(
+            "long main() { long i; long s = 0;"
+            " for (i = 0; i < 50; i = i + 1) s = s + i; return s; }")
+        multi = analyze_stream_multi(SequentialMachine(prog).step_entries(),
+                                     [SEQUENTIAL_MODEL, PARALLEL_MODEL])
+        single = [analyze(SequentialMachine(prog).step_entries(), m)
+                  for m in (SEQUENTIAL_MODEL, PARALLEL_MODEL)]
+        assert [(r.instructions, r.cycles) for r in multi] == [
+            (r.instructions, r.cycles) for r in single]
+
+
+regs = st.sampled_from(["rax", "rbx", "rcx", "rsp"])
+synthetic_traces = st.lists(
+    st.tuples(st.lists(regs, max_size=2, unique=True),
+              st.lists(regs, max_size=2, unique=True),
+              st.lists(st.sampled_from([0x100, 0x108, 0x110]), max_size=1),
+              st.lists(st.sampled_from([0x100, 0x108, 0x110]), max_size=1)),
+    max_size=40)
+
+
+def build(raw):
+    return [entry(i, reads=r, writes=w, mreads=mr, mwrites=mw)
+            for i, (r, w, mr, mw) in enumerate(raw)]
+
+
+class TestProperties:
+    @given(synthetic_traces)
+    @settings(max_examples=80, deadline=None)
+    def test_cycles_bounded_by_trace_length(self, raw):
+        trace = build(raw)
+        for model in (SEQUENTIAL_MODEL, PARALLEL_MODEL):
+            result = analyze(trace, model)
+            assert 0 <= result.cycles <= len(trace)
+            if trace:
+                assert result.ilp >= 1.0
+
+    @given(synthetic_traces)
+    @settings(max_examples=80, deadline=None)
+    def test_fewer_dependencies_never_slower(self, raw):
+        trace = build(raw)
+        seq = analyze(trace, SEQUENTIAL_MODEL)
+        par = analyze(trace, PARALLEL_MODEL)
+        assert par.cycles <= seq.cycles
+
+    @given(synthetic_traces, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_wider_issue_never_slower(self, raw, width):
+        trace = build(raw)
+        narrow = analyze(trace, FREE.derive("n", issue_width=width))
+        wide = analyze(trace, FREE.derive("w", issue_width=width * 2))
+        free = analyze(trace, FREE)
+        assert free.cycles <= wide.cycles <= narrow.cycles
+
+    @given(synthetic_traces, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_window_never_slower(self, raw, window):
+        trace = build(raw)
+        small = analyze(trace, FREE.derive("s", window_size=window))
+        big = analyze(trace, FREE.derive("b", window_size=window * 4))
+        assert big.cycles <= small.cycles

@@ -1,0 +1,98 @@
+"""Unit tests for the ILP dependency models and predictors."""
+
+import pytest
+
+from repro.ilp import (
+    DependencyModel,
+    NoPredictor,
+    PARALLEL_MODEL,
+    PerfectPredictor,
+    SEQUENTIAL_MODEL,
+    TwoBitPredictor,
+    make_predictor,
+    wall_good_model,
+    wall_perfect_model,
+)
+
+
+class TestModelDefinitions:
+    def test_sequential_model_keeps_memory_false_deps(self):
+        # Paper: memory is NOT renamed in the sequential model.
+        assert SEQUENTIAL_MODEL.rename_registers
+        assert not SEQUENTIAL_MODEL.rename_memory
+        assert not SEQUENTIAL_MODEL.ignore_stack_pointer
+
+    def test_parallel_model_renames_everything(self):
+        assert PARALLEL_MODEL.rename_registers
+        assert PARALLEL_MODEL.rename_memory
+        assert PARALLEL_MODEL.ignore_stack_pointer
+        assert not PARALLEL_MODEL.control_dependencies
+
+    def test_wall_good_model(self):
+        model = wall_good_model()
+        assert model.window_size == 2048
+        assert model.issue_width == 64
+        assert model.branch_predictor == "twobit"
+        assert model.control_dependencies
+
+    def test_wall_perfect_model_unlimited(self):
+        model = wall_perfect_model()
+        assert model.window_size is None
+        assert model.issue_width is None
+
+    def test_derive(self):
+        model = PARALLEL_MODEL.derive("no-mem", memory_dependencies=False)
+        assert model.name == "no-mem"
+        assert not model.memory_dependencies
+        assert PARALLEL_MODEL.memory_dependencies   # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DependencyModel("x", branch_predictor="oracle")
+        with pytest.raises(ValueError):
+            DependencyModel("x", window_size=0)
+        with pytest.raises(ValueError):
+            DependencyModel("x", issue_width=0)
+
+
+class TestPredictors:
+    def test_factory(self):
+        assert isinstance(make_predictor("perfect"), PerfectPredictor)
+        assert isinstance(make_predictor("twobit"), TwoBitPredictor)
+        assert isinstance(make_predictor("none"), NoPredictor)
+        with pytest.raises(ValueError):
+            make_predictor("magic")
+
+    def test_perfect_never_misses(self):
+        p = PerfectPredictor()
+        for taken in (True, False, True):
+            assert p.predict_and_update(1, taken)
+        assert p.accuracy == 1.0
+
+    def test_none_always_misses(self):
+        p = NoPredictor()
+        assert not p.predict_and_update(1, True)
+        assert p.accuracy == 0.0
+
+    def test_twobit_learns_a_biased_branch(self):
+        p = TwoBitPredictor()
+        results = [p.predict_and_update(7, True) for _ in range(10)]
+        assert results[0] is False           # starts weakly not-taken
+        assert all(results[2:])              # saturates to taken
+
+    def test_twobit_loop_pattern(self):
+        # T T T N repeating: a 2-bit counter mispredicts the N and the
+        # first T after retraining is still right (saturation).
+        p = TwoBitPredictor()
+        outcomes = [True, True, True, False] * 32
+        for taken in outcomes:
+            p.predict_and_update(3, taken)
+        assert 0.5 < p.accuracy < 0.8
+
+    def test_twobit_tracks_branches_separately(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.predict_and_update(1, True)
+            p.predict_and_update(2, False)
+        assert p.predict_and_update(1, True)
+        assert p.predict_and_update(2, False)

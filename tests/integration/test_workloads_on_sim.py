@@ -1,0 +1,36 @@
+"""End to end: every Table 1 workload, automatically fork-transformed,
+executes correctly on the distributed cycle simulator.
+
+This is the experiment the paper's in-progress simulators (Section 5:
+"a qemu and simplescalar based simulator") were being built for.
+"""
+
+import pytest
+
+from repro.fork import fork_transform
+from repro.machine import run_forked
+from repro.sim import SimConfig, simulate
+from repro.workloads import WORKLOADS
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.short)
+def test_workload_on_manycore(workload):
+    inst = workload.instance(scale=0, seed=1)
+    prog = fork_transform(inst.program)
+    oracle, machine = run_forked(prog)
+    assert oracle.signed_output == inst.expected_output
+
+    result, _ = simulate(prog, SimConfig(n_cores=16, stack_shortcut=True))
+    assert result.outputs == oracle.output
+    assert result.sections == len(machine.section_table())
+    assert result.instructions == oracle.steps
+
+
+@pytest.mark.parametrize("workload", WORKLOADS[:4], ids=lambda w: w.short)
+def test_workload_single_core_matches(workload):
+    inst = workload.instance(scale=0, seed=1)
+    prog = fork_transform(inst.program)
+    one, _ = simulate(prog, SimConfig(n_cores=1, stack_shortcut=True))
+    many, _ = simulate(prog, SimConfig(n_cores=16, stack_shortcut=True))
+    assert one.outputs == many.outputs
+    assert many.fetch_end <= one.fetch_end

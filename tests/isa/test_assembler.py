@@ -1,0 +1,264 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import DATA_BASE, Imm, LabelRef, Mem, Reg, WORD, assemble
+from repro.paper import SUM_FORKED_ASM, SUM_SEQUENTIAL_ASM
+
+
+class TestBasics:
+    def test_empty_program(self):
+        prog = assemble("")
+        assert len(prog) == 0
+
+    def test_single_instruction(self):
+        prog = assemble("movq $1, %rax")
+        assert len(prog) == 1
+        instr = prog.code[0]
+        assert instr.opcode == "mov"
+        assert instr.operands == (Imm(1), Reg("rax"))
+
+    def test_suffix_optional(self):
+        assert assemble("mov $1, %rax").code[0].opcode == "mov"
+        assert assemble("movq $1, %rax").code[0].opcode == "mov"
+
+    def test_comments_stripped(self):
+        prog = assemble("""
+        # full line comment
+        movq $1, %rax   # trailing
+        addq $2, %rax   // c++-style
+        """)
+        assert len(prog) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("MOVQ $1, %rax").code[0].opcode == "mov"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble("blorp $1, %rax")
+        assert "line 1" in str(err.value)
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("movq $1, %eax")
+
+    def test_hex_immediates(self):
+        assert assemble("movq $0x10, %rax").code[0].operands[0].value == 16
+
+    def test_negative_immediates(self):
+        assert assemble("movq $-8, %rax").code[0].operands[0].value == -8
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        prog = assemble("""
+        start:
+            jmp end
+            nop
+        end:
+            hlt
+        """)
+        assert prog.code_symbols == {"start": 0, "end": 2}
+        assert prog.code[0].target == 2
+
+    def test_label_on_same_line(self):
+        prog = assemble(".L1: ret")
+        assert prog.code_symbols[".L1"] == 0
+        assert prog.code[0].labels == (".L1",)
+
+    def test_multiple_labels_one_instruction(self):
+        prog = assemble("""
+        a:
+        b:  nop
+        """)
+        assert prog.code_symbols["a"] == 0
+        assert prog.code_symbols["b"] == 0
+
+    def test_forward_and_backward_references(self):
+        prog = assemble("""
+        top:
+            jne top
+            jmp bottom
+        bottom:
+            hlt
+        """)
+        assert prog.code[0].target == 0
+        assert prog.code[1].target == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_trailing_label_gets_halt(self):
+        prog = assemble("nop\nend:")
+        assert prog.code_symbols["end"] == 1
+        assert prog.code[1].opcode == "hlt"
+
+
+class TestMemoryOperands:
+    def _operand(self, text):
+        return assemble("movq %s, %%rax" % text).code[0].operands[0]
+
+    def test_base(self):
+        assert self._operand("(%rdi)") == Mem(base="rdi")
+
+    def test_disp_base(self):
+        assert self._operand("8(%rdi)") == Mem(disp=8, base="rdi")
+
+    def test_negative_disp(self):
+        assert self._operand("-16(%rbp)") == Mem(disp=-16, base="rbp")
+
+    def test_base_index_scale(self):
+        assert self._operand("(%rdi,%rsi,8)") == Mem(
+            base="rdi", index="rsi", scale=8)
+
+    def test_rip_relative_symbol(self):
+        prog = assemble("""
+        movq tab(%rip), %rax
+        hlt
+        .data
+        tab: .quad 7
+        """)
+        operand = prog.code[0].operands[0]
+        assert operand.base is None
+        assert operand.disp == prog.data_symbols["tab"]
+
+    def test_bare_symbol_is_memory(self):
+        prog = assemble("""
+        movq n, %rax
+        hlt
+        .data
+        n: .quad 3
+        """)
+        operand = prog.code[0].operands[0]
+        assert isinstance(operand, Mem)
+        assert operand.disp == prog.data_symbols["n"]
+
+    def test_symbol_immediate_is_address(self):
+        prog = assemble("""
+        movq $tab, %rdi
+        hlt
+        .data
+        tab: .quad 1, 2
+        """)
+        operand = prog.code[0].operands[0]
+        assert isinstance(operand, Imm)
+        assert operand.value == prog.data_symbols["tab"]
+
+    def test_garbage_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("movq )%(, %rax")
+
+
+class TestDataSection:
+    def test_quad_values(self):
+        prog = assemble("""
+        hlt
+        .data
+        tab: .quad 1, 2, 3
+        """)
+        base = prog.data_symbols["tab"]
+        assert base == DATA_BASE
+        assert [prog.data[base + i * WORD] for i in range(3)] == [1, 2, 3]
+
+    def test_negative_quad_wraps(self):
+        prog = assemble("hlt\n.data\nx: .quad -1")
+        assert prog.data[prog.data_symbols["x"]] == 2**64 - 1
+
+    def test_zero_directive(self):
+        prog = assemble("hlt\n.data\nbuf: .zero 24")
+        base = prog.data_symbols["buf"]
+        assert [prog.data[base + i * WORD] for i in range(3)] == [0, 0, 0]
+
+    def test_zero_must_be_word_multiple(self):
+        with pytest.raises(AssemblerError):
+            assemble("hlt\n.data\nbuf: .zero 7")
+
+    def test_symbol_initializer(self):
+        prog = assemble("""
+        hlt
+        .data
+        a: .quad 5
+        p: .quad a
+        """)
+        assert prog.data[prog.data_symbols["p"]] == prog.data_symbols["a"]
+
+    def test_consecutive_symbols_are_adjacent(self):
+        prog = assemble("""
+        hlt
+        .data
+        a: .quad 1
+        b: .quad 2
+        """)
+        assert prog.data_symbols["b"] == prog.data_symbols["a"] + WORD
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nmovq $1, %rax")
+
+    def test_quad_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".quad 1")
+
+
+class TestEntry:
+    def test_default_entry_is_main(self):
+        prog = assemble("""
+        helper: ret
+        main: hlt
+        """)
+        assert prog.entry == prog.code_symbols["main"]
+
+    def test_default_entry_without_main_is_zero(self):
+        assert assemble("nop\nhlt").entry == 0
+
+    def test_explicit_entry(self):
+        prog = assemble("a: nop\nb: hlt", entry="b")
+        assert prog.entry == 1
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop", entry="nope")
+
+
+class TestPaperListings:
+    def test_figure2_assembles(self):
+        prog = assemble(SUM_SEQUENTIAL_ASM + "\n.data\nn: .quad 5\ntab: .quad 1,2,3,4,5")
+        # 5 main instructions + 25 sum instructions (Figure 2 lines 2..26).
+        assert len(prog) == 30
+        assert prog.code_symbols["sum"] == 5
+
+    def test_figure5_assembles_with_18_sum_instructions(self):
+        prog = assemble(SUM_FORKED_ASM + "\n.data\nn: .quad 5\ntab: .quad 1,2,3,4,5")
+        sum_start = prog.code_symbols["sum"]
+        assert len(prog) - sum_start == 18  # Figure 5 lines 2..19
+
+    def test_listing_round_trips(self):
+        source = """
+        main:
+            movq $tab, %rdi
+            movq n, %rsi
+            call sum
+            out %rax
+            hlt
+        sum:
+            cmpq $2, %rsi
+            ja .L2
+            movq (%rdi), %rax
+            ret
+        .L2:
+            leaq (%rdi,%rsi,8), %rdi
+            ret
+        .data
+        n: .quad 2
+        tab: .quad 10, 20
+        """
+        first = assemble(source)
+        second = assemble(first.listing())
+        assert [str(i) for i in first.code] == [str(i) for i in second.code]
+        assert first.data == second.data

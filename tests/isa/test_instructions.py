@@ -1,0 +1,158 @@
+"""Unit tests for repro.isa.instructions: metadata and static read/write sets."""
+
+import pytest
+
+from repro.isa import CONDITION_CODES, Imm, Instruction, Mem, OPCODES, Reg
+from repro.isa.operands import LabelRef
+
+
+def make(op, *operands):
+    return Instruction(op, tuple(operands))
+
+
+class TestConstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            make("add", Reg("rax"))
+        with pytest.raises(ValueError):
+            make("ret", Reg("rax"))
+
+    def test_shift_accepts_one_or_two_operands(self):
+        make("shr", Reg("rsi"))
+        make("shl", Imm(3), Reg("rax"))
+        with pytest.raises(ValueError):
+            make("shl", Imm(3), Reg("rax"), Reg("rbx"))
+
+    def test_every_condition_code_is_an_opcode(self):
+        for mnemonic in CONDITION_CODES:
+            assert mnemonic in OPCODES
+            assert OPCODES[mnemonic].kind == "jcc"
+
+
+class TestClassification:
+    def test_control_instructions(self):
+        assert make("jmp", LabelRef("x")).is_control
+        assert make("call", LabelRef("x")).is_control
+        assert make("ret").is_control
+        assert make("fork", LabelRef("x")).is_control
+        assert make("endfork").is_control
+        assert not make("add", Reg("rax"), Reg("rbx")).is_control
+
+    def test_branches(self):
+        assert make("ja", LabelRef("x")).is_branch
+        assert make("jmp", LabelRef("x")).is_branch
+        assert not make("call", LabelRef("x")).is_branch
+
+    def test_target_label(self):
+        instr = make("fork", LabelRef("sum"))
+        assert instr.target_label.name == "sum"
+        assert make("ret").target_label is None
+
+
+class TestMemoryClassification:
+    def test_load(self):
+        instr = make("mov", Mem(base="rdi"), Reg("rax"))
+        assert instr.reads_memory()
+        assert not instr.writes_memory()
+
+    def test_store(self):
+        instr = make("mov", Reg("rax"), Mem(base="rsp"))
+        assert not instr.reads_memory()
+        assert instr.writes_memory()
+
+    def test_rmw_memory_dest(self):
+        instr = make("add", Reg("rax"), Mem(base="rsp"))
+        assert instr.reads_memory()
+        assert instr.writes_memory()
+
+    def test_load_plus_alu(self):
+        # addq 8(%rdi), %rax  — Figure 2 line 6: a load feeding an add.
+        instr = make("add", Mem(disp=8, base="rdi"), Reg("rax"))
+        assert instr.reads_memory()
+        assert not instr.writes_memory()
+
+    def test_lea_touches_no_memory(self):
+        instr = make("lea", Mem(base="rdi", index="rsi", scale=8), Reg("rdi"))
+        assert not instr.reads_memory()
+        assert not instr.writes_memory()
+
+    def test_stack_ops(self):
+        assert make("push", Reg("rbx")).writes_memory()
+        assert not make("push", Reg("rbx")).reads_memory()
+        assert make("pop", Reg("rbx")).reads_memory()
+        assert make("call", LabelRef("f")).writes_memory()
+        assert make("ret").reads_memory()
+        assert not make("fork", LabelRef("f")).writes_memory()
+        assert not make("endfork").reads_memory()
+
+
+class TestRegisterSets:
+    def test_mov_reg_reg(self):
+        instr = make("mov", Reg("rsi"), Reg("rbx"))
+        assert instr.reg_reads() == ("rsi",)
+        assert instr.reg_writes() == ("rbx",)
+
+    def test_add_reads_both_writes_flags(self):
+        instr = make("add", Reg("rax"), Reg("rbx"))
+        assert set(instr.reg_reads()) == {"rax", "rbx"}
+        assert set(instr.reg_writes()) == {"rbx", "rflags"}
+
+    def test_cmp_writes_only_flags(self):
+        instr = make("cmp", Imm(2), Reg("rsi"))
+        assert instr.reg_reads() == ("rsi",)
+        assert instr.reg_writes() == ("rflags",)
+
+    def test_jcc_reads_flags(self):
+        instr = make("ja", LabelRef("x"))
+        assert instr.reg_reads() == ("rflags",)
+        assert instr.reg_writes() == ()
+
+    def test_memory_operand_address_registers_read(self):
+        instr = make("mov", Reg("rax"), Mem(disp=0, base="rsp"))
+        assert "rsp" in instr.reg_reads()
+
+    def test_lea_reads_address_registers(self):
+        instr = make("lea", Mem(base="rdi", index="rsi", scale=8), Reg("rdi"))
+        assert set(instr.reg_reads()) == {"rdi", "rsi"}
+        assert instr.reg_writes() == ("rdi",)
+
+    def test_push_pop_touch_rsp(self):
+        push = make("push", Reg("rbx"))
+        assert set(push.reg_reads()) == {"rbx", "rsp"}
+        assert push.reg_writes() == ("rsp",)
+        pop = make("pop", Reg("rbx"))
+        assert pop.reg_reads() == ("rsp",)
+        assert set(pop.reg_writes()) == {"rbx", "rsp"}
+
+    def test_idiv_implicit_registers(self):
+        instr = make("idiv", Reg("rcx"))
+        assert set(instr.reg_reads()) == {"rcx", "rax", "rdx"}
+        assert set(instr.reg_writes()) == {"rax", "rdx"}
+
+    def test_cqo_implicit_registers(self):
+        instr = make("cqo")
+        assert instr.reg_reads() == ("rax",)
+        assert instr.reg_writes() == ("rdx",)
+
+    def test_mov_to_mem_does_not_read_dest_value(self):
+        # A pure store reads the address register but not the old contents.
+        instr = make("mov", Reg("rax"), Mem(disp=0, base="rsp"))
+        assert not instr.reads_memory()
+
+
+class TestDisplay:
+    def test_str_with_suffix(self):
+        assert str(make("mov", Reg("rsi"), Reg("rbx"))) == "movq %rsi, %rbx"
+
+    def test_str_no_suffix_for_control(self):
+        assert str(make("ret")) == "ret"
+        assert str(make("ja", LabelRef(".L2"))) == "ja .L2"
+        assert str(make("fork", LabelRef("sum"))) == "fork sum"
+
+    def test_describe_includes_labels(self):
+        instr = Instruction("endfork", labels=(".L1",))
+        assert instr.describe() == ".L1: endfork"

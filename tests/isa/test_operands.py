@@ -1,0 +1,72 @@
+"""Unit tests for repro.isa.operands."""
+
+import pytest
+
+from repro.isa import Imm, LabelRef, Mem, Reg
+
+
+class TestImm:
+    def test_str_plain(self):
+        assert str(Imm(42)) == "$42"
+        assert str(Imm(-8)) == "$-8"
+
+    def test_str_symbolic(self):
+        assert str(Imm(0x100000, symbol="tab")) == "$tab"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Imm(1).value = 2
+
+
+class TestReg:
+    def test_str(self):
+        assert str(Reg("rax")) == "%rax"
+
+    def test_rejects_non_gpr(self):
+        with pytest.raises(ValueError):
+            Reg("eax")
+        with pytest.raises(ValueError):
+            Reg("rflags")
+
+
+class TestMem:
+    def test_base_only(self):
+        mem = Mem(base="rdi")
+        assert str(mem) == "(%rdi)"
+        assert mem.regs() == ("rdi",)
+
+    def test_disp_base(self):
+        assert str(Mem(disp=8, base="rdi")) == "8(%rdi)"
+
+    def test_full_form(self):
+        mem = Mem(disp=0, base="rdi", index="rsi", scale=8)
+        assert str(mem) == "(%rdi,%rsi,8)"
+        assert mem.regs() == ("rdi", "rsi")
+
+    def test_scale_one_omitted(self):
+        assert str(Mem(base="rax", index="rbx", scale=1)) == "(%rax,%rbx)"
+
+    def test_absolute(self):
+        assert str(Mem(disp=0x2000)) == "8192"
+        assert Mem(disp=0x2000).regs() == ()
+
+    def test_symbolic_disp(self):
+        assert str(Mem(disp=0x100000, symbol="tab")) == "tab"
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base="rax", index="rbx", scale=3)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base="zzz")
+
+
+class TestLabelRef:
+    def test_unresolved(self):
+        ref = LabelRef("sum")
+        assert ref.target is None
+        assert str(ref) == "sum"
+
+    def test_resolved(self):
+        assert LabelRef(".L2", target=7).target == 7

@@ -1,0 +1,55 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import WORD, assemble
+from repro.isa.program import Program
+
+
+@pytest.fixture
+def prog():
+    return assemble("""
+    main:
+        movq tab, %rax
+        out %rax
+        hlt
+    .data
+    tab: .quad 11, 22, 33
+    n:   .quad 3
+    """)
+
+
+class TestProgram:
+    def test_len(self, prog):
+        assert len(prog) == 3
+
+    def test_label_of(self, prog):
+        assert prog.label_of(0) == "main"
+        assert prog.label_of(1) is None
+        assert prog.label_of(99) is None
+
+    def test_entry_symbol(self, prog):
+        assert prog.entry_symbol() == "main"
+
+    def test_symbol_addr(self, prog):
+        assert prog.symbol_addr("n") == prog.symbol_addr("tab") + 3 * WORD
+
+    def test_symbol_addr_unknown(self, prog):
+        with pytest.raises(AssemblerError):
+            prog.symbol_addr("ghost")
+
+    def test_read_data(self, prog):
+        assert prog.read_data("tab", 3) == [11, 22, 33]
+
+    def test_patch_data(self, prog):
+        prog.patch_data("tab", [7, 8, 9])
+        assert prog.read_data("tab", 3) == [7, 8, 9]
+
+    def test_patch_data_wraps_negative(self, prog):
+        prog.patch_data("n", [-1])
+        assert prog.read_data("n", 1) == [2**64 - 1]
+
+    def test_misaligned_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            Program(code=[], data={3: 1})

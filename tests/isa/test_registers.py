@@ -1,0 +1,56 @@
+"""Unit tests for repro.isa.registers."""
+
+from repro.isa import registers as regs
+
+
+class TestRegisterSets:
+    def test_sixteen_gprs(self):
+        assert len(regs.GPRS) == 16
+        assert len(set(regs.GPRS)) == 16
+
+    def test_flags_is_not_a_gpr(self):
+        assert not regs.is_gpr(regs.FLAGS)
+        assert regs.is_register(regs.FLAGS)
+
+    def test_all_gprs_are_registers(self):
+        for name in regs.GPRS:
+            assert regs.is_gpr(name)
+            assert regs.is_register(name)
+
+    def test_unknown_names_rejected(self):
+        for name in ("eax", "xmm0", "", "RAX", "r16"):
+            assert not regs.is_gpr(name)
+
+    def test_stack_pointer_in_fork_copied_set(self):
+        # The paper: "The stack pointer itself (rsp) is copied to the
+        # forked path".
+        assert regs.STACK_POINTER in regs.FORK_COPIED_REGS
+
+    def test_paper_example_registers_copied(self):
+        # The paper's example copies rbx, rdi and rsi on fork.
+        for name in ("rbx", "rdi", "rsi"):
+            assert name in regs.FORK_COPIED_REGS
+
+    def test_rax_not_copied_on_fork(self):
+        # rax must be empty in the forked section: it is the channel that
+        # synchronizes the resume path with the callee's result.
+        assert "rax" not in regs.FORK_COPIED_REGS
+
+
+class TestFlagPacking:
+    def test_pack_all(self):
+        value = regs.pack_flags(True, True, True, True)
+        assert value == regs.ZF | regs.SF | regs.CF | regs.OF
+
+    def test_pack_none(self):
+        assert regs.pack_flags(False, False, False, False) == 0
+
+    def test_individual_bits_distinct(self):
+        bits = {regs.ZF, regs.SF, regs.CF, regs.OF}
+        assert len(bits) == 4
+
+    def test_describe(self):
+        assert regs.describe_flags(0) == "-"
+        assert "ZF" in regs.describe_flags(regs.ZF)
+        assert set(regs.describe_flags(regs.ZF | regs.CF).split("|")) == {
+            "ZF", "CF"}

@@ -1,0 +1,61 @@
+"""Property test: random programs round-trip through listing/assemble."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import GPRS, assemble
+
+regs = st.sampled_from([r for r in GPRS])
+imm = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+def _reg(r):
+    return "%" + r
+
+
+_operand = st.one_of(
+    imm.map(lambda v: "$%d" % v),
+    regs.map(_reg),
+    st.tuples(imm, regs).map(lambda t: "%d(%%%s)" % t),
+    st.tuples(regs, regs, st.sampled_from([1, 2, 4, 8])).map(
+        lambda t: "(%%%s,%%%s,%d)" % t),
+)
+
+_binary_op = st.sampled_from(["movq", "addq", "subq", "andq", "orq",
+                              "xorq", "imulq", "cmpq", "testq"])
+_unary_op = st.sampled_from(["incq", "decq", "negq", "notq"])
+
+_instr = st.one_of(
+    st.tuples(_binary_op, _operand, regs).map(
+        lambda t: "%s %s, %%%s" % t),
+    st.tuples(_unary_op, regs).map(lambda t: "%s %%%s" % t),
+    st.tuples(st.sampled_from(["shlq", "shrq", "sarq"]),
+              st.integers(min_value=0, max_value=63), regs).map(
+        lambda t: "%s $%d, %%%s" % t),
+    st.tuples(regs).map(lambda t: "pushq %%%s" % t),
+    st.tuples(regs).map(lambda t: "popq %%%s" % t),
+    st.just("nop"),
+    st.tuples(regs).map(lambda t: "out %%%s" % t),
+)
+
+programs = st.lists(_instr, min_size=1, max_size=30).map(
+    lambda lines: "main:\n" + "\n".join("    " + l for l in lines) + "\n    hlt\n")
+
+
+class TestRoundTrip:
+    @given(programs)
+    @settings(max_examples=120, deadline=None)
+    def test_listing_reassembles_identically(self, source):
+        first = assemble(source)
+        second = assemble(first.listing())
+        assert [str(i) for i in first.code] == [str(i) for i in second.code]
+        assert first.code_symbols == second.code_symbols
+
+    @given(programs)
+    @settings(max_examples=60, deadline=None)
+    def test_static_metadata_stable(self, source):
+        prog = assemble(source)
+        for instr in prog.code:
+            # static read/write sets are derived consistently
+            assert set(instr.reg_writes()) >= set()
+            if instr.writes_memory():
+                assert instr.kind in ("push", "call") or instr.mem_operand()

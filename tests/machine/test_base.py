@@ -1,0 +1,112 @@
+"""Edge cases of the shared interpreter core (machine.base)."""
+
+import pytest
+
+from repro.errors import ExecutionError, MemoryError_
+from repro.isa import STACK_TOP, assemble
+from repro.machine import SequentialMachine, run_forked, run_sequential
+
+
+def run(source, **kwargs):
+    return run_sequential(assemble(source), **kwargs)
+
+
+class TestControlEdgeCases:
+    def test_ret_to_garbage_address(self):
+        with pytest.raises(ExecutionError):
+            run("""
+            main:
+                movq $12345, %rax
+                pushq %rax
+                ret
+            """)
+
+    def test_jump_wraps_off_code(self):
+        # falling off the end of the code is detected
+        with pytest.raises(ExecutionError):
+            run("movq $1, %rax")
+
+    def test_initial_regs_override(self):
+        machine = SequentialMachine(
+            assemble("main: out %rdi\nout %rsi\nhlt"),
+            initial_regs={"rdi": 11, "rsi": -1})
+        result = machine.run()
+        assert result.output == [11, 2**64 - 1]
+
+    def test_misaligned_access_raises(self):
+        with pytest.raises(MemoryError_):
+            run("""
+            main:
+                movq $3, %rdi
+                movq (%rdi), %rax
+            """)
+
+    def test_lea_requires_memory_operand(self):
+        # the assembler parses `leaq %rbx, %rax` (register source), but
+        # execution rejects it
+        with pytest.raises(ExecutionError):
+            run("main: leaq %rbx, %rax\nhlt")
+
+    def test_push_immediate(self):
+        result = run("""
+        main:
+            pushq $41
+            popq %rax
+            incq %rax
+            out %rax
+            hlt
+        """)
+        assert result.output == [42]
+
+    def test_stack_grows_down_from_top(self):
+        result = run("main: out %rsp\nhlt")
+        assert result.output == [STACK_TOP - 8]   # below the halt sentinel
+
+
+class TestShiftForms:
+    def test_one_operand_shift_by_one(self):
+        result = run("""
+        main:
+            movq $5, %rsi
+            shrq %rsi
+            out %rsi
+            hlt
+        """)
+        assert result.output == [2]                # the paper's n/2 idiom
+
+    def test_memory_operand_shift(self):
+        result = run("""
+        main:
+            shlq $2, cell
+            movq cell, %rax
+            out %rax
+            hlt
+        .data
+        cell: .quad 3
+        """)
+        assert result.output == [12]
+
+
+class TestForkloopOpcode:
+    def test_forkloop_behaves_like_fork_functionally(self):
+        source = """
+        main:
+            movq $1, %rbx
+            FORKOP body
+            out %rbx
+            endfork
+        body:
+            movq $9, %rbx
+            endfork
+        """
+        for opcode in ("fork", "forkloop"):
+            result, machine = run_forked(
+                assemble(source.replace("FORKOP", opcode)))
+            assert result.output == [1]
+            assert len(machine.section_table()) == 2
+
+    def test_forkloop_round_trips_through_listing(self):
+        prog = assemble("main: forkloop x\nendfork\nx: endfork")
+        again = assemble(prog.listing())
+        assert [i.opcode for i in again.code] == ["forkloop", "endfork",
+                                                  "endfork"]

@@ -1,0 +1,246 @@
+"""Unit and property tests for the shared instruction semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.isa.registers import CF, OF, SF, ZF
+from repro.machine import executor as ex
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+s64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestConversions:
+    def test_to_signed_positive(self):
+        assert ex.to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert ex.to_signed(2**64 - 1) == -1
+        assert ex.to_signed(2**63) == -(2**63)
+
+    @given(s64)
+    def test_signed_round_trip(self, value):
+        assert ex.to_signed(ex.to_unsigned(value)) == value
+
+
+class TestBinary:
+    def test_add(self):
+        result, flags = ex.binary_result("add", 2, 3)
+        assert result == 5
+        assert not flags & ZF
+
+    def test_add_wraps_and_sets_cf(self):
+        result, flags = ex.binary_result("add", 1, 2**64 - 1)
+        assert result == 0
+        assert flags & ZF and flags & CF
+
+    def test_signed_overflow_sets_of(self):
+        _, flags = ex.binary_result("add", 2**63 - 1, 1)
+        assert flags & OF
+
+    def test_sub(self):
+        result, flags = ex.binary_result("sub", 3, 10)
+        assert result == 7
+        assert not flags & CF
+
+    def test_sub_borrow(self):
+        result, flags = ex.binary_result("sub", 10, 3)
+        assert ex.to_signed(result) == -7
+        assert flags & CF and flags & SF
+
+    def test_logic_clears_cf_of(self):
+        for op in ("and", "or", "xor"):
+            _, flags = ex.binary_result(op, 0xF0, 0x0F)
+            assert not flags & CF and not flags & OF
+
+    def test_xor_self_zero(self):
+        result, flags = ex.binary_result("xor", 0xABC, 0xABC)
+        assert result == 0 and flags & ZF
+
+    def test_mov_result_no_flags(self):
+        result, flags = ex.binary_result("mov", 42, 99)
+        assert result == 42 and flags is None
+
+    def test_imul(self):
+        result, flags = ex.binary_result("imul", 7, 6)
+        assert result == 42
+        assert not flags & CF
+
+    def test_imul_negative(self):
+        result, _ = ex.binary_result("imul", ex.to_unsigned(-3), 5)
+        assert ex.to_signed(result) == -15
+
+    def test_imul_overflow_flags(self):
+        _, flags = ex.binary_result("imul", 2**62, 4)
+        assert flags & CF and flags & OF
+
+    @given(u64, u64)
+    def test_add_matches_python(self, a, b):
+        result, _ = ex.binary_result("add", a, b)
+        assert result == (a + b) % 2**64
+
+    @given(s64, s64)
+    def test_imul_matches_python(self, a, b):
+        result, _ = ex.binary_result(
+            "imul", ex.to_unsigned(a), ex.to_unsigned(b))
+        assert ex.to_signed(result) == _wrap_signed(a * b)
+
+
+def _wrap_signed(value):
+    return (value + 2**63) % 2**64 - 2**63
+
+
+class TestUnary:
+    def test_inc(self):
+        result, flags = ex.unary_result("inc", 41, 0)
+        assert result == 42 and not flags & ZF
+
+    def test_inc_preserves_cf(self):
+        _, flags = ex.unary_result("inc", 1, CF)
+        assert flags & CF
+        _, flags = ex.unary_result("inc", 1, 0)
+        assert not flags & CF
+
+    def test_dec_to_zero(self):
+        result, flags = ex.unary_result("dec", 1, 0)
+        assert result == 0 and flags & ZF
+
+    def test_neg(self):
+        result, flags = ex.unary_result("neg", 5, 0)
+        assert ex.to_signed(result) == -5
+        assert flags & SF
+
+    def test_not_no_flags(self):
+        result, flags = ex.unary_result("not", 0, 0)
+        assert result == 2**64 - 1 and flags is None
+
+
+class TestShifts:
+    def test_shr_by_one_halves(self):
+        # Figure 5: "shrq %rsi  # rsi = n/2".
+        result, _ = ex.shift_result("shr", 5, 1)
+        assert result == 2
+
+    def test_shl(self):
+        result, _ = ex.shift_result("shl", 3, 4)
+        assert result == 48
+
+    def test_sar_keeps_sign(self):
+        result, _ = ex.shift_result("sar", ex.to_unsigned(-8), 1)
+        assert ex.to_signed(result) == -4
+
+    def test_shr_is_logical(self):
+        result, _ = ex.shift_result("shr", ex.to_unsigned(-8), 1)
+        assert ex.to_signed(result) > 0
+
+    def test_zero_count_keeps_value(self):
+        result, _ = ex.shift_result("shl", 123, 0)
+        assert result == 123
+
+    def test_count_masked_to_six_bits(self):
+        result, _ = ex.shift_result("shl", 1, 64)  # 64 & 63 == 0
+        assert result == 1
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_shr_matches_python(self, value, count):
+        result, _ = ex.shift_result("shr", value, count)
+        assert result == value >> count
+
+
+class TestCompare:
+    def test_cmp_above(self):
+        # cmpq $2, %rsi with rsi=5: dst-src = 3, unsigned above.
+        flags = ex.compare_flags("cmp", 2, 5)
+        assert ex.condition_holds("a", flags)
+        assert not ex.condition_holds("e", flags)
+
+    def test_cmp_equal(self):
+        flags = ex.compare_flags("cmp", 2, 2)
+        assert ex.condition_holds("e", flags)
+        assert not ex.condition_holds("a", flags)
+        assert ex.condition_holds("ae", flags)
+        assert ex.condition_holds("be", flags)
+
+    def test_cmp_signed_vs_unsigned(self):
+        flags = ex.compare_flags("cmp", 1, ex.to_unsigned(-1))
+        assert ex.condition_holds("a", flags)   # unsigned: huge > 1
+        assert ex.condition_holds("l", flags)   # signed: -1 < 1
+
+    def test_test_sets_zf(self):
+        assert ex.compare_flags("test", 1, 2) & ZF
+
+    @given(s64, s64)
+    def test_signed_conditions_match_python(self, a, b):
+        flags = ex.compare_flags(
+            "cmp", ex.to_unsigned(b), ex.to_unsigned(a))  # cmp b, a => a-b
+        assert ex.condition_holds("e", flags) == (a == b)
+        assert ex.condition_holds("ne", flags) == (a != b)
+        assert ex.condition_holds("l", flags) == (a < b)
+        assert ex.condition_holds("le", flags) == (a <= b)
+        assert ex.condition_holds("g", flags) == (a > b)
+        assert ex.condition_holds("ge", flags) == (a >= b)
+
+    @given(u64, u64)
+    def test_unsigned_conditions_match_python(self, a, b):
+        flags = ex.compare_flags("cmp", b, a)
+        assert ex.condition_holds("a", flags) == (a > b)
+        assert ex.condition_holds("ae", flags) == (a >= b)
+        assert ex.condition_holds("b", flags) == (a < b)
+        assert ex.condition_holds("be", flags) == (a <= b)
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ExecutionError):
+            ex.condition_holds("xyzzy", 0)
+
+
+class TestDivision:
+    def test_idiv_positive(self):
+        quotient, remainder = ex.idiv_result(7, 0, 2)
+        assert (quotient, remainder) == (3, 1)
+
+    def test_idiv_truncates_toward_zero(self):
+        rax = ex.to_unsigned(-7)
+        quotient, remainder = ex.idiv_result(rax, ex.cqo_result(rax), 2)
+        assert ex.to_signed(quotient) == -3
+        assert ex.to_signed(remainder) == -1
+
+    def test_idiv_by_zero(self):
+        with pytest.raises(ExecutionError):
+            ex.idiv_result(1, 0, 0)
+
+    def test_idiv_requires_cqo(self):
+        with pytest.raises(ExecutionError):
+            ex.idiv_result(ex.to_unsigned(-7), 0, 2)
+
+    def test_cqo(self):
+        assert ex.cqo_result(5) == 0
+        assert ex.cqo_result(ex.to_unsigned(-5)) == 2**64 - 1
+
+    @given(s64, s64.filter(lambda v: v != 0))
+    def test_idiv_matches_c_semantics(self, a, b):
+        rax = ex.to_unsigned(a)
+        quotient, remainder = ex.idiv_result(rax, ex.cqo_result(rax),
+                                             ex.to_unsigned(b))
+        # C division truncates toward zero:
+        expected_q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected_q = -expected_q
+        assert ex.to_signed(quotient) == expected_q
+        assert ex.to_signed(remainder) == a - expected_q * b
+
+
+class TestFetchComputable:
+    def test_simple_alu_is_computable(self):
+        assert ex.fetch_stage_computable("alu", False)
+        assert ex.fetch_stage_computable("mov", False)
+        assert ex.fetch_stage_computable("jcc", False)
+
+    def test_memory_never_computable(self):
+        # Paper 4.1: memory accesses are not computed in the fetch stage.
+        assert not ex.fetch_stage_computable("alu", True)
+        assert not ex.fetch_stage_computable("mov", True)
+
+    def test_complex_integer_not_computable(self):
+        assert not ex.fetch_stage_computable("muldiv", False)
+        assert not ex.fetch_stage_computable("idiv", False)

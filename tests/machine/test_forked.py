@@ -1,0 +1,232 @@
+"""Tests for the forked (section) machine against the paper's model."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import assemble
+from repro.machine import ForkedMachine, run_forked, run_sequential
+from repro.paper import (
+    paper_array,
+    sum_forked_program,
+    sum_sequential_program,
+)
+
+
+def run(source, **kwargs):
+    return run_forked(assemble(source), **kwargs)
+
+
+class TestForkSemantics:
+    def test_fork_creates_section_at_resume(self):
+        result, machine = run("""
+        main:
+            movq $1, %rbx
+            fork f
+            out %rbx        # resume path: new section
+            endfork
+        f:
+            movq $2, %rax   # callee path: same section continues
+            endfork
+        """)
+        assert result.output == [1]
+        assert len(machine.section_table()) == 2
+
+    def test_copied_register_snapshot(self):
+        # rbx is copied at fork time; the callee's clobber must not leak
+        # into the resume path.
+        result, _ = run("""
+        main:
+            movq $5, %rbx
+            fork f
+            out %rbx
+            endfork
+        f:
+            movq $99, %rbx
+            endfork
+        """)
+        assert result.output == [5]
+
+    def test_empty_register_resolves_to_callee_value(self):
+        # rax is NOT copied: the resume path's read synchronizes with the
+        # callee's last write (the paper's rax renaming example).
+        result, _ = run("""
+        main:
+            movq $1, %rax
+            fork f
+            out %rax
+            endfork
+        f:
+            movq $42, %rax
+            endfork
+        """)
+        assert result.output == [42]
+
+    def test_stack_shared_through_fork(self):
+        # Sections 2 and 5 of the paper share a stack word via rsp copy.
+        result, _ = run("""
+        main:
+            subq $8, %rsp
+            movq $7, %rax
+            movq %rax, 0(%rsp)
+            fork f
+            movq 0(%rsp), %rbx   # resume: reads the word f stored? no --
+            out %rbx             # f did not touch it; reads our own store
+            endfork
+        f:
+            endfork
+        """)
+        assert result.output == [7]
+
+    def test_resume_reads_callee_store(self):
+        result, _ = run("""
+        main:
+            subq $8, %rsp
+            fork f
+            movq 0(%rsp), %rbx
+            out %rbx
+            endfork
+        f:
+            movq $13, %rax
+            movq %rax, 0(%rsp)
+            endfork
+        """)
+        assert result.output == [13]
+
+    def test_nested_forks_lifo_order(self):
+        result, machine = run("""
+        main:
+            fork a
+            out %rax        # consumes the deepest result
+            endfork
+        a:
+            fork b
+            addq $1, %rax
+            endfork
+        b:
+            movq $100, %rax
+            endfork
+        """)
+        # Total order: main-head+a-head+b, then a-resume (+1), then
+        # main-resume (out) => 101.
+        assert result.output == [101]
+        assert len(machine.section_table()) == 3
+
+    def test_halted_reason(self):
+        result, _ = run("endfork")
+        assert result.halted == "endfork"
+
+    def test_call_ret_still_work(self):
+        result, _ = run("""
+        main:
+            call f
+            fork g
+            out %rax
+            endfork
+        f:
+            movq $5, %rax
+            ret
+        g:
+            addq $2, %rax
+            endfork
+        """)
+        assert result.output == [7]
+
+    def test_hlt_with_live_sections_rejected(self):
+        with pytest.raises(ExecutionError):
+            run("""
+            main:
+                fork f
+                endfork
+            f:
+                hlt         # halts while main's resume section is pending
+            """)
+
+    def test_out_order_matches_total_order(self):
+        result, _ = run("""
+        main:
+            movq $1, %r12
+            fork f
+            movq $3, %r12
+            out %r12
+            endfork
+        f:
+            movq $2, %r12
+            out %r12
+            endfork
+        """)
+        assert result.output == [2, 3]
+
+
+class TestSectionStructure:
+    def test_paper_figure4_tree(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        # Paper sections 1..5 plus the main resume section (6).
+        assert len(machine.section_table()) == 6
+        assert machine.section_tree() == {1: [2, 6], 2: [3, 5], 3: [4]}
+
+    def test_paper_figure6_section_lengths(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        lengths = {s.sid: s.length for s in machine.section_table()}
+        # Section 1 carries main's 3 lead-in instructions (paper counts 11
+        # for sum alone); sections 2..5 match Figure 6 exactly.
+        assert lengths[1] == 14
+        assert lengths[2] == 16
+        assert lengths[3] == 12
+        assert lengths[4] == 3
+        assert lengths[5] == 3
+
+    def test_section_ids_in_trace_order(self, sum5_fork):
+        result, machine = run_forked(sum5_fork, record_trace=True)
+        first_seqs = [s.first_seq for s in machine.section_table()]
+        assert first_seqs == sorted(first_seqs)
+        # Every entry labeled with its section; indices restart at 0.
+        for info in machine.section_table():
+            entries = result.trace.section_slice(info.sid)
+            assert [e.section_index for e in entries] == list(
+                range(len(entries)))
+            assert len(entries) == info.length
+
+    def test_depths_follow_call_levels(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        depth = {s.sid: s.depth for s in machine.section_table()}
+        # Paper Figure 4: sections 2 and 5 resume at the level of sum(t,5)'s
+        # body; sections 3 and 4 one deeper; main's resume at level 0.
+        assert depth[1] == 0
+        assert depth[2] == 1
+        assert depth[3] == 2
+        assert depth[4] == 2
+        assert depth[5] == 1
+        assert depth[6] == 0
+
+    def test_fork_count(self, sum5_fork):
+        _, machine = run_forked(sum5_fork)
+        assert machine.forks_executed == 5  # 1 in main + 2*2 internal nodes
+
+    def test_section_table_requires_completion(self, sum5_fork):
+        machine = ForkedMachine(sum5_fork)
+        machine.step()
+        with pytest.raises(ExecutionError):
+            machine.section_table()
+
+
+class TestEquivalenceWithSequential:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 13, 16, 40, 100])
+    def test_sum_matches_sequential(self, n):
+        values = [(i * 37 + 11) % 1000 - 300 for i in range(n)]
+        seq = run_sequential(sum_sequential_program(values))
+        fork, _ = run_forked(sum_forked_program(values))
+        assert fork.output == seq.output
+        assert fork.signed_output == [sum(values)]
+
+    def test_trace_shorter_than_sequential(self, sum5_seq, sum5_fork):
+        # The fork transformation removed the save/restore and return
+        # address traffic: 45 sum instructions instead of 59 (paper Sec. 5).
+        seq = run_sequential(sum5_seq)
+        fork, _ = run_forked(sum5_fork)
+        assert fork.steps < seq.steps
+
+    def test_sum5_has_45_sum_instructions(self, sum5_fork):
+        result, _ = run_forked(sum5_fork, record_trace=True)
+        sum_start = sum5_fork.code_symbols["sum"]
+        sum_entries = [e for e in result.trace if e.addr >= sum_start]
+        assert len(sum_entries) == 45  # paper: N(0) = 45 for sum(t, 5)

@@ -1,0 +1,80 @@
+"""Unit tests for the word-addressed memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryError_
+from repro.machine import Memory
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(0x1000) == 0
+
+    def test_store_load(self):
+        mem = Memory()
+        mem.store(0x1000, 42)
+        assert mem.load(0x1000) == 42
+
+    def test_store_wraps_to_64_bits(self):
+        mem = Memory()
+        mem.store(0x1000, -1)
+        assert mem.load(0x1000) == 2**64 - 1
+
+    def test_misaligned_load_rejected(self):
+        with pytest.raises(MemoryError_):
+            Memory().load(0x1001)
+
+    def test_misaligned_store_rejected(self):
+        with pytest.raises(MemoryError_):
+            Memory().store(4, 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            Memory().load(-8)
+
+    def test_initial_image(self):
+        mem = Memory({0x100: 7})
+        assert mem.load(0x100) == 7
+
+    def test_image_is_copied(self):
+        image = {0x100: 7}
+        mem = Memory(image)
+        mem.store(0x100, 9)
+        assert image[0x100] == 7
+
+    def test_ranges(self):
+        mem = Memory()
+        mem.store_range(0x200, [1, 2, 3])
+        assert mem.load_range(0x200, 3) == [1, 2, 3]
+        assert mem.load(0x208) == 2
+
+    def test_nonzero_words_hides_zero_stores(self):
+        mem = Memory()
+        mem.store(0x100, 0)
+        mem.store(0x108, 5)
+        assert mem.nonzero_words() == {0x108: 5}
+        assert mem.written_words() == {0x100: 0, 0x108: 5}
+
+    def test_equality_ignores_zero_stores(self):
+        a = Memory()
+        a.store(0x100, 0)
+        b = Memory()
+        assert a == b
+
+    def test_copy_is_independent(self):
+        a = Memory({0x100: 1})
+        b = a.copy()
+        b.store(0x100, 2)
+        assert a.load(0x100) == 1
+
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=2**20).map(lambda v: v * 8),
+        st.integers(min_value=0, max_value=2**64 - 1),
+        max_size=50))
+    def test_store_load_round_trip(self, words):
+        mem = Memory()
+        for addr, value in words.items():
+            mem.store(addr, value)
+        for addr, value in words.items():
+            assert mem.load(addr) == value

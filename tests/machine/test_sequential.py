@@ -1,0 +1,260 @@
+"""Tests for the sequential reference machine on real programs."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import STACK_TOP, assemble
+from repro.machine import SequentialMachine, run_sequential
+from repro.paper import paper_array, sum_sequential_program
+
+
+def run(source, **kwargs):
+    return run_sequential(assemble(source), **kwargs)
+
+
+class TestStraightLine:
+    def test_mov_out(self):
+        result = run("movq $7, %rax\nout %rax\nhlt")
+        assert result.output == [7]
+        assert result.halted == "hlt"
+
+    def test_arithmetic_chain(self):
+        result = run("""
+        movq $10, %rax
+        addq $5, %rax
+        subq $3, %rax
+        imulq $2, %rax
+        out %rax
+        hlt
+        """)
+        assert result.output == [24]
+
+    def test_division(self):
+        result = run("""
+        movq $17, %rax
+        cqo
+        movq $5, %rcx
+        idivq %rcx
+        out %rax
+        out %rdx
+        hlt
+        """)
+        assert result.output == [3, 2]
+
+    def test_lea_computes_address_without_access(self):
+        result = run("""
+        movq $100, %rdi
+        movq $3, %rsi
+        leaq 8(%rdi,%rsi,8), %rax
+        out %rax
+        hlt
+        """)
+        assert result.output == [132]
+
+    def test_memory_round_trip(self):
+        result = run("""
+        movq $5, %rax
+        movq %rax, buf
+        movq buf, %rbx
+        out %rbx
+        hlt
+        .data
+        buf: .quad 0
+        """)
+        assert result.output == [5]
+
+    def test_rmw_memory_destination(self):
+        result = run("""
+        movq $3, %rax
+        addq %rax, cell
+        addq %rax, cell
+        movq cell, %rbx
+        out %rbx
+        hlt
+        .data
+        cell: .quad 10
+        """)
+        assert result.output == [16]
+
+
+class TestControlFlow:
+    def test_loop(self):
+        result = run("""
+        main:
+            movq $0, %rax
+            movq $5, %rcx
+        loop:
+            addq %rcx, %rax
+            dec %rcx
+            jne loop
+            out %rax
+            hlt
+        """)
+        assert result.output == [15]
+
+    def test_signed_branch(self):
+        result = run("""
+            movq $-5, %rax
+            cmpq $0, %rax
+            jl neg
+            out %rax
+            hlt
+        neg:
+            negq %rax
+            out %rax
+            hlt
+        """)
+        assert result.output == [5]
+
+    def test_call_ret(self):
+        result = run("""
+        main:
+            movq $20, %rdi
+            call double
+            out %rax
+            hlt
+        double:
+            movq %rdi, %rax
+            addq %rax, %rax
+            ret
+        """)
+        assert result.output == [40]
+
+    def test_nested_calls_restore_stack(self):
+        result = run("""
+        main:
+            movq %rsp, %rbx
+            call a
+            cmpq %rsp, %rbx
+            jne bad
+            out %rax
+            hlt
+        bad:
+            movq $-1, %rax
+            out %rax
+            hlt
+        a:
+            call b
+            incq %rax
+            ret
+        b:
+            movq $10, %rax
+            ret
+        """)
+        assert result.output == [11]
+
+    def test_main_ret_halts(self):
+        result = run("main: movq $3, %rax\nret")
+        assert result.halted == "ret"
+        assert result.return_value == 3
+
+    def test_recursion_fib(self):
+        result = run("""
+        main:
+            movq $10, %rdi
+            call fib
+            out %rax
+            hlt
+        fib:
+            cmpq $2, %rdi
+            jae rec
+            movq %rdi, %rax
+            ret
+        rec:
+            pushq %rdi
+            subq $1, %rdi
+            call fib
+            popq %rdi
+            pushq %rax
+            subq $2, %rdi
+            call fib
+            popq %rbx
+            addq %rbx, %rax
+            ret
+        """)
+        assert result.output == [55]
+
+
+class TestErrors:
+    def test_fork_rejected(self):
+        with pytest.raises(ExecutionError):
+            run("f: fork f")
+
+    def test_endfork_rejected(self):
+        with pytest.raises(ExecutionError):
+            run("endfork")
+
+    def test_runaway_loop_detected(self):
+        with pytest.raises(ExecutionError):
+            run("x: jmp x", max_steps=1000)
+
+    def test_ip_off_the_end(self):
+        with pytest.raises(ExecutionError):
+            run("nop")  # falls off the code
+
+    def test_step_after_halt_rejected(self):
+        machine = SequentialMachine(assemble("hlt"))
+        machine.run()
+        with pytest.raises(ExecutionError):
+            machine.step()
+
+
+class TestTraceRecords:
+    def test_trace_length_matches_steps(self):
+        result = run("movq $1, %rax\nout %rax\nhlt", record_trace=True)
+        assert len(result.trace) == result.steps == 3
+
+    def test_branch_outcomes_recorded(self):
+        result = run("""
+        cmpq $0, %rax
+        jne skip
+        nop
+        skip: hlt
+        """, record_trace=True)
+        branch = result.trace[1]
+        assert branch.taken is False
+        assert result.trace[0].taken is None
+
+    def test_memory_addresses_recorded(self):
+        result = run("""
+        movq $7, %rax
+        pushq %rax
+        popq %rbx
+        hlt
+        """, record_trace=True)
+        push, pop = result.trace[1], result.trace[2]
+        assert push.mem_writes == (STACK_TOP - 16,)  # below the halt sentinel
+        assert pop.mem_reads == push.mem_writes
+
+    def test_call_depth_tracked(self):
+        result = run("""
+        main:
+            call f
+            hlt
+        f:  ret
+        """, record_trace=True)
+        depths = [e.depth for e in result.trace]
+        assert depths == [0, 1, 0]
+
+
+class TestPaperSum:
+    def test_sum5(self, sum5_seq):
+        result = run_sequential(sum5_seq)
+        assert result.output == [15]
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 16, 33, 100])
+    def test_sum_many_sizes(self, n):
+        values = paper_array(n)
+        result = run_sequential(sum_sequential_program(values))
+        assert result.output == [sum(values)]
+
+    def test_figure3_trace_is_59_sum_instructions(self, sum5_seq):
+        result = run_sequential(sum5_seq, record_trace=True)
+        sum_start = sum5_seq.code_symbols["sum"]
+        sum_entries = [e for e in result.trace if e.addr >= sum_start]
+        assert len(sum_entries) == 59
+
+    def test_stack_balanced_at_exit(self, sum5_seq):
+        result = run_sequential(sum5_seq)
+        # main never returns (hlt), so rsp sits below the halt sentinel.
+        assert result.regs["rsp"] == STACK_TOP - 8

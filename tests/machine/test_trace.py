@@ -1,0 +1,75 @@
+"""Unit tests for the Trace container and its statistics."""
+
+from repro.machine import run_forked, run_sequential
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_forked_program, sum_sequential_program
+
+
+def sum_trace(n=5):
+    return run_sequential(sum_sequential_program(paper_array(n)),
+                          record_trace=True).trace
+
+
+class TestTraceStatistics:
+    def test_len_and_iter(self):
+        trace = sum_trace()
+        assert len(trace) == sum(1 for _ in trace)
+        assert trace[0].seq == 0
+
+    def test_slicing(self):
+        trace = sum_trace()
+        assert [e.seq for e in trace[:3]] == [0, 1, 2]
+
+    def test_count_kind(self):
+        trace = sum_trace()
+        assert trace.count_kind("call") == 5   # 1 from main + 4 recursive
+        assert trace.count_kind("ret") == 5
+        assert trace.count_kind("call", "ret") == 10
+
+    def test_branches(self):
+        trace = sum_trace()
+        # each sum() call executes ja + (jne on the leaf paths)
+        assert trace.branches() == sum(1 for e in trace
+                                       if e.taken is not None)
+        assert trace.branches() >= 5
+
+    def test_stack_ops_dominate_in_sequential_sum(self):
+        trace = sum_trace()
+        # the paper's Section 3: stack manipulation is pervasive
+        assert trace.stack_ops() > len(trace) * 0.3
+
+    def test_memory_ops(self):
+        trace = sum_trace()
+        assert 0 < trace.memory_ops() < len(trace)
+
+    def test_max_depth(self):
+        assert sum_trace(40).max_depth() > sum_trace(5).max_depth()
+
+    def test_sections_sequential_is_one(self):
+        assert sum_trace().sections() == 1
+
+    def test_sections_forked(self):
+        result, _ = run_forked(sum_forked_program(paper_array(5)),
+                               record_trace=True)
+        assert result.trace.sections() == 6
+        assert len(result.trace.section_slice(2)) == 16
+
+    def test_listing(self):
+        trace = sum_trace()
+        text = trace.listing()
+        assert text.splitlines()[0].strip().startswith("1")
+        assert "movq" in text
+
+    def test_describe_uses_section_numbering(self):
+        result, _ = run_forked(sum_forked_program(paper_array(5)),
+                               record_trace=True)
+        tags = [e.describe().split()[0] for e in result.trace]
+        assert "2-16" in tags and "1-1" in tags
+
+
+class TestRunResult:
+    def test_signed_output(self):
+        prog = compile_source("long main() { out(0 - 5); return 0; }")
+        result = run_sequential(prog)
+        assert result.output == [2**64 - 5]
+        assert result.signed_output == [-5]

@@ -1,0 +1,214 @@
+"""MiniC code generation tests: compiled programs run correctly."""
+
+import pytest
+
+from repro.errors import CompileError, ExecutionError
+from repro.machine import run_sequential
+from repro.minic import compile_source, compile_to_asm
+
+
+def run_main(body, prelude=""):
+    source = "%s\nlong main() { %s }" % (prelude, body)
+    return run_sequential(compile_source(source))
+
+
+def returns(body, prelude=""):
+    result = run_main(body, prelude)
+    value = result.return_value
+    return value - 2**64 if value >= 2**63 else value
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert returns("return 2 + 3 * 4 - 6 / 2;") == 11
+
+    def test_division_truncates_toward_zero(self):
+        assert returns("return -7 / 2;") == -3
+        assert returns("return -7 %% 2;".replace("%%", "%")) == -1
+        assert returns("return 7 / -2;") == -3
+
+    def test_shifts(self):
+        assert returns("return 1 << 10;") == 1024
+        assert returns("return -8 >> 1;") == -4
+        assert returns("long k = 3; return 5 << k;") == 40
+
+    def test_bitwise(self):
+        assert returns("return (12 & 10) | (1 ^ 3);") == 10
+
+    def test_unary(self):
+        assert returns("return -(-5);") == 5
+        assert returns("return ~0;") == -1
+        assert returns("return !0 + !7;") == 1
+
+    def test_comparisons_yield_01(self):
+        assert returns("return (3 < 5) + (5 < 3) * 10;") == 1
+        assert returns("return (-1 < 1);") == 1       # signed compare
+
+    def test_short_circuit_and(self):
+        # The RHS divides by zero; short-circuit must skip it.
+        assert returns("long z = 0; return 0 && (1 / z); ") == 0
+
+    def test_short_circuit_or(self):
+        assert returns("long z = 0; return 1 || (1 / z);") == 1
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(ExecutionError):
+            run_main("long z = 0; return 1 / z;")
+
+    def test_ternary(self):
+        assert returns("return 1 ? 10 : 20;") == 10
+        assert returns("long a = 0; return a ? 10 : 20;") == 20
+
+    def test_assignment_value(self):
+        assert returns("long a; long b; b = (a = 21) * 2; return b + a;") == 63
+
+    def test_large_constants(self):
+        assert returns("return 1 << 62;") == 1 << 62
+
+
+class TestVariables:
+    def test_globals(self):
+        assert returns("g = g + 1; return g;", "long g = 41;") == 42
+
+    def test_global_array_init(self):
+        assert returns("return A[0] + A[2];", "long A[3] = {5, 6, 7};") == 12
+
+    def test_global_array_zero_fill(self):
+        assert returns("return A[3];", "long A[4] = {1};") == 0
+
+    def test_local_array(self):
+        assert returns("""
+        long buf[4];
+        long i;
+        for (i = 0; i < 4; i = i + 1) buf[i] = i * i;
+        return buf[3];
+        """) == 9
+
+    def test_pointer_walk(self):
+        assert returns("""
+        long* p;
+        p = A;
+        long s = 0;
+        while (p - A < 3) { s = s + *p; p = p + 1; }
+        return s;
+        """, "long A[3] = {10, 20, 30};") == 60
+
+    def test_address_of_local(self):
+        assert returns("""
+        long x = 5;
+        long* p;
+        p = &x;
+        *p = *p + 37;
+        return x;
+        """) == 42
+
+    def test_pointer_index_write(self):
+        assert returns("""
+        long* p;
+        p = A + 1;
+        p[1] = 99;
+        return A[2];
+        """, "long A[4];") == 99
+
+    def test_negative_index(self):
+        assert returns("""
+        long* p;
+        p = A + 2;
+        return p[-1];
+        """, "long A[3] = {1, 2, 3};") == 2
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert returns("""
+        long i = 0; long s = 0;
+        while (i < 10) { s = s + i; i = i + 1; }
+        return s;
+        """) == 45
+
+    def test_for_with_break_continue(self):
+        assert returns("""
+        long s = 0; long i;
+        for (i = 0; i < 100; i = i + 1) {
+            if (i == 10) break;
+            if (i % 2) continue;
+            s = s + i;
+        }
+        return s;
+        """) == 20
+
+    def test_nested_loops(self):
+        assert returns("""
+        long s = 0; long i; long j;
+        for (i = 0; i < 4; i = i + 1)
+            for (j = 0; j < i; j = j + 1)
+                s = s + 1;
+        return s;
+        """) == 6
+
+    def test_fallthrough_returns_zero(self):
+        assert returns("long x = 5;") == 0
+
+    def test_early_return(self):
+        assert returns("return 1; return 2;") == 1
+
+
+class TestFunctions:
+    def test_six_args(self):
+        assert returns(
+            "return f(1, 2, 3, 4, 5, 6);",
+            "long f(long a, long b, long c, long d, long e, long g) "
+            "{ return a + 10*b + 100*c + 1000*d + 10000*e + 100000*g; }"
+        ) == 654321
+
+    def test_recursion_ackermann_small(self):
+        assert returns(
+            "return ack(2, 3);",
+            """
+            long ack(long m, long n) {
+                if (m == 0) return n + 1;
+                if (n == 0) return ack(m - 1, 1);
+                return ack(m - 1, ack(m, n - 1));
+            }
+            """) == 9
+
+    def test_mutual_recursion(self):
+        assert returns(
+            "return is_even(10) + is_odd(10) * 10;",
+            """
+            long is_even(long n) { return n == 0 ? 1 : is_odd(n - 1); }
+            long is_odd(long n) { return n == 0 ? 0 : is_even(n - 1); }
+            """) == 1
+
+    def test_call_in_expression(self):
+        assert returns(
+            "return f(2) * f(3) + f(f(2));",
+            "long f(long x) { return x + 1; }") == 16
+
+    def test_out_returns_its_value(self):
+        result = run_main("return out(7) + out(8);")
+        assert result.signed_output == [7, 8]
+        assert result.return_value == 15
+
+
+class TestDriver:
+    def test_missing_main_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("long f() { return 0; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("long main(long argc) { return 0; }")
+
+    def test_no_main_allowed_when_not_required(self):
+        compile_source("long f() { return 0; }", require_main=False)
+
+    def test_asm_text_is_assemblable(self):
+        asm = compile_to_asm("long g = 3; long main() { return g; }")
+        assert "_start:" in asm and ".data" in asm
+
+    def test_fork_mode_emits_fork(self):
+        asm = compile_to_asm(
+            "long f() { return 1; } long main() { return f(); }",
+            fork_mode=True)
+        assert "fork f" in asm and "endfork" in asm and "ret" not in asm.split()

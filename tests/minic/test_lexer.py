@@ -1,0 +1,78 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("long longer iff if") == [
+            ("kw", "long"), ("ident", "longer"), ("ident", "iff"),
+            ("kw", "if")]
+
+    def test_all_keywords(self):
+        for kw in ("long", "if", "else", "while", "for", "return", "break",
+                   "continue"):
+            assert tokenize(kw)[0].kind == "kw"
+
+    def test_numbers(self):
+        tokens = tokenize("0 42 0x1F")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31]
+
+    def test_number_too_large(self):
+        with pytest.raises(CompileError):
+            tokenize(str(2 ** 63))
+
+    def test_bad_numeric_literal(self):
+        with pytest.raises(CompileError):
+            tokenize("12abc")
+
+    def test_bad_hex(self):
+        with pytest.raises(CompileError):
+            tokenize("0x")
+
+    def test_maximal_munch(self):
+        assert kinds("a << b <= c < d") == [
+            ("ident", "a"), ("op", "<<"), ("ident", "b"), ("op", "<="),
+            ("ident", "c"), ("op", "<"), ("ident", "d")]
+
+    def test_compound_assignment_rejected(self):
+        with pytest.raises(CompileError):
+            kinds("a <<= 1")
+
+    def test_logical_operators(self):
+        assert kinds("a && b || !c") == [
+            ("ident", "a"), ("op", "&&"), ("ident", "b"), ("op", "||"),
+            ("op", "!"), ("ident", "c")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError) as err:
+            tokenize("a @ b")
+        assert "1:3" in str(err.value)
+
+
+class TestTrivia:
+    def test_line_comments(self):
+        assert kinds("a // comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)

@@ -1,0 +1,155 @@
+"""Unit tests for the MiniC parser (AST shapes, precedence, errors)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic import ast, parse
+
+
+def parse_expr(text):
+    unit = parse("long main() { return %s; }" % text)
+    return unit.functions[0].body.stmts[0].value
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        unit = parse("""
+        long n = 5;
+        long A[4] = {1, 2, 3};
+        long* p;
+        long f(long x) { return x; }
+        long main() { return f(n); }
+        """)
+        assert [g.name for g in unit.globals] == ["n", "A", "p"]
+        assert [f.name for f in unit.functions] == ["f", "main"]
+        assert unit.globals[1].array_size == 4
+        assert unit.globals[1].init_values == [1, 2, 3]
+        assert unit.globals[2].ptr_depth == 1
+
+    def test_negative_global_init(self):
+        unit = parse("long x = -7;")
+        assert unit.globals[0].init_values == [-7]
+
+    def test_too_many_initializers(self):
+        with pytest.raises(CompileError):
+            parse("long A[2] = {1, 2, 3};")
+
+    def test_scalar_brace_initializer_rejected(self):
+        with pytest.raises(CompileError):
+            parse("long x = {1};")
+
+    def test_pointer_return_rejected(self):
+        with pytest.raises(CompileError):
+            parse("long* f() { return 0; }")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CompileError):
+            parse("long A[0];")
+
+    def test_params(self):
+        unit = parse("long f(long a, long* b, long** c) { return 0; }")
+        assert [(p.name, p.ptr_depth) for p in unit.functions[0].params] == [
+            ("a", 0), ("b", 1), ("c", 2)]
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_shift_between_add_and_compare(self):
+        expr = parse_expr("1 << 2 + 3")       # 1 << (2+3)
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+        expr = parse_expr("1 < 2 << 3")       # 1 < (2<<3)
+        assert expr.op == "<"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("a == 1 && b < 2 || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and expr.left.op == "-"
+
+    def test_assignment_right_associative(self):
+        unit = parse("long main() { long a; long b; a = b = 1; return a; }")
+        assign = unit.functions[0].body.stmts[2].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Cond)
+        assert isinstance(expr.other, ast.Cond)
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_unary_chains(self):
+        expr = parse_expr("--a")              # -(-a); no decrement operator
+        assert expr.op == "-" and expr.operand.op == "-"
+
+    def test_deref_index_postfix(self):
+        expr = parse_expr("*p[1]")            # *(p[1])
+        assert isinstance(expr, ast.Unary) and expr.op == "*"
+        assert isinstance(expr.operand, ast.Index)
+
+
+class TestStatements:
+    def _body(self, text):
+        return parse("long main() { %s }" % text).functions[0].body.stmts
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (1) return 1; else return 2;")
+        assert isinstance(stmt, ast.If) and stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = self._body("if (1) if (2) return 1; else return 2;")
+        assert stmt.other is None
+        assert stmt.then.other is not None
+
+    def test_while(self):
+        (stmt,) = self._body("while (1) { break; }")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.body.stmts[0], ast.Break)
+
+    def test_for_full(self):
+        (stmt,) = self._body("for (long i = 0; i < 3; i = i + 1) continue;")
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.cond is not None and stmt.post is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = self._body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.post is None
+
+    def test_local_array(self):
+        (stmt, _ret) = self._body("long buf[8]; return 0;")
+        assert stmt.array_size == 8
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(CompileError):
+            self._body("long buf[2] = 1;")
+
+    def test_empty_statement(self):
+        stmts = self._body("; return 0;")
+        assert len(stmts) == 2
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(CompileError):
+            self._body("1 = 2;")
+
+    def test_call_target_must_be_name(self):
+        with pytest.raises(CompileError):
+            self._body("(1 + 2)(3);")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("long main() { return 0;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            self._body("return 0")

@@ -1,0 +1,118 @@
+"""Unit tests for the register-carried forked-loop planner."""
+
+import pytest
+
+from repro.minic import compile_to_ast
+from repro.minic.codegen import _forkable_body, _plan_register_loop
+
+
+def plan_of(loop_source):
+    unit = compile_to_ast("long G[4]; long main() { %s return 0; }"
+                          % loop_source)
+    from repro.minic import ast
+    for stmt in unit.function("main").body.stmts:
+        if isinstance(stmt, ast.For):
+            return _plan_register_loop(stmt)
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                if isinstance(inner, ast.For):
+                    return _plan_register_loop(inner)
+    raise AssertionError("no for loop found")
+
+
+class TestPlanner:
+    def test_canonical_upward(self):
+        plan = plan_of("long i; for (i = 0; i < 10; i = i + 1) G[0] = i;")
+        assert plan is not None
+        counter, limit, op, step = plan
+        assert counter.name == "i" and op == "<" and step == 1
+
+    def test_constant_plus_counter(self):
+        plan = plan_of("long i; for (i = 0; i < 10; i = 1 + i) G[0] = i;")
+        assert plan is not None
+
+    def test_downward(self):
+        plan = plan_of("long i; for (i = 9; i >= 0; i = i - 1) G[0] = i;")
+        assert plan is not None
+        assert plan[3] == -1
+
+    def test_variable_limit(self):
+        plan = plan_of(
+            "long b = 7; long i; for (i = 0; i < b; i = i + 1) G[0] = i;")
+        assert plan is not None
+        from repro.minic import ast
+        assert isinstance(plan[1], ast.Var)
+
+    def test_global_limit_rejected(self):
+        plan = plan_of(
+            "long i; for (i = 0; i < G[0]; i = i + 1) G[1] = i;")
+        assert plan is None
+
+    def test_counter_assigned_in_body_rejected(self):
+        plan = plan_of(
+            "long i; for (i = 0; i < 10; i = i + 1) { i = i; }")
+        assert plan is None
+
+    def test_limit_assigned_in_body_rejected(self):
+        plan = plan_of(
+            "long b = 5; long i;"
+            " for (i = 0; i < b; i = i + 1) { b = b - 1; }")
+        assert plan is None
+
+    def test_address_taken_rejected(self):
+        plan = plan_of(
+            "long i; long* p;"
+            " for (i = 0; i < 10; i = i + 1) { p = &i; G[0] = *p; }")
+        assert plan is None
+
+    def test_shadowing_declaration_rejected(self):
+        plan = plan_of(
+            "long i; for (i = 0; i < 10; i = i + 1) { long i = 3; "
+            "G[0] = i; }")
+        assert plan is None
+
+    def test_nonunit_step(self):
+        plan = plan_of("long i; for (i = 0; i < 10; i = i + 3) G[0] = i;")
+        assert plan is not None and plan[3] == 3
+
+    def test_zero_step_rejected(self):
+        plan = plan_of("long i; for (i = 0; i < 10; i = i + 0) break;")
+        assert plan is None
+
+    def test_compound_condition_rejected(self):
+        plan = plan_of(
+            "long i; for (i = 0; i + 1 < 10; i = i + 1) G[0] = i;")
+        assert plan is None
+
+    def test_mutation_in_nested_loop_detected(self):
+        plan = plan_of(
+            "long i; long j; for (i = 0; i < 4; i = i + 1) "
+            "{ for (j = 0; j < 2; j = j + 1) { i = i + j; } }")
+        assert plan is None
+
+
+class TestForkableBody:
+    def _body(self, source):
+        unit = compile_to_ast("long main() { %s return 0; }" % source)
+        from repro.minic import ast
+        for stmt in unit.function("main").body.stmts:
+            if isinstance(stmt, (ast.For, ast.While)):
+                return stmt.body
+        raise AssertionError("no loop")
+
+    def test_plain_body(self):
+        assert _forkable_body(self._body(
+            "long i; for (i = 0; i < 3; i = i + 1) { out(i); }"))
+
+    def test_return_rejected(self):
+        assert not _forkable_body(self._body(
+            "long i; for (i = 0; i < 3; i = i + 1) { return i; }"))
+
+    def test_break_of_this_loop_rejected(self):
+        assert not _forkable_body(self._body(
+            "long i; for (i = 0; i < 3; i = i + 1) { break; }"))
+
+    def test_break_of_nested_loop_ok(self):
+        assert _forkable_body(self._body(
+            "long i; for (i = 0; i < 3; i = i + 1)"
+            " { while (1) { break; } }"))

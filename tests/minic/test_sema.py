@@ -1,0 +1,164 @@
+"""Unit tests for MiniC semantic analysis (scopes and pointer-depth typing)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic import compile_to_ast
+
+
+def check(source):
+    return compile_to_ast(source)
+
+
+def check_main(body):
+    return check("long main() { %s }" % body)
+
+
+def expect_error(source, fragment):
+    with pytest.raises(CompileError) as err:
+        check(source)
+    assert fragment in str(err.value)
+
+
+class TestScopes:
+    def test_undeclared_identifier(self):
+        expect_error("long main() { return x; }", "undeclared")
+
+    def test_block_scoping(self):
+        expect_error("long main() { { long x = 1; } return x; }",
+                     "undeclared")
+
+    def test_shadowing_allowed(self):
+        check_main("long x = 1; { long x = 2; out(x); } return x;")
+
+    def test_redefinition_rejected(self):
+        expect_error("long main() { long x; long x; return 0; }",
+                     "redefinition")
+
+    def test_global_function_collision(self):
+        expect_error("long f = 1; long f() { return 0; }", "redefinition")
+
+    def test_for_init_scope(self):
+        expect_error(
+            "long main() { for (long i = 0; i < 2; i = i + 1) ; return i; }",
+            "undeclared")
+
+    def test_param_visible(self):
+        check("long f(long a) { return a; } long main() { return f(1); }")
+
+    def test_function_used_as_value(self):
+        expect_error("long f() { return 0; } long main() { return f; }",
+                     "used as a value")
+
+
+class TestCalls:
+    def test_arity_checked(self):
+        expect_error(
+            "long f(long a) { return a; } long main() { return f(1, 2); }",
+            "takes 1 argument")
+
+    def test_unknown_function(self):
+        expect_error("long main() { return g(); }", "undeclared function")
+
+    def test_forward_calls_allowed(self):
+        check("long main() { return g(); } long g() { return 1; }")
+
+    def test_recursion_allowed(self):
+        check("long f(long n) { return n ? f(n - 1) : 0; } "
+              "long main() { return f(3); }")
+
+    def test_out_builtin_arity(self):
+        expect_error("long main() { out(1, 2); return 0; }",
+                     "exactly one")
+
+    def test_too_many_params(self):
+        expect_error(
+            "long f(long a, long b, long c, long d, long e, long g, long h)"
+            " { return 0; } long main() { return 0; }",
+            "too many parameters")
+
+    def test_pointer_argument_depth_checked(self):
+        expect_error(
+            "long f(long* p) { return p[0]; }"
+            "long main() { return f(3); }",
+            "assign")
+
+
+class TestPointerTyping:
+    def test_depths_annotated(self):
+        unit = check("""
+        long A[4];
+        long main() { long* p; p = A + 1; return p[0]; }
+        """)
+        ret = unit.function("main").body.stmts[2]
+        assert ret.value.depth == 0
+
+    def test_deref_long_rejected(self):
+        expect_error("long main() { long x; return *x; }", "dereference")
+
+    def test_index_long_rejected(self):
+        expect_error("long main() { long x; return x[0]; }",
+                     "not a pointer")
+
+    def test_pointer_plus_pointer_rejected(self):
+        expect_error("long A[2]; long main() { return A + A < A; }",
+                     "two pointers")
+
+    def test_pointer_difference_is_long(self):
+        check("long A[4]; long main() { long* p; p = A + 3; return p - A; }")
+
+    def test_long_minus_pointer_rejected(self):
+        expect_error("long A[2]; long main() { long* p; p = A; "
+                     "return (1 - p) == 0; }", "subtract")
+
+    def test_pointer_multiplication_rejected(self):
+        expect_error("long A[2]; long main() { return (A * 2) == 0; }",
+                     "long operands")
+
+    def test_assign_depth_mismatch(self):
+        expect_error("long A[2]; long main() { long x; x = A; return x; }",
+                     "assign")
+
+    def test_assign_literal_zero_to_pointer(self):
+        check("long main() { long* p; p = 0; return 0; }")
+
+    def test_arrays_not_assignable(self):
+        expect_error("long A[2]; long B[2]; long main() { A = B; return 0; }",
+                     "not assignable")
+
+    def test_address_of_lvalue(self):
+        check("long main() { long x = 1; long* p; p = &x; return *p; }")
+
+    def test_address_of_array_rejected(self):
+        expect_error("long A[2]; long main() { return (&A) == 0; }",
+                     "decays")
+
+    def test_address_of_rvalue_rejected(self):
+        expect_error("long main() { return (&(1 + 2)) == 0; }",
+                     "not an lvalue")
+
+    def test_return_pointer_rejected(self):
+        expect_error("long A[2]; long main() { return A; }",
+                     "return long")
+
+    def test_ternary_branch_types(self):
+        expect_error("long A[2]; long main() { long x; "
+                     "return (1 ? A : x) == 0; }", "incompatible")
+
+    def test_double_pointer(self):
+        check("""
+        long A[2];
+        long f(long** pp) { return (*pp)[0]; }
+        long main() { long* p; p = A; return f(&p); }
+        """)
+
+
+class TestLoops:
+    def test_break_outside_loop(self):
+        expect_error("long main() { break; return 0; }", "outside")
+
+    def test_continue_outside_loop(self):
+        expect_error("long main() { continue; return 0; }", "outside")
+
+    def test_break_in_loop_ok(self):
+        check_main("while (1) break; return 0;")

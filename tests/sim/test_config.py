@@ -1,0 +1,127 @@
+"""Unit tests for SimConfig validation and the evaluate helper."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import Imm, Instruction, Mem, Reg
+from repro.isa.operands import LabelRef
+from repro.isa.registers import FLAGS, pack_flags
+from repro.sim import SimConfig, figure10_config
+from repro.sim.evaluate import effective_address, evaluate
+
+
+class TestSimConfig:
+    def test_defaults_valid(self):
+        config = SimConfig()
+        assert config.n_cores >= 1
+        assert config.section_create_latency == 2   # the paper's constant
+
+    def test_figure10_config(self):
+        config = figure10_config()
+        assert config.n_cores == 5
+        assert config.fetch_width == 1
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_cores=0)
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(placement="astrology")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(retire_width=0)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(line_bytes=48)
+        with pytest.raises(ValueError):
+            SimConfig(line_bytes=4)
+
+
+def values(**kwargs):
+    table = {"rflags": 0}
+    table.update(kwargs)
+    return table.__getitem__
+
+
+class TestEvaluate:
+    def test_alu(self):
+        instr = Instruction("add", (Reg("rbx"), Reg("rax")))
+        result = evaluate(instr, values(rax=5, rbx=2))
+        assert result.reg_writes["rax"] == 7
+        assert FLAGS in result.reg_writes
+
+    def test_mov_imm(self):
+        instr = Instruction("mov", (Imm(9), Reg("rcx")))
+        assert evaluate(instr, values()).reg_writes == {"rcx": 9}
+
+    def test_store_value(self):
+        instr = Instruction("mov", (Reg("rax"), Mem(base="rsp")))
+        result = evaluate(instr, values(rax=11, rsp=0))
+        assert result.mem_value == 11
+        assert not result.reg_writes
+
+    def test_load(self):
+        instr = Instruction("mov", (Mem(base="rdi"), Reg("rax")))
+        result = evaluate(instr, values(rdi=0), loaded=77)
+        assert result.reg_writes == {"rax": 77}
+
+    def test_load_without_value_rejected(self):
+        instr = Instruction("mov", (Mem(base="rdi"), Reg("rax")))
+        with pytest.raises(SimulationError):
+            evaluate(instr, values(rdi=0))
+
+    def test_rmw_memory(self):
+        instr = Instruction("add", (Reg("rax"), Mem(base="rsp")))
+        result = evaluate(instr, values(rax=3, rsp=0), loaded=10)
+        assert result.mem_value == 13
+
+    def test_jcc(self):
+        instr = Instruction("jne", (LabelRef("x", target=7),))
+        instr.addr = 2
+        taken = evaluate(instr, values(rflags=0))
+        assert taken.taken is True and taken.next_ip == 7
+        not_taken = evaluate(
+            instr, values(rflags=pack_flags(True, False, False, False)))
+        assert not_taken.taken is False and not_taken.next_ip is None
+
+    def test_push_call_ret_pop(self):
+        push = Instruction("push", (Reg("rbx"),))
+        assert evaluate(push, values(rbx=4, rsp=100)).mem_value == 4
+        call = Instruction("call", (LabelRef("f", target=9),))
+        call.addr = 3
+        result = evaluate(call, values(rsp=100))
+        assert result.mem_value == 4 and result.next_ip == 9
+        pop = Instruction("pop", (Reg("rbx"),))
+        assert evaluate(pop, values(rsp=0), loaded=123).reg_writes == {
+            "rbx": 123}
+        ret = Instruction("ret")
+        assert evaluate(ret, values(rsp=0), loaded=5).next_ip == 5
+
+    def test_out(self):
+        instr = Instruction("out", (Reg("rax"),))
+        assert evaluate(instr, values(rax=55)).out_value == 55
+
+    def test_lea(self):
+        instr = Instruction("lea",
+                            (Mem(disp=8, base="rdi", index="rsi", scale=8),
+                             Reg("rax")))
+        result = evaluate(instr, values(rdi=100, rsi=2))
+        assert result.reg_writes == {"rax": 124}
+
+    def test_effective_address(self):
+        mem = Mem(disp=-8, base="rbp")
+        assert effective_address(mem, values(rbp=200)) == 192
+
+    def test_shift_by_register(self):
+        instr = Instruction("shl", (Reg("rcx"), Reg("rax")))
+        result = evaluate(instr, values(rax=3, rcx=4))
+        assert result.reg_writes["rax"] == 48
+
+    def test_idiv(self):
+        instr = Instruction("idiv", (Reg("rcx"),))
+        result = evaluate(instr, values(rax=17, rdx=0, rcx=5))
+        assert result.reg_writes["rax"] == 3
+        assert result.reg_writes["rdx"] == 2

@@ -1,0 +1,76 @@
+"""NoC topology models and their effect on simulated runs."""
+
+import pytest
+
+from repro.machine import run_forked
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import MeshNoc, SimConfig, UniformNoc, make_noc, simulate
+
+
+class TestUniform:
+    def test_same_core_free(self):
+        noc = UniformNoc(8, 3)
+        assert noc.latency(2, 2) == 0
+
+    def test_flat_latency(self):
+        noc = UniformNoc(8, 3)
+        assert noc.latency(0, 7) == noc.latency(3, 4) == 3
+
+    def test_dmh_port(self):
+        assert UniformNoc(8, 3).dmh_latency_from(5) == 3
+
+
+class TestMesh:
+    def test_square_layout(self):
+        noc = MeshNoc(16, 1)
+        assert noc.width == 4
+        assert noc.coords(0) == (0, 0)
+        assert noc.coords(5) == (1, 1)
+        assert noc.coords(15) == (3, 3)
+
+    def test_manhattan_distance(self):
+        noc = MeshNoc(16, 1)
+        assert noc.latency(0, 15) == 6          # (0,0) -> (3,3)
+        assert noc.latency(0, 1) == 1
+        assert noc.latency(5, 5) == 0
+
+    def test_hop_latency_scales(self):
+        assert MeshNoc(16, 2).latency(0, 15) == 12
+
+    def test_dmh_at_corner(self):
+        noc = MeshNoc(16, 1)
+        assert noc.dmh_latency_from(15) == 6
+        assert noc.dmh_latency_from(0) == 1     # at least one port hop
+
+    def test_non_square_counts(self):
+        noc = MeshNoc(5, 1)
+        assert noc.width == 3
+        assert noc.coords(4) == (1, 1)
+
+    def test_factory(self):
+        assert isinstance(make_noc("uniform", 4, 1), UniformNoc)
+        assert isinstance(make_noc("mesh", 4, 1), MeshNoc)
+        with pytest.raises(ValueError):
+            make_noc("torus", 4, 1)
+
+
+class TestMeshSimulation:
+    def test_mesh_correctness(self):
+        prog = sum_forked_program(paper_array(20))
+        oracle, _ = run_forked(prog)
+        result, proc = simulate(prog, SimConfig(n_cores=16, topology="mesh",
+                                                stack_shortcut=True))
+        assert result.outputs == oracle.output
+        assert proc.noc.describe().startswith("mesh")
+
+    def test_mesh_never_faster_than_uniform(self):
+        prog = sum_forked_program(paper_array(20))
+        uniform, _ = simulate(prog, SimConfig(n_cores=16,
+                                              stack_shortcut=True))
+        mesh, _ = simulate(prog, SimConfig(n_cores=16, topology="mesh",
+                                           stack_shortcut=True))
+        assert mesh.retire_end >= uniform.retire_end
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(topology="hypercube")

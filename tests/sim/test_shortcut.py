@@ -1,0 +1,196 @@
+"""The stack shortcut (paper Section 4.2, statement ii) and the loop-fork
+frame rules: correctness on disciplined programs, effectiveness, and the
+documented unsafe case that keeps it opt-in."""
+
+import pytest
+
+from repro.fork import fork_transform
+from repro.machine import run_forked, run_sequential
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+
+DC_SOURCE = """
+long A[32];
+long weighted(long lo, long hi) {
+    if (hi - lo == 1) return A[lo] * lo;
+    long mid = lo + (hi - lo) / 2;
+    return weighted(lo, mid) + weighted(mid, hi);
+}
+long main() { out(weighted(0, 32)); return 0; }
+"""
+
+LOOP_SOURCE = """
+long A[24];
+long n = 24;
+long main() {
+    long bound = n;
+    long i;
+    for (i = 0; i < bound; i = i + 1) A[i] = i * 5 %% 7;
+    long s = 0;
+    for (i = 0; i < bound; i = i + 1) s = s + A[i] * A[i];
+    out(s);
+    return 0;
+}
+""".replace("%%", "%")
+
+
+def both_ways(prog, cores=8):
+    oracle, _ = run_forked(prog)
+    plain, _ = simulate(prog, SimConfig(n_cores=cores, stack_shortcut=False))
+    fast, _ = simulate(prog, SimConfig(n_cores=cores, stack_shortcut=True))
+    assert plain.outputs == oracle.output
+    assert fast.outputs == oracle.output
+    return plain, fast
+
+
+class TestCorrectnessWithShortcut:
+    def test_divide_and_conquer(self):
+        prog = compile_source(DC_SOURCE, fork_mode=True)
+        both_ways(prog)
+
+    def test_forked_loops(self):
+        prog = compile_source(LOOP_SOURCE, fork_mode=True, fork_loops=True)
+        both_ways(prog)
+
+    def test_binary_transform(self):
+        prog = fork_transform(compile_source(DC_SOURCE))
+        both_ways(prog)
+
+    def test_paper_sum(self):
+        from repro.paper import paper_array, sum_forked_program
+        prog = sum_forked_program(paper_array(20))
+        plain, fast = both_ways(prog)
+        assert fast.signed_outputs == [210]
+
+    def test_accumulator_across_loop_bodies(self):
+        # Loop bodies write a frame accumulator: the forkloop link must not
+        # be cut away (this was a real bug during development).
+        src = """
+        long main() {
+            long total = 0;
+            long i;
+            for (i = 1; i < 20; i = i + 1) {
+                total = total + i * i;
+            }
+            out(total);
+            return 0;
+        }
+        """
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        plain, fast = both_ways(prog)
+        assert fast.signed_outputs == [2470]
+
+
+class TestEffectiveness:
+    def test_shortcut_speeds_up_compiled_code(self):
+        # Frame-variable branches stall fetch until renaming replies; the
+        # shortcut is what makes compiled (stack-based) code fetch in
+        # parallel at all.
+        prog = fork_transform(compile_source(DC_SOURCE))
+        plain, fast = both_ways(prog, cores=16)
+        assert fast.fetch_end < plain.fetch_end / 2
+
+    def test_shortcut_requests_resolve_earlier(self):
+        prog = compile_source(DC_SOURCE, fork_mode=True)
+        plain, _ = simulate(prog, SimConfig(n_cores=16))
+        fast, _ = simulate(prog, SimConfig(n_cores=16, stack_shortcut=True))
+        assert fast.retire_end < plain.retire_end
+
+
+class TestRegisterCarriedLoops:
+    def test_forkloop_emitted(self):
+        from repro.minic import compile_to_asm
+        text = compile_to_asm(LOOP_SOURCE, fork_mode=True, fork_loops=True)
+        assert "forkloop" in text
+
+    def test_register_loop_used_for_canonical_form(self):
+        from repro.minic import compile_to_asm
+        text = compile_to_asm(LOOP_SOURCE, fork_mode=True, fork_loops=True)
+        # the counter bookkeeping runs on a fork-copied scratch register
+        assert "%r15" in text or "%r12" in text
+
+    def test_noncanonical_form_falls_back(self):
+        from repro.minic import compile_to_asm
+        src = """
+        long A[8];
+        long main() {
+            long i;
+            for (i = 0; i + 1 < 8; i = i + 1) A[i] = i;  // cond not i<limit
+            out(A[3]);
+            return 0;
+        }
+        """
+        text = compile_to_asm(src, fork_mode=True, fork_loops=True)
+        assert "forkloop" in text        # still forked, memory-carried
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        both_ways(prog)
+
+    def test_body_modifying_counter_falls_back(self):
+        src = """
+        long main() {
+            long s = 0;
+            long i;
+            for (i = 0; i < 20; i = i + 1) {
+                if (i == 5) i = 10;     // assigns the counter
+                s = s + i;
+            }
+            out(s);
+            return 0;
+        }
+        """
+        seq = run_sequential(compile_source(src))
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        forked, _ = run_forked(prog)
+        assert forked.output == seq.output
+        plain, fast = both_ways(prog)
+        assert fast.outputs == seq.output
+
+    def test_downward_loop(self):
+        src = """
+        long main() {
+            long s = 0;
+            long i;
+            for (i = 10; i > 0; i = i - 1) s = s + i;
+            out(s);
+            return 0;
+        }
+        """
+        seq = run_sequential(compile_source(src))
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        plain, fast = both_ways(prog)
+        assert fast.signed_outputs == seq.signed_output == [55]
+
+    def test_nested_register_loops(self):
+        src = """
+        long M[36];
+        long main() {
+            long i;
+            long j;
+            for (i = 0; i < 6; i = i + 1) {
+                for (j = 0; j < 6; j = j + 1) {
+                    M[i * 6 + j] = i * 10 + j;
+                }
+            }
+            out(M[0] + M[35] + M[7]);
+            return 0;
+        }
+        """
+        seq = run_sequential(compile_source(src))
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        plain, fast = both_ways(prog)
+        assert fast.outputs == seq.output
+
+    def test_counter_value_after_loop(self):
+        src = """
+        long main() {
+            long i;
+            long s = 0;
+            for (i = 0; i < 7; i = i + 1) s = s + 1;
+            out(i);                       // 7: the first failing value
+            return 0;
+        }
+        """
+        seq = run_sequential(compile_source(src))
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        plain, fast = both_ways(prog)
+        assert fast.signed_outputs == seq.signed_output == [7]

@@ -1,0 +1,88 @@
+"""The Section 5 closed forms, validated against the executable models."""
+
+import pytest
+
+from repro import analytic
+from repro.isa import assemble
+from repro.machine import ForkedMachine
+from repro.paper import SUM_FORKED_ASM, paper_array, sum_forked_program
+from repro.sim import SimConfig, simulate
+
+
+class TestClosedForms:
+    def test_paper_instruction_counts(self):
+        # "The number of instructions is 45·2ⁿ + 14(2ⁿ−1) ... (i.e. 45 for
+        # sum(t,5), 104 for sum(t,10))".
+        assert analytic.instructions(0) == 45
+        assert analytic.instructions(1) == 104
+        assert analytic.instructions(8) == 15090   # 1280 elements
+
+    def test_paper_fetch_times(self):
+        # "The fetch time is 30 + 12n (i.e. 30 for sum(t,5), 42 for
+        # sum(t,10)) ... 15090 instructions are fetched in 126 cycles".
+        assert analytic.fetch_cycles(0) == 30
+        assert analytic.fetch_cycles(1) == 42
+        assert analytic.fetch_cycles(8) == 126
+
+    def test_paper_fetch_ipc(self):
+        assert analytic.fetch_ipc(0) == pytest.approx(1.5)
+        assert analytic.fetch_ipc(1) == pytest.approx(104 / 42)
+        assert analytic.fetch_ipc(8) == pytest.approx(120, abs=0.5)
+
+    def test_paper_retire_times(self):
+        # "The retirement time is 43 + 15n ... retired in 163 cycles, i.e.
+        # 92 instructions per cycle".
+        assert analytic.retire_cycles(0) == 43
+        assert analytic.retire_cycles(8) == 163
+        assert analytic.retire_ipc(8) == pytest.approx(92, abs=1)
+
+    def test_sizes(self):
+        assert analytic.sum_sizes(0) == 5
+        assert analytic.sum_sizes(8) == 1280
+
+    def test_sections_for_sum5(self):
+        assert analytic.sections(0) == 5     # Figure 4
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            analytic.instructions(-1)
+
+    def test_table(self):
+        table = analytic.paper_table(8)
+        assert len(table) == 9
+        assert table[0].row().startswith("n=0")
+        assert table[8].instructions == 15090
+
+
+class TestAgainstExecutableModels:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_instruction_count_matches_forked_machine(self, n):
+        # Run sum(t, 5·2ⁿ) starting directly at the sum label, like the
+        # paper does (no main lead-in).
+        elements = analytic.sum_sizes(n)
+        values = paper_array(elements)
+        src = SUM_FORKED_ASM + "\n.data\nn: .quad %d\ntab: .quad %s\n" % (
+            elements, ", ".join(map(str, values)))
+        prog = assemble(src, entry="sum")
+        init = {"rdi": prog.data_symbols["tab"], "rsi": elements}
+        machine = ForkedMachine(prog, initial_regs=init)
+        result = machine.run()
+        assert result.steps == analytic.instructions(n)
+        assert len(machine.section_table()) == analytic.sections(n)
+        assert result.regs["rax"] == sum(values)
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_simulator_fetch_time_close_to_formula(self, n):
+        elements = analytic.sum_sizes(n)
+        values = paper_array(elements)
+        src = SUM_FORKED_ASM + "\n.data\nn: .quad %d\ntab: .quad %s\n" % (
+            elements, ", ".join(map(str, values)))
+        prog = assemble(src, entry="sum")
+        init = {"rdi": prog.data_symbols["tab"], "rsi": elements}
+        cores = analytic.sections(n)
+        result, _ = simulate(prog, SimConfig(n_cores=cores),
+                             initial_regs=init)
+        # The paper's creation-latency accounting differs from ours by a
+        # small constant per nesting level; stay within 20%.
+        formula = analytic.fetch_cycles(n)
+        assert abs(result.fetch_end - formula) <= max(3, 0.2 * formula)

@@ -1,0 +1,99 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+MINIC = """
+long A[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+long sum(long* t, long k) {
+    if (k == 1) return t[0];
+    return sum(t, k / 2) + sum(t + k / 2, k - k / 2);
+}
+long main() { out(sum(A, 8)); return 0; }
+"""
+
+ASM = """
+main:
+    movq $6, %rax
+    imulq $7, %rax
+    out %rax
+    hlt
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(MINIC)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(ASM)
+    return str(path)
+
+
+class TestCLI:
+    def test_run_minic(self, minic_file, capsys):
+        assert main(["run", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "36"
+
+    def test_run_asm(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "42"
+
+    def test_runfork(self, minic_file, capsys):
+        assert main(["runfork", minic_file, "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "36"
+        assert "sections" in out and "section 1" in out
+
+    def test_simulate(self, minic_file, capsys):
+        assert main(["simulate", minic_file, "--cores", "4",
+                     "--shortcut"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "36"
+        assert "cycles" in out
+
+    def test_simulate_timing_table(self, asm_file, capsys):
+        assert main(["simulate", asm_file, "--cores", "1", "--timing"]) == 0
+        assert "core 1 pipeline" in capsys.readouterr().out
+
+    def test_compile(self, minic_file, capsys):
+        assert main(["compile", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out and "call sum" in out
+
+    def test_compile_fork(self, minic_file, capsys):
+        assert main(["compile", minic_file, "--fork"]) == 0
+        assert "fork sum" in capsys.readouterr().out
+
+    def test_transform(self, minic_file, capsys):
+        assert main(["transform", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "fork sum" in out and "endfork" in out
+
+    def test_ilp(self, minic_file, capsys):
+        assert main(["ilp", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "parallel" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 10
+        assert "minSpanningTree/parallelKruskal" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.c"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("long main() { return undeclared; }")
+        assert main(["run", str(path)]) == 1
+        assert "undeclared" in capsys.readouterr().err

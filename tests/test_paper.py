@@ -1,0 +1,49 @@
+"""Tests for the repro.paper module (the paper's listings as programs)."""
+
+import pytest
+
+from repro.paper import (
+    SUM_FORKED_ASM,
+    SUM_SEQUENTIAL_ASM,
+    paper_array,
+    sum_forked_program,
+    sum_sequential_program,
+)
+
+
+class TestPaperPrograms:
+    def test_paper_array(self):
+        assert paper_array(5) == [1, 2, 3, 4, 5]
+        assert sum(paper_array(5)) == 15
+
+    def test_sum_sequential_builds(self):
+        prog = sum_sequential_program([7])
+        assert "sum" in prog.code_symbols
+        assert prog.read_data("tab", 1) == [7]
+        assert prog.read_data("n", 1) == [1]
+
+    def test_sum_forked_has_no_call_ret(self):
+        prog = sum_forked_program(paper_array(5))
+        opcodes = {i.opcode for i in prog.code}
+        assert "fork" in opcodes and "endfork" in opcodes
+        assert "call" not in opcodes and "ret" not in opcodes
+        assert "push" not in opcodes          # saves removed, Figure 5
+
+    def test_sequential_listing_keeps_saves(self):
+        prog = sum_sequential_program(paper_array(5))
+        opcodes = [i.opcode for i in prog.code]
+        assert opcodes.count("push") >= 3     # Figure 2 lines 8-10
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            sum_sequential_program([])
+
+    def test_negative_values(self):
+        from repro.machine import run_sequential
+        result = run_sequential(sum_sequential_program([-3, 10, -2]))
+        assert result.signed_output == [5]
+
+    def test_listings_contain_paper_comments(self):
+        assert "rightmost operand is the destination" not in SUM_SEQUENTIAL_ASM
+        assert "sum(t, n/2)" in SUM_SEQUENTIAL_ASM
+        assert "consumes the final sum via renaming" in SUM_FORKED_ASM

@@ -1,0 +1,86 @@
+"""The Table 1 suite: every workload's compiled program matches its oracle,
+at several sizes and seeds, and the registry is complete."""
+
+import pytest
+
+from repro.workloads import WORKLOADS, get_workload
+
+
+class TestRegistry:
+    def test_ten_workloads(self):
+        assert len(WORKLOADS) == 10
+
+    def test_paper_numbering(self):
+        assert [w.key for w in WORKLOADS] == [
+            "01", "02", "03", "04", "05", "06", "07", "08", "09", "10"]
+
+    def test_table1_names(self):
+        names = {w.key: w.name for w in WORKLOADS}
+        assert names["01"] == "breadthFirstSearch/ndBFS"
+        assert names["02"] == "comparisonSort/quickSort"
+        assert names["03"] == "convexHull/quickHull"
+        assert names["04"] == "dictionary/deterministicHash"
+        assert names["05"] == "integerSort/blockRadixSort"
+        assert names["06"] == "maximalIndependentSet/ndMIS"
+        assert names["07"] == "maximalMatching/ndMatching"
+        assert names["08"] == "minSpanningTree/parallelKruskal"
+        assert names["09"] == "nearestNeighbors/octTree2Neighbors"
+        assert names["10"] == "removeDuplicates/deterministicHash"
+
+    def test_lookup_by_short_and_key(self):
+        assert get_workload("bfs").key == "01"
+        assert get_workload("05").short == "radixsort"
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_paper_data_parallel_set(self):
+        # Paper: "when a benchmark is data parallel its parallel run ILP
+        # increases proportionally to the dataset (e.g. benchmarks 1, 2, 5,
+        # 6, 9 and 10)".
+        growing = {w.key for w in WORKLOADS if w.data_parallel}
+        assert growing == {"01", "02", "05", "06", "09", "10"}
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.short)
+class TestOracleAgreement:
+    def test_scale0(self, workload):
+        workload.instance(scale=0, seed=1).verify()
+
+    def test_scale2(self, workload):
+        workload.instance(scale=2, seed=1).verify()
+
+    def test_different_seed(self, workload):
+        workload.instance(scale=1, seed=99).verify()
+
+    def test_determinism(self, workload):
+        a = workload.instance(scale=0, seed=5)
+        b = workload.instance(scale=0, seed=5)
+        assert a.source == b.source
+        assert a.expected_output == b.expected_output
+
+    def test_seed_changes_dataset(self, workload):
+        a = workload.instance(scale=1, seed=1)
+        b = workload.instance(scale=1, seed=2)
+        assert a.source != b.source
+
+
+class TestInstances:
+    def test_explicit_n(self):
+        inst = get_workload("quicksort").instance(n=25)
+        assert inst.n == 25
+        inst.verify()
+
+    def test_trace_entries_stream(self):
+        inst = get_workload("dedup").instance(scale=0)
+        count = sum(1 for _ in inst.trace_entries())
+        assert count == inst.run().steps
+
+    def test_verify_raises_on_mismatch(self):
+        inst = get_workload("bfs").instance(scale=0)
+        inst.expected_output = [0, 0]
+        with pytest.raises(AssertionError):
+            inst.verify()
+
+    def test_geometric_scaling(self):
+        w = get_workload("mis")
+        assert w.instance(scale=3).n == 8 * w.instance(scale=0).n
