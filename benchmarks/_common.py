@@ -2,13 +2,18 @@
 
 Every benchmark regenerates one of the paper's tables or figures and writes
 the rendered rows to ``benchmarks/results/<name>.txt`` (pytest captures
-stdout, so the files are the canonical artifact).  Dataset sizes scale with
-the ``REPRO_BENCH_SCALE`` environment variable: 0 (default) keeps the whole
-suite to a couple of minutes; 1 or 2 stretch toward the paper's sizes.
+stdout, so the files are the canonical artifact).  Benchmarks that have
+machine-readable payloads additionally write
+``benchmarks/results/BENCH_<name>.json`` via :func:`emit_json` so plots
+and CI checks don't have to re-parse the text tables.  Dataset sizes scale
+with the ``REPRO_BENCH_SCALE`` environment variable: 0 (default) keeps the
+whole suite to a couple of minutes; 1 or 2 stretch toward the paper's
+sizes.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -25,6 +30,20 @@ def emit(name: str, text: str) -> Path:
     path.write_text(text + "\n")
     print("\n" + text)
     print("[written to %s]" % path)
+    return path
+
+
+def emit_json(name: str, payload) -> Path:
+    """Persist a machine-readable result next to the text table.
+
+    The payload must be JSON-serializable; the file lands at
+    ``benchmarks/results/BENCH_<name>.json`` with stable key order so
+    diffs between runs stay readable.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / ("BENCH_%s.json" % name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("[json written to %s]" % path)
     return path
 
 

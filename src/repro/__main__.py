@@ -7,6 +7,9 @@ Commands:
 * ``runfork FILE``    — run a fork/endfork program (or MiniC with --fork)
                         on the section machine; print output + sections.
 * ``simulate FILE``   — cycle-simulate on the distributed many-core.
+* ``stats FILE``      — cycle-simulate and print the observability
+                        report (occupancy, request latencies, NoC
+                        counters), optionally as JSON.
 * ``compile FILE``    — compile MiniC to assembly text (stdout).
 * ``transform FILE``  — apply the call→fork transformation; print the
                         rewritten listing.
@@ -21,6 +24,7 @@ assembles as toy x86.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
@@ -67,17 +71,50 @@ def cmd_runfork(args) -> int:
     return 0
 
 
+def _sim_config(args, **extra) -> SimConfig:
+    return SimConfig(n_cores=args.cores, stack_shortcut=args.shortcut,
+                     placement=args.placement,
+                     event_driven=args.scheduler == "event", **extra)
+
+
 def cmd_simulate(args) -> int:
     prog = _load_program(args.file, args.file.endswith(".c"),
                          args.fork_loops)
-    config = SimConfig(n_cores=args.cores, stack_shortcut=args.shortcut,
-                       placement=args.placement)
-    result, proc = simulate(prog, config)
+    result, proc = simulate(prog, _sim_config(args))
     for value in result.signed_outputs:
         print(value)
     print("# " + result.describe())
     if args.timing:
         print(proc.timing_table())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    config = _sim_config(args, trace=args.trace)
+    result, _ = simulate(prog, config)
+    if args.json:
+        payload = result.to_json_dict(include_memory=args.memory,
+                                      include_trace=args.trace)
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(result.describe())
+    print("scheduler: %s" % result.scheduler)
+    summary = result.occupancy_summary()
+    print("occupancy: " + "  ".join(
+        "%s=%.1f%%" % (state, 100.0 * summary[state])
+        for state in sorted(summary)))
+    latency = result.request_latency_stats()
+    print("request latency: count=%d min=%d p50=%d p90=%d max=%d mean=%.2f"
+          % (latency["count"], latency["min"], latency["p50"],
+             latency["p90"], latency["max"], latency["mean"]))
+    print("noc: " + "  ".join(
+        "%s=%d" % kv for kv in sorted(result.noc_stats.items())))
+    if args.trace and result.trace is not None:
+        for core_id, row in enumerate(result.trace):
+            print("core %2d: %s" % (core_id, row))
     return 0
 
 
@@ -131,18 +168,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the section tree")
     runfork.set_defaults(func=cmd_runfork)
 
+    def add_sim_options(cmd):
+        cmd.add_argument("file")
+        cmd.add_argument("--cores", type=int, default=8)
+        cmd.add_argument("--shortcut", action="store_true",
+                         help="enable the stack shortcut")
+        cmd.add_argument("--placement", default="round_robin",
+                         choices=["round_robin", "least_loaded", "same_core",
+                                  "random"])
+        cmd.add_argument("--scheduler", default="event",
+                         choices=["event", "naive"],
+                         help="main-loop scheduler (bit-identical results)")
+        cmd.add_argument("--fork-loops", action="store_true")
+
     sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
-    sim.add_argument("file")
-    sim.add_argument("--cores", type=int, default=8)
-    sim.add_argument("--shortcut", action="store_true",
-                     help="enable the stack shortcut")
-    sim.add_argument("--placement", default="round_robin",
-                     choices=["round_robin", "least_loaded", "same_core",
-                              "random"])
-    sim.add_argument("--fork-loops", action="store_true")
+    add_sim_options(sim)
     sim.add_argument("--timing", action="store_true",
                      help="print the Figure 10 stage table")
     sim.set_defaults(func=cmd_simulate)
+
+    stats = sub.add_parser("stats",
+                           help="simulate and report cycle-level stats")
+    add_sim_options(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the machine-readable SimResult export")
+    stats.add_argument("--trace", action="store_true",
+                       help="include the per-cycle core-state trace")
+    stats.add_argument("--memory", action="store_true",
+                       help="include final memory contents in --json output")
+    stats.set_defaults(func=cmd_stats)
 
     comp = sub.add_parser("compile", help="compile MiniC to assembly")
     comp.add_argument("file")

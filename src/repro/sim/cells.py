@@ -21,15 +21,22 @@ from ..isa.instructions import Instruction
 
 
 class Cell:
-    """A renamed location: empty until produced, then immutable."""
+    """A renamed location: empty until produced, then immutable.
 
-    __slots__ = ("value", "ready_cycle", "origin", "is_import")
+    Cells double as the event-driven scheduler's wake list: a parked core
+    registers itself as a *waiter* on every cell it is blocked on, and
+    :meth:`fill` wakes all registered waiters.  Waiter notification is free
+    for the common cell that nobody parks on (``waiters`` stays ``None``).
+    """
+
+    __slots__ = ("value", "ready_cycle", "origin", "is_import", "waiters")
 
     def __init__(self, origin: str = "", is_import: bool = False):
         self.value: Optional[int] = None
         self.ready_cycle: Optional[int] = None
         self.origin = origin          #: debugging tag, e.g. "s3:i5:rax"
         self.is_import = is_import    #: caches a predecessor's value
+        self.waiters: Optional[list] = None   #: parked cores to wake on fill
 
     @property
     def ready(self) -> bool:
@@ -41,6 +48,20 @@ class Cell:
                 "double write to renamed location %s" % self.origin)
         self.value = value
         self.ready_cycle = cycle
+        if self.waiters is not None:
+            for waiter in self.waiters:
+                waiter.wake()
+            self.waiters = None
+
+    def add_waiter(self, waiter) -> None:
+        """Register *waiter* (a parked core) to be woken when this cell
+        fills.  Idempotent per waiter; a no-op once the cell is ready."""
+        if self.ready:
+            return
+        if self.waiters is None:
+            self.waiters = [waiter]
+        elif waiter not in self.waiters:
+            self.waiters.append(waiter)
 
     @staticmethod
     def full(value: int, cycle: int = 0, origin: str = "") -> "Cell":

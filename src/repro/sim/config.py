@@ -54,6 +54,19 @@ class SimConfig:
     #: memory line size in bytes for DMH replies (paper footnote 5: full
     #: lines are fetched and cached along the return path)
     line_bytes: int = 64
+    #: scheduler: True runs the event-driven fast path (cores park when
+    #: blocked on renaming requests / NoC replies / an empty fetch queue
+    #: and are woken by the unblocking event; provably cycle-identical to
+    #: the naive loop — see tests/sim/test_differential.py); False runs
+    #: the reference loop that ticks every core every cycle
+    event_driven: bool = True
+    #: record the per-cycle core-state timeline (fetching / computing /
+    #: blocked / parked) into ``SimResult.trace``; opt-in because a run of
+    #: C cycles on N cores stores C*N state codes
+    trace: bool = False
+    #: collect per-core and per-section occupancy histograms (cheap:
+    #: per-core counters plus bulk accounting over parked spans)
+    collect_occupancy: bool = True
     #: simulation budget; exceeding it raises (deadlock guard)
     max_cycles: int = 2_000_000
 

@@ -25,15 +25,31 @@ from ..machine.executor import MASK, fetch_stage_computable
 from .cells import Cell, DynInstr
 from .evaluate import effective_address, evaluate
 from .section import SectionState
+from .stats import BLOCKED, COMPUTING, FETCHING, PARKED
 
 
 class Core:
-    """One core: pipeline state + hosted sections."""
+    """One core: pipeline state + hosted sections.
+
+    Under the event-driven scheduler a core *parks* when none of its
+    pipeline structures can possibly make progress: every IQ/LSQ entry
+    waits on an unready cell, every fetchable section is stalled on
+    control or not yet created, and the rename queue is empty.  Parking
+    registers the core as a waiter on exactly the cells it is blocked on
+    (:meth:`repro.sim.cells.Cell.add_waiter`); the fill that unblocks it
+    wakes it.  Time-driven wakes (a forked section's first fetch cycle)
+    go through the processor's wake heap.  A parked core's skipped cycles
+    are provably no-ops, which is what keeps the fast path bit-identical
+    to the naive every-core-every-cycle loop.
+    """
 
     def __init__(self, core_id: int, proc):
         self.id = core_id
         self.proc = proc
         self.hosted: List[SectionState] = []
+        #: hosted sections not yet complete — the working set every stage
+        #: iterates (complete sections are no-ops in every stage)
+        self.open_secs: List[SectionState] = []
         self.current_fetch: Optional[SectionState] = None
         self.rename_queue: List[DynInstr] = []   # fetch order, per-section FIFO
         self.iq: List[DynInstr] = []
@@ -43,25 +59,166 @@ class Core:
         self.fetch_computed = 0
         self.executed = 0
         self.retired = 0
+        # event-driven scheduling state
+        self.parked = False
+        self._span_start: Optional[int] = None   #: first skipped cycle
+        self._span_has_work = False
+        self._blocked_from: Optional[int] = None
+        # observability
+        self.did_work = False          #: any non-fetch stage progressed
+        self.occ = [0, 0, 0, 0]        #: cycles per state, CORE_STATES order
+        self.trace_states: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # cycle driver
     # ------------------------------------------------------------------
 
     def cycle(self, now: int) -> None:
+        if self._span_start is not None:
+            self._close_span(now - 1)
+        fetched_before = self.fetched
+        self.did_work = False
         self._retire(now)
         self._memory(now)
         self._addr_rename(now)
         self._execute(now)
         self._rename(now)
         self._fetch(now)
+        if self.proc.occupancy_on:
+            if self.fetched > fetched_before:
+                state = FETCHING
+            elif self.did_work:
+                state = COMPUTING
+            elif self._has_any_work():
+                state = BLOCKED
+            else:
+                state = PARKED
+            self.occ[state] += 1
+            if self.trace_states is not None:
+                self.trace_states.append(state)
+
+    # ------------------------------------------------------------------
+    # event-driven scheduling: park / wake
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Make the core runnable again; the pending parked span is closed
+        lazily at its next executed cycle."""
+        self.parked = False
+
+    def _has_any_work(self) -> bool:
+        return bool(self.rename_queue or self.iq or self.lsq
+                    or self.open_secs)
+
+    def maybe_park(self, now: int) -> None:
+        """After running cycle *now*: park if no pipeline structure can act
+        before an external event, registering wake conditions."""
+        ready, blockers, time_wake = self._park_state(now)
+        if ready:
+            return
+        has_work = self._has_any_work()
+        if has_work and not blockers and time_wake is None:
+            # Defensive: a blocked core must have a registered wake source;
+            # if the analysis finds none, spin like the naive loop rather
+            # than risk a lost wake-up.
+            return
+        self.parked = True
+        self._span_start = now + 1
+        self._span_has_work = has_work
+        self._blocked_from = None
+        if blockers:
+            for cell in blockers:
+                cell.add_waiter(self)
+        if time_wake is not None:
+            self.proc.schedule_wake(time_wake, self)
+
+    def _park_state(self, now: int):
+        """(ready, blockers, time_wake) after cycle *now* ran.
+
+        ``ready`` means some structure can provably act at ``now + 1`` (or
+        is merely width-limited), so the core must stay awake.  Otherwise
+        ``blockers`` lists every unready cell whose fill could unblock the
+        core and ``time_wake`` the earliest future first-fetch cycle.
+        Conservative by construction: spurious wake-ups are no-op cycles
+        (harmless), missed wake-ups would diverge from the naive loop.
+        """
+        if self.rename_queue:
+            return True, None, None     # rename always drains
+        blockers: List[Cell] = []
+        for dyn in self.iq:
+            cells = (dyn.addr_src_cells if (dyn.is_load or dyn.is_store)
+                     else dyn.src_cells)
+            ready = True
+            for cell in cells.values():
+                if not cell.ready:
+                    blockers.append(cell)
+                    ready = False
+            if ready:
+                return True, None, None
+        for dyn in self.lsq:
+            ready = True
+            if dyn.is_load and not dyn.load_src_cell.ready:
+                blockers.append(dyn.load_src_cell)
+                ready = False
+            for cell in dyn.src_cells.values():
+                if not cell.ready:
+                    blockers.append(cell)
+                    ready = False
+            if ready:
+                return True, None, None
+        time_wake: Optional[int] = None
+        for sec in self.open_secs:
+            if sec.arq and sec.arq[0].addr_value is not None:
+                return True, None, None     # address-rename can proceed
+            if sec.rob:
+                head = sec.rob[0]
+                if head.terminated():
+                    return True, None, None     # retire can proceed
+                for cell in head.dest_cells.values():
+                    if not cell.ready:
+                        blockers.append(cell)
+            if (not sec.fetch_done and sec.waiting_control is None
+                    and sec.ip is not None):
+                if sec.first_fetch_cycle <= now + 1:
+                    return True, None, None     # fetch can proceed
+                if time_wake is None or sec.first_fetch_cycle < time_wake:
+                    time_wake = sec.first_fetch_cycle
+        return False, blockers, time_wake
+
+    def _close_span(self, end: int) -> None:
+        """Account the parked span [_span_start, end] to the occupancy
+        histogram: ``blocked`` if the core had pending work when it parked
+        (or from the cycle a forked section became visible), ``parked``
+        (idle) otherwise."""
+        start = self._span_start
+        self._span_start = None
+        blocked_from = self._blocked_from
+        self._blocked_from = None
+        if end < start or not self.proc.occupancy_on:
+            return
+        n = end - start + 1
+        if self._span_has_work:
+            self._account_span(BLOCKED, n)
+        elif blocked_from is None or blocked_from > end:
+            self._account_span(PARKED, n)
+        else:
+            split = max(blocked_from, start)
+            self._account_span(PARKED, split - start)
+            self._account_span(BLOCKED, end - split + 1)
+
+    def _account_span(self, state: int, n: int) -> None:
+        if n <= 0:
+            return
+        self.occ[state] += n
+        if self.trace_states is not None:
+            self.trace_states.extend([state] * n)
 
     # ------------------------------------------------------------------
     # fetch-decode
     # ------------------------------------------------------------------
 
     def _runnable_sections(self, now: int) -> List[SectionState]:
-        return [s for s in self.hosted
+        return [s for s in self.open_secs
                 if not s.fetch_done and s.first_fetch_cycle <= now
                 and s.waiting_control is None and s.ip is not None]
 
@@ -88,6 +245,9 @@ class Core:
         sec.instructions.append(dyn)
         sec.fetch_started = True
         self.fetched += 1
+        if sec._last_fetch_cycle != now:
+            sec._last_fetch_cycle = now
+            sec.fetch_cycles += 1
 
         # -- bind sources against the fetch register file ----------------
         for reg in instr.reg_reads():
@@ -217,6 +377,7 @@ class Core:
     def _rename_one(self, dyn: DynInstr, now: int) -> None:
         sec = dyn.section
         dyn.timing.rr = now
+        self.did_work = True
         for reg in dyn.missing_srcs:
             cell = sec.imports.get(reg)
             if cell is None:
@@ -270,6 +431,7 @@ class Core:
         instr = dyn.instr
         dyn.timing.ew = now
         self.executed += 1
+        self.did_work = True
         if dyn.is_load or dyn.is_store:
             old_rsp = None
             if STACK_POINTER in dyn.addr_src_cells:
@@ -314,7 +476,7 @@ class Core:
 
     def _addr_rename(self, now: int) -> None:
         budget = self.proc.cfg.addr_rename_width
-        for sec in sorted(self.hosted, key=lambda s: s.order_index):
+        for sec in sorted(self.open_secs, key=lambda s: s.order_index):
             while budget and sec.arq:
                 dyn = sec.arq[0]
                 if dyn.addr_value is None or dyn.timing.ew == now:
@@ -329,6 +491,7 @@ class Core:
         sec = dyn.section
         addr = dyn.addr_value
         dyn.timing.ar = now
+        self.did_work = True
         if dyn.is_load:
             cell = sec.maat.get(addr)
             if cell is None:
@@ -376,6 +539,7 @@ class Core:
         sec = dyn.section
         instr = dyn.instr
         dyn.timing.ma = now
+        self.did_work = True
         values = {r: c.value for r, c in dyn.src_cells.items()}
         loaded = dyn.load_src_cell.value if dyn.is_load else None
         result = evaluate(instr, values.__getitem__, loaded=loaded)
@@ -411,12 +575,19 @@ class Core:
 
     def _retire(self, now: int) -> None:
         budget = self.proc.cfg.retire_width
-        for sec in sorted(self.hosted, key=lambda s: s.order_index):
+        for sec in sorted(self.open_secs, key=lambda s: s.order_index):
+            popped = False
             while budget and sec.rob and sec.rob[0].terminated():
                 dyn = sec.rob.popleft()
                 dyn.timing.ret = now
                 dyn.retired = True
                 self.retired += 1
+                self.did_work = True
+                popped = True
                 budget -= 1
+            if popped and sec.complete:
+                # `complete` only ever flips true at the retirement that
+                # empties the ROB, so this is the single detection point.
+                self.proc.section_completed(sec, self, now)
             if not budget:
                 return

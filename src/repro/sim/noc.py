@@ -21,10 +21,31 @@ import math
 from typing import Tuple
 
 
-class UniformNoc:
+class _NocStats:
+    """Observability counters shared by every topology: how many messages
+    crossed the network and how many cycles of hop latency they paid.
+    Updated by the processor's single transfer-accounting point, so both
+    scheduler modes count identically."""
+
+    def __init__(self):
+        self.messages = 0      #: cross-core transfers
+        self.hop_cycles = 0    #: total latency cycles of those transfers
+        self.dmh_reads = 0     #: renaming walks answered by the DMH
+
+    def record_transfer(self, cycles: int) -> None:
+        self.messages += 1
+        self.hop_cycles += cycles
+
+    def stats(self) -> dict:
+        return {"messages": self.messages, "hop_cycles": self.hop_cycles,
+                "dmh_reads": self.dmh_reads}
+
+
+class UniformNoc(_NocStats):
     """Flat latency between distinct cores."""
 
     def __init__(self, n_cores: int, hop_latency: int):
+        super().__init__()
         self.n_cores = n_cores
         self.hop_latency = hop_latency
 
@@ -38,10 +59,11 @@ class UniformNoc:
         return "uniform(noc=%d)" % self.hop_latency
 
 
-class MeshNoc:
+class MeshNoc(_NocStats):
     """Near-square 2D mesh with XY (dimension-ordered) routing."""
 
     def __init__(self, n_cores: int, hop_latency: int):
+        super().__init__()
         self.n_cores = n_cores
         self.hop_latency = hop_latency
         self.width = max(1, int(math.ceil(math.sqrt(n_cores))))

@@ -14,6 +14,7 @@ values and the loader-installed data memory hierarchy.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -27,7 +28,7 @@ from .core import Core
 from .noc import make_noc
 from .requests import RenameRequest
 from .section import SectionState, initial_root_fregs
-from .stats import SimResult
+from .stats import STATE_CODES, SimResult, occupancy_counts
 
 
 class Processor:
@@ -54,10 +55,19 @@ class Processor:
 
         self.noc = make_noc(self.cfg.topology, self.cfg.n_cores,
                             self.cfg.noc_latency)
+        self.occupancy_on = self.cfg.collect_occupancy
         self.cores = [Core(i, self) for i in range(self.cfg.n_cores)]
+        if self.cfg.trace:
+            for core in self.cores:
+                core.trace_states = []
         self.sections: List[SectionState] = []
         self.order: List[SectionState] = []
         self.requests: List[RenameRequest] = []
+        #: event-driven bookkeeping: requests not yet done (same relative
+        #: order as self.requests), open-section count, time-wake heap
+        self._pending: List[RenameRequest] = []
+        self._open_sections = 0
+        self._timewakes: List[Tuple[int, int]] = []
         self.cycle = 0
         #: architectural register state of all folded (fully retired
         #: oldest) sections — "the oldest section dumps its renamings"
@@ -74,12 +84,23 @@ class Processor:
         self.sections.append(root)
         self.order.append(root)
         self.cores[0].hosted.append(root)
+        self.cores[0].open_secs.append(root)
+        self._open_sections = 1
 
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
+        if self.cfg.event_driven:
+            self._run_event()
+        else:
+            self._run_naive()
+        return self._result()
+
+    def _run_naive(self) -> None:
+        """Reference scheduler: tick every core every cycle.  Kept as the
+        bit-exact baseline the event-driven fast path is tested against."""
         while not self._finished():
             self.cycle += 1
             if self.cycle > self.cfg.max_cycles:
@@ -90,7 +111,37 @@ class Processor:
             self._process_requests(self.cycle)
             for core in self.cores:
                 core.cycle(self.cycle)
-        return self._result()
+
+    def _run_event(self) -> None:
+        """Event-driven fast path: run only awake cores, step only pending
+        requests, and jump over cycles in which provably nothing happens.
+        Produces the same per-cycle state evolution as :meth:`_run_naive`
+        — skipped core-cycles and skipped whole cycles are exactly those
+        the naive loop would execute as no-ops."""
+        cores = self.cores
+        while not self._finished_event():
+            self.cycle += 1
+            now = self.cycle
+            if now > self.cfg.max_cycles:
+                raise SimulationError(
+                    "cycle budget exhausted at cycle %d: %s"
+                    % (now, self._stall_diagnostic()))
+            self._advance_fold()
+            self._process_pending(now)
+            if self._timewakes:
+                self._wake_due(now)
+            for core in cores:
+                # A core unparked mid-loop (by a fill from an earlier
+                # core) runs this same cycle, exactly like the naive
+                # loop; one unparked by a *later* core runs next cycle.
+                if not core.parked:
+                    core.cycle(now)
+                    core.maybe_park(now)
+            if (all(core.parked for core in cores)
+                    and not self._finished_event()):
+                nxt = self._next_event_cycle(now)
+                if nxt > now + 1:
+                    self.cycle = min(nxt, self.cfg.max_cycles + 1) - 1
 
     def _advance_fold(self) -> None:
         """Dump completed oldest sections into the architectural state (the
@@ -114,6 +165,83 @@ class Processor:
             return False
         return (all(sec.complete for sec in self.sections)
                 and all(req.done for req in self.requests))
+
+    # ------------------------------------------------------------------
+    # event-driven scheduler machinery
+    # ------------------------------------------------------------------
+
+    def _finished_event(self) -> bool:
+        """O(pending) termination test equivalent to :meth:`_finished`,
+        using the open-section counter maintained at completion."""
+        if self.cycle == 0:
+            return False
+        if self._open_sections:
+            return False
+        return all(req.done for req in self._pending)
+
+    def section_completed(self, section: SectionState, core, now: int) -> None:
+        """Called by the retire stage at the pop that completes *section*:
+        maintain the open-section working sets and occupancy record."""
+        if section.completed_cycle is not None:
+            return
+        section.completed_cycle = now
+        core.open_secs.remove(section)
+        self._open_sections -= 1
+
+    def _process_pending(self, now: int) -> None:
+        """Step every not-yet-done request (same relative order as the
+        naive full-history scan) and compact the pending list."""
+        if not self._pending:
+            return
+        alive: List[RenameRequest] = []
+        for req in self._pending:
+            if req.done:
+                continue
+            self._step_request(req, now)
+            if not req.done:
+                alive.append(req)
+        self._pending = alive
+
+    def schedule_wake(self, cycle: int, core) -> None:
+        heapq.heappush(self._timewakes, (cycle, core.id))
+
+    def _wake_due(self, now: int) -> None:
+        while self._timewakes and self._timewakes[0][0] <= now:
+            _, core_id = heapq.heappop(self._timewakes)
+            self.cores[core_id].wake()
+
+    def _next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle at which anything can happen, given that
+        every core is parked.  Conservative: a request in an immediately
+        evaluable state pins the next cycle to ``now + 1`` (no skip); a
+        request waiting on an unfilled producer cell cannot progress until
+        a core wakes, so it imposes no bound of its own."""
+        nxt: Optional[int] = None
+        if self._timewakes:
+            nxt = self._timewakes[0][0]
+        for req in self._pending:
+            if req.done:
+                continue
+            if req.reply_cycle is not None:
+                cand = req.reply_cycle
+            elif req.hit_cell is not None:
+                if not req.hit_cell.ready:
+                    continue
+                cand = now + 1
+            elif req.wake_cycle > now:
+                cand = req.wake_cycle
+            else:
+                cand = now + 1
+            if nxt is None or cand < nxt:
+                nxt = cand
+            if nxt <= now + 1:
+                return now + 1
+        if nxt is None:
+            # Nothing can ever happen again: jump straight to the cycle
+            # budget so the deadlock diagnostic fires exactly as in the
+            # naive loop.
+            return self.cfg.max_cycles + 1
+        return max(nxt, now + 1)
 
     # ------------------------------------------------------------------
     # section creation (fork)
@@ -147,7 +275,20 @@ class Processor:
         self.order.insert(position, sec)
         for index in range(position, len(self.order)):
             self.order[index].order_index = index
-        self.cores[core_id].hosted.append(sec)
+        target = self.cores[core_id]
+        target.hosted.append(sec)
+        target.open_secs.append(sec)
+        self._open_sections += 1
+        if target.parked:
+            # Schedule the time wake; the naive loop would classify the
+            # target as blocked from the cycle it can first observe the
+            # new section at its slot (this cycle if the forking core
+            # runs earlier in core order, next cycle otherwise).
+            self.schedule_wake(sec.first_fetch_cycle, target)
+            visible = now if parent.core_id < core_id else now + 1
+            if (target._blocked_from is None
+                    or visible < target._blocked_from):
+                target._blocked_from = visible
         return sec
 
     def _place(self, parent: SectionState) -> int:
@@ -157,8 +298,8 @@ class Processor:
         if policy == "random":
             return self._rng.randrange(self.cfg.n_cores)
         if policy == "least_loaded":
-            loads = [sum(1 for s in core.hosted if not s.complete)
-                     for core in self.cores]
+            # open_secs tracks exactly the incomplete hosted sections
+            loads = [len(core.open_secs) for core in self.cores]
             return loads.index(min(loads))
         # round robin
         core_id = self._rr_next
@@ -171,10 +312,12 @@ class Processor:
 
     def send_reg_request(self, sec: SectionState, reg: str, cell: Cell,
                          now: int) -> None:
-        self.requests.append(RenameRequest(
+        req = RenameRequest(
             kind="reg", requester=sec, dest_cell=cell, reg=reg,
             before=sec, cur_core=sec.core_id, issued_cycle=now,
-            wake_cycle=now + 1))
+            wake_cycle=now + 1)
+        self.requests.append(req)
+        self._pending.append(req)
 
     def send_mem_request(self, sec: SectionState, addr: int, cell: Cell,
                          now: int) -> None:
@@ -184,15 +327,20 @@ class Processor:
             rsp = sec.freg_value(STACK_POINTER)
             if rsp is not None and addr >= rsp:
                 use_shortcut = True
-        self.requests.append(RenameRequest(
+        req = RenameRequest(
             kind="mem", requester=sec, dest_cell=cell, addr=addr,
             use_shortcut=use_shortcut, requester_depth=depth,
             before=sec, cut_child=sec, cur_core=sec.core_id,
-            issued_cycle=now, wake_cycle=now + 1))
+            issued_cycle=now, wake_cycle=now + 1)
+        self.requests.append(req)
+        self._pending.append(req)
 
     def _hop(self, src_core: int, dst_core: int) -> int:
-        return 0 if src_core == dst_core else self.noc.latency(src_core,
-                                                               dst_core)
+        if src_core == dst_core:
+            return 0
+        latency = self.noc.latency(src_core, dst_core)
+        self.noc.record_transfer(latency)
+        return latency
 
     def _walk_pred(self, req: RenameRequest,
                    before: SectionState) -> Optional[SectionState]:
@@ -375,6 +523,7 @@ class Processor:
         """The walk fell off the oldest live section: read the architectural
         state (initial values plus everything folded so far)."""
         port = self.noc.dmh_latency_from(req.requester.core_id)
+        self.noc.dmh_reads += 1
         if req.kind == "reg":
             req.value = self.arch_regs.get(req.reg, 0)
             delay = port
@@ -433,6 +582,17 @@ class Processor:
         fetch_end = max((d.timing.fd for d in instrs), default=0)
         retire_end = max((d.timing.ret for d in instrs
                           if d.timing.ret is not None), default=0)
+        for core in self.cores:     # flush still-parked occupancy spans
+            if core._span_start is not None:
+                core._close_span(self.cycle)
+        core_occupancy = ([occupancy_counts(core.occ) for core in self.cores]
+                          if self.occupancy_on else [])
+        section_occupancy = (self._section_occupancy()
+                             if self.occupancy_on else {})
+        trace = None
+        if self.cfg.trace:
+            trace = ["".join(STATE_CODES[s] for s in core.trace_states)
+                     for core in self.cores]
         return SimResult(
             cycles=self.cycle,
             instructions=len(instrs),
@@ -450,7 +610,29 @@ class Processor:
                 req.dest_cell.ready_cycle - req.issued_cycle
                 for req in self.requests
                 if req.done and req.dest_cell.ready_cycle is not None],
+            scheduler="event" if self.cfg.event_driven else "naive",
+            core_occupancy=core_occupancy,
+            section_occupancy=section_occupancy,
+            noc_stats=self.noc.stats(),
+            trace=trace,
         )
+
+    def _section_occupancy(self) -> Dict[int, Dict[str, int]]:
+        """Per-section lifetime histogram: cycles with a fetch vs cycles
+        spent blocked between creation and completion."""
+        histogram: Dict[int, Dict[str, int]] = {}
+        for sec in self.sections:
+            completed = (sec.completed_cycle if sec.completed_cycle
+                         is not None else self.cycle)
+            lifetime = max(completed - sec.created_cycle, 0)
+            histogram[sec.sid] = {
+                "core": sec.core_id,
+                "created": sec.created_cycle,
+                "completed": completed,
+                "fetch_cycles": sec.fetch_cycles,
+                "blocked_cycles": max(lifetime - sec.fetch_cycles, 0),
+            }
+        return histogram
 
     def _stall_diagnostic(self) -> str:
         stuck = [sec for sec in self.sections if not sec.complete]

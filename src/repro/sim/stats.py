@@ -1,11 +1,61 @@
-"""Simulation results."""
+"""Simulation results and cycle-level observability.
+
+Beyond the headline numbers (cycles, IPC, renaming traffic), a run can
+carry two observability layers built on the same wake machinery as the
+event-driven scheduler:
+
+* **occupancy histograms** — for every core, how many cycles it spent in
+  each of four states (``fetching`` / ``computing`` / ``blocked`` /
+  ``parked``), and for every section, how many cycles it fetched versus
+  sat blocked between creation and completion.  Collected by default
+  (:attr:`repro.sim.SimConfig.collect_occupancy`); both scheduler modes
+  produce identical histograms;
+* **the per-cycle trace** — the full core-state timeline, one state code
+  per core per cycle (:attr:`repro.sim.SimConfig.trace`, opt-in).
+
+``python -m repro stats FILE --json`` exports everything machine-readably.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..machine.executor import to_signed
+
+#: per-cycle core states, in the order used by the compact trace encoding
+CORE_STATES = ("fetching", "computing", "blocked", "parked")
+#: one-character codes for the per-cycle trace strings
+STATE_CODES = "FCBP"
+#: indices into CORE_STATES (the hot-loop representation)
+FETCHING, COMPUTING, BLOCKED, PARKED = range(4)
+
+
+def request_latency_stats(latencies: List[int]) -> Dict[str, float]:
+    """min/mean/p50/p90/max summary of a list of request latencies.
+
+    Percentiles use the nearest-rank-below convention (index ``k*n//q`` of
+    the sorted list), so ``p50`` of a single element is that element and
+    all-equal inputs report that value everywhere.  An empty input yields
+    an all-zero summary with ``count == 0``.
+    """
+    lat = sorted(latencies)
+    if not lat:
+        return {"count": 0, "min": 0, "mean": 0.0, "p50": 0, "p90": 0,
+                "max": 0}
+    return {
+        "count": len(lat),
+        "min": lat[0],
+        "mean": sum(lat) / len(lat),
+        "p50": lat[len(lat) // 2],
+        "p90": lat[(len(lat) * 9) // 10],
+        "max": lat[-1],
+    }
+
+
+def occupancy_counts(raw: List[int]) -> Dict[str, int]:
+    """Turn a 4-slot counter vector into a named histogram."""
+    return {name: raw[i] for i, name in enumerate(CORE_STATES)}
 
 
 @dataclass
@@ -26,21 +76,36 @@ class SimResult:
     per_core_instructions: List[int] = field(default_factory=list)
     #: issue-to-fill latency of every resolved renaming request, in cycles
     request_latencies: List[int] = field(default_factory=list, repr=False)
+    #: which scheduler produced this result: "event" or "naive"
+    scheduler: str = "event"
+    #: per-core state histogram: one {state: cycles} dict per core; empty
+    #: when collect_occupancy was off
+    core_occupancy: List[Dict[str, int]] = field(default_factory=list,
+                                                 repr=False)
+    #: per-section occupancy keyed by sid: created / completed cycle,
+    #: distinct fetch cycles, and blocked cycles over the lifetime
+    section_occupancy: Dict[int, Dict[str, int]] = field(default_factory=dict,
+                                                         repr=False)
+    #: NoC traffic: {"messages", "hop_cycles", "dmh_reads"}
+    noc_stats: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: opt-in per-cycle timeline: one string per core, one state code per
+    #: cycle ("F" fetching, "C" computing, "B" blocked, "P" parked)
+    trace: Optional[List[str]] = field(default=None, repr=False)
 
     def request_latency_stats(self) -> Dict[str, float]:
         """min/mean/p50/p90/max of renaming-request latencies."""
-        lat = sorted(self.request_latencies)
-        if not lat:
-            return {"count": 0, "min": 0, "mean": 0.0, "p50": 0, "p90": 0,
-                    "max": 0}
-        return {
-            "count": len(lat),
-            "min": lat[0],
-            "mean": sum(lat) / len(lat),
-            "p50": lat[len(lat) // 2],
-            "p90": lat[(len(lat) * 9) // 10],
-            "max": lat[-1],
-        }
+        return request_latency_stats(self.request_latencies)
+
+    def occupancy_summary(self) -> Dict[str, float]:
+        """Fraction of core-cycles spent in each state across all cores."""
+        totals = {name: 0 for name in CORE_STATES}
+        for histogram in self.core_occupancy:
+            for name in CORE_STATES:
+                totals[name] += histogram.get(name, 0)
+        grand = sum(totals.values())
+        if not grand:
+            return {name: 0.0 for name in CORE_STATES}
+        return {name: totals[name] / grand for name in CORE_STATES}
 
     @property
     def fetch_ipc(self) -> float:
@@ -64,3 +129,40 @@ class SimResult:
                 % (self.instructions, self.sections, self.cycles,
                    self.fetch_end, self.fetch_ipc,
                    self.retire_end, self.retire_ipc))
+
+    def to_json_dict(self, include_memory: bool = False,
+                     include_trace: bool = False) -> dict:
+        """Machine-readable export for benchmark scripts and the
+        ``repro stats --json`` CLI.  ``final_memory`` is summarized (size
+        only) unless *include_memory*; the per-cycle trace rides along only
+        when *include_trace* and the run recorded one."""
+        payload = {
+            "scheduler": self.scheduler,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "sections": self.sections,
+            "outputs": self.outputs,
+            "fetch_end": self.fetch_end,
+            "retire_end": self.retire_end,
+            "fetch_ipc": self.fetch_ipc,
+            "retire_ipc": self.retire_ipc,
+            "fetch_computed": self.fetch_computed,
+            "requests": self.requests,
+            "request_hops": self.request_hops,
+            "per_core_instructions": self.per_core_instructions,
+            "request_latency": self.request_latency_stats(),
+            "final_regs": self.final_regs,
+            "final_memory_words": len(self.final_memory),
+            "return_value": self.return_value,
+            "core_occupancy": self.core_occupancy,
+            "occupancy_summary": self.occupancy_summary(),
+            "section_occupancy": {str(sid): entry for sid, entry
+                                  in self.section_occupancy.items()},
+            "noc": self.noc_stats,
+        }
+        if include_memory:
+            payload["final_memory"] = {str(addr): value for addr, value
+                                       in sorted(self.final_memory.items())}
+        if include_trace and self.trace is not None:
+            payload["trace"] = self.trace
+        return payload

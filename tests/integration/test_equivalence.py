@@ -206,6 +206,83 @@ class TestExpressionEquivalence:
         assert sim.return_value == seq.return_value
 
 
+# -- while-loop generator -----------------------------------------------------
+#
+# The expression strategy above is expression-heavy; this one generates
+# `while` loops whose trip counts depend on the input data, so control flow
+# (and hence fetch stalls and section shapes) varies per example.
+
+_loop_update = st.sampled_from([
+    "x - ((x & 3) + 1)",        # data-dependent decrement, always > 0
+    "x - 1 - (b & 1)",
+    "x / 2",
+    "(x * 3 + 1) / 4",          # contracts since x >= 1
+])
+
+_loop_accum = st.sampled_from([
+    "s + x", "s ^ (x * 3)", "s + x * i - b", "s | (x & c)",
+])
+
+
+@st.composite
+def while_programs(draw):
+    """A MiniC function whose while loop runs a data-dependent number of
+    iterations (bounded by a fuel counter so every input terminates)."""
+    update = draw(_loop_update)
+    accum = draw(_loop_accum)
+    nested = draw(st.booleans())
+    inner = ""
+    if nested:
+        inner = """
+            long y = (x & 7) + 1;
+            while (y > 0) { s = s + 1; y = y - 1; }
+        """
+    return """
+        long f(long a, long b, long c) {
+            long x = (a & 63) + 1;
+            long s = 0;
+            long i = 0;
+            while (x > 0 && i < 40) {
+                s = %s;%s
+                x = %s;
+                i = i + 1;
+            }
+            out(s);
+            return i;
+        }
+        long main() { return f(A0, A1, A2); }
+    """ % (accum, inner, update)
+
+
+class TestWhileLoopEquivalence:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(template=while_programs(),
+           a=st.integers(min_value=-100, max_value=100),
+           b=st.integers(min_value=-100, max_value=100),
+           c=st.integers(min_value=-100, max_value=100))
+    def test_data_dependent_trip_counts_all_engines(self, template, a, b, c):
+        src = template.replace("A0", str(a)).replace("A1", str(b)) \
+                      .replace("A2", str(c))
+        seq = run_sequential(compile_source(src))
+
+        forked_prog = compile_source(src, fork_mode=True)
+        forked, _ = run_forked(forked_prog)
+        assert forked.output == seq.output
+        assert forked.return_value == seq.return_value
+
+        # both scheduler modes must agree with the oracle and each other
+        results = {}
+        for event_driven in (False, True):
+            sim, _ = simulate(forked_prog,
+                              SimConfig(n_cores=4, event_driven=event_driven))
+            assert sim.outputs == seq.output
+            assert sim.return_value == seq.return_value
+            results[event_driven] = sim
+        assert results[False].cycles == results[True].cycles
+        assert results[False].requests == results[True].requests
+
+
 class TestForkTransformEquivalence:
     @settings(max_examples=15, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,233 @@
+"""Differential harness: the event-driven fast path must be bit-identical
+to the naive every-core-every-cycle scheduler.
+
+Every program here is driven through ``SimConfig(event_driven=False)`` and
+``SimConfig(event_driven=True)`` under a matrix of core counts, placements,
+topologies and shortcut settings, and the two runs must agree on *every*
+architectural and micro-architectural outcome: cycle count, outputs, final
+registers, final memory, request counts/hops/latencies, per-core
+instruction counts, occupancy histograms, NoC counters — and, where
+enabled, the full per-cycle core-state trace.  Any scheduling bug in the
+fast path (a missed wake-up, an over-eager cycle skip, a reordered
+request) shows up as a field mismatch.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fork import fork_transform
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+from repro.workloads import get_workload
+
+#: SimResult fields that must match bit-for-bit between scheduler modes
+COMPARED_FIELDS = (
+    "cycles", "instructions", "sections", "outputs", "final_regs",
+    "final_memory", "fetch_end", "retire_end", "fetch_computed",
+    "requests", "request_hops", "per_core_instructions",
+    "request_latencies", "core_occupancy", "section_occupancy",
+    "noc_stats", "trace",
+)
+
+
+def run_both(prog, **cfg_kwargs):
+    naive, _ = simulate(prog, SimConfig(event_driven=False, **cfg_kwargs))
+    event, _ = simulate(prog, SimConfig(event_driven=True, **cfg_kwargs))
+    return naive, event
+
+
+def assert_identical(prog, **cfg_kwargs):
+    naive, event = run_both(prog, **cfg_kwargs)
+    assert naive.scheduler == "naive" and event.scheduler == "event"
+    for name in COMPARED_FIELDS:
+        assert getattr(naive, name) == getattr(event, name), (
+            "field %r differs between schedulers under %r"
+            % (name, cfg_kwargs))
+    return naive, event
+
+
+# -- fixed corpus -------------------------------------------------------------
+
+RECURSIVE_SUM = """
+long A[9] = {3, -1, 4, 1, -5, 9, 2, 6, -5};
+long sum(long* t, long k) {
+    if (k == 1) return t[0];
+    return sum(t, k / 2) + sum(t + k / 2, k - k / 2);
+}
+long main() { out(sum(A, 9)); return 0; }
+"""
+
+STORE_HEAVY = """
+long A[8] = {7, 3, 9, 1, 8, 2, 6, 4};
+long B[8];
+long copy(long* dst, long* src, long k) {
+    if (k == 1) { dst[0] = src[0] * 2; return 0; }
+    copy(dst, src, k / 2);
+    copy(dst + k / 2, src + k / 2, k - k / 2);
+    return 0;
+}
+long main() {
+    copy(B, A, 8);
+    long i;
+    for (i = 0; i < 8; i = i + 1) out(B[i]);
+    return 0;
+}
+"""
+
+LOOPY = """
+long main() {
+    long i;
+    long s = 0;
+    for (i = 1; i <= 12; i = i + 1) {
+        long x = i;
+        while (x > 1) {
+            x = x % 2 == 0 ? x / 2 : x * 3 + 1;
+            s = s + 1;
+        }
+        out(s);
+    }
+    return s;
+}
+"""
+
+
+class TestFixedCorpus:
+    @pytest.mark.parametrize("n_cores", [1, 2, 5, 64])
+    def test_recursive_sum(self, n_cores):
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        naive, event = assert_identical(prog, n_cores=n_cores)
+        assert naive.outputs == [3 - 1 + 4 + 1 - 5 + 9 + 2 + 6 - 5]
+
+    @pytest.mark.parametrize("placement", ["round_robin", "least_loaded",
+                                           "random", "same_core"])
+    def test_store_heavy_placements(self, placement):
+        prog = compile_source(STORE_HEAVY, fork_mode=True)
+        naive, _ = assert_identical(prog, n_cores=6, placement=placement)
+        assert naive.outputs == [14, 6, 18, 2, 16, 4, 12, 8]
+
+    @pytest.mark.parametrize("topology", ["uniform", "mesh"])
+    def test_topologies(self, topology):
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        assert_identical(prog, n_cores=9, topology=topology, noc_latency=2)
+
+    def test_stack_shortcut(self):
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        assert_identical(prog, n_cores=8, stack_shortcut=True)
+
+    def test_sequential_control_flow(self):
+        # A single section exercises the fetch/stall/resume machinery
+        # without any cross-core traffic.
+        prog = compile_source(LOOPY, fork_mode=True)
+        assert_identical(prog, n_cores=4)
+
+    def test_fork_loops(self):
+        src = """
+        long A[10] = {5, 2, 8, 1, 9, 3, 7, 4, 6, 0};
+        long main() {
+            long i;
+            long s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                s = s + A[i] * (i + 1);
+                out(s);
+            }
+            return s;
+        }
+        """
+        prog = compile_source(src, fork_mode=True, fork_loops=True)
+        assert_identical(prog, n_cores=8)
+
+    def test_traces_match_cycle_for_cycle(self):
+        prog = compile_source(STORE_HEAVY, fork_mode=True)
+        naive, event = assert_identical(prog, n_cores=8, trace=True)
+        assert naive.trace is not None
+        # one state code per core per cycle, in both modes
+        assert all(len(t) == naive.cycles for t in naive.trace)
+        assert naive.trace == event.trace
+
+    def test_deadlock_diagnostic_identical(self):
+        # An unproducible import deadlocks the run; both schedulers must
+        # hit the cycle budget with the same error at the same cycle.
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        errors = {}
+        for mode in (False, True):
+            cfg = SimConfig(n_cores=4, max_cycles=200, event_driven=mode)
+            with pytest.raises(Exception) as info:
+                simulate(prog, cfg)
+            errors[mode] = str(info.value)
+        assert errors[False] == errors[True]
+        assert "cycle budget exhausted at cycle 201" in errors[False]
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("short,n", [("quicksort", 10),
+                                         ("dictionary", 10), ("bfs", 6)])
+    def test_workload_identical_across_schedulers(self, short, n):
+        inst = get_workload(short).instance(n=n, seed=7)
+        prog = fork_transform(inst.program)
+        for cfg in ({"n_cores": 4}, {"n_cores": 16, "stack_shortcut": True},
+                    {"n_cores": 64, "placement": "least_loaded"}):
+            naive, _ = assert_identical(prog, **cfg)
+            assert naive.signed_outputs == inst.expected_output
+
+
+# -- randomized MiniC programs ------------------------------------------------
+
+_values = st.lists(st.integers(min_value=-40, max_value=40),
+                   min_size=4, max_size=10)
+
+
+def _reduce_program(values, op, fanout):
+    body = {"+": "a + b", "^": "a ^ b", "min": "a < b ? a : b"}[op]
+    return """
+    long A[%d] = {%s};
+    long combine(long a, long b) { return %s; }
+    long red(long* t, long k) {
+        if (k == 1) return t[0];
+        long cut = k / %d == 0 ? 1 : k / %d;
+        return combine(red(t, cut), red(t + cut, k - cut));
+    }
+    long main() { out(red(A, %d)); return 0; }
+    """ % (len(values), ", ".join(str(v) for v in values), body,
+           fanout, fanout, len(values))
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_values, op=st.sampled_from(["+", "^", "min"]),
+           fanout=st.integers(min_value=2, max_value=3),
+           n_cores=st.sampled_from([1, 3, 8]),
+           shortcut=st.booleans())
+    def test_random_reductions(self, values, op, fanout, n_cores, shortcut):
+        prog = compile_source(_reduce_program(values, op, fanout),
+                              fork_mode=True)
+        assert_identical(prog, n_cores=n_cores, stack_shortcut=shortcut)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_values,
+           mul=st.integers(min_value=-3, max_value=3),
+           n_cores=st.sampled_from([2, 6]))
+    def test_random_store_streams(self, values, mul, n_cores):
+        src = """
+        long A[%d] = {%s};
+        long B[%d];
+        long f(long* dst, long* src, long k) {
+            if (k == 1) { dst[0] = src[0] * %d + k; return 0; }
+            f(dst, src, k / 2);
+            f(dst + k / 2, src + k / 2, k - k / 2);
+            return 0;
+        }
+        long main() {
+            f(B, A, %d);
+            long i;
+            long s = 0;
+            for (i = 0; i < %d; i = i + 1) s = s + B[i];
+            out(s);
+            return s;
+        }
+        """ % (len(values), ", ".join(str(v) for v in values), len(values),
+               mul, len(values), len(values))
+        prog = compile_source(src, fork_mode=True)
+        naive, _ = assert_identical(prog, n_cores=n_cores)
+        assert naive.signed_outputs == [sum(v * mul + 1 for v in values)]

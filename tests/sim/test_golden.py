@@ -1,0 +1,63 @@
+"""Golden-trace regression tests.
+
+``golden_results.json`` snapshots the complete ``SimResult`` surface
+(cycles, sections, outputs, request traffic, per-core instruction counts,
+final registers, a digest of final memory) for three small fixed
+workloads — one each from ``workloads/{sorting,hashing,graphs}.py`` —
+captured from the pre-event-scheduler seed simulator.  Both scheduler
+modes must keep reproducing these numbers exactly: any drift in cycle
+counts, section structure or request traffic is a semantic change to the
+simulated machine and must be deliberate (regeneration recipe: DESIGN.md,
+"Golden traces").
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fork import fork_transform
+from repro.sim import SimConfig, simulate
+from repro.workloads import get_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_results.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: golden fields compared verbatim against the SimResult attribute
+EXACT_FIELDS = ("cycles", "instructions", "sections", "outputs", "requests",
+                "request_hops", "fetch_end", "retire_end", "fetch_computed",
+                "per_core_instructions", "final_regs")
+
+
+def memory_digest(memory):
+    return hashlib.sha256(repr(sorted(memory.items())).encode()).hexdigest()
+
+
+def _program_for(entry):
+    inst = get_workload(entry["workload"]).instance(n=entry["n"],
+                                                    seed=entry["seed"])
+    return fork_transform(inst.program), inst
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+@pytest.mark.parametrize("event_driven", [False, True],
+                         ids=["naive", "event"])
+def test_golden_workload(key, event_driven):
+    entry = GOLDEN[key]
+    prog, inst = _program_for(entry)
+    config = SimConfig(n_cores=entry["n_cores"],
+                       stack_shortcut=entry["stack_shortcut"],
+                       event_driven=event_driven)
+    result, _ = simulate(prog, config)
+    assert result.signed_outputs == inst.expected_output
+    for field in EXACT_FIELDS:
+        assert getattr(result, field) == entry[field], (
+            "%s drifted on %s (%s scheduler)"
+            % (field, key, "event" if event_driven else "naive"))
+    assert memory_digest(result.final_memory) == entry["final_memory_sha256"]
+
+
+def test_golden_file_covers_three_workload_families():
+    families = {entry["workload"] for entry in GOLDEN.values()}
+    assert families == {"quicksort", "dictionary", "bfs"}

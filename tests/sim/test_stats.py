@@ -1,0 +1,154 @@
+"""Unit tests for sim/stats.py: request-latency summaries, occupancy
+histograms and the JSON export surface."""
+
+import json
+
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+from repro.sim.stats import (CORE_STATES, SimResult, occupancy_counts,
+                             request_latency_stats)
+
+
+class TestRequestLatencyStats:
+    def test_empty(self):
+        stats = request_latency_stats([])
+        assert stats == {"count": 0, "min": 0, "mean": 0.0, "p50": 0,
+                         "p90": 0, "max": 0}
+
+    def test_single_element(self):
+        stats = request_latency_stats([7])
+        assert stats["count"] == 1
+        assert stats["min"] == stats["p50"] == stats["p90"] == stats["max"] == 7
+        assert stats["mean"] == 7.0
+
+    def test_all_equal(self):
+        stats = request_latency_stats([4] * 9)
+        assert stats["count"] == 9
+        assert stats["min"] == stats["p50"] == stats["p90"] == stats["max"] == 4
+        assert stats["mean"] == 4.0
+
+    def test_mixed_percentiles(self):
+        stats = request_latency_stats(list(range(1, 11)))   # 1..10
+        assert stats["min"] == 1 and stats["max"] == 10
+        assert stats["p50"] == 6     # nearest-rank-below of the sorted list
+        assert stats["p90"] == 10
+        assert stats["mean"] == 5.5
+
+    def test_unsorted_input(self):
+        assert request_latency_stats([9, 1, 5])["p50"] == 5
+
+    def test_method_delegates_to_module_function(self):
+        result = _tiny_result(request_latencies=[3, 3, 9])
+        assert result.request_latency_stats() == request_latency_stats([3, 3, 9])
+
+
+def _tiny_result(**overrides):
+    base = dict(cycles=10, instructions=5, sections=1, outputs=[],
+                final_regs={}, final_memory={}, fetch_end=5, retire_end=9,
+                fetch_computed=3, requests=2, request_hops=4)
+    base.update(overrides)
+    return SimResult(**base)
+
+
+PROGRAM = """
+long A[6] = {4, 1, 6, 2, 9, 5};
+long sum(long* t, long k) {
+    if (k == 1) return t[0];
+    return sum(t, k / 2) + sum(t + k / 2, k - k / 2);
+}
+long main() { out(sum(A, 6)); return 0; }
+"""
+
+
+def _run(**cfg):
+    prog = compile_source(PROGRAM, fork_mode=True)
+    return simulate(prog, SimConfig(**cfg))[0]
+
+
+class TestOccupancyHistograms:
+    def test_counts_roundtrip(self):
+        assert occupancy_counts([1, 2, 3, 4]) == {
+            "fetching": 1, "computing": 2, "blocked": 3, "parked": 4}
+
+    def test_core_histograms_sum_to_cycles(self):
+        result = _run(n_cores=4)
+        assert len(result.core_occupancy) == 4
+        for histogram in result.core_occupancy:
+            assert set(histogram) == set(CORE_STATES)
+            assert sum(histogram.values()) == result.cycles
+
+    def test_single_core_never_parks_while_working(self):
+        result = _run(n_cores=1)
+        histogram = result.core_occupancy[0]
+        assert histogram["fetching"] > 0
+        assert sum(histogram.values()) == result.cycles
+
+    def test_idle_cores_park(self):
+        # With far more cores than sections, most cores never host work
+        # and must be accounted as parked for the whole run.
+        result = _run(n_cores=64)
+        untouched = [h for h, fetched in zip(result.core_occupancy,
+                                             result.per_core_instructions)
+                     if fetched == 0]
+        assert untouched, "expected idle cores at 64 cores"
+        assert all(h["parked"] == result.cycles and h["fetching"] == 0
+                   for h in untouched)
+
+    def test_section_occupancy_covers_every_section(self):
+        result = _run(n_cores=4)
+        assert set(result.section_occupancy) == set(
+            range(1, result.sections + 1))
+        for entry in result.section_occupancy.values():
+            assert entry["completed"] >= entry["created"]
+            assert entry["fetch_cycles"] > 0
+            assert entry["blocked_cycles"] >= 0
+
+    def test_occupancy_summary_fractions(self):
+        summary = _run(n_cores=4).occupancy_summary()
+        assert set(summary) == set(CORE_STATES)
+        assert abs(sum(summary.values()) - 1.0) < 1e-9
+
+    def test_collect_occupancy_off(self):
+        result = _run(n_cores=4, collect_occupancy=False)
+        assert result.core_occupancy == []
+        assert result.section_occupancy == {}
+        assert result.occupancy_summary() == {s: 0.0 for s in CORE_STATES}
+
+    def test_trace_opt_in(self):
+        assert _run(n_cores=2).trace is None
+        traced = _run(n_cores=2, trace=True)
+        assert len(traced.trace) == 2
+        assert all(len(row) == traced.cycles for row in traced.trace)
+        assert set("".join(traced.trace)) <= set("FCBP")
+
+
+class TestNocStats:
+    def test_counters_present_and_consistent(self):
+        result = _run(n_cores=8)
+        stats = result.noc_stats
+        assert stats["messages"] > 0
+        assert stats["hop_cycles"] >= stats["messages"]
+        assert stats["dmh_reads"] > 0
+
+    def test_single_core_sends_no_messages(self):
+        assert _run(n_cores=1).noc_stats["messages"] == 0
+
+
+class TestJsonExport:
+    def test_to_json_dict_is_json_serializable(self):
+        result = _run(n_cores=4, trace=True)
+        payload = result.to_json_dict(include_memory=True, include_trace=True)
+        text = json.dumps(payload)
+        parsed = json.loads(text)
+        assert parsed["cycles"] == result.cycles
+        assert parsed["scheduler"] == "event"
+        assert parsed["request_latency"]["count"] == len(
+            result.request_latencies)
+        assert parsed["trace"] == result.trace
+        assert len(parsed["section_occupancy"]) == result.sections
+
+    def test_memory_and_trace_excluded_by_default(self):
+        payload = _run(n_cores=2).to_json_dict()
+        assert "final_memory" not in payload
+        assert "trace" not in payload
+        assert payload["final_memory_words"] > 0

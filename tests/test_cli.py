@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -58,6 +60,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.splitlines()[0] == "36"
         assert "cycles" in out
+
+    def test_simulate_scheduler_modes_agree(self, minic_file, capsys):
+        outputs = []
+        for scheduler in ("naive", "event"):
+            assert main(["simulate", minic_file, "--cores", "4",
+                         "--scheduler", scheduler]) == 0
+            outputs.append(capsys.readouterr().out)
+        # cycle counts and outputs printed by the two modes are identical
+        assert outputs[0] == outputs[1]
+
+    def test_stats_text(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler: event" in out
+        assert "occupancy:" in out and "parked=" in out
+        assert "request latency:" in out
+        assert "noc:" in out
+
+    def test_stats_json(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--json",
+                     "--trace"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "event"
+        assert payload["cycles"] > 0
+        assert len(payload["core_occupancy"]) == 4
+        assert len(payload["trace"]) == 4
+        assert all(len(row) == payload["cycles"]
+                   for row in payload["trace"])
+        assert payload["outputs"] == [36]
+
+    def test_stats_json_naive_matches_event(self, minic_file, capsys):
+        payloads = {}
+        for scheduler in ("naive", "event"):
+            assert main(["stats", minic_file, "--cores", "4", "--json",
+                         "--scheduler", scheduler]) == 0
+            payloads[scheduler] = json.loads(capsys.readouterr().out)
+        for payload in payloads.values():
+            del payload["scheduler"]
+        assert payloads["naive"] == payloads["event"]
 
     def test_simulate_timing_table(self, asm_file, capsys):
         assert main(["simulate", asm_file, "--cores", "1", "--timing"]) == 0
