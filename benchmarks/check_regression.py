@@ -1,0 +1,221 @@
+"""Benchmark regression gate: fresh runs vs the committed baselines.
+
+Re-runs the workloads behind the committed ``BENCH_*.json`` baselines
+(``benchmarks/results/``) and fails when a fresh run drifts:
+
+* **deterministic fields** (simulated cycles, instruction/section/request
+  counts, fetch endpoints) must match the baseline *exactly* — the
+  simulator is deterministic, so any difference is a behaviour change
+  that must be re-baselined deliberately (rerun the benchmark suite and
+  commit the new JSON);
+* **wall clock** of the event-driven scheduler (events off — the
+  production configuration) may regress at most ``--tolerance`` (default
+  5%) against the baseline.  Machines and load differ, so the gate
+  compares the *event/naive speedup* rather than raw seconds: each round
+  times the naive and event schedulers back-to-back (so transient load
+  hits both alike), and the best round's speedup must stay within
+  tolerance of the baseline speedup.  A slower event path shows up
+  directly as a lower speedup, while a slower *machine* cancels out.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--full]
+        [--tolerance 0.05] [--update]
+
+``--full`` additionally replays the (slower) Table 1 sweep behind
+``BENCH_workloads_on_sim.json``; ``--update`` rewrites the baselines in
+place instead of failing (the deliberate re-baseline path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import RESULTS_DIR  # noqa: E402
+
+from repro.fork import fork_transform                      # noqa: E402
+from repro.sim import SimConfig, simulate                  # noqa: E402
+from repro.workloads import WORKLOADS, get_workload        # noqa: E402
+
+#: the fast-path timing matrix (must mirror bench_workloads_on_sim.py at
+#: REPRO_BENCH_SCALE=0)
+FAST_PATH_CASES = [("quicksort", 12), ("dictionary", 12), ("bfs", 8)]
+
+
+class Gate:
+    """Collects pass/fail lines; the process exits 1 on any failure."""
+
+    def __init__(self):
+        self.failures = []
+
+    def check(self, ok: bool, message: str) -> None:
+        print("  %s %s" % ("ok  " if ok else "FAIL", message))
+        if not ok:
+            self.failures.append(message)
+
+    def exact(self, name: str, fresh, baseline) -> None:
+        self.check(fresh == baseline,
+                   "%s: fresh=%r baseline=%r" % (name, fresh, baseline))
+
+
+def _load(name: str) -> dict:
+    path = RESULTS_DIR / ("BENCH_%s.json" % name)
+    if not path.exists():
+        print("error: missing baseline %s — run the benchmark suite first"
+              % path, file=sys.stderr)
+        sys.exit(2)
+    return json.loads(path.read_text())
+
+
+def _save(name: str, payload: dict) -> None:
+    path = RESULTS_DIR / ("BENCH_%s.json" % name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("  [baseline %s updated]" % path.name)
+
+
+def run_fast_path(rounds: int = 3) -> dict:
+    """Fresh timings of the naive-vs-event matrix, events off.
+
+    Each round times every workload under both schedulers back-to-back,
+    so a load spike inflates the round's naive and event walls together
+    and the per-round speedup stays honest.  The reported walls are the
+    per-mode minima (the noise-free cost estimate) and the reported
+    ``aggregate_speedup`` is the best round's — the statistic the gate
+    compares."""
+    cases = []
+    for short, n in FAST_PATH_CASES:
+        inst = get_workload(short).instance(n=n, seed=1)
+        cases.append((short, inst.n, fork_transform(inst.program)))
+
+    round_walls = []                    # [{mode: {short: wall}}, ...]
+    cycles = {}
+    for _ in range(rounds):
+        walls = {"naive": {}, "event": {}}
+        for short, n, prog in cases:
+            for mode in ("naive", "event"):
+                config = SimConfig(n_cores=64, stack_shortcut=True,
+                                   event_driven=mode == "event")
+                start = time.perf_counter()
+                result, _ = simulate(prog, config)
+                walls[mode][short] = time.perf_counter() - start
+                cycles[short] = result.cycles
+        round_walls.append(walls)
+
+    records = []
+    for short, n, _ in cases:
+        records.append({
+            "benchmark": short, "n": n, "cycles": cycles[short],
+            "wall_naive_s": min(w["naive"][short] for w in round_walls),
+            "wall_event_s": min(w["event"][short] for w in round_walls),
+            "speedup": max(w["naive"][short] / w["event"][short]
+                           for w in round_walls),
+        })
+    round_speedups = [sum(w["naive"].values()) / sum(w["event"].values())
+                      for w in round_walls]
+    return {"n_cores": 64, "scale": 0, "workloads": records,
+            "wall_naive_s": sum(r["wall_naive_s"] for r in records),
+            "wall_event_s": sum(r["wall_event_s"] for r in records),
+            "aggregate_speedup": max(round_speedups),
+            #: worst observed round — the conservative floor the gate
+            #: compares future runs against
+            "floor_speedup": min(round_speedups)}
+
+
+def check_fast_path(gate: Gate, tolerance: float, update: bool) -> None:
+    print("fast path (BENCH_scheduler_fast_path.json):")
+    baseline = _load("scheduler_fast_path")
+    fresh = run_fast_path()
+    if update:
+        _save("scheduler_fast_path", fresh)
+        return
+    base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
+    for record in fresh["workloads"]:
+        base = base_by_name.get(record["benchmark"])
+        if base is None:
+            gate.check(False, "%s: no baseline record"
+                       % record["benchmark"])
+            continue
+        gate.exact("%s cycles" % record["benchmark"],
+                   record["cycles"], base["cycles"])
+        gate.exact("%s n" % record["benchmark"], record["n"], base["n"])
+    # speedup gate: a slower event path lowers the fresh speedup; a
+    # slower machine cancels out of the naive/event ratio.  The fresh
+    # *best* round is held against the baseline's *worst* round (its
+    # floor) so residual round-to-round jitter — which moves both
+    # statistics by a few percent — cannot trip the gate, while a real
+    # fast-path regression (every round slower) still does.
+    floor = baseline.get("floor_speedup", baseline["aggregate_speedup"])
+    required = floor / (1.0 + tolerance)
+    gate.check(
+        fresh["aggregate_speedup"] >= required,
+        "event/naive speedup %.2fx >= %.2fx "
+        "(baseline floor %.2fx within %.0f%% tolerance)"
+        % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
+
+
+def run_workload_sweep() -> dict:
+    records = []
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=0, seed=1)
+        prog = fork_transform(inst.program)
+        one, _ = simulate(prog, SimConfig(n_cores=1, stack_shortcut=True))
+        many, _ = simulate(prog, SimConfig(n_cores=32, stack_shortcut=True))
+        records.append({
+            "benchmark": workload.short, "n": inst.n,
+            "instructions": many.instructions, "sections": many.sections,
+            "fetch_end_1": one.fetch_end, "fetch_end_32": many.fetch_end,
+        })
+    return {"workloads": records}
+
+
+def check_workload_sweep(gate: Gate) -> None:
+    print("workload sweep (BENCH_workloads_on_sim.json):")
+    baseline = _load("workloads_on_sim")
+    base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
+    for record in run_workload_sweep()["workloads"]:
+        base = base_by_name.get(record["benchmark"])
+        if base is None:
+            gate.check(False, "%s: no baseline record"
+                       % record["benchmark"])
+            continue
+        for key in ("n", "instructions", "sections",
+                    "fetch_end_1", "fetch_end_32"):
+            gate.exact("%s %s" % (record["benchmark"], key),
+                       record[key], base[key])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh benchmark runs drift from the "
+                    "committed BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed event-mode wall-clock regression "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--full", action="store_true",
+                        help="also replay the Table 1 sweep "
+                             "(deterministic fields only)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the fast-path baseline instead of "
+                             "checking (deliberate re-baseline)")
+    args = parser.parse_args(argv)
+
+    gate = Gate()
+    check_fast_path(gate, args.tolerance, args.update)
+    if args.full and not args.update:
+        check_workload_sweep(gate)
+    if gate.failures:
+        print("\nregression gate FAILED (%d):" % len(gate.failures))
+        for failure in gate.failures:
+            print("  - " + failure)
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

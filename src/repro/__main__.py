@@ -8,8 +8,12 @@ Commands:
                         on the section machine; print output + sections.
 * ``simulate FILE``   — cycle-simulate on the distributed many-core.
 * ``stats FILE``      — cycle-simulate and print the observability
-                        report (occupancy, request latencies, NoC
-                        counters), optionally as JSON.
+                        report (occupancy, stall causes, request
+                        latencies, NoC counters), optionally as JSON.
+* ``trace FILE``      — simulate with event tracing and write a Chrome
+                        trace-event / Perfetto JSON (ui.perfetto.dev).
+* ``analyze FILE``    — simulate with event tracing and print the
+                        stall-cause breakdown + critical-path report.
 * ``compile FILE``    — compile MiniC to assembly text (stdout).
 * ``transform FILE``  — apply the call→fork transformation; print the
                         rewritten listing.
@@ -77,26 +81,42 @@ def _sim_config(args, **extra) -> SimConfig:
                      event_driven=args.scheduler == "event", **extra)
 
 
+def _write_chrome_trace(result, path: str) -> None:
+    from .obs import to_chrome_trace
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(result), handle)
+    print("# chrome trace written to %s (open at https://ui.perfetto.dev)"
+          % path)
+
+
 def cmd_simulate(args) -> int:
     prog = _load_program(args.file, args.file.endswith(".c"),
                          args.fork_loops)
-    result, proc = simulate(prog, _sim_config(args))
+    config = _sim_config(args, events=bool(args.chrome_trace))
+    result, proc = simulate(prog, config)
     for value in result.signed_outputs:
         print(value)
     print("# " + result.describe())
     if args.timing:
         print(proc.timing_table())
+    if args.chrome_trace:
+        _write_chrome_trace(result, args.chrome_trace)
     return 0
 
 
 def cmd_stats(args) -> int:
+    from .obs import summarize_causes
     prog = _load_program(args.file, args.file.endswith(".c"),
                          args.fork_loops)
-    config = _sim_config(args, trace=args.trace)
+    config = _sim_config(args, trace=args.trace,
+                         events=args.events or bool(args.chrome_trace))
     result, _ = simulate(prog, config)
+    if args.chrome_trace:
+        _write_chrome_trace(result, args.chrome_trace)
     if args.json:
         payload = result.to_json_dict(include_memory=args.memory,
-                                      include_trace=args.trace)
+                                      include_trace=args.trace,
+                                      include_events=args.events)
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
@@ -106,15 +126,48 @@ def cmd_stats(args) -> int:
     print("occupancy: " + "  ".join(
         "%s=%.1f%%" % (state, 100.0 * summary[state])
         for state in sorted(summary)))
+    if result.stall_causes is not None:
+        print("stall causes: "
+              + summarize_causes(result.stall_causes["totals"]))
     latency = result.request_latency_stats()
-    print("request latency: count=%d min=%d p50=%d p90=%d max=%d mean=%.2f"
+    print("request latency: count=%d min=%d p50=%d p90=%d p99=%d max=%d "
+          "mean=%.2f"
           % (latency["count"], latency["min"], latency["p50"],
-             latency["p90"], latency["max"], latency["mean"]))
+             latency["p90"], latency["p99"], latency["max"],
+             latency["mean"]))
     print("noc: " + "  ".join(
         "%s=%d" % kv for kv in sorted(result.noc_stats.items())))
     if args.trace and result.trace is not None:
         for core_id, row in enumerate(result.trace):
             print("core %2d: %s" % (core_id, row))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    result, _ = simulate(prog, _sim_config(args, events=True))
+    _write_chrome_trace(result, args.output)
+    print("# " + result.describe())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .obs import critical_path, render_critical_path, summarize_causes
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    result, _ = simulate(prog, _sim_config(args, events=True))
+    print(result.describe())
+    causes = result.stall_causes
+    print("stall causes (blocked/parked core cycles): "
+          + summarize_causes(causes["totals"]))
+    if args.per_core:
+        for core_id, counts in enumerate(causes["per_core"]):
+            if sum(counts.values()):
+                print("  core %2d: %s" % (core_id, summarize_causes(counts)))
+    print(render_critical_path(critical_path(result), result.cycles))
+    if args.chrome_trace:
+        _write_chrome_trace(result, args.chrome_trace)
     return 0
 
 
@@ -185,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_sim_options(sim)
     sim.add_argument("--timing", action="store_true",
                      help="print the Figure 10 stage table")
+    sim.add_argument("--chrome-trace", metavar="OUT.json",
+                     help="also write a Chrome trace-event JSON")
     sim.set_defaults(func=cmd_simulate)
 
     stats = sub.add_parser("stats",
@@ -194,9 +249,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the machine-readable SimResult export")
     stats.add_argument("--trace", action="store_true",
                        help="include the per-cycle core-state trace")
+    stats.add_argument("--events", action="store_true",
+                       help="collect the structured event stream (adds the "
+                            "stall-cause breakdown; with --json, exports "
+                            "the raw events too)")
     stats.add_argument("--memory", action="store_true",
                        help="include final memory contents in --json output")
+    stats.add_argument("--chrome-trace", metavar="OUT.json",
+                       help="also write a Chrome trace-event JSON")
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="simulate and export a Chrome/Perfetto trace")
+    add_sim_options(trace)
+    trace.add_argument("-o", "--output", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.set_defaults(func=cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="simulate and report stall causes + the critical path")
+    add_sim_options(analyze)
+    analyze.add_argument("--per-core", action="store_true",
+                         help="print the per-core stall-cause breakdown")
+    analyze.add_argument("--chrome-trace", metavar="OUT.json",
+                         help="also write a Chrome trace-event JSON")
+    analyze.set_defaults(func=cmd_analyze)
 
     comp = sub.add_parser("compile", help="compile MiniC to assembly")
     comp.add_argument("file")

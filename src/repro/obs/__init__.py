@@ -1,0 +1,42 @@
+"""Observability for the distributed simulator (``repro.obs``).
+
+Three layers, all built on one structured event stream:
+
+* **event tracing** (:mod:`repro.obs.events`) — typed records (section
+  fork/start/complete, renaming request issue/hop/hit/fill, NoC
+  send/deliver, DMH reads, core park/wake, retirement) collected by the
+  simulator when :attr:`repro.sim.SimConfig.events` is on.  Near-zero
+  overhead when off: every instrumentation point is a single
+  ``tracer is None`` test.  Both scheduler modes emit bit-identical
+  streams (tests/sim/test_differential.py).
+* **stall-cause attribution** (:mod:`repro.obs.stalls`) — splits every
+  blocked/parked core cycle and every blocked section cycle into causes
+  (``wait_register`` / ``wait_memory`` / ``noc_transit`` /
+  ``fork_latency`` / ``no_free_core`` / ``idle``), folded into
+  :class:`repro.sim.SimResult` as ``stall_causes``.
+* **exporters** — a Chrome trace-event / Perfetto JSON renderer
+  (:mod:`repro.obs.chrome_trace`; sections as tracks, renaming requests
+  as flow arrows) and a terminal critical-path report
+  (:mod:`repro.obs.critical`), wired into the CLI as ``repro trace`` and
+  ``repro analyze``.
+
+Design rule: nothing in this package imports :mod:`repro.sim` at module
+level (the simulator imports us), so every module here works on duck-typed
+results/processors and resolves simulator constants at call time.
+"""
+
+from .chrome_trace import to_chrome_trace
+from .critical import critical_path, render_critical_path
+from .events import (EVENT_KINDS, EventTrace, collect_requests,
+                     collect_sections, events_to_json, request_what_str,
+                     synthesize_core_events)
+from .stalls import (STALL_CAUSES, attribute_stalls, live_request_cause,
+                     stall_diagnostic, summarize_causes)
+
+__all__ = [
+    "EVENT_KINDS", "EventTrace", "STALL_CAUSES", "attribute_stalls",
+    "collect_requests", "collect_sections", "critical_path",
+    "events_to_json", "live_request_cause", "render_critical_path",
+    "request_what_str", "stall_diagnostic", "summarize_causes",
+    "synthesize_core_events", "to_chrome_trace",
+]

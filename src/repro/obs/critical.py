@@ -1,0 +1,126 @@
+"""Terminal critical-path report over the event stream.
+
+The run's makespan is set by the section that completes last; this module
+walks *backward* from it through the run's last-resolved dependencies — the
+greedy last-producer walk: at each section take its latest-filling renaming
+request, jump to the producer section that answered it (or note the DMH),
+and fall back to the creating fork when no request gates the section.  The
+result is a chain of sections and links that reads as "where did the
+cycles at the end of the run come from", with the NoC-transit share of
+each link called out — exactly the accounting the next round of
+scheduler/NoC optimisation needs.
+
+This is a greedy approximation of the true critical path (it follows the
+*last* dependency at each step, not the longest chain), which matches the
+paper's narrative accounting and is exact whenever the last dependency is
+the binding one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .events import collect_requests, collect_sections, request_what_str
+
+
+def critical_path(result) -> List[dict]:
+    """Extract the greedy last-producer chain from ``result.events``.
+
+    Returns a list of step dicts, most-recent first.  Step kinds:
+
+    * ``section`` — ``sid``, ``core``, ``start``, ``complete``
+    * ``request`` — ``rid``, ``req_kind``, ``what``, ``issue``, ``cycle``
+      (the fill), ``hops``, ``transit_cycles``, ``producer``, ``dmh``
+    * ``fork``    — ``sid`` (the child), ``parent``, ``cycle`` (creation)
+    """
+    if result.events is None:
+        raise ValueError(
+            "no event stream on this result: run the simulation with "
+            "SimConfig(events=True) (CLI: repro analyze)")
+    sections = collect_sections(result.events)
+    requests = collect_requests(result.events)
+    by_sid: Dict[int, List[dict]] = {}
+    for req in requests.values():
+        by_sid.setdefault(req["sid"], []).append(req)
+
+    finished = [s for s in sections.values() if s["complete"] is not None]
+    if not finished:
+        return []
+    current = max(finished, key=lambda s: (s["complete"], s["sid"]))
+
+    steps: List[dict] = []
+    seen = set()
+    while current["sid"] not in seen:
+        seen.add(current["sid"])
+        start = (current["start"] if current["start"] is not None
+                 else current["created"])
+        steps.append({"kind": "section", "sid": current["sid"],
+                      "core": current["core"], "start": start,
+                      "complete": current["complete"],
+                      "cycle": (current["complete"]
+                                if current["complete"] is not None
+                                else result.cycles)})
+        filled = [r for r in by_sid.get(current["sid"], [])
+                  if r["fill"] is not None]
+        nxt = None
+        if filled:
+            last = max(filled, key=lambda r: (r["fill"], r["rid"]))
+            if last["fill"] > start:
+                steps.append({
+                    "kind": "request", "rid": last["rid"],
+                    "req_kind": last["kind"],
+                    "what": request_what_str(last),
+                    "issue": last["issue"], "cycle": last["fill"],
+                    "hops": last["hops"],
+                    "transit_cycles": sum(e - s
+                                          for s, e in last["transit"]),
+                    "producer": last["producer"], "dmh": last["dmh"],
+                })
+                producer = last["producer"]
+                if producer is not None and producer != current["sid"]:
+                    nxt = sections[producer]
+        if nxt is None:
+            parent = current["parent"]
+            if parent is None:
+                break
+            steps.append({"kind": "fork", "sid": current["sid"],
+                          "parent": parent, "cycle": current["created"]})
+            nxt = sections[parent]
+        current = nxt
+    return steps
+
+
+def render_critical_path(steps, total_cycles: int) -> str:
+    """Human-readable rendering of :func:`critical_path` output."""
+    if not steps:
+        return "critical path: no completed sections (run still in flight?)"
+    lines = ["critical path (greedy last-producer walk, run = %d cycles):"
+             % total_cycles]
+    transit_total = 0
+    for step in steps:
+        if step["kind"] == "section":
+            complete = ("@%d" % step["complete"]
+                        if step["complete"] is not None else "(incomplete)")
+            lines.append("  s%-4d on core %-3d fetch @%d .. complete %s"
+                         % (step["sid"], step["core"], step["start"],
+                            complete))
+        elif step["kind"] == "request":
+            transit_total += step["transit_cycles"]
+            source = ("DMH" if step["producer"] is None
+                      else "s%d" % step["producer"])
+            lines.append(
+                "    <- r%d %s %s: issued @%d, filled @%d "
+                "(%d hops, %d transit cycles, answered by %s)"
+                % (step["rid"], step["req_kind"], step["what"],
+                   step["issue"], step["cycle"], step["hops"],
+                   step["transit_cycles"], source))
+        else:   # fork
+            lines.append("    <- forked by s%d @%d"
+                         % (step["parent"], step["cycle"]))
+    sections_on_path = sum(1 for s in steps if s["kind"] == "section")
+    lines.append("  chain: %d sections, %d request links, "
+                 "%d NoC-transit cycles on the path"
+                 % (sections_on_path,
+                    sum(1 for s in steps if s["kind"] == "request"),
+                    transit_total))
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Structured event records emitted by the simulator.
+
+An event is the plain tuple ``(cycle, kind, fields)`` — hashable-free and
+directly comparable, which is what the differential harness relies on: the
+naive and event-driven schedulers must produce *equal* streams.  ``fields``
+is a small dict whose keys depend on ``kind``:
+
+===================  ========================================================
+kind                 fields
+===================  ========================================================
+``section_fork``     ``parent``, ``child``, ``core``, ``first_fetch``
+``section_start``    ``sid``, ``core`` — the section's first fetched cycle
+``section_complete`` ``sid``, ``core`` — last instruction retired
+``request_issue``    ``rid``, ``kind`` ("reg"/"mem"), ``sid``, ``core``,
+                     ``what`` (register name or word address)
+``request_hop``      ``rid``, ``src``, ``dst`` (cores), ``sid`` (section the
+                     request travels to), ``wait`` (cycles the request is in
+                     flight; 0 = same-core route, no delay)
+``request_hit``      ``rid``, ``sid`` (producer section), ``core``
+``request_dmh``      ``rid``, ``core`` (requester), ``arrive`` (reply cycle)
+``request_reply``    ``rid``, ``src``, ``dst`` (cores), ``arrive``
+``request_fill``     ``rid``, ``sid`` (requester), ``value``
+``noc_send``         ``src``, ``dst``, ``latency`` — any cross-core message
+``noc_deliver``      ``src``, ``dst`` — stamped at the arrival cycle
+``retire``           ``sid``, ``index`` — one per retired instruction
+``core_park``        ``core``, ``state`` ("blocked"/"parked"); synthesized
+``core_wake``        ``core``; synthesized from the per-cycle state timeline
+===================  ========================================================
+
+``core_park`` / ``core_wake`` are *derived* from the per-cycle core-state
+trace rather than from the event-driven scheduler's park machinery — the
+naive scheduler never parks, so deriving them from the (mode-identical)
+state timeline is what keeps the two streams equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: every event kind the simulator can emit, in rough pipeline order
+EVENT_KINDS = (
+    "section_fork", "section_start", "section_complete",
+    "request_issue", "request_hop", "request_hit", "request_dmh",
+    "request_reply", "request_fill",
+    "noc_send", "noc_deliver", "retire",
+    "core_park", "core_wake",
+)
+
+Event = Tuple[int, str, dict]
+
+
+class EventTrace:
+    """Append-only event collector owned by a :class:`~repro.sim.Processor`.
+
+    The simulator holds ``tracer = None`` when tracing is off, so the
+    per-emission cost in the disabled (default) configuration is a single
+    attribute load and ``is None`` test at each instrumentation point.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def emit(self, cycle: int, kind: str, /, **fields) -> None:
+        # positional-only so a field may itself be named "kind"
+        # (request_issue carries kind="reg"/"mem")
+        self.events.append((cycle, kind, fields))
+
+
+def synthesize_core_events(states_per_core, state_names,
+                           stalled_states) -> List[Event]:
+    """Derive ``core_park`` / ``core_wake`` events from the per-cycle state
+    timeline (state index ``i`` is cycle ``i + 1``).
+
+    A park event opens every maximal run of cycles whose state is in
+    *stalled_states* (carrying the run's first state name), and a wake
+    event closes it — but only if the core actually resumed before the end
+    of the run.  Pure function of the timeline, hence scheduler-agnostic.
+    """
+    events: List[Event] = []
+    stalled_set = frozenset(stalled_states)
+    for core_id, states in enumerate(states_per_core):
+        if not states:
+            continue
+        in_stall = False
+        for i, state in enumerate(states):
+            stalled = state in stalled_set
+            if stalled and not in_stall:
+                events.append((i + 1, "core_park",
+                               {"core": core_id,
+                                "state": state_names[state]}))
+            elif not stalled and in_stall:
+                events.append((i + 1, "core_wake", {"core": core_id}))
+            in_stall = stalled
+    return events
+
+
+def events_to_json(events) -> List[dict]:
+    """Flatten ``(cycle, kind, fields)`` tuples for JSON export."""
+    out = []
+    for cycle, kind, fields in events:
+        record = {"cycle": cycle, "kind": kind}
+        record.update(fields)
+        out.append(record)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shared reconstructions — both exporters and the stall attributor rebuild
+# section / request timelines from the stream instead of poking sim state
+# ---------------------------------------------------------------------------
+
+def collect_sections(events) -> Dict[int, dict]:
+    """Section timeline keyed by sid: ``core``, ``created``,
+    ``first_fetch``, ``start`` (first fetched cycle or None), ``complete``
+    (completion cycle or None) and ``parent`` (None for the root).
+
+    The root section (sid 1, core 0) exists before any event fires, so it
+    is seeded here rather than discovered.
+    """
+    sections: Dict[int, dict] = {
+        1: {"sid": 1, "core": 0, "created": 0, "first_fetch": 1,
+            "start": None, "complete": None, "parent": None},
+    }
+    for cycle, kind, f in events:
+        if kind == "section_fork":
+            sections[f["child"]] = {
+                "sid": f["child"], "core": f["core"], "created": cycle,
+                "first_fetch": f["first_fetch"], "start": None,
+                "complete": None, "parent": f["parent"],
+            }
+        elif kind == "section_start":
+            entry = sections[f["sid"]]
+            if entry["start"] is None:
+                entry["start"] = cycle
+        elif kind == "section_complete":
+            sections[f["sid"]]["complete"] = cycle
+    return sections
+
+
+def collect_requests(events) -> Dict[int, dict]:
+    """Renaming-request timelines keyed by rid.
+
+    Each entry carries ``sid``/``kind``/``what``/``issue``/``fill`` plus:
+
+    * ``transit`` — list of half-open-left windows ``(s, e]`` during which
+      the request is travelling (section hops, the reply flight, and the
+      architectural port hop of register reads);
+    * ``path`` — ``(cycle, core, sid)`` per section hop, for flow arrows;
+    * ``producer`` — sid of the answering section (None = architectural);
+    * ``dmh`` — answered by the data memory hierarchy;
+    * ``hops`` — section-to-section hops walked.
+    """
+    requests: Dict[int, dict] = {}
+    for cycle, kind, f in events:
+        if kind == "request_issue":
+            requests[f["rid"]] = {
+                "rid": f["rid"], "sid": f["sid"], "kind": f["kind"],
+                "what": f["what"], "issue": cycle, "fill": None,
+                "transit": [], "path": [], "producer": None,
+                "dmh": False, "hops": 0,
+            }
+        elif kind == "request_hop":
+            req = requests[f["rid"]]
+            req["hops"] += 1
+            req["path"].append((cycle, f["dst"], f["sid"]))
+            if f["wait"]:
+                req["transit"].append((cycle, cycle + f["wait"]))
+        elif kind == "request_hit":
+            requests[f["rid"]]["producer"] = f["sid"]
+        elif kind == "request_reply":
+            requests[f["rid"]]["transit"].append((cycle, f["arrive"]))
+        elif kind == "request_dmh":
+            req = requests[f["rid"]]
+            req["dmh"] = True
+            if req["kind"] == "reg":
+                # register reads off the oldest end pay only the port hop;
+                # memory reads pay the DMH access, attributed wait_memory
+                req["transit"].append((cycle, f["arrive"]))
+        elif kind == "request_fill":
+            requests[f["rid"]]["fill"] = cycle
+    return requests
+
+
+def request_what_str(req: dict) -> str:
+    """Human-readable name of what a request fetches."""
+    return req["what"] if req["kind"] == "reg" else "0x%x" % req["what"]

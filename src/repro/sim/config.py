@@ -67,6 +67,15 @@ class SimConfig:
     #: collect per-core and per-section occupancy histograms (cheap:
     #: per-core counters plus bulk accounting over parked spans)
     collect_occupancy: bool = True
+    #: structured event tracing (:mod:`repro.obs`): record typed events
+    #: (section fork/start/complete, renaming request issue/hop/fill, NoC
+    #: send/deliver, DMH reads, retirement, core park/wake) into
+    #: ``SimResult.events`` and fold the stall-cause attribution into
+    #: ``SimResult.stall_causes``.  Implies occupancy + per-cycle state
+    #: collection; near-zero overhead when off (every instrumentation
+    #: point is one ``tracer is None`` test).  Both scheduler modes emit
+    #: identical streams.
+    events: bool = False
     #: simulation budget; exceeding it raises (deadlock guard)
     max_cycles: int = 2_000_000
 

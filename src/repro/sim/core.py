@@ -243,6 +243,9 @@ class Core:
         dyn = DynInstr(instr, sec, len(sec.instructions))
         dyn.timing.fd = now
         sec.instructions.append(dyn)
+        if not sec.fetch_started and self.proc.tracer is not None:
+            self.proc.tracer.emit(now, "section_start", sid=sec.sid,
+                                  core=self.id)
         sec.fetch_started = True
         self.fetched += 1
         if sec._last_fetch_cycle != now:
@@ -575,6 +578,7 @@ class Core:
 
     def _retire(self, now: int) -> None:
         budget = self.proc.cfg.retire_width
+        tracer = self.proc.tracer
         for sec in sorted(self.open_secs, key=lambda s: s.order_index):
             popped = False
             while budget and sec.rob and sec.rob[0].terminated():
@@ -585,6 +589,8 @@ class Core:
                 self.did_work = True
                 popped = True
                 budget -= 1
+                if tracer is not None:
+                    tracer.emit(now, "retire", sid=sec.sid, index=dyn.index)
             if popped and sec.complete:
                 # `complete` only ever flips true at the retirement that
                 # empties the ROB, so this is the single detection point.

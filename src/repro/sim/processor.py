@@ -22,13 +22,16 @@ from ..errors import SimulationError
 from ..isa.program import HALT_ADDR, Program, STACK_TOP, WORD
 from ..isa.registers import ALL_REGS, FORK_COPIED_REGS, STACK_POINTER
 from ..machine.executor import MASK
+from ..obs.events import EventTrace, synthesize_core_events
+from ..obs.stalls import attribute_stalls, stall_diagnostic
 from .cells import Cell, DynInstr
 from .config import SimConfig
 from .core import Core
 from .noc import make_noc
 from .requests import RenameRequest
 from .section import SectionState, initial_root_fregs
-from .stats import STATE_CODES, SimResult, occupancy_counts
+from .stats import (BLOCKED, CORE_STATES, PARKED, STATE_CODES, SimResult,
+                    occupancy_counts)
 
 
 class Processor:
@@ -55,9 +58,15 @@ class Processor:
 
         self.noc = make_noc(self.cfg.topology, self.cfg.n_cores,
                             self.cfg.noc_latency)
-        self.occupancy_on = self.cfg.collect_occupancy
+        #: structured event stream (repro.obs); None keeps the hot paths
+        #: at a single is-None test per instrumentation point
+        self.tracer = EventTrace() if self.cfg.events else None
+        # stall attribution consumes occupancy states, so tracing forces
+        # their collection (the per-cycle timeline stays internal unless
+        # cfg.trace also asks for it in the result)
+        self.occupancy_on = self.cfg.collect_occupancy or self.cfg.events
         self.cores = [Core(i, self) for i in range(self.cfg.n_cores)]
-        if self.cfg.trace:
+        if self.cfg.trace or self.cfg.events:
             for core in self.cores:
                 core.trace_states = []
         self.sections: List[SectionState] = []
@@ -187,6 +196,9 @@ class Processor:
         section.completed_cycle = now
         core.open_secs.remove(section)
         self._open_sections -= 1
+        if self.tracer is not None:
+            self.tracer.emit(now, "section_complete", sid=section.sid,
+                             core=core.id)
 
     def _process_pending(self, now: int) -> None:
         """Step every not-yet-done request (same relative order as the
@@ -289,6 +301,10 @@ class Processor:
             if (target._blocked_from is None
                     or visible < target._blocked_from):
                 target._blocked_from = visible
+        if self.tracer is not None:
+            self.tracer.emit(now, "section_fork", parent=parent.sid,
+                             child=sec.sid, core=core_id,
+                             first_fetch=sec.first_fetch_cycle)
         return sec
 
     def _place(self, parent: SectionState) -> int:
@@ -314,10 +330,14 @@ class Processor:
                          now: int) -> None:
         req = RenameRequest(
             kind="reg", requester=sec, dest_cell=cell, reg=reg,
+            rid=len(self.requests),
             before=sec, cur_core=sec.core_id, issued_cycle=now,
             wake_cycle=now + 1)
         self.requests.append(req)
         self._pending.append(req)
+        if self.tracer is not None:
+            self.tracer.emit(now, "request_issue", rid=req.rid, kind="reg",
+                             sid=sec.sid, core=sec.core_id, what=reg)
 
     def send_mem_request(self, sec: SectionState, addr: int, cell: Cell,
                          now: int) -> None:
@@ -329,17 +349,26 @@ class Processor:
                 use_shortcut = True
         req = RenameRequest(
             kind="mem", requester=sec, dest_cell=cell, addr=addr,
+            rid=len(self.requests),
             use_shortcut=use_shortcut, requester_depth=depth,
             before=sec, cut_child=sec, cur_core=sec.core_id,
             issued_cycle=now, wake_cycle=now + 1)
         self.requests.append(req)
         self._pending.append(req)
+        if self.tracer is not None:
+            self.tracer.emit(now, "request_issue", rid=req.rid, kind="mem",
+                             sid=sec.sid, core=sec.core_id, what=addr)
 
-    def _hop(self, src_core: int, dst_core: int) -> int:
+    def _hop(self, src_core: int, dst_core: int, now: int) -> int:
         if src_core == dst_core:
             return 0
         latency = self.noc.latency(src_core, dst_core)
         self.noc.record_transfer(latency)
+        if self.tracer is not None:
+            self.tracer.emit(now, "noc_send", src=src_core, dst=dst_core,
+                             latency=latency)
+            self.tracer.emit(now + latency, "noc_deliver", src=src_core,
+                             dst=dst_core)
         return latency
 
     def _walk_pred(self, req: RenameRequest,
@@ -358,6 +387,7 @@ class Processor:
             self._step_request(req, now)
 
     def _step_request(self, req: RenameRequest, now: int) -> None:
+        tracer = self.tracer
         # reply in flight
         if req.reply_cycle is not None:
             if now >= req.reply_cycle:
@@ -365,17 +395,29 @@ class Processor:
                 if req.line_values:
                     self._install_line(req, now)
                 req.done = True
+                if tracer is not None:
+                    tracer.emit(now, "request_fill", rid=req.rid,
+                                sid=req.requester.sid, value=req.value)
             return
         # waiting for the producer's value
         if req.hit_cell is not None:
             if req.hit_cell.ready:
                 req.value = req.hit_cell.value
-                delay = self._hop(req.producer_core, req.requester.core_id)
+                delay = self._hop(req.producer_core, req.requester.core_id,
+                                  now)
                 if delay == 0:
                     req.dest_cell.fill(req.value, now)
                     req.done = True
+                    if tracer is not None:
+                        tracer.emit(now, "request_fill", rid=req.rid,
+                                    sid=req.requester.sid, value=req.value)
                 else:
                     req.reply_cycle = now + delay
+                    if tracer is not None:
+                        tracer.emit(now, "request_reply", rid=req.rid,
+                                    src=req.producer_core,
+                                    dst=req.requester.core_id,
+                                    arrive=req.reply_cycle)
             return
         if now < req.wake_cycle:
             return
@@ -389,10 +431,14 @@ class Processor:
             self._answer_architectural(req, now)
             return
         if pred is not req.at_section:
-            hops = self._hop(req.cur_core, pred.core_id)
+            src_core = req.cur_core
+            hops = self._hop(src_core, pred.core_id, now)
             req.at_section = pred
             req.cur_core = pred.core_id
             req.hops += 1
+            if tracer is not None:
+                tracer.emit(now, "request_hop", rid=req.rid, src=src_core,
+                            dst=pred.core_id, sid=pred.sid, wait=hops)
             if hops:
                 req.wake_cycle = now + hops
                 return
@@ -431,18 +477,34 @@ class Processor:
                 self._answer_architectural(req, now)
                 return
             req.at_section = nxt
-            hop = self._hop(req.cur_core, nxt.core_id)
+            src_core = req.cur_core
+            hop = self._hop(src_core, nxt.core_id, now)
             req.cur_core = nxt.core_id
             req.hops += 1
-            req.wake_cycle = now + max(hop, 1)
+            wait = max(hop, 1)
+            req.wake_cycle = now + wait
+            if tracer is not None:
+                tracer.emit(now, "request_hop", rid=req.rid, src=src_core,
+                            dst=nxt.core_id, sid=nxt.sid, wait=wait)
             return
         if isinstance(entry, Cell):
             req.hit_cell = entry
             req.producer_core = pred.core_id
+            req.producer_sid = pred.sid
+            if tracer is not None:
+                tracer.emit(now, "request_hit", rid=req.rid, sid=pred.sid,
+                            core=pred.core_id)
         else:
             req.value = entry
-            delay = self._hop(pred.core_id, req.requester.core_id)
+            req.producer_sid = pred.sid
+            delay = self._hop(pred.core_id, req.requester.core_id, now)
             req.reply_cycle = now + max(delay, 1)
+            if tracer is not None:
+                tracer.emit(now, "request_hit", rid=req.rid, sid=pred.sid,
+                            core=pred.core_id)
+                tracer.emit(now, "request_reply", rid=req.rid,
+                            src=pred.core_id, dst=req.requester.core_id,
+                            arrive=req.reply_cycle)
 
     def _install_line(self, req: RenameRequest, now: int) -> None:
         """Cache the DMH line along the return path: the requester and
@@ -492,9 +554,15 @@ class Processor:
             req.cut_index = -1 if child.created_by_loop else child.created_at_index
             req.at_section = parent
             req.hops += 1
-            hops = self._hop(req.cur_core, parent.core_id)
+            src_core = req.cur_core
+            hops = self._hop(src_core, parent.core_id, now)
             req.cur_core = parent.core_id
-            req.wake_cycle = now + max(hops, 1)
+            wait = max(hops, 1)
+            req.wake_cycle = now + wait
+            if self.tracer is not None:
+                self.tracer.emit(now, "request_hop", rid=req.rid,
+                                 src=src_core, dst=parent.core_id,
+                                 sid=parent.sid, wait=wait)
             return
         section = req.at_section
         if req.cut_index < 0:
@@ -518,6 +586,10 @@ class Processor:
             return
         req.hit_cell = entry
         req.producer_core = section.core_id
+        req.producer_sid = section.sid
+        if self.tracer is not None:
+            self.tracer.emit(now, "request_hit", rid=req.rid,
+                             sid=section.sid, core=section.core_id)
 
     def _answer_architectural(self, req: RenameRequest, now: int) -> None:
         """The walk fell off the oldest live section: read the architectural
@@ -542,6 +614,10 @@ class Processor:
                     (word, self.dmh.get(word, 0))
                     for word in range(base, base + self.cfg.line_bytes, WORD)]
         req.reply_cycle = now + max(delay, 1)
+        if self.tracer is not None:
+            self.tracer.emit(now, "request_dmh", rid=req.rid,
+                             core=req.requester.core_id,
+                             arrive=req.reply_cycle)
 
     # ------------------------------------------------------------------
     # results
@@ -593,6 +669,15 @@ class Processor:
         if self.cfg.trace:
             trace = ["".join(STATE_CODES[s] for s in core.trace_states)
                      for core in self.cores]
+        events = None
+        stall_causes = None
+        if self.tracer is not None:
+            self.tracer.events.extend(synthesize_core_events(
+                [core.trace_states for core in self.cores],
+                CORE_STATES, (BLOCKED, PARKED)))
+            self.tracer.events.sort(key=lambda e: e[0])  # stable: keeps
+            events = self.tracer.events                  # emission order
+            stall_causes = attribute_stalls(self)
         return SimResult(
             cycles=self.cycle,
             instructions=len(instrs),
@@ -615,6 +700,8 @@ class Processor:
             section_occupancy=section_occupancy,
             noc_stats=self.noc.stats(),
             trace=trace,
+            events=events,
+            stall_causes=stall_causes,
         )
 
     def _section_occupancy(self) -> Dict[int, Dict[str, int]]:
@@ -635,17 +722,7 @@ class Processor:
         return histogram
 
     def _stall_diagnostic(self) -> str:
-        stuck = [sec for sec in self.sections if not sec.complete]
-        parts = []
-        for sec in stuck[:8]:
-            head = sec.rob[0] if sec.rob else None
-            parts.append("s%d(ip=%s, fetched=%d, renamed=%d, rob=%d, head=%s)"
-                         % (sec.sid, sec.ip, len(sec.instructions),
-                            sec.renamed_count, len(sec.rob),
-                            head.tag if head else "-"))
-        pending = [req.describe() for req in self.requests if not req.done]
-        return "stuck sections: %s; pending requests: %s" % (
-            "; ".join(parts), "; ".join(pending[:8]))
+        return stall_diagnostic(self)
 
     # -- presentation -------------------------------------------------------
 

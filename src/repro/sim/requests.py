@@ -46,6 +46,9 @@ class RenameRequest:
     kind: str                     #: "reg" or "mem"
     requester: SectionState
     dest_cell: Cell               #: the requester's import cell to fill
+    #: issue-order id (index into ``Processor.requests``) — keys the
+    #: structured event stream's request_* records
+    rid: int = -1
     reg: str = ""                 #: kind == "reg"
     addr: int = -1                #: kind == "mem"
     use_shortcut: bool = False
@@ -69,6 +72,8 @@ class RenameRequest:
     #: once a hit is found, the cell whose value we wait for
     hit_cell: Optional[Cell] = None
     producer_core: int = 0
+    #: sid of the section that answered (observability; -1 = architectural)
+    producer_sid: int = -1
     #: the answer, once known
     value: Optional[int] = None
     #: no visited section touched the requested address's line: the DMH

@@ -31,24 +31,38 @@ STATE_CODES = "FCBP"
 FETCHING, COMPUTING, BLOCKED, PARKED = range(4)
 
 
-def request_latency_stats(latencies: List[int]) -> Dict[str, float]:
-    """min/mean/p50/p90/max summary of a list of request latencies.
+def _rank(n: int, pct: int) -> int:
+    """Nearest-rank index of percentile *pct* in a sorted list of *n*.
 
-    Percentiles use the nearest-rank-below convention (index ``k*n//q`` of
-    the sorted list), so ``p50`` of a single element is that element and
-    all-equal inputs report that value everywhere.  An empty input yields
-    an all-zero summary with ``count == 0``.
+    ``ceil(n * pct / 100) - 1``, computed in integers (a float ``ceil``
+    suffers representation error, e.g. ``0.99 * 100 != 99``), clamped to
+    the valid range — so p90 of 10 samples is the 9th value, never an
+    out-of-order overshoot to the max.
+    """
+    return max(0, min(n - 1, (n * pct + 99) // 100 - 1))
+
+
+def request_latency_stats(latencies: List[int]) -> Dict[str, float]:
+    """min/mean/p50/p90/p99/max summary of a list of request latencies.
+
+    Percentiles use the nearest-rank convention (the smallest value with at
+    least ``pct`` percent of the samples at or below it), so ``p50`` of a
+    single element is that element and all-equal inputs report that value
+    everywhere.  An empty input yields an all-zero summary with
+    ``count == 0``.
     """
     lat = sorted(latencies)
     if not lat:
         return {"count": 0, "min": 0, "mean": 0.0, "p50": 0, "p90": 0,
-                "max": 0}
+                "p99": 0, "max": 0}
+    n = len(lat)
     return {
-        "count": len(lat),
+        "count": n,
         "min": lat[0],
-        "mean": sum(lat) / len(lat),
-        "p50": lat[len(lat) // 2],
-        "p90": lat[(len(lat) * 9) // 10],
+        "mean": sum(lat) / n,
+        "p50": lat[_rank(n, 50)],
+        "p90": lat[_rank(n, 90)],
+        "p99": lat[_rank(n, 99)],
         "max": lat[-1],
     }
 
@@ -91,6 +105,12 @@ class SimResult:
     #: opt-in per-cycle timeline: one string per core, one state code per
     #: cycle ("F" fetching, "C" computing, "B" blocked, "P" parked)
     trace: Optional[List[str]] = field(default=None, repr=False)
+    #: structured event stream (:mod:`repro.obs.events` tuples); None
+    #: unless the run had :attr:`repro.sim.SimConfig.events` on
+    events: Optional[list] = field(default=None, repr=False)
+    #: stall-cause attribution (:func:`repro.obs.stalls.attribute_stalls`):
+    #: {"causes", "totals", "per_core", "per_section"}; None without events
+    stall_causes: Optional[dict] = field(default=None, repr=False)
 
     def request_latency_stats(self) -> Dict[str, float]:
         """min/mean/p50/p90/max of renaming-request latencies."""
@@ -131,11 +151,14 @@ class SimResult:
                    self.retire_end, self.retire_ipc))
 
     def to_json_dict(self, include_memory: bool = False,
-                     include_trace: bool = False) -> dict:
+                     include_trace: bool = False,
+                     include_events: bool = False) -> dict:
         """Machine-readable export for benchmark scripts and the
         ``repro stats --json`` CLI.  ``final_memory`` is summarized (size
         only) unless *include_memory*; the per-cycle trace rides along only
-        when *include_trace* and the run recorded one."""
+        when *include_trace* and the run recorded one; likewise the raw
+        event stream under *include_events*.  ``stall_causes`` is always
+        exported when the run attributed stalls."""
         payload = {
             "scheduler": self.scheduler,
             "cycles": self.cycles,
@@ -160,9 +183,20 @@ class SimResult:
                                   in self.section_occupancy.items()},
             "noc": self.noc_stats,
         }
+        if self.stall_causes is not None:
+            payload["stall_causes"] = {
+                "causes": self.stall_causes["causes"],
+                "totals": self.stall_causes["totals"],
+                "per_core": self.stall_causes["per_core"],
+                "per_section": {str(sid): entry for sid, entry
+                                in self.stall_causes["per_section"].items()},
+            }
         if include_memory:
             payload["final_memory"] = {str(addr): value for addr, value
                                        in sorted(self.final_memory.items())}
         if include_trace and self.trace is not None:
             payload["trace"] = self.trace
+        if include_events and self.events is not None:
+            from ..obs.events import events_to_json
+            payload["events"] = events_to_json(self.events)
         return payload

@@ -26,7 +26,7 @@ COMPARED_FIELDS = (
     "final_memory", "fetch_end", "retire_end", "fetch_computed",
     "requests", "request_hops", "per_core_instructions",
     "request_latencies", "core_occupancy", "section_occupancy",
-    "noc_stats", "trace",
+    "noc_stats", "trace", "events", "stall_causes",
 )
 
 
@@ -168,6 +168,61 @@ class TestWorkloadDifferential:
                     {"n_cores": 64, "placement": "least_loaded"}):
             naive, _ = assert_identical(prog, **cfg)
             assert naive.signed_outputs == inst.expected_output
+
+
+class TestEventStreamDifferential:
+    """The structured event stream and the stall-cause attribution must be
+    equal between scheduler modes — the core contract of the observability
+    layer (park/wake events are synthesized from the mode-identical state
+    timeline, everything else from state transitions PR 1 proved equal)."""
+
+    @pytest.mark.parametrize("short,n", [("quicksort", 10),
+                                         ("dictionary", 10), ("bfs", 6)])
+    def test_workload_event_streams_identical(self, short, n):
+        inst = get_workload(short).instance(n=n, seed=7)
+        prog = fork_transform(inst.program)
+        naive, event = assert_identical(prog, n_cores=8, events=True)
+        assert naive.events is not None and naive.events == event.events
+        assert naive.stall_causes == event.stall_causes
+
+    @pytest.mark.parametrize("cfg", [
+        {"n_cores": 5}, {"n_cores": 9, "topology": "mesh", "noc_latency": 2},
+        {"n_cores": 8, "stack_shortcut": True},
+    ])
+    def test_fixed_corpus_event_streams_identical(self, cfg):
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        naive, event = assert_identical(prog, events=True, **cfg)
+        assert naive.events == event.events
+
+    def test_stream_is_well_formed(self):
+        from repro.obs import EVENT_KINDS
+        prog = compile_source(STORE_HEAVY, fork_mode=True)
+        _, event = run_both(prog, n_cores=6, events=True)
+        assert event.events, "a forked run must emit events"
+        cycles = [c for c, _, _ in event.events]
+        assert cycles == sorted(cycles), "stream must be cycle-ordered"
+        assert {k for _, k, _ in event.events} <= set(EVENT_KINDS)
+
+    def test_stall_attribution_consistent_with_occupancy(self):
+        prog = compile_source(STORE_HEAVY, fork_mode=True)
+        _, event = run_both(prog, n_cores=6, events=True)
+        causes = event.stall_causes
+        for core_counts, histogram in zip(causes["per_core"],
+                                          event.core_occupancy):
+            assert sum(core_counts.values()) == (histogram["blocked"]
+                                                 + histogram["parked"])
+        for sid, counts in causes["per_section"].items():
+            occ = event.section_occupancy[sid]
+            assert sum(counts.values()) == occ["blocked_cycles"]
+        for cause in causes["totals"]:
+            assert causes["totals"][cause] == sum(
+                c[cause] for c in causes["per_core"])
+
+    def test_events_off_leaves_result_clean(self):
+        prog = compile_source(RECURSIVE_SUM, fork_mode=True)
+        naive, event = run_both(prog, n_cores=4)
+        assert naive.events is None and event.events is None
+        assert naive.stall_causes is None and event.stall_causes is None
 
 
 # -- randomized MiniC programs ------------------------------------------------

@@ -13,26 +13,46 @@ class TestRequestLatencyStats:
     def test_empty(self):
         stats = request_latency_stats([])
         assert stats == {"count": 0, "min": 0, "mean": 0.0, "p50": 0,
-                         "p90": 0, "max": 0}
+                         "p90": 0, "p99": 0, "max": 0}
 
     def test_single_element(self):
         stats = request_latency_stats([7])
         assert stats["count"] == 1
-        assert stats["min"] == stats["p50"] == stats["p90"] == stats["max"] == 7
+        assert (stats["min"] == stats["p50"] == stats["p90"]
+                == stats["p99"] == stats["max"] == 7)
         assert stats["mean"] == 7.0
 
     def test_all_equal(self):
         stats = request_latency_stats([4] * 9)
         assert stats["count"] == 9
-        assert stats["min"] == stats["p50"] == stats["p90"] == stats["max"] == 4
+        assert (stats["min"] == stats["p50"] == stats["p90"]
+                == stats["p99"] == stats["max"] == 4)
         assert stats["mean"] == 4.0
 
     def test_mixed_percentiles(self):
         stats = request_latency_stats(list(range(1, 11)))   # 1..10
         assert stats["min"] == 1 and stats["max"] == 10
-        assert stats["p50"] == 6     # nearest-rank-below of the sorted list
-        assert stats["p90"] == 10
+        assert stats["p50"] == 5     # nearest rank: ceil(10 * 0.50) = 5th
+        assert stats["p90"] == 9     # 9th value, NOT the max
+        assert stats["p99"] == 10
         assert stats["mean"] == 5.5
+
+    def test_p90_distinct_from_max(self):
+        # The old float-indexed convention returned the max for p90 of 10
+        # samples; nearest rank must return the 9th.
+        lat = [1] * 9 + [1000]
+        stats = request_latency_stats(lat)
+        assert stats["p90"] == 1
+        assert stats["p99"] == 1000
+        assert stats["max"] == 1000
+
+    def test_nearest_rank_integer_exact(self):
+        # 100 samples: p99 is exactly the 99th value (float ceil of
+        # 0.99 * 100 overshoots to 100 under IEEE rounding).
+        stats = request_latency_stats(list(range(100)))
+        assert stats["p99"] == 98
+        assert stats["p50"] == 49
+        assert stats["p90"] == 89
 
     def test_unsorted_input(self):
         assert request_latency_stats([9, 1, 5])["p50"] == 5
@@ -132,6 +152,61 @@ class TestNocStats:
 
     def test_single_core_sends_no_messages(self):
         assert _run(n_cores=1).noc_stats["messages"] == 0
+
+
+class TestResultEdgeCases:
+    def test_zero_cycle_result_summary_and_json(self):
+        # A synthetic zero-cycle run: no occupancy, no IPC, no crash.
+        result = _tiny_result(cycles=0, instructions=0, fetch_end=0,
+                              retire_end=0)
+        assert result.occupancy_summary() == {s: 0.0 for s in CORE_STATES}
+        assert result.fetch_ipc == 0.0 and result.retire_ipc == 0.0
+        payload = result.to_json_dict()
+        assert payload["cycles"] == 0
+        assert payload["occupancy_summary"] == {s: 0.0 for s in CORE_STATES}
+        json.dumps(payload)
+
+    def test_occupancy_summary_all_zero_histograms(self):
+        result = _tiny_result(
+            core_occupancy=[{s: 0 for s in CORE_STATES}] * 3)
+        assert result.occupancy_summary() == {s: 0.0 for s in CORE_STATES}
+
+    def test_json_without_observability_layers(self):
+        # occupancy off, no trace, no events: the optional keys stay out
+        # and nothing dereferences the absent layers.
+        result = _run(n_cores=2, collect_occupancy=False)
+        assert result.trace is None and result.events is None
+        assert result.stall_causes is None
+        payload = result.to_json_dict(include_trace=True,
+                                      include_events=True)
+        assert "trace" not in payload
+        assert "events" not in payload
+        assert "stall_causes" not in payload
+        assert payload["core_occupancy"] == []
+        json.dumps(payload)
+
+    def test_events_config_forces_occupancy(self):
+        result = _run(n_cores=2, collect_occupancy=False, events=True)
+        assert result.core_occupancy, "events=True must imply occupancy"
+        assert result.events is not None
+        assert result.stall_causes is not None
+        # trace stays opt-in even though events collected the timeline
+        assert result.trace is None
+
+    def test_json_with_events(self):
+        result = _run(n_cores=2, events=True)
+        payload = result.to_json_dict(include_events=True)
+        assert payload["stall_causes"]["totals"]
+        assert len(payload["events"]) == len(result.events)
+        assert payload["events"][0]["kind"]
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["stall_causes"]["causes"] == list(
+            result.stall_causes["causes"])
+
+    def test_events_excluded_by_default(self):
+        payload = _run(n_cores=2, events=True).to_json_dict()
+        assert "events" not in payload
+        assert "stall_causes" in payload
 
 
 class TestJsonExport:

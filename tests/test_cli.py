@@ -100,6 +100,58 @@ class TestCLI:
             del payload["scheduler"]
         assert payloads["naive"] == payloads["event"]
 
+    def test_stats_events_text(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "stall causes:" in out
+        assert "wait_memory=" in out and "idle=" in out
+        assert "p99=" in out
+
+    def test_stats_events_json(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--events",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stall_causes"]["causes"][0] == "wait_register"
+        assert sum(payload["stall_causes"]["totals"].values()) > 0
+        assert payload["events"], "raw events ride along under --events"
+        assert {"cycle", "kind"} <= set(payload["events"][0])
+
+    def test_trace_command(self, minic_file, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", minic_file, "--cores", "4",
+                     "-o", str(out_path)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert any(e.get("ph") == "X" and e.get("cat") == "section"
+                   for e in events)
+        assert any(e.get("ph") == "s" for e in events), "flow arrows"
+        assert doc["otherData"]["cycles"] > 0
+
+    def test_simulate_chrome_trace_flag(self, minic_file, tmp_path, capsys):
+        out_path = tmp_path / "sim.json"
+        assert main(["simulate", minic_file, "--cores", "4",
+                     "--chrome-trace", str(out_path)]) == 0
+        assert out_path.exists()
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_analyze_command(self, minic_file, capsys):
+        assert main(["analyze", minic_file, "--cores", "4",
+                     "--per-core"]) == 0
+        out = capsys.readouterr().out
+        assert "stall causes" in out
+        assert "critical path" in out
+        assert "core  0:" in out
+        assert "chain:" in out
+
+    def test_analyze_schedulers_agree(self, minic_file, capsys):
+        reports = []
+        for scheduler in ("naive", "event"):
+            assert main(["analyze", minic_file, "--cores", "4",
+                         "--scheduler", scheduler]) == 0
+            reports.append(capsys.readouterr().out)
+        assert reports[0] == reports[1]
+
     def test_simulate_timing_table(self, asm_file, capsys):
         assert main(["simulate", asm_file, "--cores", "1", "--timing"]) == 0
         assert "core 1 pipeline" in capsys.readouterr().out

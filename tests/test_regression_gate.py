@@ -1,0 +1,124 @@
+"""Unit tests for benchmarks/check_regression.py (loaded from its file
+path — the benchmarks directory is not a package).
+
+The expensive fresh runs are monkeypatched out; what's under test is the
+gate logic: exact comparison of deterministic fields, the speedup floor,
+and the deliberate re-baseline path."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "check_regression.py")
+
+
+@pytest.fixture(scope="module")
+def gate_mod():
+    spec = importlib.util.spec_from_file_location("check_regression",
+                                                  _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _fresh(cycles=2993, speedup=3.5):
+    return {
+        "n_cores": 64, "scale": 0,
+        "wall_naive_s": 1.0, "wall_event_s": 1.0 / speedup,
+        "aggregate_speedup": speedup, "floor_speedup": speedup * 0.9,
+        "workloads": [
+            {"benchmark": "quicksort", "n": 12, "cycles": cycles,
+             "wall_naive_s": 1.0, "wall_event_s": 1.0 / speedup,
+             "speedup": speedup},
+        ],
+    }
+
+
+def _baseline(cycles=2993, floor=3.0):
+    base = _fresh(cycles=cycles)
+    base["floor_speedup"] = floor
+    return base
+
+
+@pytest.fixture
+def patched(gate_mod, monkeypatch, tmp_path):
+    """Route baselines to tmp_path and stub out the timing runs."""
+    monkeypatch.setattr(gate_mod, "RESULTS_DIR", tmp_path)
+
+    def install(baseline, fresh):
+        (tmp_path / "BENCH_scheduler_fast_path.json").write_text(
+            json.dumps(baseline))
+        monkeypatch.setattr(gate_mod, "run_fast_path", lambda: fresh)
+    return install
+
+
+class TestGateHelpers:
+    def test_exact_records_failures(self, gate_mod, capsys):
+        gate = gate_mod.Gate()
+        gate.exact("a", 1, 1)
+        gate.exact("b", 1, 2)
+        assert len(gate.failures) == 1
+        out = capsys.readouterr().out
+        assert "ok   a" in out and "FAIL b" in out
+
+    def test_missing_baseline_exits(self, gate_mod, monkeypatch, tmp_path):
+        monkeypatch.setattr(gate_mod, "RESULTS_DIR", tmp_path)
+        with pytest.raises(SystemExit):
+            gate_mod._load("scheduler_fast_path")
+
+
+class TestFastPathGate:
+    def test_passes_when_identical(self, gate_mod, patched, capsys):
+        patched(_baseline(), _fresh())
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert gate.failures == []
+
+    def test_cycles_drift_fails(self, gate_mod, patched, capsys):
+        patched(_baseline(cycles=2993), _fresh(cycles=2994))
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert any("cycles" in f for f in gate.failures)
+
+    def test_speedup_collapse_fails(self, gate_mod, patched, capsys):
+        # fast path silently disabled: event as slow as naive
+        patched(_baseline(floor=3.0), _fresh(speedup=1.02))
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert any("speedup" in f for f in gate.failures)
+
+    def test_tolerance_absorbs_small_dip(self, gate_mod, patched, capsys):
+        patched(_baseline(floor=3.0), _fresh(speedup=2.9))
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert gate.failures == []
+
+    def test_missing_workload_record_fails(self, gate_mod, patched, capsys):
+        baseline = _baseline()
+        baseline["workloads"] = []
+        patched(baseline, _fresh())
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert any("no baseline record" in f for f in gate.failures)
+
+    def test_update_rewrites_baseline(self, gate_mod, patched, tmp_path,
+                                      capsys):
+        patched(_baseline(cycles=1), _fresh(cycles=2993))
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=True)
+        assert gate.failures == []
+        written = json.loads(
+            (tmp_path / "BENCH_scheduler_fast_path.json").read_text())
+        assert written["workloads"][0]["cycles"] == 2993
+        assert "floor_speedup" in written
+
+    def test_legacy_baseline_without_floor(self, gate_mod, patched, capsys):
+        baseline = _baseline()
+        del baseline["floor_speedup"]       # pre-floor baseline schema
+        patched(baseline, _fresh(speedup=3.45))
+        gate = gate_mod.Gate()
+        gate_mod.check_fast_path(gate, tolerance=0.05, update=False)
+        assert gate.failures == []
