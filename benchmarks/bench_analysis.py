@@ -1,0 +1,76 @@
+"""Static analysis over the Table 1 suite: linter + differential validation.
+
+Regenerates the fork-hazard lint summary and the static-vs-dynamic
+soundness/precision table for all ten workloads, plus the analysis
+throughput (CFG + liveness + reaching defs + lint per program).
+"""
+
+import time
+
+from _common import emit, emit_json, table
+
+from repro.analysis import lint_program, validate_machine, validate_sim
+from repro.minic import compile_source
+from repro.workloads import WORKLOADS
+
+SIM_VALIDATED = ("bfs", "quicksort", "dictionary")
+
+
+def _analyse_all():
+    rows = []
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=0)
+        prog = compile_source(inst.source, fork_mode=True)
+        t0 = time.perf_counter()
+        report = lint_program(prog)
+        lint_ms = 1e3 * (time.perf_counter() - t0)
+        mreport = validate_machine(prog)
+        sreport = (validate_sim(prog)
+                   if workload.short in SIM_VALIDATED else None)
+        rows.append((workload, prog, report, mreport, sreport, lint_ms))
+    return rows
+
+
+def bench_analysis(benchmark):
+    rows = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    out = []
+    payload = {}
+    for workload, prog, report, mreport, sreport, lint_ms in rows:
+        mhit, mtotal = mreport.precision()
+        if sreport is not None:
+            shit, stotal = sreport.precision()
+            sim_col = "%s %d/%d" % (
+                "sound" if sreport.sound else "UNSOUND", shit, stotal)
+        else:
+            sim_col = "-"
+        out.append([
+            workload.short, len(prog.code), len(report.cfg.fork_sites),
+            len(report.errors), len(report.warnings), len(report.infos),
+            "%s %d/%d" % ("sound" if mreport.sound else "UNSOUND",
+                          mhit, mtotal),
+            sim_col, "%.1f" % lint_ms,
+        ])
+        payload[workload.short] = {
+            "instructions": len(prog.code),
+            "fork_sites": len(report.cfg.fork_sites),
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "infos": len(report.infos),
+            "machine_sound": mreport.sound,
+            "machine_precision": [mhit, mtotal],
+            "sim_sound": None if sreport is None else sreport.sound,
+            "lint_ms": round(lint_ms, 2),
+        }
+    text = table(
+        "Static analysis — fork-hazard lint + differential validation "
+        "(ten workloads, scale 0)",
+        ["workload", "instrs", "forks", "err", "warn", "info",
+         "machine", "sim", "lint ms"],
+        out)
+    emit("analysis_lint", text)
+    emit_json("analysis_lint", payload)
+    assert all(r[3] == 0 and r[4] == 0 for r in out)   # zero failing findings
+    assert all(row[3] is not False for row in out)
+    for _, _, report, mreport, sreport, _ in rows:
+        assert mreport.sound
+        assert sreport is None or sreport.sound

@@ -19,6 +19,13 @@ Commands:
                         rewritten listing.
 * ``ilp FILE``        — trace the program and report ILP under the
                         paper's sequential and parallel models.
+* ``lint [FILE...]``  — static fork-hazard linter (``repro.analysis``):
+                        CFG + liveness + reaching definitions over the
+                        program, findings as ``file:line``; with
+                        ``--workloads`` lints the whole Table 1 suite and
+                        with ``--validate`` cross-checks the static
+                        live-across-fork sets against both dynamic
+                        oracles.  Exits 1 on error/warning findings.
 * ``workloads``       — list the Table 1 benchmark suite.
 
 File type is chosen by suffix: ``.c`` compiles as MiniC, anything else
@@ -46,9 +53,16 @@ from .workloads import WORKLOADS
 def _load_program(path: str, fork: bool, fork_loops: bool):
     with open(path) as handle:
         source = handle.read()
-    if path.endswith(".c"):
-        return compile_source(source, fork_mode=fork, fork_loops=fork_loops)
-    return assemble(source)
+    try:
+        if path.endswith(".c"):
+            return compile_source(source, fork_mode=fork,
+                                  fork_loops=fork_loops)
+        return assemble(source)
+    except ReproError as exc:
+        # compile/assembly diagnostics already carry line[:col]; prefix
+        # the file so messages read file:line like any compiler's
+        exc.path = path
+        raise
 
 
 def _print_result(result) -> None:
@@ -67,7 +81,7 @@ def cmd_run(args) -> int:
 def cmd_runfork(args) -> int:
     prog = _load_program(args.file, args.file.endswith(".c"),
                          args.fork_loops)
-    result, machine = run_forked(prog)
+    result, machine = run_forked(prog, sanitize=args.sanitize)
     _print_result(result)
     print("# %d sections" % len(machine.section_table()))
     if args.tree:
@@ -195,6 +209,34 @@ def cmd_ilp(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import lint_program, validate_machine, validate_sim
+    targets = []
+    if args.workloads:
+        for workload in WORKLOADS:
+            inst = workload.instance(scale=0)
+            prog = compile_source(inst.source, fork_mode=True,
+                                  fork_loops=args.fork_loops)
+            targets.append(("workload:%s" % workload.short, prog))
+    for path in args.files:
+        targets.append((path, _load_program(path, True, args.fork_loops)))
+    if not targets:
+        print("error: nothing to lint (give files or --workloads)",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for name, prog in targets:
+        report = lint_program(prog)
+        for line in report.format(name, show_info=not args.no_info):
+            print(line)
+        failed = failed or report.failed
+        if args.validate:
+            for check in (validate_machine(prog), validate_sim(prog)):
+                print("%s: %s" % (name, check.format()[-1]))
+                failed = failed or not check.sound
+    return 1 if failed else 0
+
+
 def cmd_workloads(args) -> int:
     for workload in WORKLOADS:
         print("%s  %-36s %s" % (workload.key, workload.name,
@@ -219,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     runfork.add_argument("--fork-loops", action="store_true")
     runfork.add_argument("--tree", action="store_true",
                          help="print the section tree")
+    runfork.add_argument("--sanitize", action="store_true",
+                         help="assert the renaming invariants at runtime "
+                              "(fails on the offending instruction)")
     runfork.set_defaults(func=cmd_runfork)
 
     def add_sim_options(cmd):
@@ -290,6 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
     ilp.add_argument("file")
     ilp.set_defaults(func=cmd_ilp)
 
+    lint = sub.add_parser(
+        "lint", help="static fork-hazard linter (repro.analysis)")
+    lint.add_argument("files", nargs="*",
+                      help=".s or MiniC sources (MiniC compiles fork-mode)")
+    lint.add_argument("--workloads", action="store_true",
+                      help="lint all ten Table 1 workloads")
+    lint.add_argument("--fork-loops", action="store_true")
+    lint.add_argument("--no-info", action="store_true",
+                      help="hide advisory info findings")
+    lint.add_argument("--validate", action="store_true",
+                      help="also cross-check static live-across sets "
+                           "against the section machine and the cycle "
+                           "simulator's renaming requests")
+    lint.set_defaults(func=cmd_lint)
+
     wl = sub.add_parser("workloads", help="list the Table 1 suite")
     wl.set_defaults(func=cmd_workloads)
     return parser
@@ -300,7 +360,17 @@ def main(argv=None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
-        print("error: %s" % exc, file=sys.stderr)
+        path = getattr(exc, "path", None)
+        line = getattr(exc, "line", 0) or getattr(exc, "src_line", 0)
+        if path and line:
+            col = getattr(exc, "src_col", 0)
+            where = "%s:%d" % (path, line) + (":%d" % col if col else "")
+            print("error: %s: %s" % (where, exc.raw_message),
+                  file=sys.stderr)
+        elif path:
+            print("error: %s: %s" % (path, exc), file=sys.stderr)
+        else:
+            print("error: %s" % exc, file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print("error: %s" % exc, file=sys.stderr)

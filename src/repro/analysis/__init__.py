@@ -1,0 +1,62 @@
+"""Static dataflow analysis and fork-hazard linting over assembled programs.
+
+The subsystem layers:
+
+* :mod:`repro.analysis.cfg` — fork/endfork-aware control-flow graph with
+  three successor views (``dataflow``, ``flow``, ``summary``);
+* :mod:`repro.analysis.dataflow` — iterative liveness and reaching
+  definitions over bitmask lattices, with edge-kind masking for the
+  paper's section semantics;
+* :mod:`repro.analysis.lint` — the hazard rules and ``repro lint`` report;
+* :mod:`repro.analysis.validate` — differential checks of the static
+  live-across-fork sets against the functional machine's trace and the
+  cycle simulator's renaming-request event stream.
+
+Typical use::
+
+    from repro.analysis import lint_program, validate_machine
+
+    report = lint_program(program)
+    if report.failed:
+        print("\\n".join(report.format("prog.s")))
+    assert validate_machine(program).sound
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import (
+    Definition,
+    Liveness,
+    ReachingDefs,
+    live_across_forks,
+    liveness,
+    mask_of,
+    regs_of,
+)
+from .lint import FAILING, Finding, LintReport, lint_program
+from .validate import (
+    SectionCheck,
+    ValidationReport,
+    validate_machine,
+    validate_sim,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Definition",
+    "FAILING",
+    "Finding",
+    "LintReport",
+    "Liveness",
+    "ReachingDefs",
+    "SectionCheck",
+    "ValidationReport",
+    "build_cfg",
+    "lint_program",
+    "live_across_forks",
+    "liveness",
+    "mask_of",
+    "regs_of",
+    "validate_machine",
+    "validate_sim",
+]

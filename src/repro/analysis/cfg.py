@@ -1,0 +1,316 @@
+"""Fork-aware control-flow graph over an assembled :class:`Program`.
+
+The graph is built at instruction granularity and grouped into basic
+blocks.  Because the paper's execution model threads *values* across
+sections (renaming requests walk the total order backward), the CFG
+exposes three *views* — three successor relations over the same code —
+each matching one question the analyses ask:
+
+``dataflow``
+    Where may a value written here be consumed?  Contains the sequential
+    edges plus ``call -> target``, ``ret -> return sites``, and the two
+    fork-specific relations: ``fork -> target`` (the forking flow
+    continues into the callee) **and** ``fork -> resume`` (the resume
+    section observes pre-fork values through copies and renaming), plus
+    ``endfork -> resume sites`` (a finished section's final register
+    state is exported to the successor section — the cross-section
+    producer->consumer forwarding of the paper).  ``endfork -> resume``
+    edges are *masked*: fork-copied registers do not travel through them
+    (the resume's copies were taken at the fork, not at the endfork).
+
+``flow``
+    Which instructions may *one section* execute?  A section starts at
+    the program entry or at a fork's resume point and runs until an
+    ``endfork``/``hlt``; at a ``fork`` the current section continues at
+    the *target*, never at the resume point.  Liveness over this view at
+    a resume point is exactly the paper's live-across-fork set: the
+    values that must travel into the new section as fork copies or
+    backward renaming requests.
+
+``summary``
+    Textual flow with calls summarised (``call -> fall-through``) and
+    ``fork -> target``.  A walk over this view stays at one stack depth,
+    which is what the fork/call protocol checks need: a ``ret`` reached
+    from a fork target would pop a return address that no fork ever
+    pushed.
+
+Edges carry a *kind* so the solvers can mask what propagates along them
+(see :data:`EDGE_KINDS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..fork.transform import FunctionRegion, find_functions
+from ..isa.program import Program
+
+#: every edge kind a view may contain
+EDGE_KINDS = (
+    "fall",             # straight-line successor
+    "branch",           # jmp / taken jcc
+    "call",             # call -> callee entry
+    "ret",              # ret -> return site of a matching call
+    "call-summary",     # call -> fall-through (callee summarised away)
+    "fork-target",      # fork -> callee entry (same section continues)
+    "fork-resume",      # fork -> resume point (values cross by copy/renaming)
+    "endfork-resume",   # endfork -> resume site (final state exported)
+)
+
+VIEWS = ("dataflow", "flow", "summary")
+
+Edge = Tuple[int, str]  # (destination address, edge kind)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions (dataflow view)."""
+
+    bid: int
+    start: int                       #: first instruction address
+    end: int                         #: one past the last instruction
+    function: str = ""               #: enclosing function region name
+
+    def addrs(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        return "block %d [%d..%d) in %s" % (self.bid, self.start, self.end,
+                                            self.function or "?")
+
+
+class CFG:
+    """Control-flow graph of one program, with the three views above."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.regions: List[FunctionRegion] = find_functions(program)
+        self._region_of: Dict[int, FunctionRegion] = {}
+        for region in self.regions:
+            for addr in range(region.start, region.end):
+                self._region_of[addr] = region
+        #: fork instruction addresses, in code order
+        self.fork_sites: List[int] = [
+            i.addr for i in program.code if i.kind == "fork"]
+        #: call instruction addresses, in code order
+        self.call_sites: List[int] = [
+            i.addr for i in program.code if i.kind == "call"]
+        self._succs: Dict[str, List[List[Edge]]] = {
+            view: [[] for _ in program.code] for view in VIEWS}
+        self._preds: Dict[str, List[List[Edge]]] = {}
+        self._summary_cache: Dict[int, FrozenSet[int]] = {}
+        self._build_edges()
+        self.blocks: List[BasicBlock] = []
+        self.block_of: List[int] = []
+        self._build_blocks()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_edges(self) -> None:
+        code = self.program.code
+        n = len(code)
+        for instr in code:
+            addr = instr.addr
+            kind = instr.kind
+            dataflow: List[Edge] = []
+            flow: List[Edge] = []
+            summary: List[Edge] = []
+            fall = addr + 1 if addr + 1 < n else None
+            if kind == "jmp":
+                edge = (instr.target, "branch")
+                dataflow.append(edge)
+                flow.append(edge)
+                summary.append(edge)
+            elif kind == "jcc":
+                edge = (instr.target, "branch")
+                dataflow.append(edge)
+                flow.append(edge)
+                summary.append(edge)
+                if fall is not None:
+                    for bag in (dataflow, flow, summary):
+                        bag.append((fall, "fall"))
+            elif kind == "call":
+                edge = (instr.target, "call")
+                dataflow.append(edge)
+                flow.append(edge)
+                if fall is not None:
+                    summary.append((fall, "call-summary"))
+            elif kind == "ret":
+                pass  # ret edges need summary reach; added in pass two
+            elif kind == "fork":
+                edge = (instr.target, "fork-target")
+                dataflow.append(edge)
+                flow.append(edge)
+                summary.append(edge)
+                if fall is not None:
+                    dataflow.append((fall, "fork-resume"))
+            elif kind == "endfork":
+                pass  # endfork edges need summary reach; added in pass two
+            elif kind == "hlt":
+                pass
+            else:
+                if fall is not None:
+                    for bag in (dataflow, flow, summary):
+                        bag.append((fall, "fall"))
+            self._succs["dataflow"][addr] = dataflow
+            self._succs["flow"][addr] = flow
+            self._succs["summary"][addr] = summary
+        # Pass two: ret and endfork edges target the sites of the calls
+        # and forks that may have created the current activation, which
+        # takes summary-view reachability — only available now that the
+        # summary edges above exist.
+        for addr, sites in self._return_sites().items():
+            for site in sites:
+                self._succs["dataflow"][addr].append((site, "ret"))
+                self._succs["flow"][addr].append((site, "ret"))
+        for addr, sites in self._resume_sites().items():
+            for site in sites:
+                self._succs["dataflow"][addr].append(
+                    (site, "endfork-resume"))
+        for view in VIEWS:
+            preds: List[List[Edge]] = [[] for _ in code]
+            for addr, edges in enumerate(self._succs[view]):
+                for dst, ekind in edges:
+                    preds[dst].append((addr, ekind))
+            self._preds[view] = preds
+
+    def _return_sites(self) -> Dict[int, List[int]]:
+        """ret address -> possible return sites (call site + 1).
+
+        A ``ret`` may execute under any function whose entry reaches it at
+        the same stack depth (fall-through chains included), so the return
+        sites are those of every such function's call sites.
+        """
+        code = self.program.code
+        n = len(code)
+        calls_of: Dict[Tuple[int, int], List[int]] = {}
+        for addr in self.call_sites:
+            region = self._region_of.get(code[addr].target)
+            if region is not None and addr + 1 < n:
+                calls_of.setdefault((region.start, region.end),
+                                    []).append(addr + 1)
+        out: Dict[int, List[int]] = {}
+        for region in self.regions:
+            sites = calls_of.get((region.start, region.end))
+            if not sites:
+                continue
+            for addr in self._summary_reach(region.start):
+                if code[addr].kind == "ret":
+                    bag = out.setdefault(addr, [])
+                    for site in sites:
+                        if site not in bag:
+                            bag.append(site)
+        return out
+
+    def _resume_sites(self) -> Dict[int, List[int]]:
+        """endfork address -> resume sites of forks that may create the
+        section ending here (mirrors :meth:`_return_sites` for forks)."""
+        code = self.program.code
+        n = len(code)
+        out: Dict[int, List[int]] = {}
+        for fork_addr in self.fork_sites:
+            resume = fork_addr + 1
+            if resume >= n:
+                continue
+            for addr in self._summary_reach(code[fork_addr].target):
+                if code[addr].kind == "endfork":
+                    bag = out.setdefault(addr, [])
+                    if resume not in bag:
+                        bag.append(resume)
+        return out
+
+    def _summary_reach(self, start: int) -> FrozenSet[int]:
+        """Instructions reachable from *start* in the summary view (one
+        stack depth: calls summarised, forks followed into their target)."""
+        cached = self._summary_cache
+        hit = cached.get(start)
+        if hit is not None:
+            return hit
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            addr = stack.pop()
+            if addr in seen or not 0 <= addr < len(self.program.code):
+                continue
+            seen.add(addr)
+            for dst, _ in self._succs["summary"][addr]:
+                if dst not in seen:
+                    stack.append(dst)
+        result = frozenset(seen)
+        cached[start] = result
+        return result
+
+    def _build_blocks(self) -> None:
+        code = self.program.code
+        n = len(code)
+        if not n:
+            return
+        leaders: Set[int] = {0, self.program.entry}
+        for addr, instr in enumerate(code):
+            if instr.labels:
+                leaders.add(addr)
+            for dst, _ in self._succs["dataflow"][addr]:
+                leaders.add(dst)
+            if instr.is_control and addr + 1 < n:
+                leaders.add(addr + 1)
+        ordered = sorted(leaders)
+        self.block_of = [0] * n
+        for bid, start in enumerate(ordered):
+            end = ordered[bid + 1] if bid + 1 < len(ordered) else n
+            region = self._region_of.get(start)
+            block = BasicBlock(bid=bid, start=start, end=end,
+                               function=region.name if region else "")
+            self.blocks.append(block)
+            for addr in range(start, end):
+                self.block_of[addr] = bid
+
+    # -- queries ----------------------------------------------------------
+
+    def succs(self, addr: int, view: str = "dataflow") -> List[Edge]:
+        """Successor edges of the instruction at *addr* under *view*."""
+        return self._succs[view][addr]
+
+    def preds(self, addr: int, view: str = "dataflow") -> List[Edge]:
+        """Predecessor edges of the instruction at *addr* under *view*."""
+        return self._preds[view][addr]
+
+    def resume_of(self, fork_addr: int) -> Optional[int]:
+        """Resume point (the new section's entry) of the fork at *fork_addr*."""
+        resume = fork_addr + 1
+        return resume if resume < len(self.program.code) else None
+
+    def function_of(self, addr: int) -> str:
+        region = self._region_of.get(addr)
+        return region.name if region is not None else ""
+
+    def region_of(self, addr: int) -> Optional[FunctionRegion]:
+        return self._region_of.get(addr)
+
+    def flow_reach(self, start: int) -> FrozenSet[int]:
+        """Instructions one section starting at *start* may execute
+        (summary view reachability: calls summarised, forks followed)."""
+        return self._summary_reach(start)
+
+    def block(self, addr: int) -> BasicBlock:
+        return self.blocks[self.block_of[addr]]
+
+    def describe(self) -> str:
+        lines = ["cfg: %d instructions, %d blocks, %d forks, %d calls"
+                 % (len(self.program.code), len(self.blocks),
+                    len(self.fork_sites), len(self.call_sites))]
+        for blk in self.blocks:
+            last = blk.end - 1
+            edges = ", ".join(
+                "%d(%s)" % (dst, kind)
+                for dst, kind in self._succs["dataflow"][last])
+            lines.append("  %s -> %s" % (blk.describe(), edges or "exit"))
+        return "\n".join(lines)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Convenience constructor (mirrors the other subsystem entry points)."""
+    return CFG(program)

@@ -1,0 +1,326 @@
+"""Iterative dataflow over the fork-aware CFG.
+
+All analyses use the classic worklist scheme over a powerset lattice of
+the 17 architectural locations (:data:`~repro.isa.registers.ALL_REGS`),
+encoded as int bitmasks so a transfer function is two bit operations.
+
+Two twists relative to the textbook formulation, both forced by the
+paper's section semantics:
+
+* **Edge masks.**  Propagation along an edge is filtered by the edge
+  kind.  ``endfork-resume`` edges (a finished section exporting its
+  final state to the next section) carry only *non-copied* registers:
+  the resume section took its copies of :data:`FORK_COPIED_REGS` at the
+  fork, so a write to a copied register inside the forked region can
+  never be observed after the matching ``endfork`` — it is dead there.
+* **Multiple roots.**  Every fork resume point starts a section, so for
+  the ``flow`` view the fixpoint is seeded from all of them, and the
+  live-*in* set at a resume point is exactly the paper's
+  live-across-fork set (the values that must travel into the new
+  section as fork copies or backward renaming requests).
+* **Fork kill sets.**  ``fork-resume`` edges are filtered by a backward
+  *must-write* analysis (:func:`must_writes`): if the forked flow (the
+  current section continuing at the fork target) writes a register on
+  every path to its ``endfork``, that write interposes in the total
+  order between the fork and the resume section, so the pre-fork value
+  can never be the closest preceding write a resume-side read observes.
+
+Reaching definitions run forward over the ``dataflow`` view with one
+*entry pseudo-definition* per register (definition site ``ENTRY_DEF``),
+modelling the machine's zero-initialised register file; a use reached
+by a pseudo-def is a possibly-uninitialised read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..isa.registers import ALL_REGS, FORK_COPIED_REGS, RETURN_REG
+from .cfg import CFG
+
+#: bit index of each architectural location
+REG_BIT: Dict[str, int] = {reg: i for i, reg in enumerate(ALL_REGS)}
+
+#: mask with every location set
+ALL_MASK = (1 << len(ALL_REGS)) - 1
+
+#: mask of the fork-copied registers
+COPIED_MASK = sum(1 << REG_BIT[r] for r in FORK_COPIED_REGS)
+
+#: what an ``endfork-resume`` edge lets through
+NONCOPIED_MASK = ALL_MASK & ~COPIED_MASK
+
+#: pseudo definition site for "value present at machine reset"
+ENTRY_DEF = -1
+
+
+def mask_of(regs: Iterable[str]) -> int:
+    """Encode a register collection as a bitmask."""
+    mask = 0
+    for reg in regs:
+        mask |= 1 << REG_BIT[reg]
+    return mask
+
+
+def regs_of(mask: int) -> FrozenSet[str]:
+    """Decode a bitmask back to register names."""
+    return frozenset(reg for reg, bit in REG_BIT.items() if mask >> bit & 1)
+
+
+def edge_mask(kind: str) -> int:
+    """What the edge kind lets a backward liveness fact carry."""
+    return NONCOPIED_MASK if kind == "endfork-resume" else ALL_MASK
+
+
+@dataclass
+class Liveness:
+    """Per-instruction live-in / live-out bitmasks for one view."""
+
+    view: str
+    live_in: List[int]
+    live_out: List[int]
+
+    def regs_in(self, addr: int) -> FrozenSet[str]:
+        return regs_of(self.live_in[addr])
+
+    def regs_out(self, addr: int) -> FrozenSet[str]:
+        return regs_of(self.live_out[addr])
+
+
+def use_def_masks(cfg: CFG) -> Tuple[List[int], List[int]]:
+    """(use, def) bitmasks per instruction, implicit operands included."""
+    uses: List[int] = []
+    defs: List[int] = []
+    for instr in cfg.program.code:
+        uses.append(mask_of(instr.reg_reads()))
+        defs.append(mask_of(instr.reg_writes()))
+    return uses, defs
+
+
+def must_writes(cfg: CFG) -> List[int]:
+    """Registers written on *every* ``flow`` path from each instruction to
+    its section end (backward must-analysis, greatest fixpoint).
+
+    ``MW[a] = def[a] | AND over flow successors MW[s]``; an instruction
+    with no flow successors (``endfork``, ``hlt``, an unmatched ``ret``)
+    contributes only its own defs.  Instructions trapped in a cycle with
+    no terminating path keep the vacuous top value — a section that never
+    ends has no resume-side observer.
+    """
+    n = len(cfg.program.code)
+    _, defs = use_def_masks(cfg)
+    mw = [ALL_MASK] * n
+    changed = True
+    while changed:
+        changed = False
+        for addr in range(n - 1, -1, -1):
+            succs = cfg.succs(addr, "flow")
+            inter = ALL_MASK if succs else 0
+            for dst, _ in succs:
+                inter &= mw[dst]
+            new = defs[addr] | inter
+            if new != mw[addr]:
+                mw[addr] = new
+                changed = True
+    return mw
+
+
+def fork_kill_masks(cfg: CFG, mw: "List[int] | None" = None) -> Dict[int, int]:
+    """Per fork site, the registers whose pre-fork values can never be
+    observed past the fork's resume point: :func:`must_writes` of the
+    fork target.  Dataflow facts crossing a ``fork-resume`` edge are
+    masked by the complement.
+
+    Only *non-copied* registers can be killed: a fork-copied register
+    reaches the resume section as a snapshot taken at the fork itself, so
+    the forked flow's later writes never interpose for it.
+    """
+    if mw is None:
+        mw = must_writes(cfg)
+    out: Dict[int, int] = {}
+    for fork in cfg.fork_sites:
+        target = cfg.program.code[fork].target
+        out[fork] = (mw[target] & NONCOPIED_MASK
+                     if target is not None else 0)
+    return out
+
+
+def liveness(cfg: CFG, view: str = "dataflow") -> Liveness:
+    """Backward may-liveness over *view*.
+
+    ``live_in[a] = use[a] | (live_out[a] & ~def[a])`` with
+    ``live_out[a] = U over edges (a -> d, k): edge_mask(k) & live_in[d]``.
+
+    ``ret``, ``endfork``, and ``hlt`` additionally *use*
+    :data:`~repro.isa.registers.RETURN_REG`: rax at an activation's end
+    is its declared result slot — the caller (or the harness, at ``hlt``)
+    may observe it even when no in-program path reads it, so a trailing
+    ``return 0`` is never flagged dead just because every present caller
+    discards the value.
+    """
+    n = len(cfg.program.code)
+    uses, defs = use_def_masks(cfg)
+    exit_mask = mask_of([RETURN_REG])
+    for instr in cfg.program.code:
+        if instr.kind in ("ret", "endfork", "hlt"):
+            uses[instr.addr] |= exit_mask
+    kills = fork_kill_masks(cfg) if view == "dataflow" else {}
+    live_in = [0] * n
+    live_out = [0] * n
+    # seed with every instruction; order back-to-front converges fast on
+    # the mostly-forward code the assembler produces
+    work = list(range(n))
+    in_work = [True] * n
+    while work:
+        addr = work.pop()
+        in_work[addr] = False
+        out = 0
+        for dst, kind in cfg.succs(addr, view):
+            carried = edge_mask(kind) & live_in[dst]
+            if kind == "fork-resume":
+                carried &= ~kills[addr]
+            out |= carried
+        live_out[addr] = out
+        new_in = uses[addr] | (out & ~defs[addr])
+        if new_in != live_in[addr]:
+            live_in[addr] = new_in
+            for pred, _ in cfg.preds(addr, view):
+                if not in_work[pred]:
+                    in_work[pred] = True
+                    work.append(pred)
+    return Liveness(view=view, live_in=live_in, live_out=live_out)
+
+
+def live_across_forks(cfg: CFG,
+                      flow: "Liveness | None" = None
+                      ) -> Dict[int, FrozenSet[str]]:
+    """Per fork site, the registers live into the resume section.
+
+    This is the ``flow``-view live-in at the resume point: everything the
+    new section may read before writing, i.e. the values that must arrive
+    either as fork copies or as backward renaming requests.
+    """
+    if flow is None:
+        flow = liveness(cfg, "flow")
+    out: Dict[int, FrozenSet[str]] = {}
+    for fork_addr in cfg.fork_sites:
+        resume = cfg.resume_of(fork_addr)
+        out[fork_addr] = (flow.regs_in(resume)
+                          if resume is not None else frozenset())
+    return out
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site: instruction *addr* writing *reg*.
+
+    ``addr == ENTRY_DEF`` is the pseudo-definition at machine reset.
+    """
+
+    addr: int
+    reg: str
+
+    @property
+    def is_entry(self) -> bool:
+        return self.addr == ENTRY_DEF
+
+
+class ReachingDefs:
+    """Forward reaching definitions over the ``dataflow`` view."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        code = cfg.program.code
+        n = len(code)
+        _, def_masks = use_def_masks(cfg)
+        # enumerate definition sites; pseudo-defs first so their bit
+        # indices equal the register bit indices
+        self.defs: List[Definition] = [
+            Definition(ENTRY_DEF, reg) for reg in ALL_REGS]
+        for instr in code:
+            for reg in sorted(instr.reg_writes()):
+                self.defs.append(Definition(instr.addr, reg))
+        self._def_bit: Dict[Definition, int] = {
+            d: i for i, d in enumerate(self.defs)}
+        defs_of_reg: Dict[str, int] = {reg: 0 for reg in ALL_REGS}
+        for d, bit in self._def_bit.items():
+            defs_of_reg[d.reg] |= 1 << bit
+        # defs of copied registers do not cross endfork-resume edges: the
+        # resume section's copies were taken at the fork, not the endfork
+        self._noncopied_defs = 0
+        for d, bit in self._def_bit.items():
+            if d.reg not in FORK_COPIED_REGS:
+                self._noncopied_defs |= 1 << bit
+        # defs of registers the forked flow must-writes do not cross the
+        # fork-resume edge: that write interposes in the total order
+        self._fork_def_kill: Dict[int, int] = {}
+        for fork, regmask in fork_kill_masks(cfg).items():
+            bits = 0
+            for reg in ALL_REGS:
+                if regmask >> REG_BIT[reg] & 1:
+                    bits |= defs_of_reg[reg]
+            self._fork_def_kill[fork] = bits
+        gen = [0] * n
+        kill = [0] * n
+        for instr in code:
+            for reg in instr.reg_writes():
+                bit = self._def_bit[Definition(instr.addr, reg)]
+                gen[instr.addr] |= 1 << bit
+                kill[instr.addr] |= defs_of_reg[reg] & ~(1 << bit)
+        self.rd_in = [0] * n
+        self.rd_out = [0] * n
+        if not n:
+            return
+        entry = cfg.program.entry
+        entry_mask = sum(
+            1 << self._def_bit[Definition(ENTRY_DEF, reg)]
+            for reg in ALL_REGS)
+        self.rd_in[entry] = entry_mask
+        self.rd_out[entry] = (entry_mask & ~kill[entry]) | gen[entry]
+        work = [entry]
+        in_work = [False] * n
+        in_work[entry] = True
+        self._reachable = {entry}
+        while work:
+            addr = work.pop()
+            in_work[addr] = False
+            out = self.rd_out[addr]
+            for dst, kind in cfg.succs(addr, "dataflow"):
+                if kind == "endfork-resume":
+                    carried = out & self._noncopied_defs
+                elif kind == "fork-resume":
+                    carried = out & ~self._fork_def_kill[addr]
+                else:
+                    carried = out
+                first = dst not in self._reachable
+                self._reachable.add(dst)
+                new_in = self.rd_in[dst] | carried
+                if first or new_in != self.rd_in[dst]:
+                    self.rd_in[dst] = new_in
+                    self.rd_out[dst] = (new_in & ~kill[dst]) | gen[dst]
+                    if not in_work[dst]:
+                        in_work[dst] = True
+                        work.append(dst)
+
+    def reachable(self, addr: int) -> bool:
+        """Is *addr* reachable from the program entry (dataflow view)?"""
+        return addr in self._reachable
+
+    def reaching(self, addr: int, reg: str) -> List[Definition]:
+        """Definitions of *reg* that may reach the entry of *addr*."""
+        mask = self.rd_in[addr]
+        return [d for d, bit in self._def_bit.items()
+                if d.reg == reg and mask >> bit & 1]
+
+    def def_use_chains(self) -> Dict[Definition, List[Tuple[int, str]]]:
+        """Each definition's possible uses as ``(use addr, reg)`` pairs."""
+        chains: Dict[Definition, List[Tuple[int, str]]] = {
+            d: [] for d in self.defs}
+        for instr in self.cfg.program.code:
+            if not self.reachable(instr.addr):
+                continue
+            for reg in instr.reg_reads():
+                for d in self.reaching(instr.addr, reg):
+                    chains[d].append((instr.addr, reg))
+        return chains

@@ -1,0 +1,284 @@
+"""Fork-hazard linter over the static analyses.
+
+Hazard taxonomy (each finding carries one of these rule names):
+
+``fork-ret-mix`` (error)
+    The flow forked into a function reaches a ``ret``.  A ``fork`` pushes
+    no return address, so that ``ret`` pops whatever the caller left on
+    the stack and jumps to it.
+``resume-ret-mix`` (error)
+    The resume section of a fork reaches a ``ret``, and the enclosing
+    function is itself only ever entered by fork (or never entered) —
+    so no matching return address can be on the stack.  Suppressed for
+    call-entered functions: there the resume legitimately returns with
+    the caller's return address via memory renaming.
+``uninit-read`` (warning)
+    A register read may observe the machine-reset value (a reaching
+    definition is the entry pseudo-def).  ``rsp`` is exempt (the machine
+    initialises it) and so are ``push`` saves of a register (spilling a
+    possibly-uninitialised callee-save register is standard idiom).
+``dead-store`` (warning)
+    A register result that no path ever reads.  Under the section model
+    liveness crosses ``endfork`` only for non-copied registers, so this
+    also catches values recomputed pointlessly before an ``endfork``.
+``dead-save`` (warning)
+    A ``push``/``pop`` pair bracketing a fork that the liveness-driven
+    elision in :mod:`repro.fork.transform` could remove — the fork's
+    register copies already preserve the value.
+``fork-clobber`` (info)
+    The forked flow may overwrite a fork-copied register that is live
+    into the resume section.  The resume keeps its fork-time copy (by
+    design), but a reader used to call/ret semantics may expect the
+    callee's final value; the paper's own Figure 5 does this to ``rbx``,
+    so this is informational.  ``rsp``/``rbp`` are exempt — re-deriving
+    the frame is what every callee does.
+``stack-serialization`` (info)
+    Paper claim (iii): the resume section contains stack-pointer
+    updates, whose rsp chain serialises it against its sibling sections
+    unless the stack shortcut applies.  Reported with the count of rsp
+    writers reachable by the resume flow.
+
+Severity policy: ``error``/``warning`` findings fail ``repro lint``
+(exit 1); ``info`` findings are advisory properties of the section
+model, not defects, and never fail CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ..isa.program import Program
+from ..isa.registers import FORK_COPIED_REGS, RETURN_REG, STACK_POINTER
+from .cfg import CFG
+from .dataflow import (Liveness, ReachingDefs, live_across_forks, liveness,
+                       mask_of)
+
+SEVERITIES = ("error", "warning", "info")
+
+#: severities that make ``repro lint`` fail
+FAILING = frozenset(("error", "warning"))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, anchored at an instruction."""
+
+    rule: str
+    severity: str
+    addr: int
+    line: int              #: 1-based source line (0 when unknown)
+    function: str
+    message: str
+
+    def format(self, path: str = "<program>") -> str:
+        where = "%s:%d" % (path, self.line) if self.line else path
+        return "%s: %s: [%s] %s" % (where, self.severity, self.rule,
+                                    self.message)
+
+
+@dataclass
+class LintReport:
+    """All findings for one program plus the analyses that produced them."""
+
+    program: Program
+    cfg: CFG
+    findings: List[Finding]
+    live_across: Dict[int, FrozenSet[str]]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "info"]
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity in FAILING for f in self.findings)
+
+    def format(self, path: str = "<program>",
+               show_info: bool = True) -> List[str]:
+        lines = [f.format(path) for f in self.findings
+                 if show_info or f.severity != "info"]
+        lines.append("%s: %d error(s), %d warning(s), %d info note(s) "
+                     "across %d fork site(s)"
+                     % (path, len(self.errors), len(self.warnings),
+                        len(self.infos), len(self.cfg.fork_sites)))
+        return lines
+
+
+def lint_program(program: Program) -> LintReport:
+    """Run every hazard rule; findings come sorted by (addr, rule)."""
+    cfg = CFG(program)
+    flow = liveness(cfg, "flow")
+    data = liveness(cfg, "dataflow")
+    rdefs = ReachingDefs(cfg)
+    across = live_across_forks(cfg, flow)
+    findings: List[Finding] = []
+    findings.extend(_protocol_mix(cfg))
+    findings.extend(_uninit_reads(cfg, rdefs))
+    findings.extend(_dead_stores(cfg, data, rdefs))
+    findings.extend(_dead_saves(cfg))
+    findings.extend(_fork_clobbers(cfg, across))
+    findings.extend(_stack_serialization(cfg, across))
+    findings.sort(key=lambda f: (f.addr, f.rule))
+    return LintReport(program=program, cfg=cfg, findings=findings,
+                      live_across=across)
+
+
+def _finding(cfg: CFG, rule: str, severity: str, addr: int,
+             message: str) -> Finding:
+    instr = cfg.program.code[addr]
+    return Finding(rule=rule, severity=severity, addr=addr,
+                   line=instr.source_line, function=cfg.function_of(addr),
+                   message=message)
+
+
+def _protocol_mix(cfg: CFG) -> List[Finding]:
+    code = cfg.program.code
+    call_entered: Set[str] = set()
+    for call in cfg.call_sites:
+        region = cfg.region_of(code[call].target)
+        if region is not None:
+            call_entered.add(region.name)
+    out: List[Finding] = []
+    for fork in cfg.fork_sites:
+        target = code[fork].target
+        if target is None:
+            continue
+        for addr in sorted(cfg.flow_reach(target)):
+            if code[addr].kind == "ret":
+                out.append(_finding(
+                    cfg, "fork-ret-mix", "error", fork,
+                    "forked flow into %r reaches `ret` at addr %d (line %d)"
+                    " — fork pushes no return address for it to pop"
+                    % (cfg.function_of(target), addr,
+                       code[addr].source_line)))
+                break
+        resume = cfg.resume_of(fork)
+        if resume is None:
+            continue
+        region = cfg.region_of(fork)
+        if region is None or region.name in call_entered:
+            continue
+        if region.start <= cfg.program.entry < region.end:
+            continue  # the root section may ret into the halt sentinel
+        for addr in sorted(cfg.flow_reach(resume)):
+            if code[addr].kind == "ret":
+                out.append(_finding(
+                    cfg, "resume-ret-mix", "error", fork,
+                    "resume section of this fork reaches `ret` at addr %d "
+                    "but %r is never entered by call — no return address "
+                    "exists" % (addr, region.name)))
+                break
+    return out
+
+
+def _uninit_reads(cfg: CFG, rdefs: ReachingDefs) -> List[Finding]:
+    out: List[Finding] = []
+    for instr in cfg.program.code:
+        if not rdefs.reachable(instr.addr) or instr.kind == "push":
+            continue
+        for reg in instr.reg_reads():
+            if reg == STACK_POINTER:
+                continue
+            if any(d.is_entry for d in rdefs.reaching(instr.addr, reg)):
+                out.append(_finding(
+                    cfg, "uninit-read", "warning", instr.addr,
+                    "`%s` may read %s before any write reaches it "
+                    "(machine-reset value)" % (instr, reg)))
+    return out
+
+
+def _dead_stores(cfg: CFG, data: Liveness, rdefs: ReachingDefs
+                 ) -> List[Finding]:
+    from ..isa.operands import Reg
+    flags_bit = mask_of(["rflags"])
+    out: List[Finding] = []
+    for instr in cfg.program.code:
+        if not rdefs.reachable(instr.addr):
+            continue
+        if instr.kind in ("push", "pop", "call", "ret", "cqo", "idiv"):
+            continue
+        info = instr.info
+        if not info.writes_dest or not instr.operands:
+            continue
+        dest = instr.operands[-1]
+        if not isinstance(dest, Reg) or dest.name == STACK_POINTER:
+            continue
+        live_out = data.live_out[instr.addr]
+        if live_out & mask_of([dest.name]):
+            continue
+        if info.writes_flags and live_out & flags_bit:
+            continue  # the store is dead but its flags are not
+        out.append(_finding(
+            cfg, "dead-store", "warning", instr.addr,
+            "`%s` writes %s but no path reads it" % (instr, dest.name)))
+    return out
+
+
+def _dead_saves(cfg: CFG) -> List[Finding]:
+    from ..fork.transform import plan_save_elisions
+    out: List[Finding] = []
+    for action in plan_save_elisions(cfg.program):
+        push = cfg.program.code[action.push_addr]
+        out.append(_finding(
+            cfg, "dead-save", "warning", action.push_addr,
+            "`%s` (with the pop at addr %d) is a dead save across a fork: "
+            "%s" % (push, action.pop_addr, action.describe())))
+    return out
+
+
+def _fork_clobbers(cfg: CFG,
+                   across: Dict[int, FrozenSet[str]]) -> List[Finding]:
+    code = cfg.program.code
+    exempt = {STACK_POINTER, "rbp"}
+    out: List[Finding] = []
+    for fork in cfg.fork_sites:
+        target = code[fork].target
+        if target is None:
+            continue
+        reach = cfg.flow_reach(target)
+        for reg in sorted((across[fork] & FORK_COPIED_REGS) - exempt):
+            clobber = next(
+                (a for a in sorted(reach)
+                 if reg in code[a].reg_writes() and code[a].kind != "pop"),
+                None)
+            if clobber is not None:
+                out.append(_finding(
+                    cfg, "fork-clobber", "info", fork,
+                    "%s is live into the resume section and the forked "
+                    "flow may overwrite it (addr %d: `%s`); the resume "
+                    "keeps its fork-time copy"
+                    % (reg, clobber, code[clobber])))
+    return out
+
+
+def _stack_serialization(cfg: CFG,
+                         across: Dict[int, FrozenSet[str]]) -> List[Finding]:
+    code = cfg.program.code
+    out: List[Finding] = []
+    for fork in cfg.fork_sites:
+        resume = cfg.resume_of(fork)
+        if resume is None:
+            continue
+        writers = sum(1 for a in cfg.flow_reach(resume)
+                      if STACK_POINTER in code[a].reg_writes())
+        if writers:
+            out.append(_finding(
+                cfg, "stack-serialization", "info", fork,
+                "resume section reaches %d rsp-writing instruction(s); the "
+                "rsp chain serialises it against sibling sections unless "
+                "the stack shortcut applies (paper claim iii)" % writers))
+    return out
+
+
+def exit_use_regs() -> FrozenSet[str]:
+    """Registers treated as read at program exit (documented for tests)."""
+    return frozenset({RETURN_REG})

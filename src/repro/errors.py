@@ -20,6 +20,7 @@ class AssemblerError(ReproError):
 
     def __init__(self, message: str, line: int = 0):
         self.line = line
+        self.raw_message = message
         if line:
             message = "line %d: %s" % (line, message)
         super().__init__(message)
@@ -42,6 +43,7 @@ class CompileError(ReproError):
     def __init__(self, message: str, line: int = 0, col: int = 0):
         self.src_line = line
         self.src_col = col
+        self.raw_message = message
         if line:
             message = "%d:%d: %s" % (line, col, message)
         super().__init__(message)
@@ -49,3 +51,20 @@ class CompileError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-level simulator reached an inconsistent state."""
+
+
+class SanitizerError(ExecutionError):
+    """The runtime section sanitizer caught a renaming-invariant violation.
+
+    Raised by :class:`~repro.machine.forked.ForkedMachine` in sanitize
+    mode when a section reads a register that is neither written earlier
+    in the same section nor in the static live-across set of the
+    section's start — i.e. a read the renaming protocol was never asked
+    to satisfy.  Carries the offending instruction address and source
+    line when known.
+    """
+
+    def __init__(self, message: str, addr: int = -1, line: int = 0):
+        self.addr = addr
+        self.line = line
+        super().__init__(message)

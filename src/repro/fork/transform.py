@@ -13,18 +13,34 @@ The transformation is function-granular: a function either keeps the
 call/ret protocol or moves fully to fork/endfork; every call site of a
 converted function is rewritten.  Keeping a push/pop pair that the paper
 would delete is always *correct* under the section model (memory renaming
-resolves the stack traffic); eliding is an optimization, and the built-in
-peephole only fires when it can prove safety:
+resolves the stack traffic); eliding is an optimization, driven by the
+:mod:`repro.analysis` liveness passes:
 
-* the push and pop use the same register, which fork copies,
-* the pair brackets at least one ``fork``,
-* no instruction between them touches rsp (directly or through a memory
-  operand) or is itself an unmatched stack op,
-* no label (= potential branch target) lies strictly between them.
+The elision works on ``push``/``pop`` pairs matched by symbolic
+stack-offset tracking (LIFO discipline by slot, so Figure 2's mismatched
+``pushq %rsi`` … ``popq %rbx`` pairs match too), restricted to pairs
+that bracket at least one ``fork``, lie in label-free straight-line
+code, and whose slot is never otherwise accessed.  Two rules apply:
 
-Compiler-generated MiniC code needs no elision (its codegen already keeps
-nothing callee-saved across calls); the peephole exists for hand-written
-Figure-2-style code.
+* **delete** — the popped register is dead after the pop (section-model
+  liveness: values of fork-copied registers never survive an
+  ``endfork``, the resume section holds its own copies), so both
+  instructions go;
+* **rewrite** — the pop's target is a fork-copied register the bracketed
+  flow never observes, so the pair collapses to a register move at the
+  push site: the fork-time copies carry the value to the pop's resume
+  section.  This is exactly how the paper turns Figure 2's
+  ``pushq %rsi`` … ``popq %rbx`` into Figure 5's ``movq %rsi, %rbx``.
+
+One rule application per pass (reassemble, re-analyse, repeat to a
+fixpoint): applying Figure 2's elisions one at a time is what unlocks
+the rewrite — ``rbx`` only stops being live into ``sum`` once the
+``pushq %rbx`` save is gone.
+
+The elision assumes push slots are not address-taken (no instruction
+reads ``%rsp`` except stack ops, rsp-relative accesses to *tracked*
+offsets, and immediate rsp adjustments); anything else resets the
+tracking and keeps the pair.
 """
 
 from __future__ import annotations
@@ -34,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ReproError
 from ..isa import Program, Reg, assemble
+from ..isa.operands import Imm, Mem
 from ..isa.registers import FORK_COPIED_REGS, STACK_POINTER
 
 
@@ -115,69 +132,231 @@ def fork_transform(program: Program,
         else:
             lines.append("    %s" % instr)
 
-    if elide_saves:
-        lines = _elide_saves(lines)
-
     source = "\n".join(lines) + "\n" + _data_section_text(program)
-    entry = program.entry_symbol()
-    return assemble(source, entry=entry)
+    result = assemble(source, entry=program.entry_symbol())
+    if elide_saves:
+        result = elide_dead_saves(result)
+    return result
 
 
 # -- save/restore elision -----------------------------------------------------
 
+#: safety bound on elision passes (each pass applies one rule)
+_MAX_ELISION_PASSES = 100
 
-def _elide_saves(lines: List[str]) -> List[str]:
-    """Remove provably-dead ``push X … pop X`` pairs bracketing a fork."""
-    doomed: Set[int] = set()
-    stack: List[Tuple[int, str, bool]] = []   # (line index, reg, saw fork)
-    for i, line in enumerate(lines):
-        text = line.strip()
-        if text.endswith(":"):
-            stack.clear()                      # label: potential join point
+
+@dataclass(frozen=True)
+class SaveElision:
+    """One applicable elision of a ``push``/``pop`` pair around a fork."""
+
+    push_addr: int
+    pop_addr: int
+    push_reg: str
+    pop_reg: str
+    action: str        #: "delete" or "rewrite"
+
+    def describe(self) -> str:
+        if self.action == "delete":
+            return ("%s is dead after the pop — fork copies already "
+                    "preserve every live register" % self.pop_reg)
+        return ("equivalent to `movq %%%s, %%%s` before the fork; the "
+                "fork-time copies carry the value"
+                % (self.push_reg, self.pop_reg))
+
+
+@dataclass
+class _OpenSave:
+    addr: int                  #: push instruction address
+    reg: Optional[str]         #: pushed register (None: untracked operand)
+    slot: int                  #: rsp offset of the saved word
+    forks: int = 0
+    calls: int = 0
+    tainted: bool = False
+
+
+@dataclass(frozen=True)
+class _SavePair:
+    push_addr: int
+    pop_addr: int
+    push_reg: str
+    pop_reg: str
+    forks: int
+    calls: int
+    tainted: bool
+
+
+def _save_pairs(program: Program) -> List[_SavePair]:
+    """LIFO-matched push/pop pairs in label-free straight-line code.
+
+    Tracks the rsp offset symbolically (push/pop, immediate ``subq``/
+    ``addq`` on rsp); a pop pairs with the push whose slot sits exactly
+    at the current offset, so mismatched-register pairs (Figure 2's
+    ``pushq %rsi`` … ``popq %rbx``) match too.  Any label, branch, or
+    untrackable rsp use resets the tracking; rsp-relative accesses to a
+    pending slot taint its pair.
+    """
+    pairs: List[_SavePair] = []
+    open_saves: List[_OpenSave] = []
+    offset = 0
+
+    def reset() -> None:
+        del open_saves[:]
+
+    for instr in program.code:
+        if instr.labels:
+            reset()
+            offset = 0
+        kind = instr.kind
+        if kind == "push":
+            offset -= 8
+            operand = instr.operands[0]
+            reg = (operand.name if isinstance(operand, Reg)
+                   and operand.name != STACK_POINTER else None)
+            if isinstance(operand, Mem):
+                _taint_accesses(instr, open_saves, offset + 8)
+            open_saves.append(_OpenSave(addr=instr.addr, reg=reg,
+                                        slot=offset))
             continue
-        if text.startswith("fork"):
-            stack = [(j, reg, True) for (j, reg, _) in stack]
-            continue
-        pushed = _push_reg(text)
-        if pushed is not None:
-            stack.append((i, pushed, False))
-            continue
-        popped = _pop_reg(text)
-        if popped is not None:
-            if stack:
-                j, reg, saw_fork = stack.pop()
-                if (reg == popped and saw_fork
-                        and reg in FORK_COPIED_REGS
-                        and reg != STACK_POINTER):
-                    doomed.add(j)
-                    doomed.add(i)
+        if kind == "pop":
+            operand = instr.operands[0]
+            reg = (operand.name if isinstance(operand, Reg)
+                   and operand.name != STACK_POINTER else None)
+            if open_saves and open_saves[-1].slot == offset:
+                save = open_saves.pop()
+                if save.reg is not None and reg is not None:
+                    pairs.append(_SavePair(
+                        push_addr=save.addr, pop_addr=instr.addr,
+                        push_reg=save.reg, pop_reg=reg,
+                        forks=save.forks, calls=save.calls,
+                        tainted=save.tainted))
             else:
-                stack.clear()
+                reset()
+            offset += 8
+            if reg is None and not isinstance(operand, Reg):
+                reset()  # pop to memory / pop %rsp: untracked rsp effect
             continue
-        if _touches_rsp(text) or text.startswith(("call", "ret", "jmp", "j",
-                                                  "endfork", "hlt")):
-            stack.clear()
-    return [line for i, line in enumerate(lines) if i not in doomed]
+        if (instr.opcode in ("sub", "add") and len(instr.operands) == 2
+                and isinstance(instr.operands[0], Imm)
+                and isinstance(instr.operands[1], Reg)
+                and instr.operands[1].name == STACK_POINTER):
+            delta = instr.operands[0].value
+            offset += delta if instr.opcode == "add" else -delta
+            open_saves[:] = [s for s in open_saves if s.slot >= offset]
+            continue
+        if STACK_POINTER in instr.reg_writes():
+            reset()          # mov/lea into rsp: offset unknown
+            continue
+        if kind in ("jmp", "jcc", "ret", "endfork", "hlt"):
+            reset()
+            continue
+        if kind == "fork":
+            for save in open_saves:
+                save.forks += 1
+            continue
+        if kind == "call":
+            for save in open_saves:
+                save.calls += 1
+            continue
+        if any(isinstance(op, Reg) and op.name == STACK_POINTER
+               for op in instr.operands):
+            reset()          # rsp escapes (e.g. movq %rsp, %rbp)
+            continue
+        _taint_accesses(instr, open_saves, offset)
+    return pairs
 
 
-def _push_reg(text: str) -> Optional[str]:
-    if text.startswith(("pushq ", "push ")):
-        operand = text.split(None, 1)[1].strip()
-        if operand.startswith("%"):
-            return operand[1:]
-    return None
+def _taint_accesses(instr, open_saves: List[_OpenSave],
+                    offset: int) -> None:
+    """Mark pending slots touched by *instr*'s rsp-relative accesses."""
+    mem = instr.mem_operand()
+    if mem is None or STACK_POINTER not in mem.regs():
+        return
+    if mem.base != STACK_POINTER or mem.index is not None:
+        for save in open_saves:
+            save.tainted = True      # scaled/indirect rsp address: anywhere
+        return
+    target = offset + mem.disp
+    for save in open_saves:
+        if save.slot == target:
+            save.tainted = True
 
 
-def _pop_reg(text: str) -> Optional[str]:
-    if text.startswith(("popq ", "pop ")):
-        operand = text.split(None, 1)[1].strip()
-        if operand.startswith("%"):
-            return operand[1:]
-    return None
+def plan_save_elisions(program: Program) -> List[SaveElision]:
+    """Every elision applicable to *program* as-is (no mutation).
+
+    Imported lazily into :mod:`repro.analysis.lint` (rule ``dead-save``);
+    :func:`elide_dead_saves` applies the first one per pass.
+    """
+    from ..analysis.cfg import CFG
+    from ..analysis.dataflow import liveness, mask_of
+    candidates = [p for p in _save_pairs(program)
+                  if p.forks and not p.tainted]
+    if not candidates:
+        return []
+    cfg = CFG(program)
+    data = liveness(cfg, "dataflow")
+    code = program.code
+    plans: List[SaveElision] = []
+    for pair in candidates:
+        base = dict(push_addr=pair.push_addr, pop_addr=pair.pop_addr,
+                    push_reg=pair.push_reg, pop_reg=pair.pop_reg)
+        # rule 1 (delete): the restored value is dead after the pop
+        if not data.live_out[pair.pop_addr] & mask_of([pair.pop_reg]):
+            plans.append(SaveElision(action="delete", **base))
+            continue
+        # rule 2 (rewrite): fork copies can carry the value instead
+        if (pair.pop_reg not in FORK_COPIED_REGS or pair.calls
+                or pair.pop_reg == STACK_POINTER):
+            continue
+        between = code[pair.push_addr + 1:pair.pop_addr]
+        if any(pair.pop_reg in i.reg_writes() for i in between):
+            continue
+        if (pair.pop_reg != pair.push_reg
+                and any(pair.pop_reg in i.reg_reads() for i in between)):
+            continue
+        if pair.pop_reg != pair.push_reg and any(
+                i.kind == "fork" and i.target is not None
+                and data.live_in[i.target] & mask_of([pair.pop_reg])
+                for i in between):
+            continue     # some flow between push and pop observes the reg
+        plans.append(SaveElision(action="rewrite", **base))
+    return plans
 
 
-def _touches_rsp(text: str) -> bool:
-    return "%rsp" in text
+def elide_dead_saves(program: Program) -> Program:
+    """Iterate :func:`plan_save_elisions` to a fixpoint, one rule per pass.
+
+    Deletions are preferred over rewrites within a pass — Figure 2's
+    three dead pairs must go before the ``movq %rsi, %rbx`` rewrite
+    becomes provably safe.
+    """
+    for _ in range(_MAX_ELISION_PASSES):
+        plans = plan_save_elisions(program)
+        if not plans:
+            return program
+        plan = next((p for p in plans if p.action == "delete"), plans[0])
+        skip = {plan.pop_addr}
+        replace: Dict[int, str] = {}
+        if plan.action == "delete" or plan.push_reg == plan.pop_reg:
+            skip.add(plan.push_addr)
+        else:
+            replace[plan.push_addr] = "movq %%%s, %%%s" % (plan.push_reg,
+                                                           plan.pop_reg)
+        program = _rebuild(program, skip, replace)
+    return program
+
+
+def _rebuild(program: Program, skip: Set[int],
+             replace: Dict[int, str]) -> Program:
+    lines: List[str] = []
+    for instr in program.code:
+        for label in instr.labels:
+            lines.append("%s:" % label)
+        if instr.addr in skip:
+            continue
+        lines.append("    %s" % replace.get(instr.addr, str(instr)))
+    source = "\n".join(lines) + "\n" + _data_section_text(program)
+    return assemble(source, entry=program.entry_symbol())
 
 
 def _data_section_text(program: Program) -> str:

@@ -151,6 +151,8 @@ class _Assembler:
                     raise self._err("bad .quad value %r" % field)
         elif head in (".zero", ".space"):
             self._require_data(head)
+            if not _INT_RE.match(rest.strip()):
+                raise self._err("bad %s size %r" % (head, rest))
             n = _parse_int(rest)
             if n < 0 or n % WORD:
                 raise self._err("%s size must be a positive multiple of %d"
@@ -251,6 +253,8 @@ class _Assembler:
         if len(parts) >= 2 and parts[1]:
             index = self._reg_name(parts[1])
         if len(parts) >= 3 and parts[2]:
+            if not _INT_RE.match(parts[2]):
+                raise self._err("bad scale %r in %r" % (parts[2], field))
             scale = _parse_int(parts[2])
         if len(parts) > 3:
             raise self._err("bad memory operand %r" % field)

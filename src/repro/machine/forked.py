@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, SanitizerError
 from ..isa.program import Program
 from ..isa.registers import FORK_COPIED_REGS
 from .base import DEFAULT_MAX_STEPS, BaseMachine, RunResult
@@ -72,7 +72,8 @@ class ForkedMachine(BaseMachine):
     """
 
     def __init__(self, program: Program, max_steps: int = DEFAULT_MAX_STEPS,
-                 copied_regs=FORK_COPIED_REGS, initial_regs=None):
+                 copied_regs=FORK_COPIED_REGS, initial_regs=None,
+                 sanitize: bool = False):
         super().__init__(program, max_steps=max_steps,
                          initial_regs=initial_regs)
         self.copied_regs = frozenset(copied_regs)
@@ -83,6 +84,63 @@ class ForkedMachine(BaseMachine):
                         start_ip=program.entry, depth=0, first_seq=0)
         ]
         self.forks_executed = 0
+        self.sanitize = sanitize
+        if sanitize:
+            # deferred import: repro.analysis builds on fork/isa, so the
+            # machine must not pull it in at module level
+            from ..analysis.cfg import CFG
+            from ..analysis.dataflow import liveness
+            self._san_flow = liveness(CFG(program), "flow")
+            self._san_allowed: Dict[int, frozenset] = {}
+            self._san_written: set = set()
+
+    # -- sanitizer -----------------------------------------------------------
+
+    def _san_live_at(self, start_ip: int) -> frozenset:
+        hit = self._san_allowed.get(start_ip)
+        if hit is None:
+            hit = self._san_flow.regs_in(start_ip)
+            self._san_allowed[start_ip] = hit
+        return hit
+
+    def _san_check(self) -> None:
+        """Single-assignment/renaming invariant: every register this
+        section reads before writing must be in the static flow live-in
+        of the section's start — otherwise the renaming protocol was
+        never asked to deliver it and the read is undefined under
+        distribution (it works here only because this machine keeps one
+        register file)."""
+        instr = self.program.code[self.ip]
+        allowed = None
+        for reg in sorted(instr.reg_reads()):
+            if reg in self._san_written:
+                continue
+            if allowed is None:
+                allowed = self._san_live_at(
+                    self.sections[self.section - 1].start_ip)
+            if reg not in allowed:
+                raise SanitizerError(
+                    "section %d reads %s at addr %d (line %d: `%s`) but %s "
+                    "is neither written earlier in the section nor in its "
+                    "static live-across set %s"
+                    % (self.section, reg, instr.addr, instr.source_line,
+                       instr, reg, sorted(allowed)),
+                    addr=instr.addr, line=instr.source_line)
+
+    def step(self):
+        if not self.sanitize:
+            return super().step()
+        if self.halted is None and 0 <= self.ip < len(self.program.code):
+            self._san_check()
+        sid = self.section
+        entry = super().step()
+        if self.section != sid:
+            # the endfork's writes belong to the finished section; the
+            # resume section starts with nothing written
+            self._san_written = set()
+        else:
+            self._san_written.update(entry.reg_writes)
+        return entry
 
     # -- control hooks ------------------------------------------------------
 
@@ -160,11 +218,13 @@ class ForkedMachine(BaseMachine):
 
 
 def run_forked(program: Program, record_trace: bool = False,
-               max_steps: int = None,
-               copied_regs=FORK_COPIED_REGS) -> Tuple[RunResult, ForkedMachine]:
+               max_steps: int = None, copied_regs=FORK_COPIED_REGS,
+               sanitize: bool = False) -> Tuple[RunResult, ForkedMachine]:
     """Run a forked program; returns (result, machine) so callers can read
-    the section table."""
+    the section table.  ``sanitize`` turns on the runtime renaming-invariant
+    checks (:class:`~repro.errors.SanitizerError` on violation)."""
     kwargs = {} if max_steps is None else {"max_steps": max_steps}
-    machine = ForkedMachine(program, copied_regs=copied_regs, **kwargs)
+    machine = ForkedMachine(program, copied_regs=copied_regs,
+                            sanitize=sanitize, **kwargs)
     result = machine.run(record_trace=record_trace)
     return result, machine

@@ -113,7 +113,10 @@ class CodeGen:
         if self.fork_mode:
             # No need to save the caller's rbp: the resume path receives it
             # as a fork copy (the paper's replacement for save/restore).
-            self._emit("movq %rsp, %rbp")
+            # A frameless function (no params, no locals) never reads rbp,
+            # so it skips the frame link entirely.
+            if frame_words:
+                self._emit("movq %rsp, %rbp")
         else:
             self._emit("pushq %rbp")
             self._emit("movq %rsp, %rbp")
@@ -145,7 +148,7 @@ class CodeGen:
             for child in stmt.stmts:
                 self._statement(child)
         elif isinstance(stmt, ast.ExprStmt):
-            self._expr(stmt.expr)
+            self._expr(stmt.expr, used=False)
         elif isinstance(stmt, ast.VarDecl):
             if stmt.init is not None:
                 self._expr(stmt.init)
@@ -220,7 +223,7 @@ class CodeGen:
         self._continue_label.pop()
         self._label(post)
         if stmt.post is not None:
-            self._expr(stmt.post)
+            self._expr(stmt.post, used=False)
         self._emit("jmp %s" % head)
         self._label(end)
 
@@ -248,7 +251,7 @@ class CodeGen:
             self._branch(cond, end, when_true=False)
         self._emit("forkloop %s" % body_label)
         if post is not None:
-            self._expr(post)
+            self._expr(post, used=False)
         self._emit("jmp %s" % head)
         self._label(end)
         self._emit("jmp %s" % after)
@@ -390,8 +393,13 @@ class CodeGen:
         self._emit("movq %rax, %rcx")
         self._emit("popq %rax")
 
-    def _expr(self, expr: ast.Expr) -> None:
-        """Evaluate *expr* into rax."""
+    def _expr(self, expr: ast.Expr, used: bool = True) -> None:
+        """Evaluate *expr* into rax.
+
+        ``used=False`` marks a value-discarding context (expression
+        statement, for-loop post); assignments then skip materialising
+        their value into rax — the store is the whole effect.
+        """
         if isinstance(expr, ast.Num):
             self._emit("movq $%d, %%rax" % expr.value)
         elif isinstance(expr, ast.Var):
@@ -401,7 +409,7 @@ class CodeGen:
         elif isinstance(expr, ast.Binary):
             self._binary(expr)
         elif isinstance(expr, ast.Assign):
-            self._assign(expr)
+            self._assign(expr, used=used)
         elif isinstance(expr, ast.Cond):
             self._ternary(expr)
         elif isinstance(expr, ast.Call):
@@ -514,7 +522,7 @@ class CodeGen:
         self._emit("movq $1, %rax")
         self._label(end)
 
-    def _assign(self, expr: ast.Assign) -> None:
+    def _assign(self, expr: ast.Assign, used: bool = True) -> None:
         target = expr.target
         if isinstance(target, ast.Var):
             sym = target.symbol
@@ -529,7 +537,8 @@ class CodeGen:
         self._address(target)
         self._emit("popq %rcx")
         self._emit("movq %rcx, (%rax)")
-        self._emit("movq %rcx, %rax")  # the assignment's value
+        if used:
+            self._emit("movq %rcx, %rax")  # the assignment's value
 
     def _ternary(self, expr: ast.Cond) -> None:
         other = self._fresh("celse")

@@ -35,7 +35,8 @@ state timeline is what keeps the two streams equal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional, Set,
+                    Tuple)
 
 #: every event kind the simulator can emit, in rough pipeline order
 EVENT_KINDS = (
@@ -181,6 +182,24 @@ def collect_requests(events) -> Dict[int, dict]:
         elif kind == "request_fill":
             requests[f["rid"]]["fill"] = cycle
     return requests
+
+
+def collect_reg_requests(
+        events: "Iterable[Tuple[int, str, Dict[str, Any]]]"
+) -> Dict[int, FrozenSet[str]]:
+    """Per-section cross-section *register* requests: sid -> the register
+    names the section requested through the renaming network
+    (``request_issue`` events of kind ``"reg"``).
+
+    This is the dynamic ground truth the static live-across-fork sets are
+    validated against (:mod:`repro.analysis.validate`): every register
+    here must be statically live at the section's start.
+    """
+    out: Dict[int, Set[str]] = {}
+    for _cycle, kind, f in events:
+        if kind == "request_issue" and f["kind"] == "reg":
+            out.setdefault(f["sid"], set()).add(f["what"])
+    return {sid: frozenset(regs) for sid, regs in out.items()}
 
 
 def request_what_str(req: dict) -> str:

@@ -1,0 +1,99 @@
+"""CFG construction: views, fork/endfork edges, blocks, regions."""
+
+from repro.analysis import CFG, build_cfg
+from repro.isa import assemble
+from repro.paper import paper_array, sum_forked_program
+
+FORKED = """
+main:
+    fork f
+    out %rax
+    hlt
+f:
+    movq $7, %rax
+    endfork
+"""
+
+CALLED = """
+main:
+    call f
+    out %rax
+    hlt
+f:
+    movq $7, %rax
+    ret
+"""
+
+
+def edges(cfg, addr, view):
+    return sorted(cfg.succs(addr, view))
+
+
+class TestForkEdges:
+    def test_fork_target_in_all_views(self):
+        cfg = build_cfg(assemble(FORKED))
+        for view in ("dataflow", "flow", "summary"):
+            assert (3, "fork-target") in cfg.succs(0, view)
+
+    def test_fork_resume_only_in_dataflow(self):
+        cfg = build_cfg(assemble(FORKED))
+        assert (1, "fork-resume") in cfg.succs(0, "dataflow")
+        assert (1, "fork-resume") not in cfg.succs(0, "flow")
+        assert (1, "fork-resume") not in cfg.succs(0, "summary")
+
+    def test_endfork_resume_only_in_dataflow(self):
+        cfg = build_cfg(assemble(FORKED))
+        assert edges(cfg, 4, "dataflow") == [(1, "endfork-resume")]
+        assert cfg.succs(4, "flow") == []
+        assert cfg.succs(4, "summary") == []
+
+    def test_resume_of(self):
+        cfg = build_cfg(assemble(FORKED))
+        assert cfg.resume_of(0) == 1
+
+
+class TestCallEdges:
+    def test_call_enters_callee_in_dataflow_and_flow(self):
+        cfg = build_cfg(assemble(CALLED))
+        assert (3, "call") in cfg.succs(0, "dataflow")
+        assert (3, "call") in cfg.succs(0, "flow")
+
+    def test_call_summarised_in_summary_view(self):
+        cfg = build_cfg(assemble(CALLED))
+        assert edges(cfg, 0, "summary") == [(1, "call-summary")]
+
+    def test_ret_returns_to_call_site(self):
+        cfg = build_cfg(assemble(CALLED))
+        assert edges(cfg, 4, "dataflow") == [(1, "ret")]
+        # a ret ends the walk at one stack depth
+        assert cfg.succs(4, "summary") == []
+
+
+class TestStructure:
+    def test_regions_and_function_of(self):
+        cfg = build_cfg(assemble(FORKED))
+        assert cfg.function_of(0) == "main"
+        assert cfg.function_of(4) == "f"
+        assert cfg.fork_sites == [0]
+
+    def test_flow_reach_stays_in_section(self):
+        cfg = build_cfg(assemble(FORKED))
+        # the section forked into f never reaches the resume instructions
+        reach = cfg.flow_reach(3)
+        assert 3 in reach and 4 in reach
+        assert 1 not in reach and 2 not in reach
+
+    def test_blocks_cover_code_once(self):
+        prog = sum_forked_program(paper_array(5))
+        cfg = CFG(prog)
+        covered = sorted(a for blk in cfg.blocks for a in blk.addrs())
+        assert covered == list(range(len(prog.code)))
+
+    def test_figure5_fork_sites(self):
+        cfg = CFG(sum_forked_program(paper_array(5)))
+        assert len(cfg.fork_sites) == 3
+        assert all(cfg.resume_of(f) == f + 1 for f in cfg.fork_sites)
+
+    def test_describe_mentions_counts(self):
+        cfg = build_cfg(assemble(FORKED))
+        assert "1 forks" in cfg.describe()

@@ -1,0 +1,145 @@
+"""Liveness, must-writes, fork kill sets, and reaching definitions."""
+
+from repro.analysis import (CFG, Definition, ReachingDefs, live_across_forks,
+                            liveness, mask_of, regs_of)
+from repro.analysis.dataflow import ENTRY_DEF, fork_kill_masks, must_writes
+from repro.isa import assemble
+from repro.paper import paper_array, sum_forked_program
+
+# the forked flow writes rcx (non-copied) on every path to its endfork,
+# so the pre-fork rcx can never be what the resume's read observes
+KILLED = """
+main:
+    movq $2, %rcx
+    fork f
+    out %rcx
+    hlt
+f:
+    movq $9, %rcx
+    endfork
+"""
+
+# rbx is fork-copied: the resume observes the fork-time snapshot, so the
+# forked flow's write neither kills the pre-fork value nor exports its
+# own past the endfork
+COPIED = """
+main:
+    movq $1, %rbx
+    movq $2, %rcx
+    fork f
+    out %rbx
+    out %rcx
+    hlt
+f:
+    movq $9, %rbx
+    endfork
+"""
+
+
+def test_mask_roundtrip():
+    regs = frozenset({"rax", "rsp", "rflags"})
+    assert regs_of(mask_of(regs)) == regs
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        cfg = CFG(assemble("main:\nmovq $1, %rax\nout %rax\nhlt"))
+        lv = liveness(cfg)
+        assert "rax" in lv.regs_in(1)
+        assert "rax" not in lv.regs_in(0)   # defined here, dead before
+
+    def test_exit_uses_return_reg(self):
+        cfg = CFG(assemble("main:\nmovq $1, %rax\nhlt"))
+        lv = liveness(cfg)
+        # rax is the process return value: live into hlt, so the write
+        # at addr 0 is not dead
+        assert "rax" in lv.regs_in(1)
+
+    def test_endfork_exports_only_noncopied(self):
+        cfg = CFG(assemble(COPIED))
+        lv = liveness(cfg)
+        # endfork at addr 7; the resume reads both rbx and rcx, but only
+        # the non-copied rcx travels through the endfork-resume edge
+        assert "rcx" in lv.regs_out(7)
+        assert "rbx" not in lv.regs_out(7)
+
+    def test_fork_copy_keeps_prefork_value_live(self):
+        cfg = CFG(assemble(COPIED))
+        lv = liveness(cfg)
+        # the resume's rbx read is satisfied by the fork-time copy, so
+        # the pre-fork write at addr 0 is live across the fork site
+        assert "rbx" in lv.regs_out(2)
+        assert "rbx" in lv.regs_in(0) or "rbx" not in lv.regs_in(0)
+        assert "rbx" in lv.regs_out(0)
+
+    def test_must_write_kills_prefork_value(self):
+        cfg = CFG(assemble(KILLED))
+        lv = liveness(cfg)
+        # the forked flow's unconditional rcx write interposes in the
+        # total order, so the write at addr 0 is dead
+        assert "rcx" not in lv.regs_out(1)
+        assert "rcx" not in lv.regs_out(0)
+
+
+class TestMustWrites:
+    def test_unconditional_write_is_must(self):
+        cfg = CFG(assemble(KILLED))
+        mw = must_writes(cfg)
+        assert "rcx" in regs_of(mw[4])      # f: movq $9, %rcx
+
+    def test_kill_mask_excludes_copied_regs(self):
+        cfg = CFG(assemble(COPIED))
+        kills = fork_kill_masks(cfg)
+        # rbx is must-written by the forked flow but fork-copied, so the
+        # kill set is empty
+        assert kills == {2: 0}
+
+    def test_kill_mask_on_noncopied(self):
+        cfg = CFG(assemble(KILLED))
+        assert fork_kill_masks(cfg) == {1: mask_of(["rcx"])}
+
+
+class TestLiveAcrossForks:
+    def test_figure5(self):
+        cfg = CFG(sum_forked_program(paper_array(5)))
+        across = {addr: sorted(regs)
+                  for addr, regs in live_across_forks(cfg).items()}
+        assert across == {
+            2: ["rax"],
+            13: ["rax", "rbx", "rdi", "rsi", "rsp"],
+            19: ["rax", "rsp"],
+        }
+
+
+class TestReachingDefs:
+    def test_entry_pseudo_def(self):
+        cfg = CFG(assemble("main:\nout %rcx\nhlt"))
+        rdefs = ReachingDefs(cfg)
+        reaching = rdefs.reaching(0, "rcx")
+        assert reaching == [Definition(ENTRY_DEF, "rcx")]
+        assert reaching[0].is_entry
+
+    def test_fork_kill_blocks_prefork_def(self):
+        cfg = CFG(assemble(KILLED))
+        rdefs = ReachingDefs(cfg)
+        # only the forked flow's definition reaches the resume read
+        assert rdefs.reaching(2, "rcx") == [Definition(4, "rcx")]
+
+    def test_endfork_blocks_copied_defs(self):
+        cfg = CFG(assemble(COPIED))
+        rdefs = ReachingDefs(cfg)
+        reaching = rdefs.reaching(3, "rbx")
+        # the resume sees the pre-fork def (via the fork-time copy), not
+        # the forked flow's write at addr 6
+        assert Definition(0, "rbx") in reaching
+        assert Definition(6, "rbx") not in reaching
+
+    def test_def_use_chains(self):
+        cfg = CFG(assemble("main:\nmovq $1, %rax\nout %rax\nhlt"))
+        chains = ReachingDefs(cfg).def_use_chains()
+        assert chains[Definition(0, "rax")] == [(1, "rax")]
+
+    def test_unreachable_code_skipped(self):
+        cfg = CFG(assemble("main:\nhlt\ndead:\nout %rcx\nhlt"))
+        rdefs = ReachingDefs(cfg)
+        assert not rdefs.reachable(1)

@@ -1,0 +1,150 @@
+"""Fork-hazard linter: one crafted trigger per rule, the golden lint
+output for the paper's sum(t, 5), and a clean bill for all workloads."""
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.fork import fork_transform
+from repro.isa import assemble
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_forked_program, \
+    sum_sequential_program
+from repro.workloads import WORKLOADS
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+class TestRules:
+    def test_fork_ret_mix(self):
+        report = lint_program(assemble("main:\nfork f\nhlt\nf:\nret"))
+        assert "fork-ret-mix" in rules_of(report)
+        assert report.failed
+
+    def test_resume_ret_mix(self):
+        report = lint_program(assemble("""
+        main:
+            fork g
+            hlt
+        g:
+            fork h
+            ret
+        h:
+            endfork
+        """))
+        assert "resume-ret-mix" in rules_of(report)
+
+    def test_uninit_read(self):
+        report = lint_program(assemble("main:\nout %rcx\nhlt"))
+        assert rules_of(report) == ["uninit-read"]
+        assert "rcx" in report.findings[0].message
+
+    def test_uninit_read_exempts_push_and_rsp(self):
+        report = lint_program(assemble("main:\npushq %rcx\npopq %rcx\nhlt"))
+        assert "uninit-read" not in rules_of(report)
+
+    def test_dead_store(self):
+        report = lint_program(assemble("main:\nmovq $1, %rcx\nhlt"))
+        assert rules_of(report) == ["dead-store"]
+
+    def test_dead_store_via_fork_kill(self):
+        # the forked flow must-writes rcx, so the pre-fork write can
+        # never be observed — only the kill-set refinement sees this
+        report = lint_program(assemble("""
+        main:
+            movq $2, %rcx
+            fork f
+            out %rcx
+            hlt
+        f:
+            movq $9, %rcx
+            endfork
+        """))
+        assert rules_of(report) == ["dead-store"]
+        assert report.findings[0].addr == 0
+
+    def test_dead_save(self):
+        prog = sum_sequential_program(paper_array(5))
+        forked = fork_transform(prog, elide_saves=False)
+        report = lint_program(forked)
+        assert "dead-save" in rules_of(report)
+
+    def test_fork_clobber(self):
+        report = lint_program(assemble("""
+        main:
+            movq $5, %rbx
+            fork f
+            out %rbx
+            hlt
+        f:
+            movq $9, %rbx
+            out %rbx
+            endfork
+        """))
+        assert rules_of(report) == ["fork-clobber"]
+        assert not report.failed            # info only
+
+    def test_stack_serialization(self):
+        report = lint_program(assemble("""
+        main:
+            fork f
+            pushq %rax
+            popq %rax
+            hlt
+        f:
+            endfork
+        """))
+        assert rules_of(report) == ["stack-serialization"]
+        assert "2 rsp-writing" in report.findings[0].message
+        assert not report.failed
+
+
+class TestGoldenSum5:
+    """Satellite: pinned lint output for the paper's own example."""
+
+    def test_format(self):
+        report = lint_program(sum_forked_program(paper_array(5)))
+        assert report.format("sum5.s") == [
+            "sum5.s:19: info: [fork-clobber] rbx is live into the "
+            "resume section and the forked flow may overwrite it "
+            "(addr 11: `movq %rsi, %rbx`); the resume keeps its "
+            "fork-time copy",
+            "sum5.s:19: info: [fork-clobber] rsi is live into the "
+            "resume section and the forked flow may overwrite it "
+            "(addr 12: `shrq %rsi`); the resume keeps its fork-time "
+            "copy",
+            "sum5.s:19: info: [stack-serialization] resume section "
+            "reaches 1 rsp-writing instruction(s); the rsp chain "
+            "serialises it against sibling sections unless the stack "
+            "shortcut applies (paper claim iii)",
+            "sum5.s:25: info: [stack-serialization] resume section "
+            "reaches 1 rsp-writing instruction(s); the rsp chain "
+            "serialises it against sibling sections unless the stack "
+            "shortcut applies (paper claim iii)",
+            "sum5.s: 0 error(s), 0 warning(s), 4 info note(s) across "
+            "3 fork site(s)",
+        ]
+
+    def test_no_failures(self):
+        report = lint_program(sum_forked_program(paper_array(5)))
+        assert not report.failed
+        assert not report.errors and not report.warnings
+
+    def test_info_hidden(self):
+        report = lint_program(sum_forked_program(paper_array(5)))
+        assert report.format("sum5.s", show_info=False) == [
+            "sum5.s: 0 error(s), 0 warning(s), 4 info note(s) across "
+            "3 fork site(s)",
+        ]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS,
+                         ids=[w.short for w in WORKLOADS])
+def test_workloads_lint_clean(workload):
+    """Every Table-1 benchmark compiles to fork form with zero failing
+    findings (the CI gate, run here without the dynamic validators)."""
+    inst = workload.instance(scale=0)
+    prog = compile_source(inst.source, fork_mode=True)
+    report = lint_program(prog)
+    assert not report.failed, "\n".join(report.format(workload.short))

@@ -1,0 +1,66 @@
+"""Runtime sanitizer: the renaming-invariant check in ForkedMachine.
+
+A well-formed program can never trip it — any read a section performs
+lies on a static flow path, so it is either locally preceded by a write
+or in the live-across set.  It fires exactly when dynamic control
+escapes the static flow model, e.g. a fork-entered ``ret`` popping a
+value that was never a return address (a computed jump).
+"""
+
+import pytest
+
+from repro.errors import ReproError, SanitizerError
+from repro.machine import run_forked
+from repro.minic import compile_source
+from repro.paper import paper_array, sum_forked_program
+from repro.workloads import get_workload
+
+# f's ret pops the pushed immediate 2 and "returns" into the middle of
+# main — section 1 then executes `out %rcx` at an entry the static flow
+# never predicted, where rcx is neither written locally nor live-across
+RET_ABUSE = """
+main:
+    pushq $2
+    fork f
+    out %rcx
+    hlt
+f:
+    ret
+"""
+
+
+class TestCleanPrograms:
+    def test_figure5(self):
+        result, _ = run_forked(sum_forked_program(paper_array(5)),
+                               sanitize=True)
+        assert result.signed_output == [15]
+
+    def test_workload(self):
+        inst = get_workload("dictionary").instance(scale=0)
+        prog = compile_source(inst.source, fork_mode=True)
+        plain, _ = run_forked(prog)
+        checked, _ = run_forked(prog, sanitize=True)
+        assert checked.output == plain.output
+
+    def test_default_off(self):
+        # sanitize defaults to False: the machine stays a pure replayer
+        result, machine = run_forked(sum_forked_program(paper_array(5)))
+        assert result.signed_output == [15]
+        assert machine.sanitize is False
+
+
+class TestViolation:
+    def test_ret_abuse_caught_at_the_read(self):
+        from repro.isa import assemble
+        with pytest.raises(SanitizerError) as excinfo:
+            run_forked(assemble(RET_ABUSE), sanitize=True)
+        err = excinfo.value
+        assert err.addr == 2
+        assert "rcx" in str(err)
+        assert "live-across set" in str(err)
+
+    def test_unsanitized_fails_late_and_generic(self):
+        from repro.isa import assemble
+        with pytest.raises(ReproError) as excinfo:
+            run_forked(assemble(RET_ABUSE))
+        assert not isinstance(excinfo.value, SanitizerError)

@@ -1,13 +1,15 @@
-"""Unit tests for the call→fork transformation and save-elision peephole."""
+"""Unit tests for the call→fork transformation and the liveness-driven
+callee-save elision."""
 
 import pytest
 
 from repro.errors import ReproError
 from repro.fork import call_targets, find_functions, fork_transform
+from repro.fork.transform import plan_save_elisions
 from repro.isa import assemble
 from repro.machine import run_forked, run_sequential
 from repro.minic import compile_source
-from repro.paper import paper_array, sum_sequential_program
+from repro.paper import paper_array, sum_forked_program, sum_sequential_program
 
 
 class TestFunctionDiscovery:
@@ -251,10 +253,50 @@ class TestSaveElision:
         kept = fork_transform(prog, elide_saves=False)
         assert sum(1 for i in kept.code if i.opcode == "push") == 1
 
-    def test_figure2_mismatched_pairs_survive(self):
-        # Figure 2 pops %rbx where %rsi was pushed (lines 10/13): the
-        # peephole must not touch non-LIFO-matching pairs.
+    def test_figure2_reproduces_figure5(self):
+        # The full pipeline on the paper's own example: Figure 2's three
+        # callee saves collapse — two pure deletes (fork copies preserve
+        # rbx/rdi) and one rewrite of the mismatched pushq %rsi /
+        # popq %rbx pair into `movq %rsi, %rbx` — yielding exactly the
+        # hand-written Figure 5 `sum`.
         prog = sum_sequential_program(paper_array(5))
         forked = fork_transform(prog, elide_saves=True)
+        reference = sum_forked_program(paper_array(5))
+
+        def body_of(program):
+            regions = {r.name: r for r in find_functions(program)}
+            region = regions["sum"]
+            return [str(program.code[a])
+                    for a in range(region.start, region.end)]
+
+        assert body_of(forked) == body_of(reference)
         result, _ = run_forked(forked)
         assert result.signed_output == [15]
+
+    def test_no_dead_pairs_remain_in_transformed_sum(self):
+        # Regression for the liveness-driven elision: after the fixpoint,
+        # the planner itself must find nothing left to remove, and no
+        # push/pop survives in the transformed sum at all.
+        prog = sum_sequential_program(paper_array(16))
+        forked = fork_transform(prog, elide_saves=True)
+        assert plan_save_elisions(forked) == []
+        regions = {r.name: r for r in find_functions(forked)}
+        sum_ops = [forked.code[a].opcode
+                   for a in range(regions["sum"].start, regions["sum"].end)]
+        assert "pop" not in sum_ops
+        # the temp slot for the first recursive result is explicit rsp
+        # arithmetic (Figure 5 lines 11-12), not a callee-save pair
+        assert sum_ops.count("push") == 0
+
+    def test_elision_preserves_behaviour_on_minic(self):
+        src = """
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        long main() { out(fib(11)); return 0; }
+        """
+        prog = compile_source(src)
+        plain = fork_transform(prog, elide_saves=False)
+        elided = fork_transform(prog, elide_saves=True)
+        assert run_forked(plain)[0].output == run_forked(elided)[0].output

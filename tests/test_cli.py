@@ -190,3 +190,55 @@ class TestCLI:
         path.write_text("long main() { return undeclared; }")
         assert main(["run", str(path)]) == 1
         assert "undeclared" in capsys.readouterr().err
+
+
+class TestLintCLI:
+    def test_clean_program(self, minic_file, capsys):
+        assert main(["lint", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_failing_finding(self, tmp_path, capsys):
+        path = tmp_path / "hazard.s"
+        path.write_text("main:\nfork f\nhlt\nf:\nret\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "[fork-ret-mix]" in out
+        assert "%s:2:" % path in out       # findings carry file:line
+
+    def test_no_info_hides_notes(self, tmp_path, capsys):
+        path = tmp_path / "ser.s"
+        path.write_text(
+            "main:\nfork f\npushq %rax\npopq %rax\nhlt\nf:\nendfork\n")
+        assert main(["lint", str(path)]) == 0
+        assert "stack-serialization" in capsys.readouterr().out
+        assert main(["lint", "--no-info", str(path)]) == 0
+        assert "stack-serialization" not in capsys.readouterr().out
+
+    def test_validate_flag(self, minic_file, capsys):
+        assert main(["lint", "--validate", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "machine: sound" in out and "sim: sound" in out
+
+    def test_diagnostics_carry_position(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("main:\nhlt\n.data\ncell: .zero 7x\n")
+        assert main(["lint", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "%s:4" % path in err
+        assert "bad .zero size" in err
+
+    def test_minic_diagnostics_carry_position(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main() { return 0; }")
+        assert main(["lint", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "%s:1:1:" % path in err
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert capsys.readouterr().err
+
+    def test_runfork_sanitize(self, minic_file, capsys):
+        assert main(["runfork", minic_file, "--sanitize"]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "36"
