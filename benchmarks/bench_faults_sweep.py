@@ -1,0 +1,54 @@
+"""E9 — extension: graceful degradation under injected faults.
+
+The paper's machine has no fault story; ``repro.faults`` gives it one
+(deterministic injection + ack/retry + section re-dispatch, sound by the
+single-assignment renaming argument of Section 3).  This benchmark sweeps
+a (NoC drop-rate x fail-stop core-deaths) grid over the Table 1 suite and
+records the degradation curve: how many cycles each fault mix costs, how
+much recovery work it took (retries, backoff cycles, replayed
+instructions), and — the contract — that every faulted run still produced
+**bit-identical architectural results** (outputs + memory digest) to the
+fault-free run.
+
+Expected shape: drop-rate cost scales with a workload's renaming traffic
+(communication-heavy workloads pay more retries), while core-death cost
+scales with the lost work replayed; slowdowns stay modest because
+recovery is local — nothing global restarts.
+"""
+
+from _common import BENCH_SCALE, emit, emit_json, table
+
+from repro.faults import chaos_sweep
+from repro.workloads import WORKLOADS
+
+DROPS = (0.0, 0.05, 0.15)
+DEATH_COUNTS = (0, 1, 2)
+
+
+def _sweep():
+    return chaos_sweep([w.short for w in WORKLOADS], DROPS, DEATH_COUNTS,
+                       n_cores=16, seed=1234, scale=BENCH_SCALE)
+
+
+def bench_faults_sweep(benchmark):
+    payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for rec in payload["records"]:
+        rows.append([
+            rec["benchmark"], "%.2f" % rec["drop_rate"], rec["deaths"],
+            rec["base_cycles"], rec["cycles"],
+            "%.2fx" % rec["slowdown"], rec["retries"],
+            rec["backoff_cycles"], rec["redispatches"],
+            rec["replayed_instructions"],
+            "yes" if rec["identical"] else "NO",
+        ])
+    text = table(
+        "E9  chaos sweep: Table 1 suite x (drop rate x core deaths), "
+        "16 cores, seed %d" % payload["seed"],
+        ["benchmark", "drop", "deaths", "base", "cycles", "slowdn",
+         "retries", "backoff", "redisp", "replayed", "identical"],
+        rows)
+    emit("faults_sweep", text)
+    emit_json("faults_sweep", payload)
+    assert all(rec["identical"] for rec in payload["records"]), (
+        "a faulted run diverged from the fault-free architectural results")

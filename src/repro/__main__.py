@@ -27,6 +27,15 @@ Commands:
                         live-across-fork sets against both dynamic
                         oracles.  Exits 1 on error/warning findings.
 * ``workloads``       — list the Table 1 benchmark suite.
+* ``chaos``           — sweep a (drop-rate x core-deaths) fault grid over
+                        the workload suite (``repro.faults``); verifies
+                        every faulted run still produces bit-identical
+                        architectural results and reports the slowdown.
+                        Exits 1 on any divergence.
+
+The simulator commands accept ``--faults SPEC`` (e.g.
+``--faults seed=7,drop=0.1,die=3@500``) to inject a deterministic fault
+plan into a single run.
 
 File type is chosen by suffix: ``.c`` compiles as MiniC, anything else
 assembles as toy x86.
@@ -40,6 +49,7 @@ import sys
 
 from . import __version__
 from .errors import ReproError
+from .faults import FaultPlan
 from .fork import fork_transform, render_section_tree
 from .ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL
 from .ilp.analyzer import analyze_stream_multi
@@ -90,9 +100,12 @@ def cmd_runfork(args) -> int:
 
 
 def _sim_config(args, **extra) -> SimConfig:
+    faults = (FaultPlan.from_spec(args.faults)
+              if getattr(args, "faults", None) else None)
     return SimConfig(n_cores=args.cores, stack_shortcut=args.shortcut,
                      placement=args.placement,
-                     event_driven=args.scheduler == "event", **extra)
+                     event_driven=args.scheduler == "event",
+                     faults=faults, **extra)
 
 
 def _write_chrome_trace(result, path: str) -> None:
@@ -151,6 +164,9 @@ def cmd_stats(args) -> int:
              latency["mean"]))
     print("noc: " + "  ".join(
         "%s=%d" % kv for kv in sorted(result.noc_stats.items())))
+    if result.fault_stats is not None:
+        print("faults: " + "  ".join(
+            "%s=%d" % kv for kv in sorted(result.fault_stats.items())))
     if args.trace and result.trace is not None:
         for core_id, row in enumerate(result.trace):
             print("core %2d: %s" % (core_id, row))
@@ -244,6 +260,40 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+#: fast default subset for ``repro chaos`` without ``--workloads``
+_CHAOS_DEFAULT = ("quicksort", "dictionary", "bfs")
+
+
+def cmd_chaos(args) -> int:
+    from .faults import chaos_sweep
+    shorts = ([w.short for w in WORKLOADS] if args.workloads
+              else list(_CHAOS_DEFAULT))
+    payload = chaos_sweep(shorts, args.drops, args.deaths,
+                          n_cores=args.cores, seed=args.seed,
+                          scheduler=args.scheduler)
+    records = payload["records"]
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print("%-12s %5s %6s %8s %8s %8s %7s %7s %s"
+              % ("benchmark", "drop", "deaths", "cycles", "base",
+                 "slowdn", "retries", "redisp", "identical"))
+        for rec in records:
+            print("%-12s %5.2f %6d %8d %8d %7.2fx %7d %7d %s"
+                  % (rec["benchmark"], rec["drop_rate"], rec["deaths"],
+                     rec["cycles"], rec["base_cycles"], rec["slowdown"],
+                     rec["retries"], rec["redispatches"],
+                     "yes" if rec["identical"] else "NO"))
+    broken = [r for r in records if not r["identical"]]
+    if broken:
+        print("error: %d/%d faulted runs diverged from the fault-free "
+              "architectural results" % (len(broken), len(records)),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -278,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["event", "naive"],
                          help="main-loop scheduler (bit-identical results)")
         cmd.add_argument("--fork-loops", action="store_true")
+        cmd.add_argument(
+            "--faults", metavar="SPEC",
+            help="deterministic fault-injection plan, e.g. "
+                 "'seed=7,drop=0.1,die=3@500' (keys: seed, drop, spike, "
+                 "spike_extra, jitter, ackloss, die=CORE@CYCLE "
+                 "(repeatable), timeout, cap, resends, redispatch, "
+                 "redispatch_latency)")
 
     sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
     add_sim_options(sim)
@@ -352,6 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     wl = sub.add_parser("workloads", help="list the Table 1 suite")
     wl.set_defaults(func=cmd_workloads)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep a fault grid over the workload suite and check that "
+             "every faulted run stays bit-identical to the fault-free one")
+    chaos.add_argument("--workloads", action="store_true",
+                       help="sweep all ten Table 1 workloads (default: %s)"
+                            % ", ".join(_CHAOS_DEFAULT))
+    chaos.add_argument("--cores", type=int, default=16)
+    chaos.add_argument("--drops", type=float, nargs="+",
+                       default=[0.0, 0.1],
+                       help="NoC drop rates to sweep (default: 0.0 0.1)")
+    chaos.add_argument("--deaths", type=int, nargs="+", default=[0, 1],
+                       help="fail-stop core counts to sweep (default: 0 1)")
+    chaos.add_argument("--seed", type=int, default=1234)
+    chaos.add_argument("--scheduler", default="event",
+                       choices=["event", "naive"])
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full sweep payload as JSON")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -1,0 +1,85 @@
+"""Chaos sweep: graceful-degradation curves over a fault grid.
+
+Shared by ``repro chaos`` and ``benchmarks/bench_faults_sweep.py``: run
+each workload fault-free, then across a (drop-rate x core-deaths) grid,
+checking that every faulted run still produces **bit-identical
+architectural results** (outputs + final memory) and recording how much
+slower it got and how much recovery work it did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .models import CoreDeath, FaultPlan
+
+
+def memory_digest(memory: Dict[int, int]) -> str:
+    """Stable sha256 of a final-memory map (the golden tests' scheme)."""
+    blob = ";".join("%d:%d" % (addr, memory[addr])
+                    for addr in sorted(memory)).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def deaths_for(base_cycles: int, n_cores: int,
+               count: int) -> List[CoreDeath]:
+    """Deterministic death schedule: kill the *count* highest-numbered
+    cores, spread across the fault-free run's midlife (faulted runs only
+    get longer, so these cycles always land mid-run)."""
+    deaths = []
+    for k in range(count):
+        cycle = max(1, base_cycles * (k + 1) // (count + 2))
+        deaths.append(CoreDeath(core=n_cores - 1 - k, cycle=cycle))
+    return deaths
+
+
+def chaos_sweep(shorts: Sequence[str], drops: Iterable[float],
+                death_counts: Iterable[int], n_cores: int = 16,
+                seed: int = 1234, scale: int = 0, data_seed: int = 1,
+                scheduler: str = "event") -> Dict[str, Any]:
+    """The degradation grid.  Returns a JSON-ready payload whose
+    ``records`` carry, per (workload, drop, deaths) cell: cycles,
+    slowdown vs fault-free, the fault/recovery counters, and whether the
+    architectural results stayed bit-identical."""
+    from ..fork import fork_transform
+    from ..sim import SimConfig, simulate
+    from ..workloads import get_workload
+
+    event_driven = scheduler == "event"
+    records: List[Dict[str, Any]] = []
+    for short in shorts:
+        inst = get_workload(short).instance(scale=scale, seed=data_seed)
+        prog = fork_transform(inst.program)
+        base, _ = simulate(prog, SimConfig(
+            n_cores=n_cores, stack_shortcut=True,
+            event_driven=event_driven))
+        base_digest = memory_digest(base.final_memory)
+        for drop in drops:
+            for n_deaths in death_counts:
+                plan = FaultPlan(
+                    seed=seed, drop_rate=drop,
+                    deaths=tuple(deaths_for(base.cycles, n_cores,
+                                            n_deaths)))
+                result, _ = simulate(prog, SimConfig(
+                    n_cores=n_cores, stack_shortcut=True,
+                    event_driven=event_driven, faults=plan))
+                stats = result.fault_stats or {}
+                records.append({
+                    "benchmark": short, "n": inst.n,
+                    "drop_rate": drop, "deaths": n_deaths,
+                    "cycles": result.cycles,
+                    "base_cycles": base.cycles,
+                    "slowdown": result.cycles / base.cycles,
+                    "retries": stats.get("retries", 0),
+                    "backoff_cycles": stats.get("backoff_cycles", 0),
+                    "redispatches": stats.get("redispatches", 0),
+                    "replayed_instructions":
+                        stats.get("replayed_instructions", 0),
+                    "identical": (result.outputs == base.outputs
+                                  and memory_digest(result.final_memory)
+                                  == base_digest),
+                })
+    return {"n_cores": n_cores, "seed": seed, "scale": scale,
+            "scheduler": scheduler, "workloads": list(shorts),
+            "records": records}

@@ -69,7 +69,10 @@ def to_chrome_trace(result, title: str = "repro simulation") -> dict:
 
     # -- renaming requests as flow arrows ----------------------------------
     for rid, req in sorted(requests.items()):
-        home = sections[req["sid"]]
+        home = sections.get(req["sid"])
+        if home is None:
+            # truncated stream: the requester's fork event is missing
+            continue
         pid, tid = home["core"], req["sid"]
         name = "r%d %s %s" % (rid, req["kind"], request_what_str(req))
         fill = req["fill"] if req["fill"] is not None else result.cycles
@@ -94,10 +97,23 @@ def to_chrome_trace(result, title: str = "repro simulation") -> dict:
     for cycle, kind, f in events:
         if kind == "request_dmh":
             rid = f["rid"]
-            req = requests[rid]
+            req = requests.get(rid)
+            if req is None:
+                continue
             out.append({"ph": "i", "s": "p", "cat": "dmh",
                         "name": "DMH read r%d" % rid, "pid": f["core"],
                         "tid": req["sid"], "ts": cycle})
+        elif kind == "core_dead":
+            out.append({"ph": "i", "s": "p", "cat": "fault",
+                        "name": "core %d dead" % f["core"],
+                        "pid": f["core"], "tid": 0, "ts": cycle})
+        elif kind == "section_redispatch":
+            out.append({"ph": "i", "s": "p", "cat": "fault",
+                        "name": "s%d redispatch -> core %d"
+                        % (f["sid"], f["dst"]),
+                        "pid": f["dst"], "tid": f["sid"], "ts": cycle,
+                        "args": {"src": f["src"],
+                                 "first_fetch": f["first_fetch"]}})
         elif kind == "retire":
             retired_per_cycle[cycle] = retired_per_cycle.get(cycle, 0) + 1
         elif kind == "core_park":

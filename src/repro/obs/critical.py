@@ -78,10 +78,11 @@ def critical_path(result) -> List[dict]:
                 })
                 producer = last["producer"]
                 if producer is not None and producer != current["sid"]:
-                    nxt = sections[producer]
+                    # missing producer = truncated stream; stop the walk
+                    nxt = sections.get(producer)
         if nxt is None:
             parent = current["parent"]
-            if parent is None:
+            if parent is None or parent not in sections:
                 break
             steps.append({"kind": "fork", "sid": current["sid"],
                           "parent": parent, "cycle": current["created"]})

@@ -25,6 +25,15 @@ kind                 fields
 ``retire``           ``sid``, ``index`` — one per retired instruction
 ``core_park``        ``core``, ``state`` ("blocked"/"parked"); synthesized
 ``core_wake``        ``core``; synthesized from the per-cycle state timeline
+``fault_injected``   ``fault`` ("drop"/"spike"/"jitter"/"ack_loss") plus
+                     fault-specific fields (``rid``/``src``/``dst``/
+                     ``attempt``/``extra``/``core``) — repro.faults
+``msg_retry``        ``rid``, ``sid``, ``src``, ``dst``, ``attempt``,
+                     ``wait`` — re-send after a drop timeout, stamped at
+                     the re-send cycle (``wait`` cycles after the drop)
+``section_redispatch`` ``sid``, ``src``, ``dst`` (cores), ``first_fetch``
+                     — fail-stop recovery restarted the section
+``core_dead``        ``core`` — fail-stop at this cycle
 ===================  ========================================================
 
 ``core_park`` / ``core_wake`` are *derived* from the per-cycle core-state
@@ -45,6 +54,7 @@ EVENT_KINDS = (
     "request_reply", "request_fill",
     "noc_send", "noc_deliver", "retire",
     "core_park", "core_wake",
+    "fault_injected", "msg_retry", "section_redispatch", "core_dead",
 )
 
 Event = Tuple[int, str, dict]
@@ -132,11 +142,15 @@ def collect_sections(events) -> Dict[int, dict]:
                 "complete": None, "parent": f["parent"],
             }
         elif kind == "section_start":
-            entry = sections[f["sid"]]
-            if entry["start"] is None:
+            entry = sections.get(f["sid"])
+            # unknown sid: the stream was truncated before this section's
+            # fork event — skip rather than KeyError
+            if entry is not None and entry["start"] is None:
                 entry["start"] = cycle
         elif kind == "section_complete":
-            sections[f["sid"]]["complete"] = cycle
+            entry = sections.get(f["sid"])
+            if entry is not None:
+                entry["complete"] = cycle
     return sections
 
 
@@ -163,25 +177,58 @@ def collect_requests(events) -> Dict[int, dict]:
                 "dmh": False, "hops": 0,
             }
         elif kind == "request_hop":
-            req = requests[f["rid"]]
+            req = requests.get(f["rid"])
+            # unknown rid: the stream was truncated before this request's
+            # issue event — skip rather than KeyError (same below)
+            if req is None:
+                continue
             req["hops"] += 1
             req["path"].append((cycle, f["dst"], f["sid"]))
             if f["wait"]:
                 req["transit"].append((cycle, cycle + f["wait"]))
         elif kind == "request_hit":
-            requests[f["rid"]]["producer"] = f["sid"]
+            req = requests.get(f["rid"])
+            if req is not None:
+                req["producer"] = f["sid"]
         elif kind == "request_reply":
-            requests[f["rid"]]["transit"].append((cycle, f["arrive"]))
+            req = requests.get(f["rid"])
+            if req is not None:
+                req["transit"].append((cycle, f["arrive"]))
         elif kind == "request_dmh":
-            req = requests[f["rid"]]
+            req = requests.get(f["rid"])
+            if req is None:
+                continue
             req["dmh"] = True
             if req["kind"] == "reg":
                 # register reads off the oldest end pay only the port hop;
                 # memory reads pay the DMH access, attributed wait_memory
                 req["transit"].append((cycle, f["arrive"]))
         elif kind == "request_fill":
-            requests[f["rid"]]["fill"] = cycle
+            req = requests.get(f["rid"])
+            if req is not None:
+                req["fill"] = cycle
     return requests
+
+
+def collect_fault_windows(events) -> Dict[int, List[Tuple[int, int]]]:
+    """Per-section fault-recovery windows ``(s, e]``, keyed by sid.
+
+    A ``section_redispatch`` opens the dead time between the fail-stop and
+    the replay's first fetch; a ``msg_retry`` covers the backoff wait that
+    ended at its (re-send) cycle.  The stall attributor charges blocked
+    cycles inside these windows to ``fault_recovery`` ahead of every other
+    cause — the section was not waiting on a dependency, it was waiting on
+    the recovery machinery.
+    """
+    windows: Dict[int, List[Tuple[int, int]]] = {}
+    for cycle, kind, f in events:
+        if kind == "section_redispatch":
+            windows.setdefault(f["sid"], []).append(
+                (cycle, f["first_fetch"]))
+        elif kind == "msg_retry":
+            windows.setdefault(f["sid"], []).append(
+                (cycle - f["wait"], cycle))
+    return windows
 
 
 def collect_reg_requests(

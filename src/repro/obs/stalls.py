@@ -2,7 +2,7 @@
 
 The occupancy layer of PR 1 says a core was ``blocked`` without saying on
 what.  This module splits every blocked/parked core cycle — and every
-non-fetching cycle of every section's lifetime — into one of six causes:
+non-fetching cycle of every section's lifetime — into one of these causes:
 
 =================  ==========================================================
 cause              meaning
@@ -21,6 +21,9 @@ cause              meaning
 ``no_free_core``   a section was runnable but its host core's fetch stage
                    was serving another section — on a larger machine this
                    section would have been placed on a free core
+``fault_recovery`` injected-fault recovery (repro.faults): the re-dispatch
+                   window after a fail-stop, or a dropped message's backoff
+                   wait — zero in every fault-free run
 ``idle``           the core hosts no live section at all
 =================  ==========================================================
 
@@ -41,11 +44,11 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
-from .events import collect_requests
+from .events import collect_fault_windows, collect_requests
 
 #: the taxonomy, in report order
 STALL_CAUSES = ("wait_register", "wait_memory", "noc_transit",
-                "fork_latency", "no_free_core", "idle")
+                "fork_latency", "no_free_core", "fault_recovery", "idle")
 
 
 class _IntervalSet:
@@ -93,9 +96,10 @@ class _SectionView:
 
     __slots__ = ("sid", "core", "created", "completed", "first_fetch",
                  "start", "fetch_set", "transit", "wait_reg", "wait_mem",
-                 "load_wait")
+                 "load_wait", "fault")
 
-    def __init__(self, sec, horizon: int, requests: List[dict]):
+    def __init__(self, sec, horizon: int, requests: List[dict],
+                 fault_windows: Optional[List[Tuple[int, int]]] = None):
         self.sid = sec.sid
         self.core = sec.core_id
         self.created = sec.created_cycle
@@ -117,6 +121,7 @@ class _SectionView:
         self.transit = _IntervalSet(transit)
         self.wait_reg = _IntervalSet(wait_reg)
         self.wait_mem = _IntervalSet(wait_mem)
+        self.fault = _IntervalSet(fault_windows or [])
         # loads sitting in the LSQ between address rename and memory access
         self.load_wait = _IntervalSet(
             (d.timing.ar, d.timing.ma if d.timing.ma is not None else horizon)
@@ -131,6 +136,11 @@ def _classify(views: List[_SectionView], cycle: int) -> str:
     """Cause of one blocked cycle given the live sections to blame."""
     if not views:
         return "idle"
+    # recovery windows outrank everything: during them the section is not
+    # waiting on a dependency but on the fault machinery itself
+    for view in views:
+        if view.fault.covers(cycle):
+            return "fault_recovery"
     for view in views:
         if view.wait_mem.covers(cycle):
             return "wait_memory"
@@ -166,8 +176,10 @@ def attribute_stalls(proc) -> dict:
     by_sid: Dict[int, List[dict]] = {}
     for req in requests.values():
         by_sid.setdefault(req["sid"], []).append(req)
+    fault_windows = collect_fault_windows(proc.tracer.events)
     horizon = proc.cycle
-    views = [_SectionView(sec, horizon, by_sid.get(sec.sid, []))
+    views = [_SectionView(sec, horizon, by_sid.get(sec.sid, []),
+                          fault_windows.get(sec.sid))
              for sec in proc.sections]
     views_by_core: Dict[int, List[_SectionView]] = {}
     for view in views:
@@ -241,5 +253,9 @@ def stall_diagnostic(proc) -> str:
     pending = ["%s [%s]" % (req.describe(),
                             live_request_cause(req, proc.cycle))
                for req in proc.requests if not req.done]
-    return "stuck sections: %s; pending requests: %s" % (
+    message = "stuck sections: %s; pending requests: %s" % (
         "; ".join(parts), "; ".join(pending[:8]))
+    dead = [c.id for c in proc.cores if getattr(c, "dead", False)]
+    if dead:
+        message += "; dead cores: %s" % dead
+    return message

@@ -10,6 +10,9 @@ producer and return the t[0] value").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from ..faults.models import FaultPlan
 
 
 @dataclass
@@ -78,6 +81,10 @@ class SimConfig:
     events: bool = False
     #: simulation budget; exceeding it raises (deadlock guard)
     max_cycles: int = 2_000_000
+    #: deterministic fault-injection plan (:mod:`repro.faults`); None —
+    #: the default — runs the perfect machine, bit-identical to every
+    #: pinned golden result
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.n_cores < 1:
@@ -93,6 +100,8 @@ class SimConfig:
             raise ValueError("line_bytes must be a power of two >= 8")
         if self.topology not in ("uniform", "mesh"):
             raise ValueError("unknown topology %r" % (self.topology,))
+        if self.faults is not None:
+            self.faults.validate(self.n_cores)
 
 
 #: Configuration of the paper's Figure 10 experiment: five cores, one

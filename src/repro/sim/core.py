@@ -59,6 +59,9 @@ class Core:
         self.fetch_computed = 0
         self.executed = 0
         self.retired = 0
+        #: fail-stopped by a fault plan: permanently skipped by both run
+        #: loops and immune to wakes (repro.faults)
+        self.dead = False
         # event-driven scheduling state
         self.parked = False
         self._span_start: Optional[int] = None   #: first skipped cycle
@@ -103,7 +106,9 @@ class Core:
 
     def wake(self) -> None:
         """Make the core runnable again; the pending parked span is closed
-        lazily at its next executed cycle."""
+        lazily at its next executed cycle.  A dead core stays down."""
+        if self.dead:
+            return
         self.parked = False
 
     def _has_any_work(self) -> bool:
@@ -223,6 +228,9 @@ class Core:
                 and s.waiting_control is None and s.ip is not None]
 
     def _fetch(self, now: int) -> None:
+        engine = self.proc.fault_engine
+        if engine is not None and engine.fetch_blocked(self, now):
+            return      # slow-core jitter: the fetch stage loses the cycle
         for _ in range(self.proc.cfg.fetch_width):
             runnable = self._runnable_sections(now)
             if not runnable:
@@ -310,8 +318,8 @@ class Core:
                 values = {r: c.value for r, c in dyn.src_cells.items()}
                 result = evaluate(instr, values.__getitem__)
                 for reg, value in result.reg_writes.items():
-                    cell = Cell.full(value, now,
-                                     origin="s%d:%d:%s" % (sec.sid, dyn.index, reg))
+                    cell = self._dest_cell(sec, dyn, reg)
+                    cell.fill(value, now)
                     dyn.dest_cells[reg] = cell
                     sec.fregs[reg] = value
                 dyn.computed_at_fetch = True
@@ -330,11 +338,23 @@ class Core:
         sec.ip = next_ip
         self.rename_queue.append(dyn)
 
+    def _dest_cell(self, sec: SectionState, dyn: DynInstr,
+                   reg: str) -> Cell:
+        """Destination cell for (*dyn*, *reg*): fresh in normal operation;
+        during a fail-stop replay the dead incarnation's unfilled cell is
+        re-used so consumers already holding it are eventually filled
+        (repro.faults)."""
+        if sec.replay_cells is not None:
+            cell = sec.replay_cells.pop(("r", dyn.index, reg), None)
+            if cell is not None:
+                return cell
+        return Cell(origin="s%d:%d:%s" % (sec.sid, dyn.index, reg))
+
     def _fetch_rsp_update(self, dyn: DynInstr, sec: SectionState, now: int,
                           delta: int) -> None:
         """push/pop/call/ret move rsp; the fetch ALU computes the new value
         when the old one is full, keeping address chains flowing."""
-        cell = Cell(origin="s%d:%d:rsp" % (sec.sid, dyn.index))
+        cell = self._dest_cell(sec, dyn, STACK_POINTER)
         dyn.dest_cells[STACK_POINTER] = cell
         old = sec.freg_value(STACK_POINTER)
         if old is not None:
@@ -349,7 +369,7 @@ class Core:
         for reg in dyn.instr.reg_writes():
             if reg in skip or reg in dyn.dest_cells:
                 continue
-            cell = Cell(origin="s%d:%d:%s" % (sec.sid, dyn.index, reg))
+            cell = self._dest_cell(sec, dyn, reg)
             dyn.dest_cells[reg] = cell
             sec.fregs[reg] = cell
 
@@ -504,7 +524,12 @@ class Core:
                 self.proc.send_mem_request(sec, addr, cell, now)
             dyn.load_src_cell = cell
         if dyn.is_store:
-            new_cell = Cell(origin="s%d:%d:mem:%x" % (sec.sid, dyn.index, addr))
+            new_cell = None
+            if sec.replay_cells is not None:
+                new_cell = sec.replay_cells.pop(("m", dyn.index, addr), None)
+            if new_cell is None:
+                new_cell = Cell(origin="s%d:%d:mem:%x"
+                                % (sec.sid, dyn.index, addr))
             sec.maat[addr] = new_cell
             dyn.mem_dest_cell = new_cell
             sec.stores_pending -= 1

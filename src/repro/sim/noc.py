@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
+from ..errors import SimulationError
+
 
 class _NocStats:
     """Observability counters shared by every topology: how many messages
@@ -90,9 +92,16 @@ class MeshNoc(_NocStats):
 
 
 def make_noc(topology: str, n_cores: int, hop_latency: int):
-    """Factory keyed by :attr:`repro.sim.SimConfig.topology`."""
+    """Factory keyed by :attr:`repro.sim.SimConfig.topology`.
+
+    Raises :class:`~repro.errors.SimulationError` (a
+    :class:`~repro.errors.ReproError`) on an unknown topology, so callers
+    driving the CLI get the friendly-error path rather than a traceback.
+    """
     if topology == "uniform":
         return UniformNoc(n_cores, hop_latency)
     if topology == "mesh":
         return MeshNoc(n_cores, hop_latency)
-    raise ValueError("unknown NoC topology %r" % (topology,))
+    raise SimulationError(
+        "unknown NoC topology %r (choose from 'uniform', 'mesh')"
+        % (topology,))

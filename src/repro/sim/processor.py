@@ -19,6 +19,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..faults.recovery import FaultEngine
 from ..isa.program import HALT_ADDR, Program, STACK_TOP, WORD
 from ..isa.registers import ALL_REGS, FORK_COPIED_REGS, STACK_POINTER
 from ..machine.executor import MASK
@@ -85,6 +86,11 @@ class Processor:
         self.folded_upto = 0
         self._rng = random.Random(self.cfg.placement_seed)
         self._rr_next = 1 % self.cfg.n_cores
+        #: fault injection + recovery (repro.faults); None — the default —
+        #: keeps every hook at a single is-None test
+        self.fault_engine: Optional[FaultEngine] = (
+            FaultEngine(self, self.cfg.faults)
+            if self.cfg.faults is not None else None)
 
         root = SectionState(
             sid=1, start_ip=program.entry, core_id=0,
@@ -110,6 +116,7 @@ class Processor:
     def _run_naive(self) -> None:
         """Reference scheduler: tick every core every cycle.  Kept as the
         bit-exact baseline the event-driven fast path is tested against."""
+        engine = self.fault_engine
         while not self._finished():
             self.cycle += 1
             if self.cycle > self.cfg.max_cycles:
@@ -117,9 +124,12 @@ class Processor:
                     "cycle budget exhausted at cycle %d: %s"
                     % (self.cycle, self._stall_diagnostic()))
             self._advance_fold()
+            if engine is not None:
+                engine.begin_cycle(self.cycle)
             self._process_requests(self.cycle)
             for core in self.cores:
-                core.cycle(self.cycle)
+                if not core.dead:
+                    core.cycle(self.cycle)
 
     def _run_event(self) -> None:
         """Event-driven fast path: run only awake cores, step only pending
@@ -128,6 +138,7 @@ class Processor:
         — skipped core-cycles and skipped whole cycles are exactly those
         the naive loop would execute as no-ops."""
         cores = self.cores
+        engine = self.fault_engine
         while not self._finished_event():
             self.cycle += 1
             now = self.cycle
@@ -136,6 +147,8 @@ class Processor:
                     "cycle budget exhausted at cycle %d: %s"
                     % (now, self._stall_diagnostic()))
             self._advance_fold()
+            if engine is not None:
+                engine.begin_cycle(now)
             self._process_pending(now)
             if self._timewakes:
                 self._wake_due(now)
@@ -229,8 +242,13 @@ class Processor:
         request waiting on an unfilled producer cell cannot progress until
         a core wakes, so it imposes no bound of its own."""
         nxt: Optional[int] = None
+        if self.fault_engine is not None:
+            # never jump over a scheduled fail-stop
+            nxt = self.fault_engine.next_scheduled(now)
         if self._timewakes:
-            nxt = self._timewakes[0][0]
+            cand = self._timewakes[0][0]
+            if nxt is None or cand < nxt:
+                nxt = cand
         for req in self._pending:
             if req.done:
                 continue
@@ -261,6 +279,12 @@ class Processor:
 
     def fork_section(self, parent: SectionState, dyn: DynInstr,
                      now: int) -> SectionState:
+        existing = parent.fork_children.get(dyn.index)
+        if existing is not None:
+            # Fail-stop replay refetching a fork it already executed: the
+            # child exists (and may long since have completed) — re-use it
+            # instead of inserting a duplicate section.
+            return self.sections[existing - 1]
         snapshot = {}
         for reg in self.copied_regs:
             entry = parent.fregs.get(reg)
@@ -301,6 +325,7 @@ class Processor:
             if (target._blocked_from is None
                     or visible < target._blocked_from):
                 target._blocked_from = visible
+        parent.fork_children[dyn.index] = sec.sid
         if self.tracer is not None:
             self.tracer.emit(now, "section_fork", parent=parent.sid,
                              child=sec.sid, core=core_id,
@@ -309,17 +334,29 @@ class Processor:
 
     def _place(self, parent: SectionState) -> int:
         policy = self.cfg.placement
+        engine = self.fault_engine
         if policy == "same_core":
-            return parent.core_id
+            core_id = parent.core_id
+            if engine is not None and engine.any_dead:
+                # a replayed section's "same core" may be the dead one
+                core_id = engine.live_core_from(core_id)
+            return core_id
         if policy == "random":
-            return self._rng.randrange(self.cfg.n_cores)
+            core_id = self._rng.randrange(self.cfg.n_cores)
+            if engine is not None and engine.any_dead:
+                core_id = engine.live_core_from(core_id)
+            return core_id
         if policy == "least_loaded":
             # open_secs tracks exactly the incomplete hosted sections
+            if engine is not None and engine.any_dead:
+                return engine.pick_live_core().id
             loads = [len(core.open_secs) for core in self.cores]
             return loads.index(min(loads))
         # round robin
         core_id = self._rr_next
         self._rr_next = (self._rr_next + 1) % self.cfg.n_cores
+        if engine is not None and engine.any_dead:
+            core_id = engine.live_core_from(core_id)
         return core_id
 
     # ------------------------------------------------------------------
@@ -359,10 +396,16 @@ class Processor:
             self.tracer.emit(now, "request_issue", rid=req.rid, kind="mem",
                              sid=sec.sid, core=sec.core_id, what=addr)
 
-    def _hop(self, src_core: int, dst_core: int, now: int) -> int:
+    def _hop(self, src_core: int, dst_core: int, now: int,
+             req: Optional[RenameRequest] = None) -> int:
         if src_core == dst_core:
             return 0
         latency = self.noc.latency(src_core, dst_core)
+        if self.fault_engine is not None:
+            latency = self.fault_engine.perturb_hop(
+                src_core, dst_core, now, latency,
+                req.rid if req is not None else -1,
+                req.requester.sid if req is not None else 0)
         self.noc.record_transfer(latency)
         if self.tracer is not None:
             self.tracer.emit(now, "noc_send", src=src_core, dst=dst_core,
@@ -404,7 +447,7 @@ class Processor:
             if req.hit_cell.ready:
                 req.value = req.hit_cell.value
                 delay = self._hop(req.producer_core, req.requester.core_id,
-                                  now)
+                                  now, req)
                 if delay == 0:
                     req.dest_cell.fill(req.value, now)
                     req.done = True
@@ -432,7 +475,7 @@ class Processor:
             return
         if pred is not req.at_section:
             src_core = req.cur_core
-            hops = self._hop(src_core, pred.core_id, now)
+            hops = self._hop(src_core, pred.core_id, now, req)
             req.at_section = pred
             req.cur_core = pred.core_id
             req.hops += 1
@@ -478,7 +521,7 @@ class Processor:
                 return
             req.at_section = nxt
             src_core = req.cur_core
-            hop = self._hop(src_core, nxt.core_id, now)
+            hop = self._hop(src_core, nxt.core_id, now, req)
             req.cur_core = nxt.core_id
             req.hops += 1
             wait = max(hop, 1)
@@ -497,7 +540,7 @@ class Processor:
         else:
             req.value = entry
             req.producer_sid = pred.sid
-            delay = self._hop(pred.core_id, req.requester.core_id, now)
+            delay = self._hop(pred.core_id, req.requester.core_id, now, req)
             req.reply_cycle = now + max(delay, 1)
             if tracer is not None:
                 tracer.emit(now, "request_hit", rid=req.rid, sid=pred.sid,
@@ -555,7 +598,7 @@ class Processor:
             req.at_section = parent
             req.hops += 1
             src_core = req.cur_core
-            hops = self._hop(src_core, parent.core_id, now)
+            hops = self._hop(src_core, parent.core_id, now, req)
             req.cur_core = parent.core_id
             wait = max(hops, 1)
             req.wake_cycle = now + wait
@@ -613,6 +656,11 @@ class Processor:
                 req.line_values = [
                     (word, self.dmh.get(word, 0))
                     for word in range(base, base + self.cfg.line_bytes, WORD)]
+        if self.fault_engine is not None:
+            # the DMH port is link endpoint -1 for fault purposes
+            delay = self.fault_engine.perturb_hop(
+                -1, req.requester.core_id, now, delay, req.rid,
+                req.requester.sid)
         req.reply_cycle = now + max(delay, 1)
         if self.tracer is not None:
             self.tracer.emit(now, "request_dmh", rid=req.rid,
@@ -702,6 +750,8 @@ class Processor:
             trace=trace,
             events=events,
             stall_causes=stall_causes,
+            fault_stats=(self.fault_engine.stats.as_dict()
+                         if self.fault_engine is not None else None),
         )
 
     def _section_occupancy(self) -> Dict[int, Dict[str, int]]:

@@ -54,6 +54,17 @@ class SectionState:
 
         self.ip: Optional[int] = start_ip   #: None = fetch stalled/finished
         self.fregs: Dict[str, FetchValue] = dict(fregs)
+        #: the section-entry architectural snapshot (the fork-copied
+        #: registers, by value or pending cell) — re-dispatch after a
+        #: fail-stop restarts from exactly this state (repro.faults)
+        self.entry_fregs: Dict[str, FetchValue] = dict(fregs)
+        #: fork dedupe for replay: instruction index -> child sid already
+        #: created by a previous incarnation of this section
+        self.fork_children: Dict[int, int] = {}
+        #: unfilled destination cells of a dead incarnation, keyed by
+        #: ("r", index, reg) / ("m", index, addr); the replay re-uses them
+        #: so consumers holding references are eventually filled
+        self.replay_cells: Optional[Dict[tuple, Cell]] = None
         self.imports: Dict[str, Cell] = {}
         self.maat: Dict[int, Cell] = {}
         self.rob: Deque[DynInstr] = deque()
@@ -104,6 +115,54 @@ class SectionState:
         """May this section answer "no store to that address"?  Only once
         every one of its stores has gone through address renaming."""
         return self.fetch_done and self.stores_pending == 0
+
+    # -- fail-stop recovery (repro.faults) ---------------------------------
+
+    def redispatch_reset(self, core_id: int, first_fetch_cycle: int) -> None:
+        """Restart this section from its entry snapshot on *core_id*.
+
+        Sound by single-assignment renaming: the section's execution is a
+        pure function of ``entry_fregs`` and its renaming-request answers,
+        so the replay reproduces the dead incarnation's values.  The dead
+        incarnation's *unfilled* destination cells are stashed so the
+        replay fills the very objects external consumers already
+        reference; its filled cells stay valid forever (single
+        assignment).  Identity (sid, order_index, parent links) and
+        ``fork_children`` survive — the replay re-uses already-created
+        children instead of forking duplicates.
+        """
+        # A second death mid-replay must keep the first stash's unconsumed
+        # cells alive (consumed ones were popped at re-creation, so the
+        # key sets are disjoint).
+        replay: Dict[tuple, Cell] = (dict(self.replay_cells)
+                                     if self.replay_cells is not None else {})
+        for dyn in self.instructions:
+            for reg, cell in dyn.dest_cells.items():
+                if not cell.ready:
+                    replay[("r", dyn.index, reg)] = cell
+            mem = dyn.mem_dest_cell
+            if mem is not None and not mem.ready:
+                replay[("m", dyn.index, dyn.addr_value)] = mem
+        self.replay_cells = replay
+        self.core_id = core_id
+        self.first_fetch_cycle = first_fetch_cycle
+        self.ip = self.start_ip
+        self.fregs = dict(self.entry_fregs)
+        self.imports = {}
+        self.maat = {}
+        self.rob.clear()
+        self.instructions = []
+        self.renamed_count = 0
+        self.arq.clear()
+        self.fetch_started = False
+        self.fetch_done = False
+        self.fetch_cycles = 0
+        self._last_fetch_cycle = -1
+        self.fetch_depth = self.depth
+        self.waiting_control = None
+        self.stores_pending = 0
+        self.outs = []
+        self.ends_program = False
 
     def describe(self) -> str:
         return ("section %d (core %d, start=%d, depth=%d, %d instrs%s)"

@@ -111,6 +111,11 @@ class SimResult:
     #: stall-cause attribution (:func:`repro.obs.stalls.attribute_stalls`):
     #: {"causes", "totals", "per_core", "per_section"}; None without events
     stall_causes: Optional[dict] = field(default=None, repr=False)
+    #: fault-injection / recovery counters
+    #: (:class:`repro.faults.recovery.FaultStats`); None unless the run
+    #: carried a :attr:`repro.sim.SimConfig.faults` plan — keeping
+    #: fault-free JSON exports byte-identical to pre-faults goldens
+    fault_stats: Optional[Dict[str, int]] = field(default=None, repr=False)
 
     def request_latency_stats(self) -> Dict[str, float]:
         """min/mean/p50/p90/max of renaming-request latencies."""
@@ -191,6 +196,8 @@ class SimResult:
                 "per_section": {str(sid): entry for sid, entry
                                 in self.stall_causes["per_section"].items()},
             }
+        if self.fault_stats is not None:
+            payload["fault_stats"] = self.fault_stats
         if include_memory:
             payload["final_memory"] = {str(addr): value for addr, value
                                        in sorted(self.final_memory.items())}

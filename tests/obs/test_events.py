@@ -1,7 +1,8 @@
 """Unit tests for repro.obs.events: the trace container, the park/wake
 synthesizer and the section/request timeline reconstructions."""
 
-from repro.obs.events import (EVENT_KINDS, EventTrace, collect_requests,
+from repro.obs.events import (EVENT_KINDS, EventTrace,
+                              collect_fault_windows, collect_requests,
                               collect_sections, events_to_json,
                               request_what_str, synthesize_core_events)
 from repro.sim.stats import BLOCKED, COMPUTING, CORE_STATES, FETCHING, PARKED
@@ -124,3 +125,39 @@ class TestReconstruction:
 
     def test_fixture_kinds_are_declared(self):
         assert {kind for _, kind, _ in self.EVENTS} <= set(EVENT_KINDS)
+
+    def test_truncated_stream_skips_unknown_sids(self):
+        # a stream cut after the fork events were dropped must not KeyError
+        truncated = [e for e in self.EVENTS if e[1] != "section_fork"]
+        sections = collect_sections(truncated)
+        assert 2 not in sections            # silently skipped, root remains
+        assert 1 in sections
+
+    def test_truncated_stream_skips_unknown_rids(self):
+        truncated = [e for e in self.EVENTS if e[1] != "request_issue"]
+        assert collect_requests(truncated) == {}
+
+    def test_empty_stream(self):
+        assert collect_requests([]) == {}
+        assert collect_fault_windows([]) == {}
+
+
+class TestCollectFaultWindows:
+    def test_redispatch_window(self):
+        events = [(50, "section_redispatch",
+                   {"sid": 3, "src": 1, "dst": 0, "first_fetch": 59})]
+        assert collect_fault_windows(events) == {3: [(50, 59)]}
+
+    def test_retry_window_ends_at_resend(self):
+        events = [(30, "msg_retry", {"rid": 7, "sid": 2, "src": 0,
+                                     "dst": 1, "attempt": 1, "wait": 4})]
+        assert collect_fault_windows(events) == {2: [(26, 30)]}
+
+    def test_windows_accumulate_per_sid(self):
+        events = [
+            (30, "msg_retry", {"rid": 7, "sid": 2, "src": 0, "dst": 1,
+                               "attempt": 1, "wait": 4}),
+            (50, "section_redispatch", {"sid": 2, "src": 1, "dst": 0,
+                                        "first_fetch": 59}),
+        ]
+        assert collect_fault_windows(events) == {2: [(26, 30), (50, 59)]}

@@ -75,6 +75,42 @@ class TestChromeTrace:
                 assert 0 <= entry["ts"] <= result.cycles
 
 
+class _Truncated:
+    """A SimResult stand-in carrying a sliced event stream, as a consumer
+    that cut the stream mid-run (or a crashed run) would hand over."""
+
+    def __init__(self, result, keep):
+        self.events = result.events[:keep]
+        self.cycles = result.cycles
+        self.sections = result.sections
+        self.instructions = result.instructions
+        self.scheduler = result.scheduler
+        self.per_core_instructions = result.per_core_instructions
+        self.section_occupancy = result.section_occupancy
+
+
+class TestTruncatedStreams:
+    """Exporters must degrade gracefully on empty / cut-short streams
+    instead of raising KeyError on half-recorded requests or sections."""
+
+    def test_chrome_trace_every_prefix(self, result):
+        for keep in (0, 1, len(result.events) // 3,
+                     len(result.events) // 2):
+            doc = to_chrome_trace(_Truncated(result, keep))
+            json.dumps(doc)
+            assert doc["otherData"]["cycles"] == result.cycles
+
+    def test_critical_path_every_prefix(self, result):
+        for keep in (0, 1, len(result.events) // 3,
+                     len(result.events) // 2):
+            steps = critical_path(_Truncated(result, keep))
+            text = render_critical_path(steps, result.cycles)
+            assert text.startswith("critical path")
+
+    def test_empty_stream_yields_empty_walk(self, result):
+        assert critical_path(_Truncated(result, 0)) == []
+
+
 class TestCriticalPath:
     def test_requires_events(self):
         prog = compile_source(PROGRAM, fork_mode=True)

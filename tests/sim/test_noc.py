@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ReproError, SimulationError
 from repro.machine import run_forked
 from repro.paper import paper_array, sum_forked_program
 from repro.sim import MeshNoc, SimConfig, UniformNoc, make_noc, simulate
@@ -50,8 +51,42 @@ class TestMesh:
     def test_factory(self):
         assert isinstance(make_noc("uniform", 4, 1), UniformNoc)
         assert isinstance(make_noc("mesh", 4, 1), MeshNoc)
-        with pytest.raises(ValueError):
+
+    def test_factory_rejects_unknown_topology(self):
+        with pytest.raises(SimulationError, match="torus"):
             make_noc("torus", 4, 1)
+        # catchable at the CLI's friendly-error boundary
+        with pytest.raises(ReproError, match="uniform"):
+            make_noc("torus", 4, 1)
+
+
+class TestEdgeCases:
+    def test_single_core_uniform(self):
+        noc = UniformNoc(1, 3)
+        assert noc.latency(0, 0) == 0
+        assert noc.dmh_latency_from(0) == 3
+
+    def test_single_core_mesh(self):
+        noc = MeshNoc(1, 3)
+        assert noc.width == 1
+        assert noc.coords(0) == (0, 0)
+        assert noc.latency(0, 0) == 0
+        assert noc.dmh_latency_from(0) == 3     # at least one port hop
+
+    def test_zero_hop_latency(self):
+        assert UniformNoc(8, 0).latency(0, 7) == 0
+        assert MeshNoc(16, 0).latency(0, 15) == 0
+        assert MeshNoc(16, 0).dmh_latency_from(15) == 0
+
+    def test_simulation_with_free_noc(self):
+        # noc_latency=0 must still complete and agree with the oracle
+        prog = sum_forked_program(paper_array(12))
+        oracle, _ = run_forked(prog)
+        for topology in ("uniform", "mesh"):
+            result, _ = simulate(prog, SimConfig(
+                n_cores=4, noc_latency=0, topology=topology,
+                stack_shortcut=True))
+            assert result.outputs == oracle.output
 
 
 class TestMeshSimulation:

@@ -181,6 +181,38 @@ class TestCLI:
         assert out.count("\n") == 10
         assert "minSpanningTree/parallelKruskal" in out
 
+    def test_faults_flag(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--shortcut",
+                     "--faults", "seed=7,drop=0.2,die=1@50", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault_stats"]["deaths"] == 1
+        assert payload["fault_stats"]["retries"] > 0
+
+    def test_faults_flag_text_line(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4",
+                     "--faults", "seed=7,drop=0.2"]) == 0
+        assert "faults: " in capsys.readouterr().out
+
+    def test_faults_identical_architectural_results(self, minic_file,
+                                                    capsys):
+        outputs = {}
+        for spec in (None, "seed=3,drop=0.15,die=2@40"):
+            argv = ["simulate", minic_file, "--cores", "4", "--shortcut"]
+            if spec:
+                argv += ["--faults", spec]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            outputs[spec] = [line for line in out.splitlines()
+                             if not line.startswith("#")]
+        assert outputs[None] == outputs["seed=3,drop=0.15,die=2@40"]
+
+    def test_bad_faults_spec(self, minic_file, capsys):
+        assert main(["simulate", minic_file, "--faults", "warp=9"]) == 1
+        assert "unknown --faults key" in capsys.readouterr().err
+        assert main(["simulate", minic_file, "--faults", "die=9@10",
+                     "--cores", "4"]) == 1
+        assert "outside" in capsys.readouterr().err
+
     def test_missing_file(self, capsys):
         assert main(["run", "/nonexistent/prog.c"]) == 1
         assert "error" in capsys.readouterr().err
@@ -242,3 +274,41 @@ class TestLintCLI:
     def test_runfork_sanitize(self, minic_file, capsys):
         assert main(["runfork", minic_file, "--sanitize"]) == 0
         assert capsys.readouterr().out.splitlines()[0] == "36"
+
+
+class TestChaosCLI:
+    def test_chaos_default_subset(self, capsys):
+        assert main(["chaos", "--cores", "8", "--drops", "0.1",
+                     "--deaths", "1", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("benchmark")
+        assert len(lines) == 4                  # header + 3 default shorts
+        assert all(line.endswith("yes") for line in lines[1:])
+
+    def test_chaos_json(self, capsys):
+        assert main(["chaos", "--cores", "8", "--drops", "0.0",
+                     "--deaths", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cores"] == 8
+        assert all(rec["identical"] for rec in payload["records"])
+        assert all(rec["slowdown"] == 1.0 for rec in payload["records"])
+
+
+class TestEntryPoint:
+    def test_pyproject_script_resolves(self, capsys):
+        # the installed `repro` script must point at a real callable
+        import importlib
+        import re
+        from pathlib import Path
+
+        text = (Path(__file__).resolve().parents[1]
+                / "pyproject.toml").read_text()
+        match = re.search(
+            r'^repro\s*=\s*"([\w.]+):(\w+)"$', text, re.MULTILINE)
+        assert match, "[project.scripts] repro entry missing"
+        module = importlib.import_module(match.group(1))
+        entry = getattr(module, match.group(2))
+        assert entry is main
+        assert entry(["workloads"]) == 0
+        assert capsys.readouterr().out.count("\n") == 10
