@@ -22,6 +22,39 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: 0 = quick (CI), larger = closer to the paper's dataset sizes.
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "0"))
 
+#: worker processes for engine-backed benchmarks (None = serial).
+BENCH_JOBS = (int(os.environ["REPRO_BENCH_JOBS"])
+              if os.environ.get("REPRO_BENCH_JOBS") else None)
+
+#: result-cache directory for engine-backed benchmarks (None = no cache).
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def bench_cache():
+    """The shared :class:`repro.runner.ResultCache`, or None.
+
+    Timing benchmarks must NOT use this (a cache hit measures nothing);
+    it exists for the deterministic sweeps whose payloads are
+    bit-identical however they were produced.
+    """
+    if BENCH_CACHE_DIR is None:
+        return None
+    from repro.runner import ResultCache
+    return ResultCache(BENCH_CACHE_DIR)
+
+
+def run_sim_batch(jobs):
+    """Fan simulation *jobs* through the batch engine with the env-tuned
+    pool/cache; returns (payloads, report) and raises on any job failure."""
+    from repro.runner import run_batch
+
+    report = run_batch(jobs, pool_size=BENCH_JOBS, cache=bench_cache())
+    if not report.ok:
+        worst = report.failures[0]
+        raise RuntimeError("benchmark job %s failed: %s"
+                           % (worst.job_id, worst.error))
+    return [outcome.payload for outcome in report.outcomes], report
+
 
 def emit(name: str, text: str) -> Path:
     """Print a result table and persist it under benchmarks/results/."""

@@ -7,37 +7,44 @@ stack shortcut of statement ii and the line-grained DMH replies of
 footnote 5), on the forked sum.
 """
 
-from _common import BENCH_SCALE, emit, table
+from _common import BENCH_SCALE, emit, run_sim_batch, table
 
 from repro.paper import paper_array, sum_forked_program
-from repro.sim import SimConfig, simulate
+from repro.runner import Job
+from repro.sim import SimConfig
 
 
 def _sweep():
     n = 80 << BENCH_SCALE
     prog = sum_forked_program(paper_array(n))
-    rows = []
-    results = {}
+    cases = []
 
-    def run(tag, **kwargs):
+    def case(tag, **kwargs):
         defaults = dict(n_cores=32, stack_shortcut=True)
         defaults.update(kwargs)
-        result, _ = simulate(prog, SimConfig(**defaults))
-        assert result.signed_outputs == [n * (n + 1) // 2]
-        rows.append([tag, result.fetch_end, "%.2f" % result.fetch_ipc,
-                     result.retire_end, "%.2f" % result.retire_ipc])
-        results[tag] = result
+        cases.append((tag, SimConfig(**defaults)))
 
     for noc in (1, 2, 4, 8):
-        run("noc=%d" % noc, noc_latency=noc)
+        case("noc=%d" % noc, noc_latency=noc)
     for create in (1, 2, 4, 8):
-        run("create=%d" % create, section_create_latency=create)
-    run("no-shortcut", stack_shortcut=False)
-    run("line=8B (word grain)", line_bytes=8)
-    run("line=128B", line_bytes=128)
+        case("create=%d" % create, section_create_latency=create)
+    case("no-shortcut", stack_shortcut=False)
+    case("line=8B (word grain)", line_bytes=8)
+    case("line=128B", line_bytes=128)
     for hop in (1, 2):
-        run("mesh hop=%d (6x6)" % hop, topology="mesh", n_cores=36,
-            noc_latency=hop)
+        case("mesh hop=%d (6x6)" % hop, topology="mesh", n_cores=36,
+             noc_latency=hop)
+
+    payloads, _ = run_sim_batch(
+        [Job.from_program(prog, config=config, job_id="a4:%s" % tag)
+         for tag, config in cases])
+    rows, results = [], {}
+    for (tag, _), payload in zip(cases, payloads):
+        assert payload["outputs"] == [n * (n + 1) // 2]
+        rows.append([tag, payload["fetch_end"],
+                     "%.2f" % payload["fetch_ipc"], payload["retire_end"],
+                     "%.2f" % payload["retire_ipc"]])
+        results[tag] = payload
     return rows, results
 
 
@@ -48,7 +55,9 @@ def bench_ablation_noc(benchmark):
         ["configuration", "fetch cy", "fetch IPC", "retire cy",
          "retire IPC"], rows)
     emit("ablation_noc", text)
-    assert results["noc=1"].retire_end <= results["noc=8"].retire_end
-    assert results["create=1"].fetch_end <= results["create=8"].fetch_end
+    assert results["noc=1"]["retire_end"] <= results["noc=8"]["retire_end"]
+    assert (results["create=1"]["fetch_end"]
+            <= results["create=8"]["fetch_end"])
     # the shortcut and line replies both pull retirement in
-    assert results["noc=1"].retire_end <= results["no-shortcut"].retire_end
+    assert (results["noc=1"]["retire_end"]
+            <= results["no-shortcut"]["retire_end"])

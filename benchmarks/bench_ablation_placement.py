@@ -5,11 +5,12 @@ The paper leaves the hosting-core choice "out of the scope of this paper"
 sum and a compiled divide-and-conquer program, at several core counts.
 """
 
-from _common import BENCH_SCALE, emit, table
+from _common import BENCH_SCALE, emit, run_sim_batch, table
 
 from repro.minic import compile_source
 from repro.paper import paper_array, sum_forked_program
-from repro.sim import SimConfig, simulate
+from repro.runner import Job
+from repro.sim import SimConfig
 
 POLICIES = ["round_robin", "least_loaded", "random", "same_core"]
 
@@ -34,21 +35,25 @@ def _programs():
 
 
 def _sweep():
-    rows = []
-    results = {}
+    cases, jobs = [], []
     for name, prog in _programs():
-        reference = None
         for cores in (4, 16):
             for policy in POLICIES:
                 config = SimConfig(n_cores=cores, placement=policy,
                                    stack_shortcut=True, placement_seed=7)
-                result, _ = simulate(prog, config)
-                if reference is None:
-                    reference = result.outputs
-                assert result.outputs == reference
-                rows.append([name, cores, policy, result.fetch_end,
-                             "%.2f" % result.fetch_ipc, result.retire_end])
-                results[(name, cores, policy)] = result
+                cases.append((name, cores, policy))
+                jobs.append(Job.from_program(
+                    prog, config=config,
+                    job_id="a3:%s:%d:%s" % (name, cores, policy)))
+    payloads, _ = run_sim_batch(jobs)
+
+    rows, results, reference = [], {}, {}
+    for (name, cores, policy), payload in zip(cases, payloads):
+        assert payload["outputs"] == reference.setdefault(
+            name, payload["outputs"])
+        rows.append([name, cores, policy, payload["fetch_end"],
+                     "%.2f" % payload["fetch_ipc"], payload["retire_end"]])
+        results[(name, cores, policy)] = payload
     return rows, results
 
 
@@ -63,4 +68,4 @@ def bench_ablation_placement(benchmark):
     for name, _prog in _programs():
         solo = results[(name, 16, "same_core")]
         spread = results[(name, 16, "round_robin")]
-        assert spread.fetch_end < solo.fetch_end
+        assert spread["fetch_end"] < solo["fetch_end"]

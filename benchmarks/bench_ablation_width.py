@@ -6,10 +6,11 @@ compensated by parallelism."  This ablation makes each stage N-wide and
 compares against adding more single-width cores, on the forked sum.
 """
 
-from _common import BENCH_SCALE, emit, table
+from _common import BENCH_SCALE, emit, run_sim_batch, table
 
 from repro.paper import paper_array, sum_forked_program
-from repro.sim import SimConfig, simulate
+from repro.runner import Job
+from repro.sim import SimConfig
 
 
 def _config(cores, width):
@@ -23,17 +24,20 @@ def _sweep():
     n = 80 << BENCH_SCALE
     prog = sum_forked_program(paper_array(n))
     expected = [n * (n + 1) // 2]
+    grid = [(8, 1), (8, 2), (8, 4), (16, 1), (32, 1), (32, 4)]
+    payloads, _ = run_sim_batch(
+        [Job.from_program(prog, config=_config(cores, width),
+                          job_id="a7:%dx%d" % (cores, width))
+         for cores, width in grid])
     rows = []
     results = {}
-    for cores, width in [(8, 1), (8, 2), (8, 4), (16, 1), (32, 1), (32, 4)]:
-        result, _ = simulate(prog, _config(cores, width))
-        assert result.signed_outputs == expected
-        tag = (cores, width)
-        results[tag] = result
+    for (cores, width), payload in zip(grid, payloads):
+        assert payload["outputs"] == expected
+        results[(cores, width)] = payload
         rows.append(["%d cores x width %d" % (cores, width),
-                     cores * width, result.fetch_end,
-                     "%.2f" % result.fetch_ipc, result.retire_end,
-                     "%.2f" % result.retire_ipc])
+                     cores * width, payload["fetch_end"],
+                     "%.2f" % payload["fetch_ipc"], payload["retire_end"],
+                     "%.2f" % payload["retire_ipc"]])
     return rows, results
 
 
@@ -55,7 +59,7 @@ def bench_ablation_width(benchmark):
     emit("ablation_width", text)
     # factual invariants: both extra cores and extra width help, and the
     # largest machine is the fastest
-    assert results[(8, 4)].fetch_end < results[(8, 1)].fetch_end
-    assert results[(32, 1)].fetch_end < results[(8, 1)].fetch_end
-    assert results[(32, 4)].fetch_end == min(
-        r.fetch_end for r in results.values())
+    assert results[(8, 4)]["fetch_end"] < results[(8, 1)]["fetch_end"]
+    assert results[(32, 1)]["fetch_end"] < results[(8, 1)]["fetch_end"]
+    assert results[(32, 4)]["fetch_end"] == min(
+        r["fetch_end"] for r in results.values())

@@ -16,7 +16,8 @@ scales with the lost work replayed; slowdowns stay modest because
 recovery is local — nothing global restarts.
 """
 
-from _common import BENCH_SCALE, emit, emit_json, table
+from _common import (BENCH_JOBS, BENCH_SCALE, bench_cache, emit, emit_json,
+                     table)
 
 from repro.faults import chaos_sweep
 from repro.workloads import WORKLOADS
@@ -27,7 +28,8 @@ DEATH_COUNTS = (0, 1, 2)
 
 def _sweep():
     return chaos_sweep([w.short for w in WORKLOADS], DROPS, DEATH_COUNTS,
-                       n_cores=16, seed=1234, scale=BENCH_SCALE)
+                       n_cores=16, seed=1234, scale=BENCH_SCALE,
+                       pool_size=BENCH_JOBS, cache=bench_cache())
 
 
 def bench_faults_sweep(benchmark):

@@ -14,42 +14,59 @@ split dynamically.
 
 import time
 
-from _common import BENCH_SCALE, emit, emit_json, table
+from _common import BENCH_SCALE, emit, emit_json, run_sim_batch, table
 
 from repro.fork import fork_transform
 from repro.machine import run_forked
+from repro.runner import Job
 from repro.sim import SimConfig, simulate
 from repro.workloads import WORKLOADS, get_workload
 
 
 def _sweep():
-    rows = []
-    speedups = {}
-    records = []
+    # oracle + job construction per workload; the 1-core/32-core pairs
+    # then fan through the batch engine (REPRO_BENCH_JOBS worker
+    # processes, REPRO_BENCH_CACHE result cache) in one batch.
+    jobs, insts, oracles = [], {}, {}
     for workload in WORKLOADS:
         inst = workload.instance(scale=BENCH_SCALE, seed=1)
         prog = fork_transform(inst.program)
         oracle, _ = run_forked(prog)
         assert oracle.signed_output == inst.expected_output
+        insts[workload.short], oracles[workload.short] = inst, oracle
+        for cores in (1, 32):
+            jobs.append(Job.from_program(
+                prog, config=SimConfig(n_cores=cores, stack_shortcut=True),
+                job_id="e8:%s:%d" % (workload.short, cores)))
+    payloads, _ = run_sim_batch(jobs)
+    by_id = {job.job_id: payload
+             for job, payload in zip(jobs, payloads)}
 
-        one, _ = simulate(prog, SimConfig(n_cores=1, stack_shortcut=True))
-        many, _ = simulate(prog, SimConfig(n_cores=32, stack_shortcut=True))
-        assert one.outputs == oracle.output == many.outputs
-        speedup = one.fetch_end / many.fetch_end
+    rows = []
+    speedups = {}
+    records = []
+    for workload in WORKLOADS:
+        inst, oracle = insts[workload.short], oracles[workload.short]
+        one = by_id["e8:%s:1" % workload.short]
+        many = by_id["e8:%s:32" % workload.short]
+        assert one["outputs"] == oracle.output == many["outputs"]
+        speedup = one["fetch_end"] / many["fetch_end"]
         speedups[workload.short] = speedup
         rows.append([
-            workload.key, workload.short, inst.n, many.instructions,
-            many.sections, one.fetch_end, many.fetch_end,
-            "%.2f" % many.fetch_ipc, "%.2fx" % speedup,
+            workload.key, workload.short, inst.n, many["instructions"],
+            many["sections"], one["fetch_end"], many["fetch_end"],
+            "%.2f" % many["fetch_ipc"], "%.2fx" % speedup,
             "yes" if workload.data_parallel else "no",
         ])
         records.append({
             "id": workload.key, "benchmark": workload.short, "n": inst.n,
-            "instructions": many.instructions, "sections": many.sections,
-            "fetch_end_1": one.fetch_end, "fetch_end_32": many.fetch_end,
-            "fetch_ipc_32": many.fetch_ipc, "speedup": speedup,
+            "instructions": many["instructions"],
+            "sections": many["sections"],
+            "fetch_end_1": one["fetch_end"],
+            "fetch_end_32": many["fetch_end"],
+            "fetch_ipc_32": many["fetch_ipc"], "speedup": speedup,
             "data_parallel": workload.data_parallel,
-            "occupancy_32": many.occupancy_summary(),
+            "occupancy_32": many["occupancy_summary"],
         })
     return rows, speedups, records
 

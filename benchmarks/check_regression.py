@@ -167,26 +167,55 @@ def check_fast_path(gate: Gate, tolerance: float, update: bool) -> None:
         % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
 
 
-def run_workload_sweep() -> dict:
-    records = []
+def run_workload_sweep(pool_size=None, cache_dir=None) -> dict:
+    """The deterministic Table 1 sweep, through the batch engine.
+
+    Unlike the fast-path check (which measures wall clock and must
+    execute every simulation), these fields are bit-identical however
+    they are produced, so a pool and a result cache are fair game."""
+    from repro.runner import Job, ResultCache, run_batch
+
+    jobs, sizes = [], {}
     for workload in WORKLOADS:
         inst = workload.instance(scale=0, seed=1)
         prog = fork_transform(inst.program)
-        one, _ = simulate(prog, SimConfig(n_cores=1, stack_shortcut=True))
-        many, _ = simulate(prog, SimConfig(n_cores=32, stack_shortcut=True))
+        sizes[workload.short] = inst.n
+        for cores in (1, 32):
+            jobs.append(Job.from_program(
+                prog, config=SimConfig(n_cores=cores, stack_shortcut=True),
+                job_id="gate:%s:%d" % (workload.short, cores)))
+    cache = ResultCache(cache_dir) if cache_dir else None
+    report = run_batch(jobs, pool_size=pool_size, cache=cache)
+    if not report.ok:
+        worst = report.failures[0]
+        print("error: sweep job %s failed: %s"
+              % (worst.job_id, worst.error), file=sys.stderr)
+        sys.exit(2)
+    print("  [engine: %s]" % report.summary())
+
+    by_id = {job.job_id: outcome.payload
+             for job, outcome in zip(jobs, report.outcomes)}
+    records = []
+    for workload in WORKLOADS:
+        one = by_id["gate:%s:1" % workload.short]
+        many = by_id["gate:%s:32" % workload.short]
         records.append({
-            "benchmark": workload.short, "n": inst.n,
-            "instructions": many.instructions, "sections": many.sections,
-            "fetch_end_1": one.fetch_end, "fetch_end_32": many.fetch_end,
+            "benchmark": workload.short, "n": sizes[workload.short],
+            "instructions": many["instructions"],
+            "sections": many["sections"],
+            "fetch_end_1": one["fetch_end"],
+            "fetch_end_32": many["fetch_end"],
         })
     return {"workloads": records}
 
 
-def check_workload_sweep(gate: Gate) -> None:
+def check_workload_sweep(gate: Gate, pool_size=None,
+                         cache_dir=None) -> None:
     print("workload sweep (BENCH_workloads_on_sim.json):")
     baseline = _load("workloads_on_sim")
     base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
-    for record in run_workload_sweep()["workloads"]:
+    sweep = run_workload_sweep(pool_size=pool_size, cache_dir=cache_dir)
+    for record in sweep["workloads"]:
         base = base_by_name.get(record["benchmark"])
         if base is None:
             gate.check(False, "%s: no baseline record"
@@ -228,13 +257,20 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the fast-path baseline instead of "
                              "checking (deliberate re-baseline)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the --full sweep "
+                             "(timing checks always run in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="result cache for the --full sweep (timing "
+                             "checks never use it)")
     args = parser.parse_args(argv)
 
     gate = Gate()
     check_artifact_census(gate)
     check_fast_path(gate, args.tolerance, args.update)
     if args.full and not args.update:
-        check_workload_sweep(gate)
+        check_workload_sweep(gate, pool_size=args.jobs,
+                             cache_dir=args.cache_dir)
     if gate.failures:
         print("\nregression gate FAILED (%d):" % len(gate.failures))
         for failure in gate.failures:

@@ -12,6 +12,9 @@ Subsystem map (see DESIGN.md for the full inventory):
 * :mod:`repro.workloads` — the ten Table 1 PBBS benchmarks in MiniC
 * :mod:`repro.analytic`  — Section 5 closed-form model of the sum reduction
 * :mod:`repro.paper`     — the paper's Figure 2 / Figure 5 listings, runnable
+* :mod:`repro.runner`    — parallel batch engine + content-addressed cache
+* :mod:`repro.api`       — the **stable facade**; subpackage internals are
+  not a stability contract, this module is
 
 Thirty-second tour::
 
@@ -54,16 +57,19 @@ from .machine import (
 from .minic import compile_source, compile_to_asm
 from .fork import fork_transform, render_section_trace, render_section_tree
 from .sim import Processor, SimConfig, SimResult, simulate
+from .runner import BatchReport, Job, ResultCache, run_batch
+from . import api
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "AssemblerError", "CompileError", "DependencyModel", "ExecutionError",
-    "ForkedMachine", "ILPResult", "Instruction", "PARALLEL_MODEL",
-    "Processor", "Program", "ReproError", "RunResult", "SEQUENTIAL_MODEL",
-    "SequentialMachine", "SimConfig", "SimResult", "SimulationError",
-    "Trace", "TraceEntry", "analyze", "assemble", "compile_source",
-    "compile_to_asm", "fork_transform", "render_section_trace",
-    "render_section_tree", "run_forked", "run_sequential", "simulate",
+    "AssemblerError", "BatchReport", "CompileError", "DependencyModel",
+    "ExecutionError", "ForkedMachine", "ILPResult", "Instruction", "Job",
+    "PARALLEL_MODEL", "Processor", "Program", "ReproError", "ResultCache",
+    "RunResult", "SEQUENTIAL_MODEL", "SequentialMachine", "SimConfig",
+    "SimResult", "SimulationError", "Trace", "TraceEntry", "analyze",
+    "api", "assemble", "compile_source", "compile_to_asm",
+    "fork_transform", "render_section_trace", "render_section_tree",
+    "run_batch", "run_forked", "run_sequential", "simulate",
     "wall_good_model", "wall_perfect_model",
 ]

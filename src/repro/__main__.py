@@ -27,11 +27,19 @@ Commands:
                         live-across-fork sets against both dynamic
                         oracles.  Exits 1 on error/warning findings.
 * ``workloads``       — list the Table 1 benchmark suite.
+* ``batch``           — run a JSON job spec through the parallel batch
+                        engine (``repro.runner``): ``--jobs N`` worker
+                        processes, ``--cache-dir`` content-addressed
+                        result cache, per-job failure isolation.  Exits
+                        1 if any job failed.
 * ``chaos``           — sweep a (drop-rate x core-deaths) fault grid over
                         the workload suite (``repro.faults``); verifies
                         every faulted run still produces bit-identical
                         architectural results and reports the slowdown.
-                        Exits 1 on any divergence.
+                        Runs on the batch engine (``--jobs``,
+                        ``--cache-dir``); ``--emit-jobs`` writes the grid
+                        as a ``repro batch`` spec instead.  Exits 1 on
+                        any divergence.
 
 The simulator commands accept ``--faults SPEC`` (e.g.
 ``--faults seed=7,drop=0.1,die=3@500``) to inject a deterministic fault
@@ -39,6 +47,10 @@ plan into a single run.
 
 File type is chosen by suffix: ``.c`` compiles as MiniC, anything else
 assembles as toy x86.
+
+Every subcommand goes through the stable facade (:mod:`repro.api`);
+the one place subpackages are reached directly is for specialist tooling
+(lint, ILP models) the facade does not cover.
 """
 
 from __future__ import annotations
@@ -47,27 +59,15 @@ import argparse
 import json
 import sys
 
-from . import __version__
+from . import __version__, api
 from .errors import ReproError
 from .faults import FaultPlan
-from .fork import fork_transform, render_section_tree
-from .ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL
-from .ilp.analyzer import analyze_stream_multi
-from .isa import assemble
-from .machine import SequentialMachine, run_forked, run_sequential
-from .minic import compile_source, compile_to_asm
-from .sim import SimConfig, simulate
 from .workloads import WORKLOADS
 
 
 def _load_program(path: str, fork: bool, fork_loops: bool):
-    with open(path) as handle:
-        source = handle.read()
     try:
-        if path.endswith(".c"):
-            return compile_source(source, fork_mode=fork,
-                                  fork_loops=fork_loops)
-        return assemble(source)
+        return api.load_program(path, fork=fork, fork_loops=fork_loops)
     except ReproError as exc:
         # compile/assembly diagnostics already carry line[:col]; prefix
         # the file so messages read file:line like any compiler's
@@ -83,29 +83,52 @@ def _print_result(result) -> None:
 
 
 def cmd_run(args) -> int:
-    result = run_sequential(_load_program(args.file, False, False))
+    result = api.run_sequential(_load_program(args.file, False, False))
     _print_result(result)
     return 0
 
 
 def cmd_runfork(args) -> int:
+    from .fork import render_section_tree
     prog = _load_program(args.file, args.file.endswith(".c"),
                          args.fork_loops)
-    result, machine = run_forked(prog, sanitize=args.sanitize)
-    _print_result(result)
-    print("# %d sections" % len(machine.section_table()))
+    run = api.run_forked(prog, sanitize=args.sanitize)
+    _print_result(run.result)
+    print("# %d sections" % run.sections)
     if args.tree:
-        print(render_section_tree(machine))
+        print(render_section_tree(run.machine))
     return 0
 
 
-def _sim_config(args, **extra) -> SimConfig:
+def _sim_config(args, **extra):
+    """The one config-builder every simulator subcommand routes through.
+
+    Reads the shared surface (--cores/--shortcut/--placement/--scheduler/
+    --faults) plus the observability flags that only some subcommands
+    define (--events/--trace/--chrome-trace; absent flags default off via
+    getattr), so no subcommand re-plumbs flags by hand.  ``extra``
+    force-overrides — e.g. ``trace``/``analyze`` force events on.
+    """
+    from .sim import SimConfig
     faults = (FaultPlan.from_spec(args.faults)
               if getattr(args, "faults", None) else None)
-    return SimConfig(n_cores=args.cores, stack_shortcut=args.shortcut,
-                     placement=args.placement,
-                     event_driven=args.scheduler == "event",
-                     faults=faults, **extra)
+    options = dict(
+        n_cores=args.cores, stack_shortcut=args.shortcut,
+        placement=args.placement,
+        event_driven=args.scheduler == "event",
+        trace=bool(getattr(args, "trace", False)),
+        events=(bool(getattr(args, "events", False))
+                or bool(getattr(args, "chrome_trace", None))),
+        faults=faults)
+    options.update(extra)
+    return SimConfig(**options)
+
+
+def _simulate_cmd(args, **extra):
+    """Shared load + configure + simulate path of every sim subcommand."""
+    prog = _load_program(args.file, args.file.endswith(".c"),
+                         args.fork_loops)
+    return api.simulate(prog, _sim_config(args, **extra))
 
 
 def _write_chrome_trace(result, path: str) -> None:
@@ -116,30 +139,28 @@ def _write_chrome_trace(result, path: str) -> None:
           % path)
 
 
+def _finish_sim(args, result) -> None:
+    """Shared post-run plumbing: the optional Chrome-trace export."""
+    if getattr(args, "chrome_trace", None):
+        _write_chrome_trace(result, args.chrome_trace)
+
+
 def cmd_simulate(args) -> int:
-    prog = _load_program(args.file, args.file.endswith(".c"),
-                         args.fork_loops)
-    config = _sim_config(args, events=bool(args.chrome_trace))
-    result, proc = simulate(prog, config)
+    run = _simulate_cmd(args)
+    result = run.result
     for value in result.signed_outputs:
         print(value)
     print("# " + result.describe())
     if args.timing:
-        print(proc.timing_table())
-    if args.chrome_trace:
-        _write_chrome_trace(result, args.chrome_trace)
+        print(run.processor.timing_table())
+    _finish_sim(args, result)
     return 0
 
 
 def cmd_stats(args) -> int:
     from .obs import summarize_causes
-    prog = _load_program(args.file, args.file.endswith(".c"),
-                         args.fork_loops)
-    config = _sim_config(args, trace=args.trace,
-                         events=args.events or bool(args.chrome_trace))
-    result, _ = simulate(prog, config)
-    if args.chrome_trace:
-        _write_chrome_trace(result, args.chrome_trace)
+    result = _simulate_cmd(args).result
+    _finish_sim(args, result)
     if args.json:
         payload = result.to_json_dict(include_memory=args.memory,
                                       include_trace=args.trace,
@@ -174,9 +195,7 @@ def cmd_stats(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    prog = _load_program(args.file, args.file.endswith(".c"),
-                         args.fork_loops)
-    result, _ = simulate(prog, _sim_config(args, events=True))
+    result = _simulate_cmd(args, events=True).result
     _write_chrome_trace(result, args.output)
     print("# " + result.describe())
     return 0
@@ -184,9 +203,7 @@ def cmd_trace(args) -> int:
 
 def cmd_analyze(args) -> int:
     from .obs import critical_path, render_critical_path, summarize_causes
-    prog = _load_program(args.file, args.file.endswith(".c"),
-                         args.fork_loops)
-    result, _ = simulate(prog, _sim_config(args, events=True))
+    result = _simulate_cmd(args, events=True).result
     print(result.describe())
     causes = result.stall_causes
     print("stall causes (blocked/parked core cycles): "
@@ -196,12 +213,12 @@ def cmd_analyze(args) -> int:
             if sum(counts.values()):
                 print("  core %2d: %s" % (core_id, summarize_causes(counts)))
     print(render_critical_path(critical_path(result), result.cycles))
-    if args.chrome_trace:
-        _write_chrome_trace(result, args.chrome_trace)
+    _finish_sim(args, result)
     return 0
 
 
 def cmd_compile(args) -> int:
+    from .minic import compile_to_asm
     with open(args.file) as handle:
         source = handle.read()
     sys.stdout.write(compile_to_asm(source, fork_mode=args.fork,
@@ -211,11 +228,14 @@ def cmd_compile(args) -> int:
 
 def cmd_transform(args) -> int:
     prog = _load_program(args.file, False, False)
-    sys.stdout.write(fork_transform(prog).listing())
+    sys.stdout.write(api.transform(prog).listing())
     return 0
 
 
 def cmd_ilp(args) -> int:
+    from .ilp import PARALLEL_MODEL, SEQUENTIAL_MODEL
+    from .ilp.analyzer import analyze_stream_multi
+    from .machine import SequentialMachine
     prog = _load_program(args.file, False, False)
     seq, par = analyze_stream_multi(
         SequentialMachine(prog).step_entries(),
@@ -231,8 +251,8 @@ def cmd_lint(args) -> int:
     if args.workloads:
         for workload in WORKLOADS:
             inst = workload.instance(scale=0)
-            prog = compile_source(inst.source, fork_mode=True,
-                                  fork_loops=args.fork_loops)
+            prog = api.compile_c(inst.source, fork=True,
+                                 fork_loops=args.fork_loops)
             targets.append(("workload:%s" % workload.short, prog))
     for path in args.files:
         targets.append((path, _load_program(path, True, args.fork_loops)))
@@ -260,17 +280,66 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def _batch_cache(args):
+    """``--cache-dir``/``--no-cache`` → a ResultCache or None."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir",
+                                                       None):
+        return None
+    from .runner import ResultCache
+    return ResultCache(args.cache_dir)
+
+
+def cmd_batch(args) -> int:
+    from .runner import jobs_from_spec, run_batch
+    import os
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    jobs = jobs_from_spec(spec, base_dir=os.path.dirname(
+        os.path.abspath(args.spec)))
+
+    def progress(outcome) -> None:
+        if not args.json and not args.quiet:
+            print("  [%s] %s  (%.3fs)"
+                  % (outcome.status, outcome.job_id, outcome.wall_s))
+
+    report = run_batch(jobs, pool_size=args.jobs,
+                       cache=_batch_cache(args), on_outcome=progress)
+    if args.json:
+        json.dump(report.to_json_dict(), sys.stdout, indent=2,
+                  sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print("# " + report.summary())
+        for outcome in report.failures:
+            print("error: job %s failed: %s"
+                  % (outcome.job_id, outcome.error), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 #: fast default subset for ``repro chaos`` without ``--workloads``
 _CHAOS_DEFAULT = ("quicksort", "dictionary", "bfs")
 
 
 def cmd_chaos(args) -> int:
-    from .faults import chaos_sweep
+    from .faults import chaos_spec, chaos_sweep
     shorts = ([w.short for w in WORKLOADS] if args.workloads
               else list(_CHAOS_DEFAULT))
+    cache = _batch_cache(args)
+    if args.emit_jobs:
+        spec = chaos_spec(shorts, args.drops, args.deaths,
+                          n_cores=args.cores, seed=args.seed,
+                          scheduler=args.scheduler,
+                          pool_size=args.jobs, cache=cache)
+        with open(args.emit_jobs, "w") as handle:
+            json.dump(spec, handle, indent=2, sort_keys=True)
+        print("# wrote %d-job chaos spec to %s (run with: "
+              "python -m repro batch %s)"
+              % (len(spec["jobs"]), args.emit_jobs, args.emit_jobs))
+        return 0
     payload = chaos_sweep(shorts, args.drops, args.deaths,
                           n_cores=args.cores, seed=args.seed,
-                          scheduler=args.scheduler)
+                          scheduler=args.scheduler,
+                          pool_size=args.jobs, cache=cache)
     records = payload["records"]
     if args.json:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
@@ -285,6 +354,10 @@ def cmd_chaos(args) -> int:
                      rec["cycles"], rec["base_cycles"], rec["slowdown"],
                      rec["retries"], rec["redispatches"],
                      "yes" if rec["identical"] else "NO"))
+        engine = payload["batch"]
+        print("# engine: executed=%d cache_hits=%d pool=%s wall=%.2fs"
+              % (engine["executed"], engine["cache_hits"],
+                 engine["pool_size"] or "serial", engine["wall_s"]))
     broken = [r for r in records if not r["identical"]]
     if broken:
         print("error: %d/%d faulted runs diverged from the fault-free "
@@ -335,13 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "spike_extra, jitter, ackloss, die=CORE@CYCLE "
                  "(repeatable), timeout, cap, resends, redispatch, "
                  "redispatch_latency)")
+        cmd.add_argument("--chrome-trace", metavar="OUT.json",
+                         help="also write a Chrome trace-event JSON")
 
     sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
     add_sim_options(sim)
     sim.add_argument("--timing", action="store_true",
                      help="print the Figure 10 stage table")
-    sim.add_argument("--chrome-trace", metavar="OUT.json",
-                     help="also write a Chrome trace-event JSON")
     sim.set_defaults(func=cmd_simulate)
 
     stats = sub.add_parser("stats",
@@ -357,8 +430,6 @@ def build_parser() -> argparse.ArgumentParser:
                             "the raw events too)")
     stats.add_argument("--memory", action="store_true",
                        help="include final memory contents in --json output")
-    stats.add_argument("--chrome-trace", metavar="OUT.json",
-                       help="also write a Chrome trace-event JSON")
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(
@@ -374,8 +445,6 @@ def build_parser() -> argparse.ArgumentParser:
     add_sim_options(analyze)
     analyze.add_argument("--per-core", action="store_true",
                          help="print the per-core stall-cause breakdown")
-    analyze.add_argument("--chrome-trace", metavar="OUT.json",
-                         help="also write a Chrome trace-event JSON")
     analyze.set_defaults(func=cmd_analyze)
 
     comp = sub.add_parser("compile", help="compile MiniC to assembly")
@@ -410,6 +479,26 @@ def build_parser() -> argparse.ArgumentParser:
     wl = sub.add_parser("workloads", help="list the Table 1 suite")
     wl.set_defaults(func=cmd_workloads)
 
+    def add_batch_options(cmd):
+        cmd.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: serial in-process)")
+        cmd.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed result cache directory")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="ignore --cache-dir (always execute)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON job spec through the parallel batch engine")
+    batch.add_argument("spec", help="job-spec JSON (a list of job entries "
+                                    "or {defaults, jobs})")
+    add_batch_options(batch)
+    batch.add_argument("--json", action="store_true",
+                       help="emit the full batch report as JSON")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+    batch.set_defaults(func=cmd_batch)
+
     chaos = sub.add_parser(
         "chaos",
         help="sweep a fault grid over the workload suite and check that "
@@ -426,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=1234)
     chaos.add_argument("--scheduler", default="event",
                        choices=["event", "naive"])
+    add_batch_options(chaos)
+    chaos.add_argument("--emit-jobs", metavar="SPEC.json",
+                       help="write the grid as a 'repro batch' job spec "
+                            "instead of sweeping it here")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full sweep payload as JSON")
     chaos.set_defaults(func=cmd_chaos)

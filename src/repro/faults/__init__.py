@@ -17,7 +17,8 @@ both schedulers — sequential consistency survives chaos.
 
 from .models import CoreDeath, FaultPlan, LinkSpike
 from .recovery import FaultEngine, FaultStats
-from .sweep import chaos_sweep, deaths_for, memory_digest
+from .sweep import chaos_spec, chaos_sweep, deaths_for, memory_digest
 
 __all__ = ["CoreDeath", "FaultPlan", "LinkSpike", "FaultEngine",
-           "FaultStats", "chaos_sweep", "deaths_for", "memory_digest"]
+           "FaultStats", "chaos_spec", "chaos_sweep", "deaths_for",
+           "memory_digest"]

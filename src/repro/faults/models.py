@@ -20,7 +20,7 @@ lives in :mod:`repro.faults.recovery`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
@@ -151,6 +151,65 @@ class FaultPlan:
                     raise ReproError("jitter_cores lists core %d outside "
                                      "the %d-core machine"
                                      % (core, n_cores))
+
+    # -- canonical serialization (cache keys + cross-process wire) -------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form; :meth:`from_dict` round-trips it.
+
+        Nested ``deaths``/``spikes`` become lists of plain dicts and
+        ``jitter_cores`` a list (or None), so the payload survives
+        ``json.dumps``/``loads`` unchanged — this is the representation
+        the batch runner digests for cache keys and ships to workers.
+        """
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "spike_rate": self.spike_rate,
+            "spike_extra": self.spike_extra,
+            "jitter_rate": self.jitter_rate,
+            "jitter_cores": (None if self.jitter_cores is None
+                             else list(self.jitter_cores)),
+            "ack_loss_rate": self.ack_loss_rate,
+            "deaths": [{"core": d.core, "cycle": d.cycle}
+                       for d in self.deaths],
+            "spikes": [{"src": s.src, "dst": s.dst, "start": s.start,
+                        "end": s.end, "extra": s.extra}
+                       for s in self.spikes],
+            "retry_timeout": self.retry_timeout,
+            "backoff_cap": self.backoff_cap,
+            "max_resends": self.max_resends,
+            "redispatch": self.redispatch,
+            "redispatch_latency": self.redispatch_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so a stale or
+        hand-edited payload fails loudly instead of silently dropping a
+        fault axis."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError("unknown FaultPlan keys: %s"
+                             % ", ".join(unknown))
+        kwargs: Dict[str, Any] = dict(data)
+        if kwargs.get("jitter_cores") is not None:
+            kwargs["jitter_cores"] = tuple(
+                int(c) for c in kwargs["jitter_cores"])
+        for name, build in (("deaths", CoreDeath), ("spikes", LinkSpike)):
+            if name in kwargs:
+                entries = []
+                for entry in kwargs[name]:
+                    field_names = {f.name for f in fields(build)}
+                    bad = sorted(set(entry) - field_names)
+                    if bad:
+                        raise ReproError("unknown %s keys: %s"
+                                         % (build.__name__,
+                                            ", ".join(bad)))
+                    entries.append(build(**entry))
+                kwargs[name] = tuple(entries)
+        return cls(**kwargs)
 
     # -- decision points (pure functions of the coordinates) -------------
 

@@ -23,6 +23,12 @@ Accepted source shape (a superset of the paper's Figures 2 and 5)::
 The ``q`` size suffix on mnemonics is optional (``mov`` == ``movq``); only
 64-bit operations exist.  Numbers may be decimal (optionally negative) or
 ``0x`` hexadecimal.
+
+An ``.entry LABEL`` directive names the entry point from within the
+source itself (``Program.listing()`` emits it, making listings
+entry-faithful round-trips); an explicit ``entry=`` argument to
+:func:`assemble` still wins, and without either the entry defaults to
+``main`` when that label exists.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ class _Assembler:
         self.data_symbols: Dict[str, int] = {}
         self._data_cursor = DATA_BASE
         self._pending_labels: List[str] = []
+        self._entry_label: Optional[str] = None
         self._section = "text"
         self._line_no = 0
         # (instr index, operand slot, label name, line) fixups for pass 2
@@ -82,6 +89,8 @@ class _Assembler:
             self._emit(Instruction("hlt", source_line=self._line_no))
         self._resolve()
         entry_addr = 0
+        if entry is None:
+            entry = self._entry_label
         if entry is not None:
             if entry not in self.code_symbols:
                 raise AssemblerError("entry label %r not defined" % entry)
@@ -160,6 +169,13 @@ class _Assembler:
             for _ in range(n // WORD):
                 self.data[self._data_cursor] = 0
                 self._data_cursor += WORD
+        elif head == ".entry":
+            name = rest.strip()
+            if not _IDENT_RE.match(name):
+                raise self._err("bad .entry label %r" % rest)
+            if self._entry_label is not None:
+                raise self._err("duplicate .entry directive")
+            self._entry_label = name
         elif head in (".global", ".globl", ".align"):
             pass  # accepted and ignored
 
@@ -367,8 +383,8 @@ def _parse_int(text: str) -> int:
 
 
 def _is_directive_known(head: str) -> bool:
-    return head in (".text", ".data", ".quad", ".zero", ".space", ".global",
-                    ".globl", ".align")
+    return head in (".text", ".data", ".quad", ".zero", ".space", ".entry",
+                    ".global", ".globl", ".align")
 
 
 def _replace(operands, predicate, replacement, transform=None):

@@ -72,8 +72,19 @@ class Program:
 
     def listing(self) -> str:
         """Disassembly listing with addresses and labels (round-trips
-        through the assembler)."""
+        through the assembler, entry point included).
+
+        An ``.entry`` directive is emitted whenever re-assembly's default
+        resolution (``main`` if defined, else instruction 0) would land
+        somewhere else — e.g. MiniC programs entering via ``_start`` —
+        so the listing is a faithful canonical serialization (the batch
+        runner digests it for cache keys).
+        """
         lines = []
+        entry_label = self.entry_symbol()
+        default_entry = self.code_symbols.get("main", 0)
+        if self.entry != default_entry and entry_label is not None:
+            lines.append(".entry %s" % entry_label)
         for instr in self.code:
             for lab in instr.labels:
                 lines.append("%s:" % lab)

@@ -1,0 +1,64 @@
+"""Content-addressed on-disk result cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+directories small on big sweeps) and wrap the payload in an envelope::
+
+    {"schema": SCHEMA_VERSION, "key": "<sha256>", "payload": {...}}
+
+Reads are **fail-open**: anything suspicious — unreadable file, invalid
+JSON, a non-dict envelope, a stale schema version, a stored key that does
+not match the requested one — is treated as a miss, so a poisoned entry
+is recomputed rather than served.  Writes are atomic (temp file +
+``os.replace`` in the same directory), so a crashed or concurrent writer
+can leave at worst a stale temp file, never a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .job import SCHEMA_VERSION
+
+
+class ResultCache:
+    """Directory-backed map from job content address to result payload."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for *key*, or None on miss/poison."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically store *payload* under *key*; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": SCHEMA_VERSION, "key": key,
+                    "payload": payload}
+        tmp = path.parent / (".%s.tmp.%d" % (key, os.getpid()))
+        tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

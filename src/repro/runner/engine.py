@@ -1,0 +1,215 @@
+"""The batch-execution engine: a worker pool over simulation jobs, with
+content-addressed memoization.
+
+Execution contract:
+
+* **determinism** — a job's payload is a pure function of its canonical
+  form.  Serial execution, a pool of any size, and a cache hit all
+  produce the same JSON-normalized payload (the pool only changes *who*
+  computes, never *what*); ``tests/runner/test_determinism.py`` holds
+  every Table 1 workload to this bit-for-bit.
+* **failure isolation** — one job raising (bad program, config rejected,
+  simulation error) marks that outcome ``failed`` with the error text
+  and leaves every other job untouched.  Worker crashes cannot poison
+  the cache: only successful payloads are stored.
+* **memoization** — with a :class:`~repro.runner.cache.ResultCache`
+  attached, jobs whose key has a valid entry are served without
+  executing anything; everything recomputed is written back.  A warm
+  second run of an unchanged sweep therefore executes zero simulations.
+
+The per-job result payload is ``SimResult.to_json_dict(...)`` (shaped by
+the job's include flags) plus ``memory_digest`` — enough for every sweep
+to verify architectural identity without shipping full memory images.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .cache import ResultCache
+from .job import Job
+
+#: outcome states
+OK, CACHED, FAILED = "ok", "cached", "failed"
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """Run one job to its result payload (no cache, no isolation).
+
+    The payload is normalized through a JSON round-trip so that fresh
+    and cache-served results are indistinguishable (tuples become lists,
+    int keys become strings) and comparisons are representation-free.
+    """
+    import json
+
+    from ..faults.sweep import memory_digest
+    from ..sim.processor import simulate
+
+    result, _ = simulate(job.program(), job.config)
+    payload = result.to_json_dict(include_memory=job.include_memory,
+                                  include_trace=job.include_trace,
+                                  include_events=job.include_events)
+    payload["memory_digest"] = memory_digest(result.final_memory)
+    normalized: Dict[str, Any] = json.loads(json.dumps(payload,
+                                                       sort_keys=True))
+    return normalized
+
+
+def _pool_worker(wire: Dict[str, Any]) -> Tuple[str, Any, float]:
+    """Top-level (picklable) worker: wire dict -> (status, value, wall)."""
+    start = time.perf_counter()
+    try:
+        payload = execute_job(Job.from_wire(wire))
+        return OK, payload, time.perf_counter() - start
+    except ReproError as exc:
+        return FAILED, str(exc), time.perf_counter() - start
+    except Exception:                                  # noqa: BLE001
+        return FAILED, traceback.format_exc(limit=8), \
+            time.perf_counter() - start
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch."""
+
+    job_id: str
+    key: str
+    status: str                        #: "ok" | "cached" | "failed"
+    wall_s: float                      #: execution wall (0 for cached)
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def to_json_dict(self, timing: bool = True) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"job_id": self.job_id, "key": self.key,
+                                 "status": self.status}
+        if timing:
+            entry["wall_s"] = self.wall_s
+        if self.error is not None:
+            entry["error"] = self.error
+        if self.payload is not None:
+            entry["payload"] = self.payload
+        return entry
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :func:`run_batch` call, in job order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    pool_size: int = 1
+    cache_dir: Optional[str] = None
+    wall_s: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == OK)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == CACHED)
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == FAILED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def payloads(self) -> List[Optional[Dict[str, Any]]]:
+        """Result payloads in job order (None where a job failed)."""
+        return [o.payload for o in self.outcomes]
+
+    def summary(self) -> str:
+        return ("%d jobs: %d executed, %d cached, %d failed "
+                "(pool=%d) in %.2fs"
+                % (len(self.outcomes), self.executed, self.cache_hits,
+                   len(self.failures), self.pool_size, self.wall_s))
+
+    def to_json_dict(self, timing: bool = True) -> Dict[str, Any]:
+        """Machine-readable report.  ``timing=False`` drops wall clocks,
+        leaving only deterministic fields — byte-identical across runs
+        and machines, which is what differential tests compare."""
+        payload: Dict[str, Any] = {
+            "jobs": len(self.outcomes),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failed": len(self.failures),
+            "pool_size": self.pool_size,
+            "cache_dir": self.cache_dir,
+            "outcomes": [o.to_json_dict(timing=timing)
+                         for o in self.outcomes],
+        }
+        if timing:
+            payload["wall_s"] = self.wall_s
+        if not timing:
+            payload.pop("pool_size")
+            payload.pop("cache_dir")
+        return payload
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_batch(jobs: Sequence[Job], pool_size: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+              ) -> BatchReport:
+    """Run *jobs*, fanning execution over *pool_size* worker processes.
+
+    ``pool_size`` of None/0/1 runs serially in-process (the reference
+    path the pool is tested against).  With a *cache*, valid entries are
+    served without execution and fresh results are written back.
+    *on_outcome* is called once per job, in job order, as outcomes
+    settle (cache hits first, then executions).
+    """
+    start = time.perf_counter()
+    report = BatchReport(pool_size=max(1, pool_size or 1),
+                         cache_dir=str(cache.root) if cache else None)
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+    def settle(index: int, outcome: JobOutcome) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    pending: List[Tuple[int, Job, str]] = []
+    for index, job in enumerate(jobs):
+        key = job.key()
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            settle(index, JobOutcome(job.job_id, key, CACHED, 0.0,
+                                     payload=hit))
+        else:
+            pending.append((index, job, key))
+
+    if pending:
+        wires = [job.to_wire() for _, job, _ in pending]
+        workers = min(report.pool_size, len(pending))
+        if workers > 1:
+            with _pool_context().Pool(workers) as pool:
+                raw = pool.map(_pool_worker, wires, chunksize=1)
+        else:
+            raw = [_pool_worker(wire) for wire in wires]
+        for (index, job, key), (status, value, wall) in zip(pending, raw):
+            if status == OK:
+                if cache is not None:
+                    cache.put(key, value)
+                settle(index, JobOutcome(job.job_id, key, OK, wall,
+                                         payload=value))
+            else:
+                settle(index, JobOutcome(job.job_id, key, FAILED, wall,
+                                         error=value))
+
+    report.outcomes = [o for o in outcomes if o is not None]
+    report.wall_s = time.perf_counter() - start
+    return report

@@ -1,0 +1,114 @@
+"""The batch engine's job model.
+
+A :class:`Job` is one simulation to run: a program, a
+:class:`~repro.sim.config.SimConfig`, and which outputs the caller wants
+back.  Two representations matter:
+
+* the **canonical form** (:meth:`Job.canonical_dict`) — the program as its
+  assembler listing (``Program.listing()`` round-trips through the
+  assembler, so it is a faithful, text-stable serialization of code *and*
+  the patched data image) plus the config's ``to_dict`` and the include
+  flags, under a schema version.  Its sha256 is the job's
+  **content-addressed cache key**: two jobs with byte-identical canonical
+  forms are the same computation and may share a cached result.
+* the **wire form** (:meth:`Job.to_wire`) — the same dict, shipped to
+  pool workers (plain strings/dicts pickle cheaply and rebuild on the
+  other side via ``assemble`` + ``SimConfig.from_dict``), so a worker
+  computes exactly what the key digests.
+
+The job id is a human label for reports; it is deliberately *not* part of
+the key — relabelling a sweep must not invalidate its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+from ..isa import assemble
+from ..isa.program import Program
+from ..sim.config import SimConfig
+
+#: Version of the canonical job / cached payload schema.  Bump whenever
+#: the canonical form or the result payload shape changes; old cache
+#: entries then stop matching (the digest covers the version) and any
+#: survivor with a stale stored version is rejected by the cache reader.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Job:
+    """One simulation job: canonical program text + config + outputs."""
+
+    asm: str                      #: canonical assembler listing
+    config: SimConfig
+    job_id: str = ""              #: report label (not part of the key)
+    include_memory: bool = False  #: ship the full final memory image
+    include_trace: bool = False   #: ship the per-cycle core-state trace
+    include_events: bool = False  #: ship the structured event stream
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            self.job_id = "job-" + self.key()[:12]
+
+    @classmethod
+    def from_program(cls, program: Program,
+                     config: Optional[SimConfig] = None, job_id: str = "",
+                     include_memory: bool = False,
+                     include_trace: bool = False,
+                     include_events: bool = False) -> "Job":
+        """Build a job from an assembled/compiled :class:`Program`."""
+        return cls(asm=program.listing(), config=config or SimConfig(),
+                   job_id=job_id, include_memory=include_memory,
+                   include_trace=include_trace,
+                   include_events=include_events)
+
+    def program(self) -> Program:
+        """Re-assemble the canonical listing (what a worker executes)."""
+        return assemble(self.asm)
+
+    # -- canonical form / content address --------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The canonical serialization the cache key digests."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "asm": self.asm,
+            "config": self.config.to_dict(),
+            "include": {
+                "memory": self.include_memory,
+                "trace": self.include_trace,
+                "events": self.include_events,
+            },
+        }
+
+    def key(self) -> str:
+        """Content address: sha256 of the canonical form, hex."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    # -- wire form (cross-process) ---------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Picklable dict a pool worker rebuilds the job from."""
+        wire = self.canonical_dict()
+        wire["job_id"] = self.job_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Job":
+        """Rebuild a worker-side job; rejects schema drift loudly."""
+        if wire.get("schema") != SCHEMA_VERSION:
+            raise ReproError("job wire schema %r != %d"
+                             % (wire.get("schema"), SCHEMA_VERSION))
+        include = wire.get("include", {})
+        return cls(asm=wire["asm"],
+                   config=SimConfig.from_dict(wire["config"]),
+                   job_id=wire.get("job_id", ""),
+                   include_memory=bool(include.get("memory", False)),
+                   include_trace=bool(include.get("trace", False)),
+                   include_events=bool(include.get("events", False)))

@@ -9,9 +9,10 @@ producer and return the t[0] value").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
 
+from ..errors import SimulationError
 from ..faults.models import FaultPlan
 
 
@@ -102,6 +103,44 @@ class SimConfig:
             raise ValueError("unknown topology %r" % (self.topology,))
         if self.faults is not None:
             self.faults.validate(self.n_cores)
+
+    # -- canonical serialization -----------------------------------------
+    #
+    # The dict form is the config's *wire format*: the batch runner
+    # (:mod:`repro.runner`) digests it for content-addressed cache keys
+    # and ships it to pool workers, and ``repro batch`` job specs embed
+    # it verbatim.  Round-tripping must therefore be exact and unknown
+    # keys must be rejected, not ignored — a key the receiver does not
+    # understand would otherwise silently change what a cache key means.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form; :meth:`from_dict` round-trips it.
+
+        Every field is emitted (no default elision) so the digest of the
+        serialized form changes whenever any knob changes, including a
+        knob newly added with a default.
+        """
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = (value.to_dict()
+                                  if isinstance(value, FaultPlan) else value)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimConfig":
+        """Inverse of :meth:`to_dict`: rejects unknown keys, rebuilds the
+        nested :class:`~repro.faults.models.FaultPlan`, and re-runs full
+        validation via ``__init__``."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SimulationError("unknown SimConfig keys: %s"
+                                  % ", ".join(unknown))
+        kwargs: Dict[str, Any] = dict(data)
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
+        return cls(**kwargs)
 
 
 #: Configuration of the paper's Figure 10 experiment: five cores, one

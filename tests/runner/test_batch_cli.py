@@ -1,0 +1,85 @@
+"""The ``repro batch`` subcommand, end to end through main()."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+_SPEC = {
+    "defaults": {"config": {"n_cores": 2}},
+    "jobs": [
+        {"id": "the-answer",
+         "c": "long main() { out(42); return 0; }"},
+        {"id": "raw",
+         "asm": "main:\n    movq $7, %rax\n    out %rax\n    hlt\n"},
+    ],
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_SPEC))
+    return str(path)
+
+
+class TestBatchCLI:
+    def test_runs_and_reports(self, spec_file, capsys):
+        assert main(["batch", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] the-answer" in out
+        assert "2 jobs: 2 executed, 0 cached, 0 failed" in out
+
+    def test_json_report(self, spec_file, capsys):
+        assert main(["batch", spec_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["executed"] == 2 and report["failed"] == 0
+        by_id = {o["job_id"]: o for o in report["outcomes"]}
+        assert by_id["the-answer"]["payload"]["outputs"] == [42]
+
+    def test_cache_warms(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", spec_file, "--cache-dir", cache_dir,
+                     "--quiet"]) == 0
+        assert main(["batch", spec_file, "--cache-dir", cache_dir,
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached, 0 failed" in out
+
+    def test_no_cache_overrides_cache_dir(self, spec_file, tmp_path,
+                                          capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["batch", spec_file, "--cache-dir", cache_dir, "--quiet"])
+        assert main(["batch", spec_file, "--cache-dir", cache_dir,
+                     "--no-cache", "--quiet"]) == 0
+        assert "2 executed, 0 cached" in capsys.readouterr().out
+
+    def test_jobs_flag_matches_serial(self, spec_file, capsys):
+        assert main(["batch", spec_file, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", spec_file, "--jobs", "2", "--json"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        drop_timing = lambda r: [  # noqa: E731
+            {k: v for k, v in o.items() if k != "wall_s"}
+            for o in r["outcomes"]]
+        assert drop_timing(serial) == drop_timing(pooled)
+
+    def test_failing_job_exits_nonzero(self, tmp_path, capsys):
+        spec = dict(_SPEC, jobs=_SPEC["jobs"] + [
+            {"id": "doomed",
+             "asm": "main:\n    jmp main\n",
+             "config": {"max_cycles": 100}}])
+        path = tmp_path / "doomed.json"
+        path.write_text(json.dumps(spec))
+        assert main(["batch", str(path), "--quiet"]) == 1
+        captured = capsys.readouterr()
+        assert "job doomed failed" in captured.err
+        # healthy jobs still completed
+        assert "2 executed" in captured.out
+
+    def test_bad_spec_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"mystery": 1}]))
+        assert main(["batch", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

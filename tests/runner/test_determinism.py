@@ -1,0 +1,59 @@
+"""The engine's core contract: scheduling never changes results.
+
+A ``--jobs 4`` pool, the serial in-process path, and a warm cache must
+produce bit-identical payloads for every Table 1 workload — the pool
+only changes *who* computes, never *what*.
+"""
+
+import json
+
+import pytest
+
+from repro.fork import fork_transform
+from repro.runner import Job, ResultCache, run_batch
+from repro.sim import SimConfig
+from repro.workloads import WORKLOADS
+
+
+def _suite_jobs():
+    jobs = []
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=0, seed=1)
+        jobs.append(Job.from_program(
+            fork_transform(inst.program),
+            config=SimConfig(n_cores=8, stack_shortcut=True),
+            job_id="det:%s" % workload.short, include_memory=True))
+    return jobs
+
+
+def _canon(report):
+    """The deterministic projection both runs are compared on."""
+    return json.dumps(report.to_json_dict(timing=False), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    report = run_batch(_suite_jobs())
+    assert report.ok and report.executed == len(WORKLOADS)
+    return report
+
+
+class TestPoolDeterminism:
+    def test_pool_of_4_bit_identical_to_serial(self, serial_report):
+        pooled = run_batch(_suite_jobs(), pool_size=4)
+        assert pooled.ok and pooled.executed == len(WORKLOADS)
+        assert _canon(pooled) == _canon(serial_report)
+
+    def test_outcomes_in_job_order(self, serial_report):
+        assert [o.job_id for o in serial_report.outcomes] == \
+            ["det:%s" % w.short for w in WORKLOADS]
+
+    def test_warm_cache_bit_identical(self, serial_report, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_batch(_suite_jobs(), pool_size=4, cache=cache)
+        assert cold.executed == len(WORKLOADS)
+        warm = run_batch(_suite_jobs(), cache=cache)
+        assert warm.executed == 0, "warm run must execute nothing"
+        assert warm.cache_hits == len(WORKLOADS)
+        assert warm.payloads() == cold.payloads() \
+            == serial_report.payloads()

@@ -1,0 +1,101 @@
+"""Engine behaviour: failure isolation, callbacks, report accounting."""
+
+import pytest
+
+from repro import assemble
+from repro.errors import ReproError
+from repro.runner import Job, ResultCache, execute_job, run_batch
+from repro.sim import SimConfig
+
+_GOOD = """
+main:
+    movq $41, %rax
+    incq %rax
+    out %rax
+    hlt
+"""
+
+
+def _good_job(**kwargs):
+    return Job.from_program(assemble(_GOOD), config=SimConfig(n_cores=2),
+                            **kwargs)
+
+
+def _bad_job():
+    # assembles fine at spec time but exceeds its cycle budget when run:
+    # failure surfaces inside the worker, where isolation must catch it
+    source = """
+    main:
+        jmp main
+    """
+    return Job.from_program(assemble(source),
+                            config=SimConfig(n_cores=1, max_cycles=200),
+                            job_id="bad")
+
+
+class TestExecuteJob:
+    def test_payload_shape(self):
+        payload = execute_job(_good_job())
+        assert payload["outputs"] == [42]
+        assert payload["cycles"] > 0
+        assert "memory_digest" in payload
+
+    def test_include_memory(self):
+        with_mem = execute_job(_good_job(include_memory=True))
+        without = execute_job(_good_job())
+        assert "final_memory" in with_mem
+        assert "final_memory" not in without
+
+    def test_raises_unisolated(self):
+        with pytest.raises(ReproError):
+            execute_job(_bad_job())
+
+
+class TestFailureIsolation:
+    def test_one_failure_leaves_others_untouched(self):
+        report = run_batch([_good_job(job_id="a"), _bad_job(),
+                            _good_job(job_id="b")])
+        assert not report.ok
+        assert report.executed == 2
+        assert [o.status for o in report.outcomes] == ["ok", "failed", "ok"]
+        failed = report.outcomes[1]
+        assert failed.payload is None
+        assert "cycle budget" in failed.error
+
+    def test_pool_isolates_too(self):
+        report = run_batch([_good_job(job_id="a"), _bad_job()],
+                           pool_size=2)
+        assert report.executed == 1 and len(report.failures) == 1
+
+    def test_failures_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_bad_job()], cache=cache)
+        assert len(cache) == 0
+        # and the retry actually re-executes
+        assert run_batch([_bad_job()], cache=cache).executed == 0
+
+
+class TestReport:
+    def test_on_outcome_called_per_job(self):
+        seen = []
+        run_batch([_good_job(job_id="a"), _good_job(job_id="b")],
+                  on_outcome=lambda o: seen.append(o.job_id))
+        assert sorted(seen) == ["a", "b"]
+
+    def test_summary_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_good_job()], cache=cache)
+        # include_memory changes the key, so this one is a fresh execute
+        fresh = _good_job(include_memory=True)
+        report = run_batch([_good_job(), fresh, _bad_job()], cache=cache)
+        assert report.cache_hits == 1
+        assert report.executed == 1
+        assert "1 executed, 1 cached, 1 failed" in report.summary()
+
+    def test_json_dict_timing_toggle(self):
+        report = run_batch([_good_job()])
+        timed = report.to_json_dict()
+        bare = report.to_json_dict(timing=False)
+        assert "wall_s" in timed and "wall_s" not in bare
+        assert "wall_s" in timed["outcomes"][0]
+        assert "wall_s" not in bare["outcomes"][0]

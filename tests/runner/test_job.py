@@ -1,0 +1,79 @@
+"""Job identity: content-addressed keys and the wire format."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fork import fork_transform
+from repro.runner import SCHEMA_VERSION, Job
+from repro.sim import SimConfig
+from repro.workloads import get_workload
+
+
+def _quicksort_job(**kwargs):
+    prog = fork_transform(get_workload("quicksort").instance(scale=0,
+                                                             seed=1).program)
+    return Job.from_program(prog, **kwargs)
+
+
+class TestJobKey:
+    def test_key_is_deterministic(self):
+        assert _quicksort_job().key() == _quicksort_job().key()
+
+    def test_key_ignores_job_id(self):
+        # the key addresses *content*; what the caller names the job is
+        # presentation, not identity — else renaming a job would defeat
+        # the cache
+        a = _quicksort_job(job_id="alpha")
+        b = _quicksort_job(job_id="beta")
+        assert a.key() == b.key()
+
+    def test_key_tracks_config(self):
+        a = _quicksort_job(config=SimConfig(n_cores=4))
+        b = _quicksort_job(config=SimConfig(n_cores=8))
+        assert a.key() != b.key()
+
+    def test_key_tracks_requested_outputs(self):
+        a = _quicksort_job(include_memory=False)
+        b = _quicksort_job(include_memory=True)
+        assert a.key() != b.key()
+
+    def test_key_tracks_program(self):
+        other = fork_transform(
+            get_workload("bfs").instance(scale=0, seed=1).program)
+        assert (_quicksort_job().key()
+                != Job.from_program(other).key())
+
+    def test_default_job_id_derived_from_key(self):
+        job = _quicksort_job()
+        assert job.job_id == "job-" + job.key()[:12]
+
+
+class TestJobProgram:
+    def test_program_roundtrips_listing(self):
+        # the listing is the canonical serialization: re-assembling it
+        # must yield the same listing (fixpoint), or workers would
+        # simulate a different program than the caller digested
+        job = _quicksort_job()
+        assert job.program().listing() == job.asm
+
+    def test_entry_point_survives(self):
+        # MiniC programs enter via _start, not the first instruction;
+        # the .entry directive carries that through the wire format
+        job = _quicksort_job()
+        original = fork_transform(
+            get_workload("quicksort").instance(scale=0, seed=1).program)
+        assert job.program().entry == original.entry
+
+
+class TestJobWire:
+    def test_wire_roundtrip(self):
+        job = _quicksort_job(job_id="w", include_memory=True)
+        clone = Job.from_wire(job.to_wire())
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_wire_schema_checked(self):
+        wire = _quicksort_job().to_wire()
+        wire["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ReproError):
+            Job.from_wire(wire)

@@ -1,0 +1,105 @@
+"""Job-spec parsing: program sources, defaults merging, rejection."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import job_from_entry, jobs_from_spec
+
+_ASM = "main:\n    movq $7, %rax\n    out %rax\n    hlt\n"
+_C = "long main() { out(42); return 0; }"
+
+
+class TestEntrySources:
+    def test_workload_entry(self):
+        job = job_from_entry({"workload": "quicksort", "scale": 0,
+                              "seed": 1})
+        assert job.asm  # compiled + fork-transformed listing
+
+    def test_workload_transform_opt_out(self):
+        forked = job_from_entry({"workload": "quicksort"})
+        plain = job_from_entry({"workload": "quicksort",
+                                "transform": False})
+        assert forked.key() != plain.key()
+        assert "fork" in forked.asm and "fork" not in plain.asm
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            job_from_entry({"workload": "astrology"})
+
+    def test_inline_asm(self):
+        job = job_from_entry({"asm": _ASM})
+        assert job.program().code
+
+    def test_inline_c_forks_by_default(self):
+        assert "fork" in job_from_entry({"c": _C}).asm
+        assert "fork" not in job_from_entry({"c": _C, "fork": False}).asm
+
+    def test_file_resolved_relative_to_spec(self, tmp_path):
+        (tmp_path / "prog.s").write_text(_ASM)
+        job = job_from_entry({"file": "prog.s"}, base_dir=tmp_path)
+        assert job.asm == job.program().listing()
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ReproError, match="exactly one"):
+            job_from_entry({"id": "nothing"})
+        with pytest.raises(ReproError, match="exactly one"):
+            job_from_entry({"asm": _ASM, "c": _C})
+
+    def test_unknown_entry_keys_rejected(self):
+        with pytest.raises(ReproError, match="pool_size"):
+            job_from_entry({"asm": _ASM, "pool_size": 4})
+
+
+class TestDefaultsMerging:
+    def test_config_merged_key_by_key(self):
+        job = job_from_entry(
+            {"asm": _ASM, "config": {"n_cores": 4}},
+            defaults={"config": {"n_cores": 16, "stack_shortcut": True}})
+        assert job.config.n_cores == 4          # entry wins
+        assert job.config.stack_shortcut is True  # default survives
+
+    def test_include_flags_from_defaults(self):
+        job = job_from_entry({"asm": _ASM},
+                             defaults={"include_memory": True})
+        assert job.include_memory
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ReproError, match="warp_drive"):
+            job_from_entry({"asm": _ASM, "config": {"warp_drive": 9}})
+
+
+class TestSpecParsing:
+    def test_bare_list(self):
+        jobs = jobs_from_spec([{"asm": _ASM}, {"c": _C}])
+        assert len(jobs) == 2
+
+    def test_defaults_object(self):
+        jobs = jobs_from_spec({"defaults": {"config": {"n_cores": 3}},
+                               "jobs": [{"asm": _ASM}]})
+        assert jobs[0].config.n_cores == 3
+
+    def test_auto_ids_are_positional_and_content_addressed(self):
+        jobs = jobs_from_spec([{"asm": _ASM}, {"c": _C}])
+        assert jobs[0].job_id == "job-0-" + jobs[0].key()[:8]
+        assert jobs[1].job_id.startswith("job-1-")
+
+    def test_explicit_id_kept(self):
+        jobs = jobs_from_spec([{"id": "mine", "asm": _ASM}])
+        assert jobs[0].job_id == "mine"
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ReproError, match="no jobs"):
+            jobs_from_spec([])
+        with pytest.raises(ReproError, match="no jobs"):
+            jobs_from_spec({"jobs": []})
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ReproError, match="unknown spec keys"):
+            jobs_from_spec({"jobs": [{"asm": _ASM}], "pool": 4})
+        with pytest.raises(ReproError, match="unknown defaults keys"):
+            jobs_from_spec({"defaults": {"id": "x"},
+                            "jobs": [{"asm": _ASM}]})
+
+    def test_errors_carry_job_index(self):
+        with pytest.raises(ReproError, match="job 1:"):
+            jobs_from_spec([{"asm": _ASM}, {"workload": "astrology"}])

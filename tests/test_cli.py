@@ -283,8 +283,10 @@ class TestChaosCLI:
         out = capsys.readouterr().out
         lines = out.splitlines()
         assert lines[0].startswith("benchmark")
-        assert len(lines) == 4                  # header + 3 default shorts
-        assert all(line.endswith("yes") for line in lines[1:])
+        # header + 3 default shorts + the batch-engine summary line
+        assert len(lines) == 5
+        assert all(line.endswith("yes") for line in lines[1:4])
+        assert lines[4].startswith("# engine: executed=6 cache_hits=0")
 
     def test_chaos_json(self, capsys):
         assert main(["chaos", "--cores", "8", "--drops", "0.0",
