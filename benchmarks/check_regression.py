@@ -15,7 +15,11 @@ Re-runs the workloads behind the committed ``BENCH_*.json`` baselines
   times the naive and event schedulers back-to-back (so transient load
   hits both alike), and the best round's speedup must stay within
   tolerance of the baseline speedup.  A slower event path shows up
-  directly as a lower speedup, while a slower *machine* cancels out.
+  directly as a lower speedup, while a slower *machine* cancels out;
+* **the vector kernel** (``BENCH_vector_kernel.json``) is held to the
+  same ratio discipline on a three-workload subset at 256 cores, plus an
+  absolute requirement that the committed full-suite aggregate stays at
+  >= 10x over the naive loop.
 
 Usage::
 
@@ -30,6 +34,7 @@ place instead of failing (the deliberate re-baseline path).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -46,8 +51,17 @@ from repro.workloads import WORKLOADS, get_workload        # noqa: E402
 #: REPRO_BENCH_SCALE=0)
 FAST_PATH_CASES = [("quicksort", 12), ("dictionary", 12), ("bfs", 8)]
 
+#: subset of the Table 1 suite the vector-kernel gate re-times (the full
+#: suite behind BENCH_vector_kernel.json takes minutes; these three keep
+#: the gate fast while still catching a vector-kernel slowdown).  Must
+#: mirror bench_vector_kernel.py workload naming at REPRO_BENCH_SCALE=0.
+VECTOR_KERNEL_CASES = ("dictionary", "mis", "dedup")
+#: chip size of the vector-kernel benchmark (mirror bench_vector_kernel)
+VECTOR_KERNEL_CORES = 256
+
 #: BENCH_*.json artifacts the gate checks (deterministic baselines)
-GATED_BASELINES = ("scheduler_fast_path", "workloads_on_sim")
+GATED_BASELINES = ("scheduler_fast_path", "workloads_on_sim",
+                   "vector_kernel")
 #: BENCH_*.json artifacts the gate deliberately ignores: these record
 #: *degradation* measurements (fault-injection sweeps, lint censuses)
 #: whose drift is an observation, not a regression — the invariants they
@@ -167,6 +181,100 @@ def check_fast_path(gate: Gate, tolerance: float, update: bool) -> None:
         % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
 
 
+def run_vector_kernel(rounds: int = 2) -> dict:
+    """Fresh naive-vs-vector timings of the gate subset at 256 cores.
+
+    Same statistics discipline as :func:`run_fast_path`: each round
+    times both kernels back-to-back per workload so load spikes cancel
+    out of the ratio, and the gate compares the best round's aggregate
+    against the baseline floor."""
+    cases = []
+    for short in VECTOR_KERNEL_CASES:
+        inst = get_workload(short).instance(scale=0, seed=1)
+        cases.append((short, inst.n, fork_transform(inst.program)))
+
+    round_walls = []                    # [{kernel: {short: wall}}, ...]
+    cycles = {}
+    for _ in range(rounds):
+        walls = {"naive": {}, "vector": {}}
+        for short, n, prog in cases:
+            results = {}
+            for kernel in ("naive", "vector"):
+                config = SimConfig(n_cores=VECTOR_KERNEL_CORES,
+                                   kernel=kernel)
+                # keep the previous run's cyclic garbage out of the
+                # timed region (same discipline as bench_vector_kernel)
+                gc.collect()
+                start = time.perf_counter()
+                result, _ = simulate(prog, config)
+                walls[kernel][short] = time.perf_counter() - start
+                results[kernel] = result
+                cycles[short] = result.cycles
+            # timing is only meaningful if behaviour stayed identical
+            assert (results["naive"].cycles, results["naive"].outputs) \
+                == (results["vector"].cycles, results["vector"].outputs), \
+                "vector kernel diverged on %s" % short
+        round_walls.append(walls)
+
+    round_speedups = [sum(w["naive"].values()) / sum(w["vector"].values())
+                      for w in round_walls]
+    return {"n_cores": VECTOR_KERNEL_CORES,
+            "workloads": [{"benchmark": short, "n": n,
+                           "cycles": cycles[short]}
+                          for short, n, _ in cases],
+            "aggregate_speedup": max(round_speedups),
+            "floor_speedup": min(round_speedups)}
+
+
+def check_vector_kernel(gate: Gate, tolerance: float, update: bool) -> None:
+    print("vector kernel (BENCH_vector_kernel.json):")
+    baseline = _load("vector_kernel")
+    # the ISSUE-level contract on the committed artifact: the full
+    # Table 1 suite must show >= 10x over the naive loop at 256 cores
+    gate.check(baseline["aggregate_speedup"] >= 10.0,
+               "committed vector-kernel aggregate %.2fx >= 10.00x "
+               "(full Table 1 suite at %d cores)"
+               % (baseline["aggregate_speedup"], baseline["n_cores"]))
+    fresh = run_vector_kernel()
+    if update:
+        # the full-suite records come from bench_vector_kernel.py; the
+        # gate only maintains its own subset timing floor alongside them
+        baseline["gate"] = {
+            "cases": list(VECTOR_KERNEL_CASES),
+            "aggregate_speedup": fresh["aggregate_speedup"],
+            "floor_speedup": fresh["floor_speedup"],
+        }
+        _save("vector_kernel", baseline)
+        return
+    base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
+    for record in fresh["workloads"]:
+        base = base_by_name.get(record["benchmark"])
+        if base is None:
+            gate.check(False, "%s: no baseline record"
+                       % record["benchmark"])
+            continue
+        gate.exact("%s cycles" % record["benchmark"],
+                   record["cycles"], base["cycles"])
+        gate.exact("%s n" % record["benchmark"], record["n"], base["n"])
+    # subset floor: prefer the gate's own multi-round floor; fall back to
+    # the bench's single-round subset ratio for a freshly regenerated
+    # baseline that hasn't been through --update yet
+    gate_base = baseline.get("gate") or {}
+    floor = gate_base.get("floor_speedup")
+    if floor is None:
+        naive = sum(base_by_name[s]["wall_naive_s"]
+                    for s in VECTOR_KERNEL_CASES)
+        vector = sum(base_by_name[s]["wall_vector_s"]
+                     for s in VECTOR_KERNEL_CASES)
+        floor = naive / vector
+    required = floor / (1.0 + tolerance)
+    gate.check(
+        fresh["aggregate_speedup"] >= required,
+        "vector/naive subset speedup %.2fx >= %.2fx "
+        "(baseline floor %.2fx within %.0f%% tolerance)"
+        % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
+
+
 def run_workload_sweep(pool_size=None, cache_dir=None) -> dict:
     """The deterministic Table 1 sweep, through the batch engine.
 
@@ -268,6 +376,7 @@ def main(argv=None) -> int:
     gate = Gate()
     check_artifact_census(gate)
     check_fast_path(gate, args.tolerance, args.update)
+    check_vector_kernel(gate, args.tolerance, args.update)
     if args.full and not args.update:
         check_workload_sweep(gate, pool_size=args.jobs,
                              cache_dir=args.cache_dir)

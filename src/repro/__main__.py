@@ -103,11 +103,12 @@ def cmd_runfork(args) -> int:
 def _sim_config(args, **extra):
     """The one config-builder every simulator subcommand routes through.
 
-    Reads the shared surface (--cores/--shortcut/--placement/--scheduler/
-    --faults) plus the observability flags that only some subcommands
-    define (--events/--trace/--chrome-trace; absent flags default off via
-    getattr), so no subcommand re-plumbs flags by hand.  ``extra``
-    force-overrides — e.g. ``trace``/``analyze`` force events on.
+    Reads the shared surface (--cores/--shortcut/--placement/--topology/
+    --kernel/--scheduler/--faults) plus the observability flags that only some
+    subcommands define (--events/--trace/--chrome-trace; absent flags
+    default off via getattr), so no subcommand re-plumbs flags by hand.
+    ``extra`` force-overrides — e.g. ``trace``/``analyze`` force events
+    on.  ``--kernel`` wins over the legacy ``--scheduler`` spelling.
     """
     from .sim import SimConfig
     faults = (FaultPlan.from_spec(args.faults)
@@ -115,7 +116,8 @@ def _sim_config(args, **extra):
     options = dict(
         n_cores=args.cores, stack_shortcut=args.shortcut,
         placement=args.placement,
-        event_driven=args.scheduler == "event",
+        topology=getattr(args, "topology", "uniform"),
+        kernel=getattr(args, "kernel", None) or args.scheduler,
         trace=bool(getattr(args, "trace", False)),
         events=(bool(getattr(args, "events", False))
                 or bool(getattr(args, "chrome_trace", None))),
@@ -397,9 +399,18 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--placement", default="round_robin",
                          choices=["round_robin", "least_loaded", "same_core",
                                   "random"])
+        cmd.add_argument("--topology", default="uniform",
+                         choices=["uniform", "mesh"],
+                         help="NoC topology: flat latency or 2D mesh")
         cmd.add_argument("--scheduler", default="event",
-                         choices=["event", "naive"],
+                         choices=["event", "naive", "vector"],
                          help="main-loop scheduler (bit-identical results)")
+        cmd.add_argument("--kernel", default=None,
+                         choices=["naive", "event", "vector"],
+                         help="simulation kernel: naive reference loop, "
+                              "event park/wake fast path, or vector "
+                              "struct-of-arrays sweeps (all bit-identical; "
+                              "overrides --scheduler)")
         cmd.add_argument("--fork-loops", action="store_true")
         cmd.add_argument(
             "--faults", metavar="SPEC",
@@ -514,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail-stop core counts to sweep (default: 0 1)")
     chaos.add_argument("--seed", type=int, default=1234)
     chaos.add_argument("--scheduler", default="event",
-                       choices=["event", "naive"])
+                       choices=["event", "naive", "vector"])
     add_batch_options(chaos)
     chaos.add_argument("--emit-jobs", metavar="SPEC.json",
                        help="write the grid as a 'repro batch' job spec "

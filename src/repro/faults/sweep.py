@@ -52,7 +52,7 @@ def _grid_config(n_cores: int, scheduler: str,
                  plan: Optional[FaultPlan] = None) -> "SimConfig":
     from ..sim import SimConfig
     return SimConfig(n_cores=n_cores, stack_shortcut=True,
-                     event_driven=scheduler == "event", faults=plan)
+                     kernel=scheduler, faults=plan)
 
 
 def _workload_programs(shorts: Sequence[str], scale: int,

@@ -21,6 +21,7 @@ Plus two conveniences for testing and workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from .operands import Imm, LabelRef, Mem, Operand, Reg
@@ -142,6 +143,43 @@ def opcode_info(name: str) -> OpInfo:
 # --------------------------------------------------------------------------
 
 
+class InstrMeta:
+    """Static classification of one instruction, computed once.
+
+    Everything here depends only on the opcode and the operand tuple, both
+    fixed at construction — ``addr``, ``labels`` and label-target resolution
+    happen later and must never be cached.  ``fetch_computable`` is a slot
+    the simulator fills lazily (it lives in :mod:`repro.machine`, which this
+    package must not import).
+    """
+
+    __slots__ = ("info", "kind", "is_control", "is_branch", "mem_operand",
+                 "reads_memory", "writes_memory", "reg_reads", "reg_writes",
+                 "addr_regs", "has_mem", "fetch_computable")
+
+    def __init__(self, instr: "Instruction"):
+        self.info = OPCODES[instr.opcode]
+        self.kind = self.info.kind
+        self.is_control = self.kind in ("jmp", "jcc", "call", "ret", "fork",
+                                        "endfork", "hlt")
+        self.is_branch = self.kind in ("jmp", "jcc")
+        self.mem_operand = instr._mem_operand()
+        self.reads_memory = instr._reads_memory()
+        self.writes_memory = instr._writes_memory()
+        self.reg_reads = instr._reg_reads()
+        self.reg_writes = instr._reg_writes()
+        self.has_mem = (self.mem_operand is not None or self.reads_memory
+                        or self.writes_memory)
+        if self.kind in ("push", "pop", "call", "ret"):
+            self.addr_regs: Tuple[str, ...] = (STACK_POINTER,)
+        elif (self.mem_operand is not None and self.kind != "lea"
+                and (self.reads_memory or self.writes_memory)):
+            self.addr_regs = self.mem_operand.regs()
+        else:
+            self.addr_regs = ()
+        self.fetch_computable: Optional[bool] = None
+
+
 @dataclass
 class Instruction:
     """One static instruction of a program.
@@ -169,23 +207,32 @@ class Instruction:
             raise ValueError("%s expects 1 or 2 operands" % self.opcode)
 
     # -- static classification ------------------------------------------
+    #
+    # Everything opcode/operand-derived is computed once into ``meta``
+    # (the simulator consults it per *dynamic* instruction, so the
+    # per-call recomputation used to dominate hot fetch paths).  The
+    # property and method forms below stay as the public API.
+
+    @cached_property
+    def meta(self) -> InstrMeta:
+        return InstrMeta(self)
 
     @property
     def info(self) -> OpInfo:
-        return OPCODES[self.opcode]
+        return self.meta.info
 
     @property
     def kind(self) -> str:
-        return self.info.kind
+        return self.meta.kind
 
     @property
     def is_control(self) -> bool:
         """True for instructions that may change the instruction pointer."""
-        return self.kind in ("jmp", "jcc", "call", "ret", "fork", "endfork", "hlt")
+        return self.meta.is_control
 
     @property
     def is_branch(self) -> bool:
-        return self.kind in ("jmp", "jcc")
+        return self.meta.is_branch
 
     @property
     def target_label(self) -> Optional[LabelRef]:
@@ -204,46 +251,64 @@ class Instruction:
 
     def mem_operand(self) -> Optional[Mem]:
         """The (single) explicit memory operand, if any."""
+        return self.meta.mem_operand
+
+    def reads_memory(self) -> bool:
+        """True when executing this instruction loads from data memory."""
+        return self.meta.reads_memory
+
+    def writes_memory(self) -> bool:
+        """True when executing this instruction stores to data memory."""
+        return self.meta.writes_memory
+
+    def reg_reads(self) -> Tuple[str, ...]:
+        """Architectural registers read, including implicit ones (address
+        registers, rsp for stack ops, rflags for conditional jumps)."""
+        return self.meta.reg_reads
+
+    def reg_writes(self) -> Tuple[str, ...]:
+        """Architectural registers written, including implicit ones."""
+        return self.meta.reg_writes
+
+    # -- uncached computations backing InstrMeta -------------------------
+
+    def _mem_operand(self) -> Optional[Mem]:
         for op in self.operands:
             if isinstance(op, Mem):
                 return op
         return None
 
-    def reads_memory(self) -> bool:
-        """True when executing this instruction loads from data memory."""
-        kind = self.kind
+    def _reads_memory(self) -> bool:
+        kind = OPCODES[self.opcode].kind
         if kind in ("pop", "ret"):
             return True
         if kind in ("lea", "nop", "hlt", "fork", "endfork", "call", "push"):
             return False
-        mem = self.mem_operand()
+        mem = self._mem_operand()
         if mem is None:
             return False
-        info = self.info
+        info = OPCODES[self.opcode]
         # A memory destination is loaded only by read-modify-write opcodes;
         # a memory source is always loaded.
         if info.writes_dest and self.operands[-1] is mem:
             return info.reads_dest
         return True
 
-    def writes_memory(self) -> bool:
-        """True when executing this instruction stores to data memory."""
-        kind = self.kind
+    def _writes_memory(self) -> bool:
+        kind = OPCODES[self.opcode].kind
         if kind in ("push", "call"):
             return True
         if kind in ("lea", "pop", "ret", "nop", "hlt", "fork", "endfork"):
             return False
-        info = self.info
-        mem = self.mem_operand()
+        info = OPCODES[self.opcode]
+        mem = self._mem_operand()
         return bool(info.writes_dest and mem is not None
                     and self.operands and self.operands[-1] is mem)
 
-    def reg_reads(self) -> Tuple[str, ...]:
-        """Architectural registers read, including implicit ones (address
-        registers, rsp for stack ops, rflags for conditional jumps)."""
-        info = self.info
+    def _reg_reads(self) -> Tuple[str, ...]:
+        info = OPCODES[self.opcode]
         regs = []
-        kind = self.kind
+        kind = info.kind
 
         def add(name):
             if name not in regs:
@@ -270,11 +335,10 @@ class Instruction:
             add(FLAGS)
         return tuple(regs)
 
-    def reg_writes(self) -> Tuple[str, ...]:
-        """Architectural registers written, including implicit ones."""
-        info = self.info
+    def _reg_writes(self) -> Tuple[str, ...]:
+        info = OPCODES[self.opcode]
         regs = []
-        kind = self.kind
+        kind = info.kind
 
         def add(name):
             if name not in regs:

@@ -18,11 +18,11 @@ from .noc import MeshNoc, UniformNoc, make_noc
 from .processor import Processor, simulate
 from .requests import RenameRequest
 from .section import SectionState
-from .stats import CORE_STATES, SimResult, request_latency_stats
+from .stats import CORE_STATES, STATE_CODES, SimResult, request_latency_stats
 
 __all__ = [
     "CORE_STATES", "Cell", "Core", "DynInstr", "MeshNoc", "Processor",
-    "RenameRequest", "SectionState", "SimConfig", "SimResult", "Timing",
-    "UniformNoc", "figure10_config", "make_noc", "request_latency_stats",
-    "simulate",
+    "RenameRequest", "STATE_CODES", "SectionState", "SimConfig", "SimResult",
+    "Timing", "UniformNoc", "figure10_config", "make_noc",
+    "request_latency_stats", "simulate",
 ]

@@ -105,6 +105,7 @@ class DynInstr:
     )
 
     def __init__(self, instr: Instruction, section, index: int):
+        meta = instr.meta
         self.instr = instr
         self.section = section
         self.index = index                      #: 0-based ordinal in section
@@ -114,8 +115,8 @@ class DynInstr:
         #: register destinations: name -> Cell
         self.dest_cells: Dict[str, Cell] = {}
         self.computed_at_fetch = False
-        self.is_load = instr.reads_memory()
-        self.is_store = instr.writes_memory()
+        self.is_load = meta.reads_memory
+        self.is_store = meta.writes_memory
         #: cells needed to form the effective address
         self.addr_src_cells: Dict[str, Cell] = {}
         self.addr_value: Optional[int] = None   #: set by ew
@@ -125,7 +126,7 @@ class DynInstr:
         self.mem_renamed = False
         self.mem_done = not (self.is_load or self.is_store)
         self.executed = False
-        self.control_resolved = not instr.is_control
+        self.control_resolved = not meta.is_control
         self.out_value: Optional[int] = None
         self.retired = False
         #: registers whose fetch binding was empty, to resolve at rename
@@ -139,8 +140,22 @@ class DynInstr:
     def tag(self) -> str:
         return "%d-%d" % (self.section.sid, self.index + 1)
 
+    # plain loops testing ``cell.value is None`` directly, not all(...)
+    # genexprs over the ``ready`` property: these run once per queue entry
+    # per busy core-cycle and the generator frame plus the property
+    # descriptor dominate the check
+
     def sources_ready(self) -> bool:
-        return all(cell.ready for cell in self.src_cells.values())
+        for cell in self.src_cells.values():
+            if cell.value is None:
+                return False
+        return True
+
+    def addr_sources_ready(self) -> bool:
+        for cell in self.addr_src_cells.values():
+            if cell.value is None:
+                return False
+        return True
 
     def terminated(self) -> bool:
         """Retirement condition: every effect of the instruction exists."""
@@ -150,7 +165,10 @@ class DynInstr:
             return False
         if not self.control_resolved:
             return False
-        return all(cell.ready for cell in self.dest_cells.values())
+        for cell in self.dest_cells.values():
+            if cell.value is None:
+                return False
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<DynInstr %s %s>" % (self.tag, self.instr)

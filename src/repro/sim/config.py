@@ -86,8 +86,23 @@ class SimConfig:
     #: the default — runs the perfect machine, bit-identical to every
     #: pinned golden result
     faults: Optional[FaultPlan] = None
+    #: simulation kernel: "naive" (reference every-core-every-cycle loop),
+    #: "event" (park/wake fast path) or "vector" (struct-of-arrays sweeps,
+    #: :mod:`repro.sim.vectorized`).  All three are bit-identical on every
+    #: compared SimResult field (tests/sim/test_differential_vector.py).
+    #: None — the default — derives the kernel from ``event_driven`` for
+    #: backward compatibility; an explicit kernel overrides and re-syncs
+    #: ``event_driven`` so old call sites keep observing a coherent pair.
+    kernel: Optional[str] = None
 
     def __post_init__(self):
+        if self.kernel is None:
+            self.kernel = "event" if self.event_driven else "naive"
+        elif self.kernel not in ("naive", "event", "vector"):
+            raise ValueError("unknown kernel %r (expected naive, event or "
+                             "vector)" % (self.kernel,))
+        else:
+            self.event_driven = self.kernel != "naive"
         if self.n_cores < 1:
             raise ValueError("need at least one core")
         if self.placement not in ("round_robin", "least_loaded", "same_core",

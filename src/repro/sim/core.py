@@ -18,8 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..errors import SimulationError
-from ..isa.instructions import Instruction
-from ..isa.registers import FLAGS, STACK_POINTER
+from ..isa.registers import STACK_POINTER
 from ..machine.base import HALT_SENTINEL
 from ..machine.executor import MASK, fetch_stage_computable
 from .cells import Cell, DynInstr
@@ -54,6 +53,12 @@ class Core:
         self.rename_queue: List[DynInstr] = []   # fetch order, per-section FIFO
         self.iq: List[DynInstr] = []
         self.lsq: List[DynInstr] = []
+        # queue-order caching: a queue is re-sorted only after an append
+        # or when a fork renumbered the total order (processor epoch)
+        self._iq_dirty = False
+        self._iq_epoch = 0
+        self._lsq_dirty = False
+        self._lsq_epoch = 0
         # statistics
         self.fetched = 0
         self.fetch_computed = 0
@@ -155,18 +160,18 @@ class Core:
                      else dyn.src_cells)
             ready = True
             for cell in cells.values():
-                if not cell.ready:
+                if cell.value is None:
                     blockers.append(cell)
                     ready = False
             if ready:
                 return True, None, None
         for dyn in self.lsq:
             ready = True
-            if dyn.is_load and not dyn.load_src_cell.ready:
+            if dyn.is_load and dyn.load_src_cell.value is None:
                 blockers.append(dyn.load_src_cell)
                 ready = False
             for cell in dyn.src_cells.values():
-                if not cell.ready:
+                if cell.value is None:
                     blockers.append(cell)
                     ready = False
             if ready:
@@ -261,7 +266,8 @@ class Core:
             sec.fetch_cycles += 1
 
         # -- bind sources against the fetch register file ----------------
-        for reg in instr.reg_reads():
+        meta = instr.meta
+        for reg in meta.reg_reads:
             entry = sec.freg_binding(reg)
             if entry is None:
                 dyn.missing_srcs.append(reg)
@@ -269,11 +275,11 @@ class Core:
                 dyn.src_cells[reg] = entry
             else:
                 dyn.src_cells[reg] = Cell.full(entry, origin="k:%s" % reg)
-        dyn.addr_regs = self._addr_regs(instr)
+        dyn.addr_regs = meta.addr_regs
         if dyn.is_store:
             sec.stores_pending += 1
 
-        kind = instr.kind
+        kind = meta.kind
         next_ip: Optional[int] = sec.ip + 1
 
         if kind == "fork":
@@ -287,12 +293,16 @@ class Core:
             dyn.computed_at_fetch = True
             dyn.control_resolved = True
             next_ip = None
+            if sec.req_waiters is not None:
+                self.proc.section_event(sec)
         elif kind == "hlt":
             sec.fetch_done = True
             sec.ends_program = True
             dyn.computed_at_fetch = True
             dyn.control_resolved = True
             next_ip = None
+            if sec.req_waiters is not None:
+                self.proc.section_event(sec)
         elif kind == "call":
             self._fetch_rsp_update(dyn, sec, now, delta=-8)
             sec.fetch_depth += 1
@@ -309,14 +319,16 @@ class Core:
             if kind == "pop":
                 self._make_pending_dests(dyn, sec, skip=(STACK_POINTER,))
         else:
-            computable = (fetch_stage_computable(kind,
-                                                 instr.mem_operand() is not None
-                                                 or dyn.is_load or dyn.is_store)
+            stage_ok = meta.fetch_computable
+            if stage_ok is None:
+                stage_ok = meta.fetch_computable = fetch_stage_computable(
+                    kind, meta.has_mem)
+            computable = (stage_ok
                           and not dyn.missing_srcs
-                          and all(cell.ready for cell in dyn.src_cells.values()))
+                          and dyn.sources_ready())
             if computable:
-                values = {r: c.value for r, c in dyn.src_cells.items()}
-                result = evaluate(instr, values.__getitem__)
+                src = dyn.src_cells
+                result = evaluate(instr, lambda r: src[r].value)
                 for reg, value in result.reg_writes.items():
                     cell = self._dest_cell(sec, dyn, reg)
                     cell.fill(value, now)
@@ -324,13 +336,13 @@ class Core:
                     sec.fregs[reg] = value
                 dyn.computed_at_fetch = True
                 self.fetch_computed += 1
-                if instr.is_branch:
+                if meta.is_branch:
                     dyn.control_resolved = True
                     if result.taken:
                         next_ip = result.next_ip
             else:
                 self._make_pending_dests(dyn, sec)
-                if instr.is_branch:
+                if meta.is_branch:
                     # IP is set to empty until the target is computed.
                     next_ip = None
                     sec.waiting_control = dyn
@@ -373,16 +385,6 @@ class Core:
             dyn.dest_cells[reg] = cell
             sec.fregs[reg] = cell
 
-    @staticmethod
-    def _addr_regs(instr: Instruction):
-        if instr.kind in ("push", "pop", "call", "ret"):
-            return (STACK_POINTER,)
-        mem = instr.mem_operand()
-        if mem is not None and instr.kind != "lea" and (
-                instr.reads_memory() or instr.writes_memory()):
-            return mem.regs()
-        return ()
-
     # ------------------------------------------------------------------
     # register rename
     # ------------------------------------------------------------------
@@ -414,13 +416,17 @@ class Core:
         dyn.addr_src_cells = {r: dyn.src_cells[r] for r in dyn.addr_regs}
         sec.rob.append(dyn)
         sec.renamed_count += 1
+        if sec.req_waiters is not None:
+            self.proc.section_event(sec)
         if dyn.is_load or dyn.is_store:
             sec.arq.append(dyn)
             dyn.in_iq = True
             self.iq.append(dyn)
+            self._iq_dirty = True
         elif not dyn.computed_at_fetch:
             dyn.in_iq = True
             self.iq.append(dyn)
+            self._iq_dirty = True
 
     # ------------------------------------------------------------------
     # execute / write back (and address computation for memory ops)
@@ -430,7 +436,14 @@ class Core:
         budget = self.proc.cfg.execute_width
         if not self.iq or not budget:
             return
-        self.iq.sort(key=lambda d: (d.section.order_index, d.index))
+        epoch = self.proc.order_epoch
+        if self._iq_dirty or self._iq_epoch != epoch:
+            # (order_index, index) is unique per dyn, removals preserve
+            # order, so a re-sort is only due after an append or a fork
+            # renumbering the total order (the epoch bump)
+            self.iq.sort(key=lambda d: (d.section.order_index, d.index))
+            self._iq_dirty = False
+            self._iq_epoch = epoch
         done: List[DynInstr] = []
         for dyn in self.iq:
             if not budget:
@@ -438,7 +451,7 @@ class Core:
             if dyn.timing.rr is None or dyn.timing.rr >= now:
                 continue
             if dyn.is_load or dyn.is_store:
-                if not all(c.ready for c in dyn.addr_src_cells.values()):
+                if not dyn.addr_sources_ready():
                     continue
             elif not dyn.sources_ready():
                 continue
@@ -467,13 +480,13 @@ class Core:
                 dyn.addr_value = old_rsp
                 self._fill_rsp(dyn, now, (old_rsp + 8) & MASK)
             else:
-                values = {r: c.value for r, c in dyn.addr_src_cells.items()}
-                dyn.addr_value = effective_address(instr.mem_operand(),
-                                                   values.__getitem__)
+                addr_src = dyn.addr_src_cells
+                dyn.addr_value = effective_address(
+                    instr.mem_operand(), lambda r: addr_src[r].value)
             # data side continues in the ar/ma stages
             return
-        values = {r: c.value for r, c in dyn.src_cells.items()}
-        result = evaluate(instr, values.__getitem__)
+        src = dyn.src_cells
+        result = evaluate(instr, lambda r: src[r].value)
         for reg, value in result.reg_writes.items():
             cell = dyn.dest_cells.get(reg)
             if cell is not None and not cell.ready:
@@ -499,7 +512,10 @@ class Core:
 
     def _addr_rename(self, now: int) -> None:
         budget = self.proc.cfg.addr_rename_width
-        for sec in sorted(self.open_secs, key=lambda s: s.order_index):
+        secs = self.open_secs
+        if len(secs) > 1:
+            secs = sorted(secs, key=lambda s: s.order_index)
+        for sec in secs:
             while budget and sec.arq:
                 dyn = sec.arq[0]
                 if dyn.addr_value is None or dyn.timing.ew == now:
@@ -536,6 +552,11 @@ class Core:
         dyn.mem_renamed = True
         dyn.in_lsq = True
         self.lsq.append(dyn)
+        self._lsq_dirty = True
+        if sec.req_waiters is not None:
+            # ARQ head advanced and/or stores_pending dropped: re-check
+            # requests parked on this section's memory-final conditions.
+            self.proc.section_event(sec)
 
     # ------------------------------------------------------------------
     # memory access
@@ -545,14 +566,18 @@ class Core:
         budget = self.proc.cfg.memory_width
         if not self.lsq or not budget:
             return
-        self.lsq.sort(key=lambda d: (d.section.order_index, d.index))
+        epoch = self.proc.order_epoch
+        if self._lsq_dirty or self._lsq_epoch != epoch:
+            self.lsq.sort(key=lambda d: (d.section.order_index, d.index))
+            self._lsq_dirty = False
+            self._lsq_epoch = epoch
         done: List[DynInstr] = []
         for dyn in self.lsq:
             if not budget:
                 break
             if dyn.timing.ar is None or dyn.timing.ar >= now:
                 continue
-            if dyn.is_load and not dyn.load_src_cell.ready:
+            if dyn.is_load and dyn.load_src_cell.value is None:
                 continue
             if not dyn.sources_ready():
                 continue
@@ -568,9 +593,9 @@ class Core:
         instr = dyn.instr
         dyn.timing.ma = now
         self.did_work = True
-        values = {r: c.value for r, c in dyn.src_cells.items()}
+        src = dyn.src_cells
         loaded = dyn.load_src_cell.value if dyn.is_load else None
-        result = evaluate(instr, values.__getitem__, loaded=loaded)
+        result = evaluate(instr, lambda r: src[r].value, loaded=loaded)
         for reg, value in result.reg_writes.items():
             cell = dyn.dest_cells.get(reg)
             if cell is not None and not cell.ready:
@@ -586,6 +611,8 @@ class Core:
             if target == HALT_SENTINEL:
                 sec.fetch_done = True
                 sec.ends_program = True
+                if sec.req_waiters is not None:
+                    self.proc.section_event(sec)
             elif not 0 <= target < len(self.proc.program.code):
                 raise SimulationError(
                     "section %d: ret to bad address %#x" % (sec.sid, target))
@@ -604,7 +631,10 @@ class Core:
     def _retire(self, now: int) -> None:
         budget = self.proc.cfg.retire_width
         tracer = self.proc.tracer
-        for sec in sorted(self.open_secs, key=lambda s: s.order_index):
+        secs = self.open_secs
+        if len(secs) > 1:
+            secs = sorted(secs, key=lambda s: s.order_index)
+        for sec in secs:
             popped = False
             while budget and sec.rob and sec.rob[0].terminated():
                 dyn = sec.rob.popleft()

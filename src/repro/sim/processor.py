@@ -38,6 +38,10 @@ from .stats import (BLOCKED, CORE_STATES, PARKED, STATE_CODES, SimResult,
 class Processor:
     """Simulates a program on the distributed core design."""
 
+    #: Core class instantiated per core id — subclass hook (the vectorized
+    #: kernel substitutes :class:`repro.sim.vectorized.VectorCore`)
+    core_cls = Core
+
     def __init__(self, program: Program, config: Optional[SimConfig] = None,
                  initial_regs: Optional[Dict[str, int]] = None,
                  copied_regs=FORK_COPIED_REGS):
@@ -66,12 +70,15 @@ class Processor:
         # their collection (the per-cycle timeline stays internal unless
         # cfg.trace also asks for it in the result)
         self.occupancy_on = self.cfg.collect_occupancy or self.cfg.events
-        self.cores = [Core(i, self) for i in range(self.cfg.n_cores)]
+        self.cores = self._make_cores()
         if self.cfg.trace or self.cfg.events:
             for core in self.cores:
                 core.trace_states = []
         self.sections: List[SectionState] = []
         self.order: List[SectionState] = []
+        #: bumped whenever a fork renumbers the total order — cores use it
+        #: to invalidate their cached IQ/LSQ sort order
+        self.order_epoch = 0
         self.requests: List[RenameRequest] = []
         #: event-driven bookkeeping: requests not yet done (same relative
         #: order as self.requests), open-section count, time-wake heap
@@ -92,7 +99,7 @@ class Processor:
             FaultEngine(self, self.cfg.faults)
             if self.cfg.faults is not None else None)
 
-        root = SectionState(
+        root = self._new_section(
             sid=1, start_ip=program.entry, core_id=0,
             fregs=initial_root_fregs(self.initial_regs), depth=0,
             created_cycle=0, first_fetch_cycle=1)
@@ -101,6 +108,20 @@ class Processor:
         self.cores[0].hosted.append(root)
         self.cores[0].open_secs.append(root)
         self._open_sections = 1
+
+    # -- subclass hooks (repro.sim.vectorized) -------------------------
+
+    def _make_cores(self) -> List[Core]:
+        return [self.core_cls(i, self) for i in range(self.cfg.n_cores)]
+
+    def _new_section(self, **kwargs) -> SectionState:
+        return SectionState(**kwargs)
+
+    def section_event(self, sec: SectionState) -> None:
+        """A request-visible state component of *sec* changed (fetch_done,
+        stores_pending, renamed_count, ARQ head, MAAT line install).  Only
+        the vectorized kernel registers section waiters, so ``req_waiters``
+        is always None here and every call site guards on it."""
 
     # ------------------------------------------------------------------
     # run loop
@@ -294,7 +315,7 @@ class Processor:
                     % (parent.sid, reg))
             snapshot[reg] = entry
         core_id = self._place(parent)
-        sec = SectionState(
+        sec = self._new_section(
             sid=len(self.sections) + 1,
             start_ip=dyn.instr.addr + 1,
             core_id=core_id,
@@ -311,6 +332,7 @@ class Processor:
         self.order.insert(position, sec)
         for index in range(position, len(self.order)):
             self.order[index].order_index = index
+        self.order_epoch += 1
         target = self.cores[core_id]
         target.hosted.append(sec)
         target.open_secs.append(sec)
@@ -429,19 +451,44 @@ class Processor:
                 continue
             self._step_request(req, now)
 
-    def _step_request(self, req: RenameRequest, now: int) -> None:
+    def _fill_dest(self, req: RenameRequest, now: int) -> None:
+        """Deliver the answer into the requester's import cell.  A memory
+        fill changes the requester's MAAT-pending-import state, which the
+        vectorized kernel's parked requests may be waiting on."""
+        req.dest_cell.fill(req.value, now)
+        req.done = True
+        if req.kind == "mem" and req.requester.req_waiters is not None:
+            self.section_event(req.requester)
+        if self.tracer is not None:
+            self.tracer.emit(now, "request_fill", rid=req.rid,
+                             sid=req.requester.sid, value=req.value)
+
+    def _step_request(self, req: RenameRequest, now: int):
+        """Advance *req* one cycle.
+
+        The return value is a *park descriptor* for the vectorized
+        kernel's lazy request scheduler: the :class:`SectionState` whose
+        final-state condition the request is waiting on, the pending
+        line-import :class:`Cell` it is coalescing behind, or None (any
+        other state — progressing, timed, waiting on ``hit_cell``, done).
+        The naive and event schedulers ignore it.
+        """
         tracer = self.tracer
         # reply in flight
         if req.reply_cycle is not None:
             if now >= req.reply_cycle:
-                req.dest_cell.fill(req.value, now)
                 if req.line_values:
+                    req.dest_cell.fill(req.value, now)
+                    req.done = True
                     self._install_line(req, now)
-                req.done = True
-                if tracer is not None:
-                    tracer.emit(now, "request_fill", rid=req.rid,
-                                sid=req.requester.sid, value=req.value)
-            return
+                    if req.requester.req_waiters is not None:
+                        self.section_event(req.requester)
+                    if tracer is not None:
+                        tracer.emit(now, "request_fill", rid=req.rid,
+                                    sid=req.requester.sid, value=req.value)
+                else:
+                    self._fill_dest(req, now)
+            return None
         # waiting for the producer's value
         if req.hit_cell is not None:
             if req.hit_cell.ready:
@@ -449,11 +496,7 @@ class Processor:
                 delay = self._hop(req.producer_core, req.requester.core_id,
                                   now, req)
                 if delay == 0:
-                    req.dest_cell.fill(req.value, now)
-                    req.done = True
-                    if tracer is not None:
-                        tracer.emit(now, "request_fill", rid=req.rid,
-                                    sid=req.requester.sid, value=req.value)
+                    self._fill_dest(req, now)
                 else:
                     req.reply_cycle = now + delay
                     if tracer is not None:
@@ -461,18 +504,17 @@ class Processor:
                                     src=req.producer_core,
                                     dst=req.requester.core_id,
                                     arrive=req.reply_cycle)
-            return
+            return None
         if now < req.wake_cycle:
-            return
+            return None
         if req.use_shortcut:
-            self._step_shortcut_request(req, now)
-            return
+            return self._step_shortcut_request(req, now)
         # (re)route to the current predecessor of `before` — sections may
         # have been inserted between the parked position and the requester
         pred = self._walk_pred(req, req.before)
         if pred is None:
             self._answer_architectural(req, now)
-            return
+            return None
         if pred is not req.at_section:
             src_core = req.cur_core
             hops = self._hop(src_core, pred.core_id, now, req)
@@ -484,17 +526,17 @@ class Processor:
                             dst=pred.core_id, sid=pred.sid, wait=hops)
             if hops:
                 req.wake_cycle = now + hops
-                return
+                return None
             # same core: fall through, the lookup proceeds this cycle
         pred = req.at_section
         # parked at `pred`: answer only from final state
         if req.kind == "reg":
             if not pred.fetch_done:
-                return
+                return pred
             entry = pred.fregs.get(req.reg)
         else:
             if not pred.mem_final:
-                return
+                return pred
             entry = pred.maat.get(req.addr)
             if req.line_clean:
                 if self._line_touched(pred, req.addr):
@@ -504,13 +546,15 @@ class Processor:
                         req.visited = []
                     req.visited.append(pred)
         if entry is None:
-            if req.kind == "mem" and self._pending_line_import(pred,
-                                                               req.addr):
-                # A walk for the same memory line is already in flight
-                # through this section: coalesce (MSHR-style) — once that
-                # import fills, the line lands here and we hit locally.
-                req.wake_cycle = now + 1
-                return
+            if req.kind == "mem":
+                cell = self._pending_line_import(pred, req.addr)
+                if cell is not None:
+                    # A walk for the same memory line is already in flight
+                    # through this section: coalesce (MSHR-style) — once
+                    # that import fills, the line lands here and we hit
+                    # locally.
+                    req.wake_cycle = now + 1
+                    return cell
             # miss: hop to the next predecessor right away (one cycle per
             # section visited — "the renaming request travels from section
             # to section until a producer is found")
@@ -518,7 +562,7 @@ class Processor:
             nxt = self._walk_pred(req, pred)
             if nxt is None:
                 self._answer_architectural(req, now)
-                return
+                return None
             req.at_section = nxt
             src_core = req.cur_core
             hop = self._hop(src_core, nxt.core_id, now, req)
@@ -529,7 +573,7 @@ class Processor:
             if tracer is not None:
                 tracer.emit(now, "request_hop", rid=req.rid, src=src_core,
                             dst=nxt.core_id, sid=nxt.sid, wait=wait)
-            return
+            return None
         if isinstance(entry, Cell):
             req.hit_cell = entry
             req.producer_core = pred.core_id
@@ -548,6 +592,7 @@ class Processor:
                 tracer.emit(now, "request_reply", rid=req.rid,
                             src=pred.core_id, dst=req.requester.core_id,
                             arrive=req.reply_cycle)
+        return None
 
     def _install_line(self, req: RenameRequest, now: int) -> None:
         """Cache the DMH line along the return path: the requester and
@@ -565,15 +610,18 @@ class Processor:
                             is_import=True)
                 cell.fill(value, now)
                 section.maat[word] = cell
+            if section.req_waiters is not None:
+                self.section_event(section)
 
-    def _pending_line_import(self, section, addr: int) -> bool:
-        """Does *section* hold a not-yet-filled import for addr's line?"""
+    def _pending_line_import(self, section, addr: int) -> Optional[Cell]:
+        """*section*'s first not-yet-filled import cell for addr's line,
+        if any (the vectorized kernel parks coalescing requests on it)."""
         base = addr & ~(self.cfg.line_bytes - 1)
         for word in range(base, base + self.cfg.line_bytes, WORD):
             cell = section.maat.get(word)
             if cell is not None and cell.is_import and not cell.ready:
-                return True
-        return False
+                return cell
+        return None
 
     def _line_touched(self, section, addr: int) -> bool:
         """Does *section*'s MAAT hold any word of addr's memory line
@@ -584,14 +632,16 @@ class Processor:
                 return True
         return False
 
-    def _step_shortcut_request(self, req: RenameRequest, now: int) -> None:
+    def _step_shortcut_request(self, req: RenameRequest, now: int):
         """Stack-shortcut walk: query the creator chain against pre-fork
-        cuts (see :mod:`repro.sim.requests`)."""
+        cuts (see :mod:`repro.sim.requests`).  Returns the section the
+        request parked on (a park descriptor for the vectorized kernel's
+        lazy scheduler), or None."""
         if req.at_section is None:
             child = req.cut_child
             if child.parent_sid == 0:
                 self._answer_architectural(req, now)
-                return
+                return None
             parent = self.sections[child.parent_sid - 1]
             # Loop links invalidate the cut (-1): see below.
             req.cut_index = -1 if child.created_by_loop else child.created_at_index
@@ -606,33 +656,34 @@ class Processor:
                 self.tracer.emit(now, "request_hop", rid=req.rid,
                                  src=src_core, dst=parent.core_id,
                                  sid=parent.sid, wait=wait)
-            return
+            return None
         section = req.at_section
         if req.cut_index < 0:
             # The link crossed was a forkloop: the parent's post-fork flow
             # (the loop body) shares the requester's frame, so its stores
             # count — wait for the whole section to be memory-final.
             if not section.mem_final:
-                return
+                return section
         else:
             # Call link: answerable once every pre-cut store has been
             # address-renamed.  All pre-cut instructions are fetched (the
             # fork ran), so renaming plus the in-order ARQ give the cut.
             if section.renamed_count <= req.cut_index:
-                return
+                return section
             if section.arq and section.arq[0].index < req.cut_index:
-                return
+                return section
         entry = section.maat.get(req.addr)
         if entry is None:
             req.cut_child = section
             req.at_section = None
-            return
+            return None
         req.hit_cell = entry
         req.producer_core = section.core_id
         req.producer_sid = section.sid
         if self.tracer is not None:
             self.tracer.emit(now, "request_hit", rid=req.rid,
                              sid=section.sid, core=section.core_id)
+        return None
 
     def _answer_architectural(self, req: RenameRequest, now: int) -> None:
         """The walk fell off the oldest live section: read the architectural
@@ -743,7 +794,7 @@ class Processor:
                 req.dest_cell.ready_cycle - req.issued_cycle
                 for req in self.requests
                 if req.done and req.dest_cell.ready_cycle is not None],
-            scheduler="event" if self.cfg.event_driven else "naive",
+            scheduler=self.cfg.kernel,
             core_occupancy=core_occupancy,
             section_occupancy=section_occupancy,
             noc_stats=self.noc.stats(),
@@ -800,7 +851,16 @@ class Processor:
 def simulate(program: Program, config: Optional[SimConfig] = None,
              initial_regs: Optional[Dict[str, int]] = None) -> Tuple[SimResult, Processor]:
     """Run *program* on the simulated many-core; returns (result, processor)
-    so callers can inspect per-instruction timing."""
-    proc = Processor(program, config=config, initial_regs=initial_regs)
+    so callers can inspect per-instruction timing.  ``config.kernel``
+    selects the simulation kernel; all three are bit-identical on every
+    compared result field."""
+    cfg = config or SimConfig()
+    if cfg.kernel == "vector":
+        # imported lazily: vectorized depends on this module (and numpy)
+        from .vectorized import VectorProcessor
+        proc: Processor = VectorProcessor(program, config=cfg,
+                                          initial_regs=initial_regs)
+    else:
+        proc = Processor(program, config=cfg, initial_regs=initial_regs)
     result = proc.run()
     return result, proc

@@ -85,6 +85,13 @@ class SectionState:
         self.stores_pending = 0             #: stores fetched, not yet renamed
         self.outs: List[Tuple[int, int]] = []   #: (index, value) from out
         self.ends_program = False           #: section fetched hlt / sentinel
+        #: renaming requests parked on this section's final-state
+        #: conditions, registered only by the vectorized kernel's lazy
+        #: request scheduler (:mod:`repro.sim.vectorized`); None keeps
+        #: every notify site at a single attribute test.  Survives
+        #: redispatch_reset: a waiter's condition simply re-arms when the
+        #: replayed incarnation reaches it again.
+        self.req_waiters: Optional[list] = None
 
     # -- fetch-time register file access -----------------------------------
 

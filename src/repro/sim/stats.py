@@ -68,8 +68,10 @@ def request_latency_stats(latencies: List[int]) -> Dict[str, float]:
 
 
 def occupancy_counts(raw: List[int]) -> Dict[str, int]:
-    """Turn a 4-slot counter vector into a named histogram."""
-    return {name: raw[i] for i, name in enumerate(CORE_STATES)}
+    """Turn a 4-slot counter vector into a named histogram.  ``int()``
+    normalizes numpy scalars from the vectorized kernel's occupancy rows
+    so results stay ``json.dump``-able."""
+    return {name: int(raw[i]) for i, name in enumerate(CORE_STATES)}
 
 
 @dataclass

@@ -1,0 +1,573 @@
+"""Vectorized struct-of-arrays simulation kernel (``kernel="vector"``).
+
+The naive kernel ticks every core every cycle; the event kernel parks
+cores and skips provably idle cycles but still *steps every pending
+renaming request every cycle* — a profile of the Table 1 workloads at 256
+cores shows that polling loop dominating (radixsort: 4 million
+``_step_request`` calls for 3,204 requests).  This kernel restructures
+the whole-chip scheduler state as struct-of-arrays numpy tables and makes
+both sweeps lazy:
+
+* **core sweep** — one ``awake`` bool vector for the whole chip;
+  ``np.flatnonzero`` yields exactly the runnable cores, and a binary heap
+  carries mid-pass wakes (a core woken by a lower-id core runs the same
+  cycle, preserving the event kernel's slot semantics);
+* **request sweep** — requests are stepped only when something they wait
+  on can have changed: a time heap for NoC replies and self-scheduled
+  hops, cell waiters for producer values, and *section waiters* (tagged
+  conditions evaluated by :meth:`VectorProcessor.section_event` at every
+  state-flip notify site) for final-state parks;
+* **register files** — per-section full/empty/pending state and 64-bit
+  values live in one growable ``(rows, 17)`` numpy table
+  (:class:`RegTable`), written through on every fetch-RF update, so
+  whole-chip queries (final-state assembly, full/empty censuses) are
+  array sweeps instead of dict walks;
+* **occupancy** — the per-core four-state histograms fold into one
+  ``(n_cores, 4)`` int64 matrix at result assembly.  The per-cycle
+  increment itself stays a plain list add: a numpy scalar ``+= 1`` per
+  busy core-cycle would cost more than the rest of the accounting.
+
+Scalar escapes (kept deliberately out of the arrays): the IQ/LSQ/ROB/ARQ
+object structures and the :class:`~repro.sim.cells.Cell` graph — the
+single-assignment wake fabric — and the per-section fetch IPs, which
+migrate across cores under fault redispatch.  See DESIGN.md §4.11.
+
+Bit-identity: every step this kernel executes is a step the event kernel
+executes at the same cycle, and every step it *skips* is one the event
+kernel executes as a pure no-op (a parked-state re-check that mutates
+nothing and emits nothing).  The three-way differential harness
+(tests/sim/test_differential_vector.py) asserts identical results, event
+streams and fault statistics across all three kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.program import Program
+from ..isa.registers import ALL_REGS, FORK_COPIED_REGS
+from .cells import Cell, DynInstr
+from .config import SimConfig
+from .core import Core
+from .processor import Processor
+from .requests import RenameRequest
+from .section import SectionState
+
+#: column index of every architectural location in the register table
+REG_INDEX: Dict[str, int] = {name: i for i, name in enumerate(ALL_REGS)}
+
+#: register-table state codes: absent (never written / not copied),
+#: full (64-bit value in the values plane), pending (bound to an
+#: unfilled cell at write time)
+EMPTY, FULL, PENDING = 0, 1, 2
+
+#: park-condition tags for section waiters; tuple tags carry an argument
+Tag = Union[str, Tuple[str, int]]
+
+
+class RegTable:
+    """Growable struct-of-arrays backing store for fetch register files.
+
+    One row per section incarnation; 17 columns (16 GPRs + rflags).  The
+    ``state`` plane holds the full/empty/pending bit per location, the
+    ``values`` plane the 64-bit value for FULL entries.  Values are
+    stored pre-masked to ``[0, 2**64)`` so ``uint64`` is exact; numpy 2.x
+    raises ``OverflowError`` on any out-of-range store, which turns a
+    masking bug into a loud failure instead of silent truncation.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self.rows = 0
+        self.state = np.zeros((capacity, len(ALL_REGS)), dtype=np.int8)
+        self.values = np.zeros((capacity, len(ALL_REGS)), dtype=np.uint64)
+
+    def alloc(self) -> int:
+        """Allocate a zeroed row (doubling growth); returns its index."""
+        if self.rows == self.capacity:
+            self.capacity *= 2
+            self.state = np.concatenate([self.state,
+                                         np.zeros_like(self.state)])
+            self.values = np.concatenate([self.values,
+                                          np.zeros_like(self.values)])
+        row = self.rows
+        self.rows += 1
+        return row
+
+    def full_empty_census(self) -> Tuple[int, int, int]:
+        """Whole-table (empty, full, pending) location counts — one
+        vectorized sweep over every live section's register file."""
+        state = self.state[:self.rows]
+        return (int((state == EMPTY).sum()), int((state == FULL).sum()),
+                int((state == PENDING).sum()))
+
+
+class RegFileSoA(dict):
+    """A fetch register file backed by one :class:`RegTable` row.
+
+    Scalar reads stay plain ``dict`` reads (the fetch stage's binding
+    loop is the hottest scalar path in the simulator); every mutation is
+    written through to the table's state/values planes.  A PENDING entry
+    records "bound to an unfilled cell at write time" — cells are
+    single-assignment, so a later fill never rebinds the name and the
+    dict entry stays authoritative for the cell object itself.
+    """
+
+    __slots__ = ("table", "row")
+
+    def __init__(self, table: RegTable, row: int,
+                 init: Dict[str, Any]) -> None:
+        dict.__init__(self)
+        self.table = table
+        self.row = row
+        for reg, entry in init.items():
+            self[reg] = entry
+
+    def __setitem__(self, reg: str, entry: Any) -> None:
+        dict.__setitem__(self, reg, entry)
+        col = REG_INDEX[reg]
+        if isinstance(entry, Cell):
+            value = entry.value
+            if value is None:
+                self.table.state[self.row, col] = PENDING
+                self.table.values[self.row, col] = 0
+            else:
+                self.table.state[self.row, col] = FULL
+                self.table.values[self.row, col] = value
+        else:
+            self.table.state[self.row, col] = FULL
+            self.table.values[self.row, col] = entry
+
+    def __delitem__(self, reg: str) -> None:
+        dict.__delitem__(self, reg)
+        col = REG_INDEX[reg]
+        self.table.state[self.row, col] = EMPTY
+        self.table.values[self.row, col] = 0
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+
+class VectorSectionState(SectionState):
+    """A section whose fetch register file lives in the shared
+    :class:`RegTable`.  Every incarnation (including fail-stop replays)
+    gets a fresh row; the entry snapshot stays a plain dict."""
+
+    def __init__(self, regtable: RegTable, **kwargs: Any) -> None:
+        self._regtable = regtable
+        super().__init__(**kwargs)
+        self.fregs = RegFileSoA(regtable, regtable.alloc(), self.fregs)
+
+    def redispatch_reset(self, core_id: int, first_fetch_cycle: int) -> None:
+        super().redispatch_reset(core_id, first_fetch_cycle)
+        self.fregs = RegFileSoA(self._regtable, self._regtable.alloc(),
+                                self.fregs)
+
+
+class _ReqWaiter:
+    """Adapter registering a renaming request on a cell's wake list
+    (cells wake ``Core`` objects; this gives requests the same duck
+    type).  One persistent instance per request, so
+    :meth:`Cell.add_waiter`'s identity dedupe holds across re-parks."""
+
+    __slots__ = ("proc", "req")
+
+    def __init__(self, proc: "VectorProcessor", req: RenameRequest) -> None:
+        self.proc = proc
+        self.req = req
+
+    def wake(self) -> None:
+        self.proc._activate_request(self.req)
+
+
+class VectorCore(Core):
+    """A core whose scheduler state is mirrored into the processor's
+    chip-wide arrays: the awake mask drives the vectorized core sweep.
+
+    Occupancy accounting deliberately stays on the base class's plain
+    counter list: a numpy scalar ``+= 1`` per busy core-cycle costs more
+    than the rest of the accounting combined, so the per-core lists fold
+    into the chip-wide matrix once, at result assembly."""
+
+    def wake(self) -> None:
+        if self.dead or not self.parked:
+            return
+        self.parked = False
+        proc = self.proc
+        proc._awake_mask[self.id] = True
+        proc._awake_ids.add(self.id)
+        if proc._in_core_pass and self.id > proc._cur_core_id:
+            # Woken by a lower-id core mid-pass: runs this same cycle,
+            # exactly like the event kernel's in-order slot check.
+            heapq.heappush(proc._core_extra, self.id)
+
+    def maybe_park(self, now: int) -> None:
+        super().maybe_park(now)
+        if self.parked:
+            self.proc._awake_mask[self.id] = False
+            self.proc._awake_ids.discard(self.id)
+
+
+class VectorProcessor(Processor):
+    """The ``kernel="vector"`` processor: struct-of-arrays scheduler
+    state plus the lazy request scheduler.  Construct via
+    :func:`repro.sim.processor.simulate` with ``SimConfig(kernel="vector")``.
+    """
+
+    core_cls = VectorCore
+
+    def __init__(self, program: Program,
+                 config: Optional[SimConfig] = None,
+                 initial_regs: Optional[Dict[str, int]] = None,
+                 copied_regs: Any = FORK_COPIED_REGS) -> None:
+        # Scheduler state must exist before Processor.__init__ runs the
+        # _make_cores/_new_section hooks.
+        self._regtable = RegTable()
+        self._req_act: Set[int] = set()        #: rids to step next pass
+        self._req_extra: List[int] = []        #: same-cycle mid-pass wakes
+        self._req_timed: List[Tuple[int, int]] = []   #: (cycle, rid) heap
+        self._route_parked: Set[int] = set()   #: parked rids to flush on fork
+        self._req_wrappers: Dict[int, _ReqWaiter] = {}
+        self._live_requests = 0
+        self._in_req_pass = False
+        self._cur_rid = -1
+        self._core_extra: List[int] = []       #: same-cycle core wakes
+        self._in_core_pass = False
+        self._cur_core_id = -1
+        super().__init__(program, config=config, initial_regs=initial_regs,
+                         copied_regs=copied_regs)
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _make_cores(self) -> List[Core]:
+        n = self.cfg.n_cores
+        self._awake_mask = np.ones(n, dtype=bool)
+        #: scalar mirror of the awake mask for the sparse regime — when
+        #: only a handful of cores are runnable, sorting a small set
+        #: beats a fixed-cost whole-chip numpy sweep
+        self._awake_ids: Set[int] = set(range(n))
+        self._occ_matrix = np.zeros((n, 4), dtype=np.int64)
+        return super()._make_cores()
+
+    def _new_section(self, **kwargs: Any) -> SectionState:
+        return VectorSectionState(self._regtable, **kwargs)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Any:
+        self._run_vector()
+        return self._result()
+
+    def _finished_vector(self) -> bool:
+        return (self.cycle != 0 and not self._open_sections
+                and not self._live_requests)
+
+    def _run_vector(self) -> None:
+        engine = self.fault_engine
+        awake_ids = self._awake_ids
+        while not self._finished_vector():
+            self.cycle += 1
+            now = self.cycle
+            if now > self.cfg.max_cycles:
+                raise SimulationError(
+                    "cycle budget exhausted at cycle %d: %s"
+                    % (now, self._stall_diagnostic()))
+            self._advance_fold()
+            if engine is not None:
+                engine.begin_cycle(now)
+            self._request_pass(now)
+            if self._timewakes:
+                self._wake_due(now)
+            self._core_pass(now)
+            if not awake_ids and not self._finished_vector():
+                nxt = self._next_cycle_vector(now)
+                if nxt > now + 1:
+                    self.cycle = min(nxt, self.cfg.max_cycles + 1) - 1
+
+    def _next_cycle_vector(self, now: int) -> int:
+        """Earliest future cycle at which anything can happen once every
+        core is parked.  Unlike the event kernel's conservative bound,
+        section- and cell-parked requests impose no bound of their own:
+        their conditions only flip through core, request or fault
+        activity, all of which is already covered by the heaps below."""
+        nxt: Optional[int] = None
+        if self.fault_engine is not None:
+            nxt = self.fault_engine.next_scheduled(now)
+        if self._timewakes:
+            cand = self._timewakes[0][0]
+            if nxt is None or cand < nxt:
+                nxt = cand
+        if self._req_act:
+            return now + 1
+        if self._req_timed:
+            cand = self._req_timed[0][0]
+            if nxt is None or cand < nxt:
+                nxt = cand
+        if nxt is None:
+            # Nothing can ever happen again: jump to the cycle budget so
+            # the deadlock diagnostic fires exactly as in the other
+            # kernels.
+            return self.cfg.max_cycles + 1
+        return max(nxt, now + 1)
+
+    # ------------------------------------------------------------------
+    # vectorized core sweep
+    # ------------------------------------------------------------------
+
+    def _core_pass(self, now: int) -> None:
+        cores = self.cores
+        mask = self._awake_mask
+        ids = self._awake_ids
+        extra = self._core_extra
+        if not ids and not extra:
+            return
+        if len(ids) > 32:
+            # Wide chip: one vectorized sweep yields the runnable set.
+            awake: List[int] = [int(c) for c in np.flatnonzero(mask)]
+        else:
+            # Sparse tail: a whole-chip sweep costs more than it finds.
+            awake = sorted(ids)
+        self._in_core_pass = True
+        k = 0
+        n = len(awake)
+        while k < n or extra:
+            if extra and (k >= n or extra[0] < awake[k]):
+                cid = heapq.heappop(extra)
+            else:
+                cid = awake[k]
+                k += 1
+            core = cores[cid]
+            if core.parked or core.dead:
+                # Killed or parked since the snapshot (fault engine
+                # writes the flags directly): heal the mirrors lazily.
+                mask[cid] = False
+                ids.discard(cid)
+                continue
+            self._cur_core_id = cid
+            core.cycle(now)
+            core.maybe_park(now)
+        self._in_core_pass = False
+        self._cur_core_id = -1
+
+    # ------------------------------------------------------------------
+    # lazy request scheduler
+    # ------------------------------------------------------------------
+
+    def _activate_request(self, req: RenameRequest) -> None:
+        """Schedule *req* for a step: same cycle if we are inside the
+        request pass and the request comes later in rid order (the event
+        kernel would still reach it this pass), next executed pass
+        otherwise."""
+        if req.done:
+            return
+        rid = req.rid
+        self._route_parked.discard(rid)
+        if self._in_req_pass and rid > self._cur_rid:
+            heapq.heappush(self._req_extra, rid)
+        else:
+            self._req_act.add(rid)
+
+    def _timed(self, req: RenameRequest, cycle: int) -> None:
+        req._vtimed = cycle
+        heapq.heappush(self._req_timed, (cycle, req.rid))
+
+    def _wrapper(self, req: RenameRequest) -> _ReqWaiter:
+        wrapper = self._req_wrappers.get(req.rid)
+        if wrapper is None:
+            wrapper = self._req_wrappers[req.rid] = _ReqWaiter(self, req)
+        return wrapper
+
+    def send_reg_request(self, sec: SectionState, reg: str, cell: Cell,
+                         now: int) -> None:
+        super().send_reg_request(sec, reg, cell, now)
+        self._admit(self.requests[-1], now)
+
+    def send_mem_request(self, sec: SectionState, addr: int, cell: Cell,
+                         now: int) -> None:
+        super().send_mem_request(sec, addr, cell, now)
+        self._admit(self.requests[-1], now)
+
+    def _admit(self, req: RenameRequest, now: int) -> None:
+        req._vstep = -1
+        req._vtimed = -1
+        self._live_requests += 1
+        # Issued during a core pass; first steps at wake_cycle = now + 1,
+        # exactly when the event kernel's full sweep first advances it.
+        self._timed(req, req.wake_cycle)
+
+    def _request_pass(self, now: int) -> None:
+        requests = self.requests
+        timed = self._req_timed
+        act = self._req_act
+        while timed and timed[0][0] <= now:
+            cycle, rid = heapq.heappop(timed)
+            req = requests[rid]
+            if req.done or req._vtimed != cycle:
+                continue        # stale entry superseded by a re-schedule
+            act.add(rid)
+        if not act:
+            return
+        self._req_act = set()
+        agenda = sorted(act)
+        extra = self._req_extra
+        self._in_req_pass = True
+        k = 0
+        n = len(agenda)
+        while k < n or extra:
+            if extra and (k >= n or extra[0] < agenda[k]):
+                rid = heapq.heappop(extra)
+            else:
+                rid = agenda[k]
+                k += 1
+            req = requests[rid]
+            if req.done or req._vstep == now:
+                continue        # at most one step per request per cycle
+            req._vstep = now
+            self._cur_rid = rid
+            desc = self._step_request(req, now)
+            self._classify(req, desc, now)
+        self._in_req_pass = False
+        self._cur_rid = -1
+
+    def _classify(self, req: RenameRequest, desc: Any, now: int) -> None:
+        """File the post-step request under its wake source.  Mirrors the
+        eight states ``_step_request`` can leave a request in; every
+        parked state has a registered wake, so no step the event kernel
+        would execute as a state *change* is ever missed (skipped steps
+        are exactly its no-op re-checks)."""
+        if req.done:
+            self._live_requests -= 1
+            return
+        if req.reply_cycle is not None:
+            self._timed(req, req.reply_cycle)
+            return
+        if req.hit_cell is not None:
+            if req.hit_cell.ready:
+                self._timed(req, now + 1)
+            else:
+                req.hit_cell.add_waiter(self._wrapper(req))
+            return
+        if desc is not None:
+            if isinstance(desc, Cell):
+                # Coalescing behind an in-flight line import: re-check
+                # when the import fills or the word lands in the MAAT.
+                self._park_on_section(req, req.at_section,
+                                      ("line", req.addr))
+            elif req.use_shortcut and req.cut_index >= 0:
+                self._park_on_section(req, desc, ("cut", req.cut_index))
+            elif req.kind == "reg":
+                self._park_on_section(req, desc, "fetch_done")
+            else:
+                self._park_on_section(req, desc, "mem_final")
+            self._route_parked.add(req.rid)
+            return
+        if req.wake_cycle > now:
+            self._timed(req, req.wake_cycle)
+        else:
+            self._timed(req, now + 1)
+
+    def _park_on_section(self, req: RenameRequest, sec: SectionState,
+                         tag: Tag) -> None:
+        waiters = sec.req_waiters
+        if waiters is None:
+            waiters = sec.req_waiters = []
+        for existing_tag, existing in waiters:
+            if existing is req and existing_tag == tag:
+                return
+        waiters.append((tag, req))
+
+    def _tag_true(self, sec: SectionState, tag: Tag) -> bool:
+        if tag == "fetch_done":
+            return sec.fetch_done
+        if tag == "mem_final":
+            return sec.fetch_done and sec.stores_pending == 0
+        kind, arg = tag
+        if kind == "cut":
+            # Composite on purpose: a fail-stop redispatch can clear the
+            # ARQ without the cut being renamed yet, so both halves must
+            # be re-checked together at every notify.
+            return (sec.renamed_count > arg
+                    and (not sec.arq or sec.arq[0].index >= arg))
+        # "line": the coalesced import filled, or the word itself landed
+        # in the MAAT (a store renamed it or the line was installed).
+        return (self._pending_line_import(sec, arg) is None
+                or sec.maat.get(arg) is not None)
+
+    def section_event(self, sec: SectionState) -> None:
+        """A request-visible state component of *sec* flipped: fire every
+        parked waiter whose condition now holds (see the notify sites in
+        core.py and processor.py)."""
+        waiters = sec.req_waiters
+        if not waiters:
+            return
+        keep: List[Tuple[Tag, RenameRequest]] = []
+        for tag, req in waiters:
+            if req.done:
+                continue
+            if self._tag_true(sec, tag):
+                self._activate_request(req)
+            else:
+                keep.append((tag, req))
+        sec.req_waiters = keep or None
+
+    def fork_section(self, parent: SectionState, dyn: DynInstr,
+                     now: int) -> SectionState:
+        inserted = len(self.sections)
+        sec = super().fork_section(parent, dyn, now)
+        if len(self.sections) != inserted and self._route_parked:
+            # The total order changed: every parked request's backward
+            # walk may now route through the new section.  Forks happen
+            # during the core pass, so the re-steps land next cycle —
+            # exactly when the event kernel's sweep re-routes them.
+            for rid in sorted(self._route_parked):
+                self._activate_request(self.requests[rid])
+        return sec
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def occupancy_matrix(self) -> "np.ndarray":
+        """The chip-wide ``(n_cores, 4)`` occupancy plane, folded from
+        the per-core counter lists (CORE_STATES column order)."""
+        for core in self.cores:
+            self._occ_matrix[core.id] = core.occ
+        return self._occ_matrix
+
+    def _result(self) -> Any:
+        self.occupancy_matrix()
+        return super()._result()
+
+    def final_state(self) -> Tuple[Dict[str, int], Dict[int, int]]:
+        """Architectural fold, reading FULL values straight out of the
+        register table's value plane (one row slice per section) instead
+        of walking the dict — the state plane tells the two apart."""
+        regs = dict(self.initial_regs)
+        memory = dict(self.dmh)
+        table = self._regtable
+        for sec in self.order:
+            fregs = sec.fregs
+            if isinstance(fregs, RegFileSoA):
+                row_state = table.state[fregs.row]
+                row_values = table.values[fregs.row]
+                for col in np.flatnonzero(row_state == FULL):
+                    regs[ALL_REGS[col]] = int(row_values[col])
+                for col in np.flatnonzero(row_state == PENDING):
+                    reg = ALL_REGS[col]
+                    entry = dict.__getitem__(fregs, reg)
+                    regs[reg] = entry.value
+            else:       # pragma: no cover - defensive
+                for reg, entry in fregs.items():
+                    regs[reg] = (entry.value if isinstance(entry, Cell)
+                                 else entry)
+            for addr, cell in sec.maat.items():
+                if not cell.is_import:
+                    memory[addr] = cell.value
+        return regs, memory

@@ -63,6 +63,7 @@ _configs = st.builds(
     stack_shortcut=st.booleans(),
     line_bytes=st.sampled_from([8, 16, 64, 128]),
     event_driven=st.booleans(),
+    kernel=st.sampled_from([None, "naive", "event", "vector"]),
     trace=st.booleans(),
     events=st.booleans(),
     max_cycles=st.integers(min_value=1000, max_value=2_000_000),
@@ -118,3 +119,27 @@ class TestRejection:
         payload["placement"] = "astrology"
         with pytest.raises(ValueError):
             SimConfig.from_dict(payload)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="turbo"):
+            SimConfig(kernel="turbo")
+
+
+class TestKernelCoherence:
+    """``kernel`` and the legacy ``event_driven`` flag must serialize as a
+    coherent pair: an explicit kernel wins and re-syncs the flag, a None
+    kernel derives from the flag, and both survive the wire format."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(kernel=st.sampled_from([None, "naive", "event", "vector"]),
+           event_driven=st.booleans())
+    def test_pair_is_coherent_and_roundtrips(self, kernel, event_driven):
+        config = SimConfig(kernel=kernel, event_driven=event_driven)
+        if kernel is None:
+            assert config.kernel == ("event" if event_driven else "naive")
+        else:
+            assert config.kernel == kernel
+            assert config.event_driven == (kernel != "naive")
+        clone = SimConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.kernel == config.kernel

@@ -1,0 +1,168 @@
+"""Three-way differential harness: naive vs event vs vector kernels.
+
+The vectorized struct-of-arrays kernel replaces the per-core Python
+bookkeeping with chip-wide numpy planes and a lazy request scheduler,
+but it must remain a pure wall-clock optimization: every Table 1
+workload is driven through all three kernels, fault-free and under a
+mixed chaos plan (drops, spikes, jitter, lost acks, two mid-run
+fail-stops), and the runs must agree bit-for-bit on every architectural
+and micro-architectural outcome — cycle counts, outputs, final state,
+request statistics, occupancy histograms, the structured event stream,
+and the fault counters.  A scheduling bug in the vector kernel (a stale
+heap entry, a missed cell wake-up, a request stepped twice) shows up
+here as a field mismatch naming the kernel and the workload.
+"""
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.faults import CoreDeath, FaultPlan
+from repro.fork import fork_transform
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+from repro.workloads import WORKLOADS, get_workload
+
+ALL_SHORTS = [w.short for w in WORKLOADS]
+
+#: every SimResult field with cross-kernel meaning must match bit-for-bit
+COMPARED_FIELDS = (
+    "cycles", "instructions", "sections", "outputs", "final_regs",
+    "final_memory", "fetch_end", "retire_end", "fetch_computed",
+    "requests", "request_hops", "per_core_instructions",
+    "request_latencies", "core_occupancy", "section_occupancy",
+    "noc_stats", "trace", "events", "stall_causes", "fault_stats",
+)
+
+N_CORES = 8
+
+#: the mixed chaos plan (mirrors tests/faults/test_differential.py):
+#: drops with a tight retry ladder, random spikes, slow-core jitter,
+#: lost acks — deaths are added per workload from the fault-free length
+CHAOS = dict(seed=2015, drop_rate=0.08, spike_rate=0.05, jitter_rate=0.03,
+             ack_loss_rate=0.08, retry_timeout=2, backoff_cap=16)
+
+
+@functools.lru_cache(maxsize=None)
+def _program(short):
+    inst = get_workload(short).instance(scale=0, seed=1)
+    return fork_transform(inst.program)
+
+
+@functools.lru_cache(maxsize=None)
+def _fault_free(short, kernel):
+    result, _ = simulate(_program(short), SimConfig(
+        n_cores=N_CORES, kernel=kernel, events=True, trace=True))
+    return result
+
+
+@functools.lru_cache(maxsize=None)
+def _chaos_plan(short):
+    base = _fault_free(short, "naive")
+    deaths = (CoreDeath(core=N_CORES - 1, cycle=max(1, base.cycles // 4)),
+              CoreDeath(core=N_CORES - 2, cycle=max(2, base.cycles // 2)))
+    return FaultPlan(deaths=deaths, **CHAOS)
+
+
+@functools.lru_cache(maxsize=None)
+def _chaotic(short, kernel):
+    result, _ = simulate(_program(short), SimConfig(
+        n_cores=N_CORES, kernel=kernel, events=True,
+        faults=_chaos_plan(short)))
+    return result
+
+
+def _assert_fields_equal(res, ref, kernel, short):
+    for name in COMPARED_FIELDS:
+        assert getattr(res, name) == getattr(ref, name), (
+            "field %r differs between the %s and naive kernels on %s"
+            % (name, kernel, short))
+
+
+class TestFaultFreeThreeWay:
+    @pytest.mark.parametrize("kernel", ["event", "vector"])
+    @pytest.mark.parametrize("short", ALL_SHORTS)
+    def test_kernels_identical(self, short, kernel):
+        ref = _fault_free(short, "naive")
+        res = _fault_free(short, kernel)
+        assert res.scheduler == kernel
+        _assert_fields_equal(res, ref, kernel, short)
+
+    @pytest.mark.parametrize("short", ALL_SHORTS)
+    def test_reference_is_the_workload_answer(self, short):
+        inst = get_workload(short).instance(scale=0, seed=1)
+        assert _fault_free(short, "naive").signed_outputs == \
+            inst.expected_output
+
+
+class TestChaosThreeWay:
+    @pytest.mark.parametrize("kernel", ["event", "vector"])
+    @pytest.mark.parametrize("short", ALL_SHORTS)
+    def test_kernels_identical_under_faults(self, short, kernel):
+        ref = _chaotic(short, "naive")
+        res = _chaotic(short, kernel)
+        _assert_fields_equal(res, ref, kernel, short)
+
+    @pytest.mark.parametrize("short", ALL_SHORTS)
+    def test_chaos_perturbs_timing_never_values(self, short):
+        base = _fault_free(short, "naive")
+        faulted = _chaotic(short, "vector")
+        assert faulted.outputs == base.outputs
+        assert faulted.final_memory == base.final_memory
+        assert faulted.cycles >= base.cycles
+        assert faulted.fault_stats["deaths"] == 2
+
+
+# -- randomized programs × randomized configs ---------------------------------
+
+_values = st.lists(st.integers(min_value=-40, max_value=40),
+                   min_size=4, max_size=8)
+
+
+def _reduce_program(values, op, fanout):
+    body = {"+": "a + b", "^": "a ^ b", "min": "a < b ? a : b"}[op]
+    return """
+    long A[%d] = {%s};
+    long combine(long a, long b) { return %s; }
+    long red(long* t, long k) {
+        if (k == 1) return t[0];
+        long cut = k / %d == 0 ? 1 : k / %d;
+        return combine(red(t, cut), red(t + cut, k - cut));
+    }
+    long main() { out(red(A, %d)); return 0; }
+    """ % (len(values), ", ".join(str(v) for v in values), body,
+           fanout, fanout, len(values))
+
+
+class TestRandomizedCrossKernel:
+    """Random small programs under random configuration draws: every
+    kernel must agree after the config has been through its canonical
+    wire format (the batch runner always ships configs as dicts, so the
+    agreement must hold for the deserialized config, not just the
+    directly-constructed one)."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_values, op=st.sampled_from(["+", "^", "min"]),
+           fanout=st.integers(min_value=2, max_value=3),
+           n_cores=st.sampled_from([1, 4, 9]),
+           topology=st.sampled_from(["uniform", "mesh"]),
+           fetch_width=st.integers(min_value=1, max_value=3),
+           shortcut=st.booleans())
+    def test_random_programs_agree(self, values, op, fanout, n_cores,
+                                   topology, fetch_width, shortcut):
+        prog = compile_source(_reduce_program(values, op, fanout),
+                              fork_mode=True)
+        knobs = dict(n_cores=n_cores, topology=topology,
+                     fetch_width=fetch_width, stack_shortcut=shortcut,
+                     events=True)
+        results = {}
+        for kernel in ("naive", "event", "vector"):
+            config = SimConfig.from_dict(
+                SimConfig(kernel=kernel, **knobs).to_dict())
+            assert config.kernel == kernel
+            results[kernel], _ = simulate(prog, config)
+        for kernel in ("event", "vector"):
+            _assert_fields_equal(results[kernel], results["naive"],
+                                 kernel, "random program")
