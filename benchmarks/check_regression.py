@@ -29,6 +29,12 @@ Usage::
 ``--full`` additionally replays the (slower) Table 1 sweep behind
 ``BENCH_workloads_on_sim.json``; ``--update`` rewrites the baselines in
 place instead of failing (the deliberate re-baseline path).
+
+Every gating run (pass or fail, but not ``--update``) also appends one
+normalized row — speedups, cycle totals, cache hit rate, host-metrics
+digest — to ``benchmarks/results/TRAJECTORY.jsonl`` via
+:mod:`trajectory`, building a machine-readable perf history of the repo.
+``--no-trajectory`` opts out.
 """
 
 from __future__ import annotations
@@ -149,13 +155,15 @@ def run_fast_path(rounds: int = 3) -> dict:
             "floor_speedup": min(round_speedups)}
 
 
-def check_fast_path(gate: Gate, tolerance: float, update: bool) -> None:
+def check_fast_path(gate: Gate, tolerance: float, update: bool) -> dict:
+    """Gate the fast-path matrix; returns the fresh measurement dict so
+    main() can fold it into the trajectory row."""
     print("fast path (BENCH_scheduler_fast_path.json):")
     baseline = _load("scheduler_fast_path")
     fresh = run_fast_path()
     if update:
         _save("scheduler_fast_path", fresh)
-        return
+        return fresh
     base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
     for record in fresh["workloads"]:
         base = base_by_name.get(record["benchmark"])
@@ -179,6 +187,7 @@ def check_fast_path(gate: Gate, tolerance: float, update: bool) -> None:
         "event/naive speedup %.2fx >= %.2fx "
         "(baseline floor %.2fx within %.0f%% tolerance)"
         % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
+    return fresh
 
 
 def run_vector_kernel(rounds: int = 2) -> dict:
@@ -226,7 +235,9 @@ def run_vector_kernel(rounds: int = 2) -> dict:
             "floor_speedup": min(round_speedups)}
 
 
-def check_vector_kernel(gate: Gate, tolerance: float, update: bool) -> None:
+def check_vector_kernel(gate: Gate, tolerance: float, update: bool) -> dict:
+    """Gate the vector kernel; returns the fresh measurement dict so
+    main() can fold it into the trajectory row."""
     print("vector kernel (BENCH_vector_kernel.json):")
     baseline = _load("vector_kernel")
     # the ISSUE-level contract on the committed artifact: the full
@@ -245,7 +256,7 @@ def check_vector_kernel(gate: Gate, tolerance: float, update: bool) -> None:
             "floor_speedup": fresh["floor_speedup"],
         }
         _save("vector_kernel", baseline)
-        return
+        return fresh
     base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
     for record in fresh["workloads"]:
         base = base_by_name.get(record["benchmark"])
@@ -273,6 +284,7 @@ def check_vector_kernel(gate: Gate, tolerance: float, update: bool) -> None:
         "vector/naive subset speedup %.2fx >= %.2fx "
         "(baseline floor %.2fx within %.0f%% tolerance)"
         % (fresh["aggregate_speedup"], required, floor, 100 * tolerance))
+    return fresh
 
 
 def run_workload_sweep(pool_size=None, cache_dir=None) -> dict:
@@ -314,11 +326,12 @@ def run_workload_sweep(pool_size=None, cache_dir=None) -> dict:
             "fetch_end_1": one["fetch_end"],
             "fetch_end_32": many["fetch_end"],
         })
-    return {"workloads": records}
+    return {"workloads": records, "report": report}
 
 
-def check_workload_sweep(gate: Gate, pool_size=None,
-                         cache_dir=None) -> None:
+def check_workload_sweep(gate: Gate, pool_size=None, cache_dir=None):
+    """Gate the Table 1 sweep; returns the BatchReport (host-domain
+    telemetry + cache stats) for the trajectory row."""
     print("workload sweep (BENCH_workloads_on_sim.json):")
     baseline = _load("workloads_on_sim")
     base_by_name = {r["benchmark"]: r for r in baseline["workloads"]}
@@ -333,6 +346,7 @@ def check_workload_sweep(gate: Gate, pool_size=None,
                     "fetch_end_1", "fetch_end_32"):
             gate.exact("%s %s" % (record["benchmark"], key),
                        record[key], base[key])
+    return sweep["report"]
 
 
 def check_artifact_census(gate: Gate) -> None:
@@ -371,15 +385,31 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="result cache for the --full sweep (timing "
                              "checks never use it)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip appending a row to "
+                             "benchmarks/results/TRAJECTORY.jsonl")
     args = parser.parse_args(argv)
 
     gate = Gate()
     check_artifact_census(gate)
-    check_fast_path(gate, args.tolerance, args.update)
-    check_vector_kernel(gate, args.tolerance, args.update)
+    fast_path = check_fast_path(gate, args.tolerance, args.update)
+    vector = check_vector_kernel(gate, args.tolerance, args.update)
+    sweep_report = None
     if args.full and not args.update:
-        check_workload_sweep(gate, pool_size=args.jobs,
-                             cache_dir=args.cache_dir)
+        sweep_report = check_workload_sweep(gate, pool_size=args.jobs,
+                                            cache_dir=args.cache_dir)
+    # record the run in the perf-trajectory history (pass AND fail rows
+    # both matter; --update rewrites baselines so its measurements are
+    # not comparable and are skipped)
+    if not args.update and not args.no_trajectory:
+        import trajectory
+        row = trajectory.build_row(
+            passed=not gate.failures, failures=gate.failures,
+            fast_path=fast_path, vector=vector,
+            sweep_report=sweep_report, tolerance=args.tolerance)
+        path = trajectory.append_row(row)
+        print("  [trajectory: row %d appended to %s]"
+              % (len(trajectory.load_rows(path)), path.name))
     if gate.failures:
         print("\nregression gate FAILED (%d):" % len(gate.failures))
         for failure in gate.failures:

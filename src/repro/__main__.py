@@ -14,6 +14,11 @@ Commands:
                         trace-event / Perfetto JSON (ui.perfetto.dev).
 * ``analyze FILE``    — simulate with event tracing and print the
                         stall-cause breakdown + critical-path report.
+* ``metrics FILE``    — simulate with windowed cycle-domain metrics
+                        (:mod:`repro.obs.metrics`) and print the series
+                        as JSON, or as Prometheus text with ``--prom``.
+                        ``--metrics W`` on simulate/stats folds the same
+                        series into their runs.
 * ``compile FILE``    — compile MiniC to assembly text (stdout).
 * ``transform FILE``  — apply the call→fork transformation; print the
                         rewritten listing.
@@ -63,6 +68,13 @@ from . import __version__, api
 from .errors import ReproError
 from .faults import FaultPlan
 from .workloads import WORKLOADS
+
+#: version of the CLI's machine-readable envelopes (``stats --json`` and
+#: ``repro metrics`` carry it as ``schema_version``) so dashboards and
+#: trajectory rows can gate on format changes.  Distinct from the batch
+#: engine's cache SCHEMA_VERSION — bumping this must never invalidate
+#: cached results.
+CLI_SCHEMA_VERSION = 1
 
 
 def _load_program(path: str, fork: bool, fork_loops: bool):
@@ -121,6 +133,7 @@ def _sim_config(args, **extra):
         trace=bool(getattr(args, "trace", False)),
         events=(bool(getattr(args, "events", False))
                 or bool(getattr(args, "chrome_trace", None))),
+        metrics_window=getattr(args, "metrics", None),
         faults=faults)
     options.update(extra)
     return SimConfig(**options)
@@ -147,12 +160,24 @@ def _finish_sim(args, result) -> None:
         _write_chrome_trace(result, args.chrome_trace)
 
 
+def _metrics_summary(metrics) -> str:
+    """One-line digest of a cycle-domain metrics dict."""
+    totals = metrics["totals"]
+    return ("metrics: %d windows of %d cycles  retired=%d forks=%d "
+            "noc_messages=%d drops=%d retries=%d redispatches=%d"
+            % (metrics["windows"], metrics["window"], totals["retired"],
+               totals["forks"], totals["noc_messages"], totals["drops"],
+               totals["retries"], totals["redispatches"]))
+
+
 def cmd_simulate(args) -> int:
     run = _simulate_cmd(args)
     result = run.result
     for value in result.signed_outputs:
         print(value)
     print("# " + result.describe())
+    if result.metrics is not None:
+        print("# " + _metrics_summary(result.metrics))
     if args.timing:
         print(run.processor.timing_table())
     _finish_sim(args, result)
@@ -167,6 +192,7 @@ def cmd_stats(args) -> int:
         payload = result.to_json_dict(include_memory=args.memory,
                                       include_trace=args.trace,
                                       include_events=args.events)
+        payload["schema_version"] = CLI_SCHEMA_VERSION
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
@@ -190,9 +216,28 @@ def cmd_stats(args) -> int:
     if result.fault_stats is not None:
         print("faults: " + "  ".join(
             "%s=%d" % kv for kv in sorted(result.fault_stats.items())))
+    if result.metrics is not None:
+        print(_metrics_summary(result.metrics))
     if args.trace and result.trace is not None:
         for core_id, row in enumerate(result.trace):
             print("core %2d: %s" % (core_id, row))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Simulate with cycle-domain metrics on and export the series."""
+    window = getattr(args, "metrics", None) or args.window
+    result = _simulate_cmd(args, metrics_window=window).result
+    _finish_sim(args, result)
+    metrics = result.metrics or {}
+    if args.prom:
+        from .obs import cycle_metrics_to_registry
+        sys.stdout.write(cycle_metrics_to_registry(metrics)
+                         .render_prometheus())
+        return 0
+    # the metrics dict carries its own schema_version (METRICS_SCHEMA_VERSION)
+    json.dump(metrics, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
     return 0
 
 
@@ -312,6 +357,10 @@ def cmd_batch(args) -> int:
         sys.stdout.write("\n")
     else:
         print("# " + report.summary())
+        if args.metrics and report.host_metrics is not None:
+            json.dump(report.host_metrics, sys.stdout, indent=2,
+                      sort_keys=True)
+            sys.stdout.write("\n")
         for outcome in report.failures:
             print("error: job %s failed: %s"
                   % (outcome.job_id, outcome.error), file=sys.stderr)
@@ -421,6 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
                  "redispatch_latency)")
         cmd.add_argument("--chrome-trace", metavar="OUT.json",
                          help="also write a Chrome trace-event JSON")
+        cmd.add_argument("--metrics", type=int, default=None, metavar="W",
+                         help="collect windowed cycle-domain metrics, one "
+                              "sample window every W cycles (carried in "
+                              "the result; exported by stats --json)")
 
     sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
     add_sim_options(sim)
@@ -457,6 +510,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--per-core", action="store_true",
                          help="print the per-core stall-cause breakdown")
     analyze.set_defaults(func=cmd_analyze)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="simulate and export windowed cycle-domain metrics")
+    add_sim_options(metrics)
+    metrics.add_argument("--window", type=int, default=100, metavar="W",
+                         help="sampling window in cycles (default: 100; "
+                              "--metrics overrides)")
+    metrics.add_argument("--prom", action="store_true",
+                         help="Prometheus text exposition instead of JSON")
+    metrics.set_defaults(func=cmd_metrics)
 
     comp = sub.add_parser("compile", help="compile MiniC to assembly")
     comp.add_argument("file")
@@ -508,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the full batch report as JSON")
     batch.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    batch.add_argument("--metrics", action="store_true",
+                       help="print host-domain engine telemetry (phase "
+                            "timings, cache counters, pool utilization) "
+                            "after the summary")
     batch.set_defaults(func=cmd_batch)
 
     chaos = sub.add_parser(

@@ -19,6 +19,13 @@ Three layers, all built on one structured event stream:
   as flow arrows) and a terminal critical-path report
   (:mod:`repro.obs.critical`), wired into the CLI as ``repro trace`` and
   ``repro analyze``.
+* **typed metrics** (:mod:`repro.obs.metrics`) — counters, gauges,
+  fixed-bucket histograms and windowed time-series in two strictly
+  separated domains: deterministic *cycle-domain* series derived
+  post-hoc from a finished run (bit-identical across all three kernels;
+  :attr:`repro.sim.SimConfig.metrics_window`) and wall-clock
+  *host-domain* telemetry of the batch engine.  Exported as JSON
+  (``repro metrics``) and Prometheus text exposition.
 
 Design rule: nothing in this package imports :mod:`repro.sim` at module
 level (the simulator imports us), so every module here works on duck-typed
@@ -30,13 +37,22 @@ from .critical import critical_path, render_critical_path
 from .events import (EVENT_KINDS, EventTrace, collect_requests,
                      collect_sections, events_to_json, request_what_str,
                      synthesize_core_events)
+from .metrics import (CYCLE_DOMAIN, HOST_DOMAIN, METRICS_SCHEMA_VERSION,
+                      Counter, Gauge, Histogram, MetricsRegistry,
+                      TimeSeries, cycle_metrics_to_registry,
+                      derive_cycle_metrics, merge_series,
+                      render_prometheus, state_series)
 from .stalls import (STALL_CAUSES, attribute_stalls, live_request_cause,
                      stall_diagnostic, summarize_causes)
 
 __all__ = [
-    "EVENT_KINDS", "EventTrace", "STALL_CAUSES", "attribute_stalls",
+    "CYCLE_DOMAIN", "Counter", "EVENT_KINDS", "EventTrace", "Gauge",
+    "HOST_DOMAIN", "Histogram", "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry", "STALL_CAUSES", "TimeSeries", "attribute_stalls",
     "collect_requests", "collect_sections", "critical_path",
-    "events_to_json", "live_request_cause", "render_critical_path",
-    "request_what_str", "stall_diagnostic", "summarize_causes",
-    "synthesize_core_events", "to_chrome_trace",
+    "cycle_metrics_to_registry", "derive_cycle_metrics", "events_to_json",
+    "live_request_cause", "merge_series", "render_critical_path",
+    "render_prometheus", "request_what_str", "stall_diagnostic",
+    "state_series", "summarize_causes", "synthesize_core_events",
+    "to_chrome_trace",
 ]

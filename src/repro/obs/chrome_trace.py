@@ -12,19 +12,23 @@ Open the produced JSON at https://ui.perfetto.dev (or chrome://tracing):
   cutting across cores, plus an async span on the requester core for its
   issue-to-fill lifetime;
 * **DMH reads** are instants on the requester track, and two counter
-  tracks show running (non-stalled) cores and retirements per cycle.
+  tracks show running (non-stalled) cores and retirements per cycle;
+* runs with :attr:`repro.sim.SimConfig.metrics_window` set additionally
+  get **windowed counter tracks** (retired/window, per-link NoC message
+  and drop counts) from the cycle-domain metrics dict.
 
 Timestamps are simulated cycles (1 cycle = 1 "microsecond" in the viewer).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from .events import collect_requests, collect_sections, request_what_str
 
 
-def to_chrome_trace(result, title: str = "repro simulation") -> dict:
+def to_chrome_trace(result: Any,
+                    title: str = "repro simulation") -> Dict[str, Any]:
     """Render ``result.events`` (a run with ``SimConfig.events=True``) as a
     Chrome trace-event JSON object (``{"traceEvents": [...], ...}``)."""
     if result.events is None:
@@ -34,7 +38,7 @@ def to_chrome_trace(result, title: str = "repro simulation") -> dict:
     events = result.events
     sections = collect_sections(events)
     requests = collect_requests(events)
-    out: List[dict] = []
+    out: List[Dict[str, Any]] = []
 
     n_cores = len(result.per_core_instructions)
     for core in range(n_cores):
@@ -127,6 +131,27 @@ def to_chrome_trace(result, title: str = "repro simulation") -> dict:
     for cycle in sorted(retired_per_cycle):
         out.append({"ph": "C", "pid": 0, "name": "retired/cycle",
                     "ts": cycle, "args": {"count": retired_per_cycle[cycle]}})
+
+    # -- windowed cycle-domain metrics as counter tracks --------------------
+    # (runs with SimConfig.metrics_window set): per-link NoC traffic next
+    # to the per-cycle counters above, one sample per window at its
+    # opening cycle; drop/retry tracks only where faults actually hit
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None:
+        window = metrics["window"]
+        for w, value in enumerate(metrics["series"]["retired"]):
+            out.append({"ph": "C", "pid": 0, "name": "retired/window",
+                        "ts": w * window, "args": {"count": value}})
+        for link in sorted(metrics["links"]):
+            entry = metrics["links"][link]
+            for w, value in enumerate(entry["messages"]):
+                out.append({"ph": "C", "pid": 0, "name": "noc %s" % link,
+                            "ts": w * window, "args": {"messages": value}})
+            if sum(entry["drops"]):
+                for w, value in enumerate(entry["drops"]):
+                    out.append({"ph": "C", "pid": 0,
+                                "name": "noc %s drops" % link,
+                                "ts": w * window, "args": {"drops": value}})
 
     return {
         "traceEvents": out,

@@ -18,12 +18,12 @@ the binding one.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from .events import collect_requests, collect_sections, request_what_str
 
 
-def critical_path(result) -> List[dict]:
+def critical_path(result: Any) -> List[Dict[str, Any]]:
     """Extract the greedy last-producer chain from ``result.events``.
 
     Returns a list of step dicts, most-recent first.  Step kinds:
@@ -39,7 +39,7 @@ def critical_path(result) -> List[dict]:
             "SimConfig(events=True) (CLI: repro analyze)")
     sections = collect_sections(result.events)
     requests = collect_requests(result.events)
-    by_sid: Dict[int, List[dict]] = {}
+    by_sid: Dict[int, List[Dict[str, Any]]] = {}
     for req in requests.values():
         by_sid.setdefault(req["sid"], []).append(req)
 
@@ -48,8 +48,8 @@ def critical_path(result) -> List[dict]:
         return []
     current = max(finished, key=lambda s: (s["complete"], s["sid"]))
 
-    steps: List[dict] = []
-    seen = set()
+    steps: List[Dict[str, Any]] = []
+    seen: Set[int] = set()
     while current["sid"] not in seen:
         seen.add(current["sid"])
         start = (current["start"] if current["start"] is not None
@@ -62,7 +62,7 @@ def critical_path(result) -> List[dict]:
                                 else result.cycles)})
         filled = [r for r in by_sid.get(current["sid"], [])
                   if r["fill"] is not None]
-        nxt = None
+        nxt: Optional[Dict[str, Any]] = None
         if filled:
             last = max(filled, key=lambda r: (r["fill"], r["rid"]))
             if last["fill"] > start:
@@ -91,8 +91,10 @@ def critical_path(result) -> List[dict]:
     return steps
 
 
-def render_critical_path(steps, total_cycles: int) -> str:
+def render_critical_path(steps: Iterable[Dict[str, Any]],
+                         total_cycles: int) -> str:
     """Human-readable rendering of :func:`critical_path` output."""
+    steps = list(steps)
     if not steps:
         return "critical path: no completed sections (run still in flight?)"
     lines = ["critical path (greedy last-producer walk, run = %d cycles):"

@@ -44,7 +44,7 @@ state timeline is what keeps the two streams equal.
 
 from __future__ import annotations
 
-from typing import (Any, Dict, FrozenSet, Iterable, List, Optional, Set,
+from typing import (Any, Dict, FrozenSet, Iterable, List, Sequence, Set,
                     Tuple)
 
 #: every event kind the simulator can emit, in rough pipeline order
@@ -57,7 +57,7 @@ EVENT_KINDS = (
     "fault_injected", "msg_retry", "section_redispatch", "core_dead",
 )
 
-Event = Tuple[int, str, dict]
+Event = Tuple[int, str, Dict[str, Any]]
 
 
 class EventTrace:
@@ -70,17 +70,18 @@ class EventTrace:
 
     __slots__ = ("events",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.events: List[Event] = []
 
-    def emit(self, cycle: int, kind: str, /, **fields) -> None:
+    def emit(self, cycle: int, kind: str, /, **fields: Any) -> None:
         # positional-only so a field may itself be named "kind"
         # (request_issue carries kind="reg"/"mem")
         self.events.append((cycle, kind, fields))
 
 
-def synthesize_core_events(states_per_core, state_names,
-                           stalled_states) -> List[Event]:
+def synthesize_core_events(states_per_core: Sequence[Sequence[int]],
+                           state_names: Sequence[str],
+                           stalled_states: Iterable[int]) -> List[Event]:
     """Derive ``core_park`` / ``core_wake`` events from the per-cycle state
     timeline (state index ``i`` is cycle ``i + 1``).
 
@@ -107,11 +108,11 @@ def synthesize_core_events(states_per_core, state_names,
     return events
 
 
-def events_to_json(events) -> List[dict]:
+def events_to_json(events: Iterable[Event]) -> List[Dict[str, Any]]:
     """Flatten ``(cycle, kind, fields)`` tuples for JSON export."""
-    out = []
+    out: List[Dict[str, Any]] = []
     for cycle, kind, fields in events:
-        record = {"cycle": cycle, "kind": kind}
+        record: Dict[str, Any] = {"cycle": cycle, "kind": kind}
         record.update(fields)
         out.append(record)
     return out
@@ -122,7 +123,8 @@ def events_to_json(events) -> List[dict]:
 # section / request timelines from the stream instead of poking sim state
 # ---------------------------------------------------------------------------
 
-def collect_sections(events) -> Dict[int, dict]:
+def collect_sections(events: Iterable[Event]
+                     ) -> Dict[int, Dict[str, Any]]:
     """Section timeline keyed by sid: ``core``, ``created``,
     ``first_fetch``, ``start`` (first fetched cycle or None), ``complete``
     (completion cycle or None) and ``parent`` (None for the root).
@@ -130,7 +132,7 @@ def collect_sections(events) -> Dict[int, dict]:
     The root section (sid 1, core 0) exists before any event fires, so it
     is seeded here rather than discovered.
     """
-    sections: Dict[int, dict] = {
+    sections: Dict[int, Dict[str, Any]] = {
         1: {"sid": 1, "core": 0, "created": 0, "first_fetch": 1,
             "start": None, "complete": None, "parent": None},
     }
@@ -154,7 +156,8 @@ def collect_sections(events) -> Dict[int, dict]:
     return sections
 
 
-def collect_requests(events) -> Dict[int, dict]:
+def collect_requests(events: Iterable[Event]
+                     ) -> Dict[int, Dict[str, Any]]:
     """Renaming-request timelines keyed by rid.
 
     Each entry carries ``sid``/``kind``/``what``/``issue``/``fill`` plus:
@@ -167,7 +170,7 @@ def collect_requests(events) -> Dict[int, dict]:
     * ``dmh`` — answered by the data memory hierarchy;
     * ``hops`` — section-to-section hops walked.
     """
-    requests: Dict[int, dict] = {}
+    requests: Dict[int, Dict[str, Any]] = {}
     for cycle, kind, f in events:
         if kind == "request_issue":
             requests[f["rid"]] = {
@@ -210,7 +213,8 @@ def collect_requests(events) -> Dict[int, dict]:
     return requests
 
 
-def collect_fault_windows(events) -> Dict[int, List[Tuple[int, int]]]:
+def collect_fault_windows(events: Iterable[Event]
+                          ) -> Dict[int, List[Tuple[int, int]]]:
     """Per-section fault-recovery windows ``(s, e]``, keyed by sid.
 
     A ``section_redispatch`` opens the dead time between the fail-stop and
@@ -231,9 +235,8 @@ def collect_fault_windows(events) -> Dict[int, List[Tuple[int, int]]]:
     return windows
 
 
-def collect_reg_requests(
-        events: "Iterable[Tuple[int, str, Dict[str, Any]]]"
-) -> Dict[int, FrozenSet[str]]:
+def collect_reg_requests(events: Iterable[Event]
+                         ) -> Dict[int, FrozenSet[str]]:
     """Per-section cross-section *register* requests: sid -> the register
     names the section requested through the renaming network
     (``request_issue`` events of kind ``"reg"``).
@@ -249,6 +252,7 @@ def collect_reg_requests(
     return {sid: frozenset(regs) for sid, regs in out.items()}
 
 
-def request_what_str(req: dict) -> str:
+def request_what_str(req: Dict[str, Any]) -> str:
     """Human-readable name of what a request fetches."""
-    return req["what"] if req["kind"] == "reg" else "0x%x" % req["what"]
+    return (str(req["what"]) if req["kind"] == "reg"
+            else "0x%x" % req["what"])

@@ -42,7 +42,7 @@ now delegates to — one classifier, two consumers.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .events import collect_fault_windows, collect_requests
 
@@ -56,7 +56,7 @@ class _IntervalSet:
 
     __slots__ = ("starts", "ends")
 
-    def __init__(self, intervals):
+    def __init__(self, intervals: Iterable[Tuple[int, int]]) -> None:
         merged: List[Tuple[int, int]] = []
         for s, e in sorted(i for i in intervals if i[1] > i[0]):
             if merged and s <= merged[-1][1]:
@@ -72,7 +72,8 @@ class _IntervalSet:
         return index >= 0 and cycle <= self.ends[index]
 
 
-def _subtract(window: Tuple[int, int], cuts) -> List[Tuple[int, int]]:
+def _subtract(window: Tuple[int, int],
+              cuts: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
     """``(s, e]`` minus a list of ``(s, e]`` cuts."""
     start, end = window
     out: List[Tuple[int, int]] = []
@@ -98,8 +99,10 @@ class _SectionView:
                  "start", "fetch_set", "transit", "wait_reg", "wait_mem",
                  "load_wait", "fault")
 
-    def __init__(self, sec, horizon: int, requests: List[dict],
-                 fault_windows: Optional[List[Tuple[int, int]]] = None):
+    def __init__(self, sec: Any, horizon: int,
+                 requests: List[Dict[str, Any]],
+                 fault_windows: Optional[List[Tuple[int, int]]] = None
+                 ) -> None:
         self.sid = sec.sid
         self.core = sec.core_id
         self.created = sec.created_cycle
@@ -162,7 +165,7 @@ def _classify(views: List[_SectionView], cycle: int) -> str:
     return "wait_register"
 
 
-def attribute_stalls(proc) -> dict:
+def attribute_stalls(proc: Any) -> Dict[str, Any]:
     """Attribute every blocked/parked cycle of a finished (or deadlocked)
     run.  Requires the run to have collected events and per-cycle core
     states (``SimConfig.events`` turns both on).
@@ -173,7 +176,7 @@ def attribute_stalls(proc) -> dict:
     """
     from ..sim.stats import BLOCKED, PARKED       # at call time: no cycle
     requests = collect_requests(proc.tracer.events)
-    by_sid: Dict[int, List[dict]] = {}
+    by_sid: Dict[int, List[Dict[str, Any]]] = {}
     for req in requests.values():
         by_sid.setdefault(req["sid"], []).append(req)
     fault_windows = collect_fault_windows(proc.tracer.events)
@@ -225,7 +228,7 @@ def summarize_causes(counts: Dict[str, int]) -> str:
 # live classification — the deadlock diagnostic's view of the same taxonomy
 # ---------------------------------------------------------------------------
 
-def live_request_cause(req, now: int) -> str:
+def live_request_cause(req: Any, now: int) -> str:
     """Classify an in-flight request *right now* with the same cause names
     the attributor assigns historically."""
     if req.reply_cycle is not None:
@@ -237,13 +240,13 @@ def live_request_cause(req, now: int) -> str:
     return "wait_register" if req.kind == "reg" else "wait_memory"
 
 
-def stall_diagnostic(proc) -> str:
+def stall_diagnostic(proc: Any) -> str:
     """Describe why a run is stuck (cycle budget exhausted): the stuck
     sections plus every pending request tagged with its live stall cause.
     Shares :func:`live_request_cause` with the attributor so the deadlock
     message and the per-cycle attribution can't drift apart."""
     stuck = [sec for sec in proc.sections if not sec.complete]
-    parts = []
+    parts: List[str] = []
     for sec in stuck[:8]:
         head = sec.rob[0] if sec.rob else None
         parts.append("s%d(ip=%s, fetched=%d, renamed=%d, rob=%d, head=%s)"

@@ -29,6 +29,12 @@ class ResultCache:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: host-domain telemetry over this handle's lifetime: ``hits``,
+        #: ``misses`` (no file), ``healed`` (a file existed but was
+        #: poisoned — corrupt JSON, stale schema, key mismatch — and will
+        #: be recomputed).  Surfaced by ``repro batch`` summaries; never
+        #: part of cached payloads.
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "healed": 0}
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / (key + ".json")
@@ -37,17 +43,23 @@ class ResultCache:
         """The cached payload for *key*, or None on miss/poison."""
         path = self.path_for(key)
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.stats["misses"] += 1
             return None
-        if not isinstance(entry, dict):
+        try:
+            entry: Any = json.loads(text)
+        except ValueError:
+            entry = None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != SCHEMA_VERSION
+                or entry.get("key") != key
+                or not isinstance(payload, dict)):
+            self.stats["healed"] += 1
             return None
-        if entry.get("schema") != SCHEMA_VERSION:
-            return None
-        if entry.get("key") != key:
-            return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        self.stats["hits"] += 1
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically store *payload* under *key*; returns the entry path."""

@@ -94,6 +94,15 @@ class SimConfig:
     #: backward compatibility; an explicit kernel overrides and re-syncs
     #: ``event_driven`` so old call sites keep observing a coherent pair.
     kernel: Optional[str] = None
+    #: cycle-domain metrics (:mod:`repro.obs.metrics`): fold windowed
+    #: time-series (retire rate, running/parked cores, fork/redispatch
+    #: rates, request-queue depth, per-link NoC traffic and drop/retry
+    #: counts) into ``SimResult.metrics``, one sample window every this
+    #: many cycles.  Derived post-hoc from bit-identical run artifacts,
+    #: so all three kernels emit identical series.  None — the default —
+    #: disables collection and keeps every existing output (goldens,
+    #: cache keys, BENCH cycles) byte-identical.
+    metrics_window: Optional[int] = None
 
     def __post_init__(self):
         if self.kernel is None:
@@ -116,6 +125,9 @@ class SimConfig:
             raise ValueError("line_bytes must be a power of two >= 8")
         if self.topology not in ("uniform", "mesh"):
             raise ValueError("unknown topology %r" % (self.topology,))
+        if self.metrics_window is not None and self.metrics_window < 1:
+            raise ValueError("metrics_window must be >= 1 (got %r)"
+                             % (self.metrics_window,))
         if self.faults is not None:
             self.faults.validate(self.n_cores)
 
@@ -133,11 +145,18 @@ class SimConfig:
 
         Every field is emitted (no default elision) so the digest of the
         serialized form changes whenever any knob changes, including a
-        knob newly added with a default.
+        knob newly added with a default — with one deliberate exception:
+        ``metrics_window`` is elided when None.  The knob postdates
+        deployed content-addressed caches, and the disabled default must
+        keep every pre-metrics cache key (a sha256 over this dict)
+        byte-identical.  A *set* window is emitted, and should be:
+        metrics then ride inside cached payloads, so the key must fork.
         """
         payload: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "metrics_window" and value is None:
+                continue
             payload[spec.name] = (value.to_dict()
                                   if isinstance(value, FaultPlan) else value)
         return payload

@@ -66,14 +66,31 @@ class Processor:
         #: structured event stream (repro.obs); None keeps the hot paths
         #: at a single is-None test per instrumentation point
         self.tracer = EventTrace() if self.cfg.events else None
+        #: cycle-domain metrics (repro.obs.metrics): derived post-hoc in
+        #: _result() from bit-identical artifacts, never sampled in the
+        #: run loops — the only way the cycle-skipping kernels can emit
+        #: the same series as the naive one
+        self.metrics_on = self.cfg.metrics_window is not None
         # stall attribution consumes occupancy states, so tracing forces
         # their collection (the per-cycle timeline stays internal unless
-        # cfg.trace also asks for it in the result)
-        self.occupancy_on = self.cfg.collect_occupancy or self.cfg.events
+        # cfg.trace also asks for it in the result); windowed metrics
+        # need the same per-cycle states
+        self.occupancy_on = (self.cfg.collect_occupancy or self.cfg.events
+                             or self.metrics_on)
         self.cores = self._make_cores()
-        if self.cfg.trace or self.cfg.events:
+        if self.cfg.trace or self.cfg.events or self.metrics_on:
             for core in self.cores:
                 core.trace_states = []
+        #: per-link transfer log (cycle, src, dst, latency) — one entry
+        #: per NoC record_transfer plus the DMH port replies (src -1);
+        #: feeds derive_cycle_metrics
+        self.metrics_hops: Optional[List[Tuple[int, int, int, int]]] = (
+            [] if self.metrics_on else None)
+        #: fault-event log (cycle, kind, src, dst) appended by the
+        #: FaultEngine (drop/retry/redispatch); duck-typed there via
+        #: getattr so repro.faults keeps its no-sim-import rule
+        self.metrics_faults: Optional[List[Tuple[int, str, int, int]]] = (
+            [] if self.metrics_on else None)
         self.sections: List[SectionState] = []
         self.order: List[SectionState] = []
         #: bumped whenever a fork renumbers the total order — cores use it
@@ -429,6 +446,8 @@ class Processor:
                 req.rid if req is not None else -1,
                 req.requester.sid if req is not None else 0)
         self.noc.record_transfer(latency)
+        if self.metrics_hops is not None:
+            self.metrics_hops.append((now, src_core, dst_core, latency))
         if self.tracer is not None:
             self.tracer.emit(now, "noc_send", src=src_core, dst=dst_core,
                              latency=latency)
@@ -712,6 +731,8 @@ class Processor:
             delay = self.fault_engine.perturb_hop(
                 -1, req.requester.core_id, now, delay, req.rid,
                 req.requester.sid)
+        if self.metrics_hops is not None:
+            self.metrics_hops.append((now, -1, req.requester.core_id, delay))
         req.reply_cycle = now + max(delay, 1)
         if self.tracer is not None:
             self.tracer.emit(now, "request_dmh", rid=req.rid,
@@ -777,6 +798,10 @@ class Processor:
             self.tracer.events.sort(key=lambda e: e[0])  # stable: keeps
             events = self.tracer.events                  # emission order
             stall_causes = attribute_stalls(self)
+        metrics = None
+        if self.metrics_on:
+            from ..obs.metrics import derive_cycle_metrics
+            metrics = derive_cycle_metrics(self, self.cfg.metrics_window)
         return SimResult(
             cycles=self.cycle,
             instructions=len(instrs),
@@ -803,6 +828,7 @@ class Processor:
             stall_causes=stall_causes,
             fault_stats=(self.fault_engine.stats.as_dict()
                          if self.fault_engine is not None else None),
+            metrics=metrics,
         )
 
     def _section_occupancy(self) -> Dict[int, Dict[str, int]]:

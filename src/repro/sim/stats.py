@@ -118,6 +118,13 @@ class SimResult:
     #: carried a :attr:`repro.sim.SimConfig.faults` plan — keeping
     #: fault-free JSON exports byte-identical to pre-faults goldens
     fault_stats: Optional[Dict[str, int]] = field(default=None, repr=False)
+    #: windowed cycle-domain metrics
+    #: (:func:`repro.obs.metrics.derive_cycle_metrics`); None unless the
+    #: run set :attr:`repro.sim.SimConfig.metrics_window` — keeping
+    #: metric-free JSON exports byte-identical to older goldens.  Derived
+    #: post-hoc from bit-identical artifacts, so all three kernels carry
+    #: identical dicts.
+    metrics: Optional[dict] = field(default=None, repr=False)
 
     def request_latency_stats(self) -> Dict[str, float]:
         """min/mean/p50/p90/max of renaming-request latencies."""
@@ -200,6 +207,8 @@ class SimResult:
             }
         if self.fault_stats is not None:
             payload["fault_stats"] = self.fault_stats
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         if include_memory:
             payload["final_memory"] = {str(addr): value for addr, value
                                        in sorted(self.final_memory.items())}

@@ -61,7 +61,8 @@ class TestBatchCLI:
         assert main(["batch", spec_file, "--jobs", "2", "--json"]) == 0
         pooled = json.loads(capsys.readouterr().out)
         drop_timing = lambda r: [  # noqa: E731
-            {k: v for k, v in o.items() if k != "wall_s"}
+            {k: v for k, v in o.items()
+             if k not in ("wall_s", "phases")}
             for o in r["outcomes"]]
         assert drop_timing(serial) == drop_timing(pooled)
 
@@ -83,3 +84,25 @@ class TestBatchCLI:
         path.write_text(json.dumps([{"mystery": 1}]))
         assert main(["batch", str(path)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_summary_and_json_surface_cache_counters(self, spec_file,
+                                                     tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", spec_file, "--cache-dir", cache_dir,
+                     "--quiet"]) == 0
+        assert "cache: 0 hit, 2 miss, 0 healed" in capsys.readouterr().out
+        assert main(["batch", spec_file, "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cache"] == {"hits": 2, "misses": 0, "healed": 0}
+        assert report["host_metrics"]["domain"] == "host"
+
+    def test_metrics_flag_prints_host_metrics(self, spec_file, tmp_path,
+                                              capsys):
+        assert main(["batch", spec_file, "--quiet", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        host = json.loads(out[start:])
+        assert host["domain"] == "host"
+        names = {m["name"] for m in host["metrics"]}
+        assert "batch_jobs" in names and "batch_pool_size" in names

@@ -67,6 +67,7 @@ _configs = st.builds(
     trace=st.booleans(),
     events=st.booleans(),
     max_cycles=st.integers(min_value=1000, max_value=2_000_000),
+    metrics_window=st.sampled_from([None, 1, 64, 1000]),
     faults=st.one_of(st.none(), _plans))
 
 
@@ -94,9 +95,26 @@ class TestRoundTrip:
         assert SimConfig.from_dict(wire) == config
 
     def test_every_field_emitted(self):
+        # metrics_window is the one deliberate elision: a None (default)
+        # window is omitted from the wire dict so pre-metrics cache keys
+        # stay byte-identical (see SimConfig.to_dict)
         from dataclasses import fields
         payload = SimConfig().to_dict()
-        assert set(payload) == {f.name for f in fields(SimConfig)}
+        expected = {f.name for f in fields(SimConfig)} - {"metrics_window"}
+        assert set(payload) == expected
+
+    def test_metrics_window_elided_only_when_none(self):
+        assert "metrics_window" not in SimConfig().to_dict()
+        payload = SimConfig(metrics_window=64).to_dict()
+        assert payload["metrics_window"] == 64
+        clone = SimConfig.from_dict(payload)
+        assert clone.metrics_window == 64
+        # a set window must fork the cache key; a default one must not
+        assert payload != SimConfig().to_dict()
+
+    def test_metrics_window_validated(self):
+        with pytest.raises(ValueError, match="metrics_window"):
+            SimConfig(metrics_window=0)
 
 
 class TestRejection:

@@ -33,6 +33,7 @@ COMPARED_FIELDS = (
     "requests", "request_hops", "per_core_instructions",
     "request_latencies", "core_occupancy", "section_occupancy",
     "noc_stats", "trace", "events", "stall_causes", "fault_stats",
+    "metrics",
 )
 
 N_CORES = 8
@@ -50,10 +51,16 @@ def _program(short):
     return fork_transform(inst.program)
 
 
+#: window small enough that every workload spans many windows, odd so
+#: window boundaries don't align with round timing artifacts
+METRICS_WINDOW = 37
+
+
 @functools.lru_cache(maxsize=None)
 def _fault_free(short, kernel):
     result, _ = simulate(_program(short), SimConfig(
-        n_cores=N_CORES, kernel=kernel, events=True, trace=True))
+        n_cores=N_CORES, kernel=kernel, events=True, trace=True,
+        metrics_window=METRICS_WINDOW))
     return result
 
 
@@ -69,7 +76,7 @@ def _chaos_plan(short):
 def _chaotic(short, kernel):
     result, _ = simulate(_program(short), SimConfig(
         n_cores=N_CORES, kernel=kernel, events=True,
-        faults=_chaos_plan(short)))
+        metrics_window=METRICS_WINDOW, faults=_chaos_plan(short)))
     return result
 
 
@@ -149,14 +156,16 @@ class TestRandomizedCrossKernel:
            n_cores=st.sampled_from([1, 4, 9]),
            topology=st.sampled_from(["uniform", "mesh"]),
            fetch_width=st.integers(min_value=1, max_value=3),
-           shortcut=st.booleans())
+           shortcut=st.booleans(),
+           metrics_window=st.sampled_from([None, 1, 17, 100]))
     def test_random_programs_agree(self, values, op, fanout, n_cores,
-                                   topology, fetch_width, shortcut):
+                                   topology, fetch_width, shortcut,
+                                   metrics_window):
         prog = compile_source(_reduce_program(values, op, fanout),
                               fork_mode=True)
         knobs = dict(n_cores=n_cores, topology=topology,
                      fetch_width=fetch_width, stack_shortcut=shortcut,
-                     events=True)
+                     events=True, metrics_window=metrics_window)
         results = {}
         for kernel in ("naive", "event", "vector"):
             config = SimConfig.from_dict(

@@ -297,6 +297,77 @@ class TestChaosCLI:
         assert all(rec["slowdown"] == 1.0 for rec in payload["records"])
 
 
+class TestMetricsCLI:
+    def test_metrics_json(self, minic_file, capsys):
+        assert main(["metrics", minic_file, "--cores", "4",
+                     "--window", "50"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["domain"] == "cycle"
+        assert payload["window"] == 50
+        assert payload["windows"] == -(-payload["cycles"] // 50)
+        assert sum(payload["series"]["retired"]) == \
+            payload["totals"]["retired"]
+        assert payload["totals"]["noc_messages"] > 0
+
+    def test_metrics_flag_overrides_window(self, minic_file, capsys):
+        assert main(["metrics", minic_file, "--cores", "4",
+                     "--window", "50", "--metrics", "25"]) == 0
+        assert json.loads(capsys.readouterr().out)["window"] == 25
+
+    def test_metrics_prometheus(self, minic_file, capsys):
+        assert main(["metrics", minic_file, "--cores", "4",
+                     "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sim_retired_total counter" in out
+        assert 'repro_sim_cycles{domain="cycle"}' in out
+
+    def test_metrics_kernels_agree(self, minic_file, capsys):
+        payloads = {}
+        for kernel in ("naive", "event", "vector"):
+            assert main(["metrics", minic_file, "--cores", "4",
+                         "--kernel", kernel, "--window", "40"]) == 0
+            payloads[kernel] = json.loads(capsys.readouterr().out)
+        assert payloads["naive"] == payloads["event"] == \
+            payloads["vector"]
+
+    def test_stats_json_carries_schema_version(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert "metrics" not in payload, \
+            "metrics only ride along when --metrics sets a window"
+
+    def test_stats_json_metrics_ride_along(self, minic_file, capsys):
+        assert main(["stats", minic_file, "--cores", "4", "--json",
+                     "--metrics", "60"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["window"] == 60
+        # the embedded dict keeps its own (metrics) schema version
+        assert payload["metrics"]["schema_version"] == 1
+
+    def test_simulate_and_stats_print_summary_line(self, minic_file,
+                                                   capsys):
+        assert main(["simulate", minic_file, "--cores", "4",
+                     "--metrics", "60"]) == 0
+        assert "# metrics:" in capsys.readouterr().out
+        assert main(["stats", minic_file, "--cores", "4",
+                     "--metrics", "60"]) == 0
+        assert "metrics: " in capsys.readouterr().out
+
+    def test_metrics_chrome_trace_counter_tracks(self, minic_file,
+                                                 tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["metrics", minic_file, "--cores", "4",
+                     "--window", "40",
+                     "--chrome-trace", str(out_path)]) == 0
+        trace = json.loads(out_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "C"}
+        assert "retired/window" in names
+        assert any(name.startswith("noc ") for name in names)
+
+
 class TestEntryPoint:
     def test_pyproject_script_resolves(self, capsys):
         # the installed `repro` script must point at a real callable
