@@ -1,0 +1,92 @@
+"""Static speedup bounds vs. measured speedups over the Table 1 suite.
+
+Regenerates the ``repro deps`` prediction for every workload — section
+dependence graph size, critical path, the analytic bound at 64 and 256
+cores — alongside the simulator's measured speedup at 64 cores, plus the
+query latency of the bound itself (the DSE-layer claim: an analytic
+number in microseconds instead of a simulation in seconds).
+
+Soundness is asserted, not just recorded: ``bound(N) >= measured(N)``
+for every workload at both core counts, and every dependence the
+simulator observes must be covered by a static edge.
+"""
+
+import time
+
+from _common import emit, emit_json, table
+
+from repro.analysis import analyze_program, validate_deps
+from repro.minic import compile_source
+from repro.sim import SimConfig, simulate
+from repro.workloads import WORKLOADS
+
+CORE_COUNTS = (64, 256)
+
+
+def _analyse_all():
+    rows = []
+    for workload in WORKLOADS:
+        inst = workload.instance(scale=0)
+        prog = compile_source(inst.source, fork_mode=True)
+        t0 = time.perf_counter()
+        graph, bound = analyze_program(prog)
+        analyze_ms = 1e3 * (time.perf_counter() - t0)
+        # the query itself (what the DSE layer pays per design point)
+        t0 = time.perf_counter()
+        for _ in range(1000):
+            bound.bound(64)
+        query_us = 1e3 * (time.perf_counter() - t0)
+        report = validate_deps(prog, graph=graph)
+        measured = {}
+        for n_cores in CORE_COUNTS:
+            result, _ = simulate(prog, SimConfig(n_cores=n_cores))
+            measured[n_cores] = result.instructions / result.cycles
+        rows.append((workload, graph, bound, report, measured,
+                     analyze_ms, query_us))
+    return rows
+
+
+def bench_deps_bounds(benchmark):
+    rows = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    out = []
+    payload = {}
+    for workload, graph, bound, report, measured, analyze_ms, q_us in rows:
+        hit, total = report.precision()
+        out.append([
+            workload.short, len(graph.nodes), len(graph.edges),
+            bound.t1, bound.l_max, bound.sections,
+            "%.2f" % bound.bound(64), "%.2f" % measured[64],
+            "%.2f" % bound.bound(256), "%.2f" % measured[256],
+            "%s %d/%d" % ("sound" if report.sound else "UNSOUND",
+                          hit, total),
+            "%.1f" % analyze_ms, "%.2f" % q_us,
+        ])
+        payload[workload.short] = {
+            "nodes": len(graph.nodes),
+            "edges": len(graph.edges),
+            "t1": bound.t1,
+            "l_max": bound.l_max,
+            "sections": bound.sections,
+            "critical_path_weight": graph.critical_path_weight(),
+            "bound": {str(n): round(bound.bound(n), 4)
+                      for n in CORE_COUNTS},
+            "measured": {str(n): round(measured[n], 4)
+                         for n in CORE_COUNTS},
+            "deps_sound": report.sound,
+            "deps_precision": [hit, total],
+            "analyze_ms": round(analyze_ms, 2),
+            "bound_query_us": round(q_us, 3),
+        }
+    text = table(
+        "Static speedup bounds — section dependence graph vs. measured "
+        "(ten workloads, scale 0)",
+        ["workload", "nodes", "edges", "T1", "Lmax", "secs",
+         "bnd64", "mea64", "bnd256", "mea256", "deps", "ms", "q us"],
+        out)
+    emit("deps_bounds", text)
+    emit_json("deps_bounds", payload)
+    for workload, graph, bound, report, measured, _, _ in rows:
+        assert report.sound, workload.short
+        for n_cores in CORE_COUNTS:
+            assert bound.bound(n_cores) >= measured[n_cores], (
+                workload.short, n_cores)

@@ -67,7 +67,7 @@ VECTOR_KERNEL_CORES = 256
 
 #: BENCH_*.json artifacts the gate checks (deterministic baselines)
 GATED_BASELINES = ("scheduler_fast_path", "workloads_on_sim",
-                   "vector_kernel")
+                   "vector_kernel", "deps_bounds")
 #: BENCH_*.json artifacts the gate deliberately ignores: these record
 #: *degradation* measurements (fault-injection sweeps, lint censuses)
 #: whose drift is an observation, not a regression — the invariants they
@@ -349,6 +349,74 @@ def check_workload_sweep(gate: Gate, pool_size=None, cache_dir=None):
     return sweep["report"]
 
 
+#: deterministic fields of each BENCH_deps_bounds.json record the gate
+#: recomputes and compares exactly (the analysis is pure static work)
+DEPS_STATIC_FIELDS = ("nodes", "edges", "t1", "l_max", "sections",
+                      "critical_path_weight", "bound", "deps_sound",
+                      "deps_precision")
+
+
+def run_deps_bounds() -> dict:
+    """Fresh static analysis of every workload (no simulation: the
+    measured speedups in the baseline are themselves deterministic
+    simulator outputs and are covered by the sweep/fast-path gates)."""
+    from repro.analysis import analyze_program, validate_deps
+    from repro.minic import compile_source
+
+    fresh = {}
+    for workload in WORKLOADS:
+        # mirror bench_deps_bounds.py exactly: fork-mode compile at scale 0
+        inst = workload.instance(scale=0)
+        prog = compile_source(inst.source, fork_mode=True)
+        graph, bound = analyze_program(prog)
+        report = validate_deps(prog, graph=graph)
+        hit, total = report.precision()
+        fresh[workload.short] = {
+            "nodes": len(graph.nodes),
+            "edges": len(graph.edges),
+            "t1": bound.t1,
+            "l_max": bound.l_max,
+            "sections": bound.sections,
+            "critical_path_weight": graph.critical_path_weight(),
+            "bound": {str(n): round(bound.bound(n), 4)
+                      for n in (64, 256)},
+            "deps_sound": report.sound,
+            "deps_precision": [hit, total],
+        }
+    return fresh
+
+
+def check_deps_bounds(gate: Gate, update: bool) -> None:
+    """Gate the static speedup bounds: every static field must match the
+    committed baseline exactly, the committed bound must dominate the
+    committed measurement (the soundness contract on the artifact
+    itself), and the dependence graph must still validate sound."""
+    print("static speedup bounds (BENCH_deps_bounds.json):")
+    baseline = _load("deps_bounds")
+    fresh = run_deps_bounds()
+    if update:
+        for short, record in fresh.items():
+            baseline.setdefault(short, {}).update(record)
+        _save("deps_bounds", baseline)
+        return
+    for workload in WORKLOADS:
+        short = workload.short
+        base = baseline.get(short)
+        if base is None:
+            gate.check(False, "%s: no baseline record" % short)
+            continue
+        for name in DEPS_STATIC_FIELDS:
+            gate.exact("%s %s" % (short, name),
+                       fresh[short][name], base.get(name))
+        gate.check(fresh[short]["deps_sound"],
+                   "%s: dependence graph validates sound" % short)
+        for cores, predicted in base["bound"].items():
+            measured = base["measured"][cores]
+            gate.check(predicted >= measured,
+                       "%s: bound(%s) %.2fx >= measured %.2fx"
+                       % (short, cores, predicted, measured))
+
+
 def check_artifact_census(gate: Gate) -> None:
     """Every committed BENCH_*.json must be either gated or explicitly
     ignored — an unknown artifact means someone added a benchmark without
@@ -392,6 +460,7 @@ def main(argv=None) -> int:
 
     gate = Gate()
     check_artifact_census(gate)
+    check_deps_bounds(gate, args.update)
     fast_path = check_fast_path(gate, args.tolerance, args.update)
     vector = check_vector_kernel(gate, args.tolerance, args.update)
     sweep_report = None

@@ -31,6 +31,14 @@ Commands:
                         with ``--validate`` cross-checks the static
                         live-across-fork sets against both dynamic
                         oracles.  Exits 1 on error/warning findings.
+* ``deps [FILE...]``  — whole-program section dependence graph
+                        (``repro.analysis.deps``): static critical path,
+                        core-pressure profile and the analytic speedup
+                        bound; ``--validate`` proves every dynamically
+                        observed dependence is a graph edge on every
+                        simulation kernel, ``--measure`` compares the
+                        bound against measured speedup, ``--dot`` /
+                        ``--json`` emit machine-readable forms.
 * ``workloads``       — list the Table 1 benchmark suite.
 * ``batch``           — run a JSON job spec through the parallel batch
                         engine (``repro.runner``): ``--jobs N`` worker
@@ -130,6 +138,7 @@ def _sim_config(args, **extra):
         placement=args.placement,
         topology=getattr(args, "topology", "uniform"),
         kernel=getattr(args, "kernel", None) or args.scheduler,
+        optimize=bool(getattr(args, "optimize", False)),
         trace=bool(getattr(args, "trace", False)),
         events=(bool(getattr(args, "events", False))
                 or bool(getattr(args, "chrome_trace", None))),
@@ -292,8 +301,10 @@ def cmd_ilp(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
-    from .analysis import lint_program, validate_machine, validate_sim
+def _analysis_targets(args):
+    """Shared target list of the analysis subcommands (lint, deps):
+    ``--workloads`` compiles the Table 1 suite fork-mode, positional
+    files load by suffix."""
     targets = []
     if args.workloads:
         for workload in WORKLOADS:
@@ -303,20 +314,122 @@ def cmd_lint(args) -> int:
             targets.append(("workload:%s" % workload.short, prog))
     for path in args.files:
         targets.append((path, _load_program(path, True, args.fork_loops)))
+    return targets
+
+
+def cmd_lint(args) -> int:
+    from .analysis import lint_program, validate_machine, validate_sim
+    targets = _analysis_targets(args)
     if not targets:
         print("error: nothing to lint (give files or --workloads)",
               file=sys.stderr)
         return 2
     failed = False
+    payload = {"schema_version": CLI_SCHEMA_VERSION, "targets": []}
     for name, prog in targets:
         report = lint_program(prog)
-        for line in report.format(name, show_info=not args.no_info):
-            print(line)
+        entry = {
+            "name": name,
+            "findings": [
+                {"rule": f.rule, "severity": f.severity, "addr": f.addr,
+                 "line": f.line, "function": f.function,
+                 "message": f.message}
+                for f in report.findings
+                if not args.no_info or f.severity != "info"],
+            "counts": {"error": len(report.errors),
+                       "warning": len(report.warnings),
+                       "info": len(report.infos)},
+            "fork_sites": len(report.cfg.fork_sites),
+            "failed": report.failed,
+            "validations": [],
+        }
+        if not args.json:
+            for line in report.format(name, show_info=not args.no_info):
+                print(line)
         failed = failed or report.failed
         if args.validate:
-            for check in (validate_machine(prog), validate_sim(prog)):
-                print("%s: %s" % (name, check.format()[-1]))
+            # the functional machine, the default scheduler and the
+            # vector kernel: the soundness theorem holds on every oracle
+            checks = (validate_machine(prog), validate_sim(prog),
+                      validate_sim(prog, kernel="vector"))
+            for check in checks:
+                hit, total = check.precision()
+                entry["validations"].append(
+                    {"source": check.source, "sound": check.sound,
+                     "precision": [hit, total],
+                     "sections": len(check.checks)})
+                if not args.json:
+                    print("%s: %s" % (name, check.format()[-1]))
                 failed = failed or not check.sound
+        payload["targets"].append(entry)
+    if args.json:
+        payload["failed"] = failed
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 1 if failed else 0
+
+
+#: kernels ``repro deps --validate`` proves the graph against
+_DEPS_VALIDATE_KERNELS = ("event", "naive", "vector")
+
+
+def cmd_deps(args) -> int:
+    """Section dependence graph, static speedup bound and validation."""
+    from .analysis import analyze_program, validate_deps
+    from .sim import SimConfig
+    targets = _analysis_targets(args)
+    if not targets:
+        print("error: nothing to analyze (give files or --workloads)",
+              file=sys.stderr)
+        return 2
+    failed = False
+    payload = {"schema_version": CLI_SCHEMA_VERSION, "targets": []}
+    for name, prog in targets:
+        graph, bound = analyze_program(prog)
+        entry = graph.to_json_dict(bound, core_counts=args.cores)
+        entry["name"] = name
+        if args.dot:
+            print(graph.to_dot())
+        elif not args.json:
+            print("%s: %s" % (name, graph.describe()))
+            print("%s: %s" % (name, bound.describe()))
+            for n in args.cores:
+                line = "%s:   N=%-4d bound=%6.2fx" % (name, n,
+                                                      bound.bound(n))
+                if args.measure:
+                    result = api.simulate(prog,
+                                          SimConfig(n_cores=n)).result
+                    measured = result.instructions / result.cycles
+                    line += ("  measured=%6.2fx  %s"
+                             % (measured,
+                                "sound" if bound.bound(n) >= measured
+                                else "VIOLATED"))
+                print(line)
+        if args.measure and args.json:
+            entry["measured"] = {}
+            for n in args.cores:
+                result = api.simulate(prog, SimConfig(n_cores=n)).result
+                entry["measured"][str(n)] = (result.instructions
+                                             / result.cycles)
+        if args.validate:
+            entry["validations"] = []
+            for kernel in _DEPS_VALIDATE_KERNELS:
+                report = validate_deps(
+                    prog, SimConfig(events=True, kernel=kernel),
+                    graph=graph)
+                hit, total = report.precision()
+                entry["validations"].append(
+                    {"kernel": kernel, "sound": report.sound,
+                     "observed": total, "precise": hit,
+                     "coverage": report.coverage()})
+                if not args.json and not args.dot:
+                    print("%s: %s" % (name, report.format()[-1]))
+                failed = failed or not report.sound
+        payload["targets"].append(entry)
+    if args.json:
+        payload["failed"] = failed
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
     return 1 if failed else 0
 
 
@@ -461,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "struct-of-arrays sweeps (all bit-identical; "
                               "overrides --scheduler)")
         cmd.add_argument("--fork-loops", action="store_true")
+        cmd.add_argument("--optimize", action="store_true",
+                         help="run the analysis-driven assembly optimizer "
+                              "(dead-store elimination + copy propagation) "
+                              "over the program before simulating; "
+                              "architectural results are unchanged, "
+                              "committed cycles drop")
         cmd.add_argument(
             "--faults", metavar="SPEC",
             help="deterministic fault-injection plan, e.g. "
@@ -548,8 +667,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--validate", action="store_true",
                       help="also cross-check static live-across sets "
                            "against the section machine and the cycle "
-                           "simulator's renaming requests")
+                           "simulator's renaming requests (default and "
+                           "vector kernels)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings payload")
     lint.set_defaults(func=cmd_lint)
+
+    deps = sub.add_parser(
+        "deps",
+        help="whole-program section dependence graph + static speedup "
+             "bound (repro.analysis.deps)")
+    deps.add_argument("files", nargs="*",
+                      help=".s or MiniC sources (MiniC compiles fork-mode)")
+    deps.add_argument("--workloads", action="store_true",
+                      help="analyze all ten Table 1 workloads")
+    deps.add_argument("--fork-loops", action="store_true")
+    deps.add_argument("--cores", type=int, nargs="+", default=[64, 256],
+                      metavar="N", help="core counts for the bound table "
+                                        "(default: 64 256)")
+    deps.add_argument("--measure", action="store_true",
+                      help="also cycle-simulate at each --cores point and "
+                           "print predicted vs. measured speedup")
+    deps.add_argument("--validate", action="store_true",
+                      help="differentially validate the graph against the "
+                           "simulator's renaming-request event stream on "
+                           "every kernel; exit 1 on any uncovered "
+                           "dependence")
+    deps.add_argument("--dot", action="store_true",
+                      help="emit the graph in Graphviz dot form")
+    deps.add_argument("--json", action="store_true",
+                      help="machine-readable graph + bound payload")
+    deps.set_defaults(func=cmd_deps)
 
     wl = sub.add_parser("workloads", help="list the Table 1 suite")
     wl.set_defaults(func=cmd_workloads)

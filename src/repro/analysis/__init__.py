@@ -10,7 +10,13 @@ The subsystem layers:
 * :mod:`repro.analysis.lint` — the hazard rules and ``repro lint`` report;
 * :mod:`repro.analysis.validate` — differential checks of the static
   live-across-fork sets against the functional machine's trace and the
-  cycle simulator's renaming-request event stream.
+  cycle simulator's renaming-request event stream (any kernel);
+* :mod:`repro.analysis.deps` — the whole-program section dependence
+  graph, static critical path / core pressure, the analytic speedup
+  bound (``repro deps``) and its differential validation;
+* :mod:`repro.analysis.opt` — the analysis-driven assembly optimizer
+  (fork-mask-aware dead-store elimination + copy propagation) behind
+  ``repro simulate --optimize``.
 
 Typical use::
 
@@ -32,7 +38,19 @@ from .dataflow import (
     mask_of,
     regs_of,
 )
+from .deps import (
+    DepEdge,
+    DepValidationReport,
+    SectionDepGraph,
+    SectionNode,
+    SpeedupBound,
+    analyze_program,
+    build_deps,
+    profile_program,
+    validate_deps,
+)
 from .lint import FAILING, Finding, LintReport, lint_program
+from .opt import OptReport, optimize_program
 from .validate import (
     SectionCheck,
     ValidationReport,
@@ -44,19 +62,30 @@ __all__ = [
     "CFG",
     "BasicBlock",
     "Definition",
+    "DepEdge",
+    "DepValidationReport",
     "FAILING",
     "Finding",
     "LintReport",
     "Liveness",
+    "OptReport",
     "ReachingDefs",
     "SectionCheck",
+    "SectionDepGraph",
+    "SectionNode",
+    "SpeedupBound",
     "ValidationReport",
+    "analyze_program",
     "build_cfg",
+    "build_deps",
     "lint_program",
     "live_across_forks",
     "liveness",
     "mask_of",
+    "optimize_program",
+    "profile_program",
     "regs_of",
+    "validate_deps",
     "validate_machine",
     "validate_sim",
 ]

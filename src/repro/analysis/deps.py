@@ -1,0 +1,712 @@
+"""Whole-program section dependence graph and static speedup bound.
+
+The paper distributes one sequential execution over sections (one per
+``fork``), and values cross sections through exactly two channels: the
+fork-time register copies and backward renaming requests (register and
+memory).  This module lifts those channels to a *static* graph whose
+nodes are the section entry points the program text can ever start a
+section at — the program entry plus every fork's resume point — and
+whose edges over-approximate every cross-section value flow:
+
+``reg``
+    Register flow resolved with reaching definitions over the
+    interprocedural ``dataflow`` view: producer node *P* contains a
+    definition of *r* that reaches consumer *C*'s entry, and *r* is
+    (flow-view) live into *C* outside the fork-copied set.  These are
+    the precise edges the renaming network's register requests follow.
+``reg-forward`` (may)
+    The simulator installs an *imported* register into the importing
+    section's fetch register file (``core._rename_one``), so a request
+    can be answered by a section that merely read *r*, never wrote it.
+    A forward edge covers that forwarding: *r* is live into both *P*
+    and *C*.  Documented may-edge — value provenance, not creation.
+``fork-copy``
+    Fork-copied registers live into *C* travel from the node whose
+    region contains the creating fork as a fork-time snapshot, never
+    as a request.
+``mem`` (may)
+    *P*'s region contains a store (dump-to-memory / stack stores /
+    ``push``/``call``) and *C*'s region contains a load.  Memory is
+    unrenamed beyond the MAAT walk, so store/load edges are may-alias
+    by construction.
+``mem-cache`` (implicit, documented)
+    DMH line fills are cached into the MAATs of *every* section the
+    request walk visited (``Processor._install_line``), so a memory
+    request's dynamic producer can be any older section, including one
+    that never touched the line's address.  Rather than materialising
+    the complete graph, this edge class is implicit: a dynamic memory
+    dependence not covered by an explicit ``mem`` edge is attributed to
+    it (and counted against precision, never against soundness).
+
+On top of the graph the module derives:
+
+* a **static critical path** (heaviest chain through the SCC
+  condensation of the explicit edges, weighted by per-node work) and a
+  **core-pressure profile** (how many sections each node spawns) — the
+  diagnostics the DSE layer wants;
+* an analytic Amdahl-style **speedup bound**: with ``T1`` total dynamic
+  instructions and ``L_max`` the longest single section (both from one
+  cheap functional :class:`~repro.machine.forked.ForkedMachine` run —
+  no cycle simulation), the simulator can never beat
+
+      cycles(N) >= max(ceil(L_max / fetch_width),
+                       ceil(T1 / (min(N, sections) * retire_width)))
+
+  because one core fetches a section's instructions at most
+  ``fetch_width`` per cycle and at most ``min(N, sections)`` cores ever
+  retire.  ``bound(N) = T1 / that`` therefore dominates the measured
+  speedup ``instructions / cycles(N)`` — an O(1) arithmetic query per
+  design point.  The static critical path deliberately does **not**
+  tighten the bound: may-edges over-approximate, and subtracting an
+  over-approximation would break soundness.
+
+:func:`validate_deps` proves the graph differentially: every dependence
+PR 2's event stream observes (a renaming request answered by another
+section) must be covered by an explicit edge or a documented may-edge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Set, Tuple)
+
+from ..isa.program import Program
+from ..isa.registers import FORK_COPIED_REGS
+from .cfg import CFG
+from .dataflow import Liveness, ReachingDefs, liveness
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import SimConfig
+
+#: explicit edge kinds, in rendering order
+DEP_EDGE_KINDS = ("reg", "reg-forward", "fork-copy", "mem")
+
+#: format version of :meth:`SectionDepGraph.to_json_dict`
+DEPS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One static dependence edge between section nodes.
+
+    ``src``/``dst`` are node entry addresses; ``what`` is the register
+    name for the register kinds and ``"*"`` for memory.  ``may`` marks
+    the documented over-approximating kinds.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    what: str
+    may: bool
+
+    def describe(self) -> str:
+        flag = " (may)" if self.may else ""
+        return "%d -> %d [%s %s]%s" % (self.src, self.dst, self.kind,
+                                       self.what, flag)
+
+
+@dataclass
+class SectionNode:
+    """One static section entry point.
+
+    ``region`` is the set of instruction addresses a section starting
+    here may execute: reachability over the ``flow`` view, which follows
+    calls and returns but never crosses into other sections (a ``fork``
+    continues at its *target*; the resume point belongs to the child).
+    """
+
+    entry: int
+    label: str
+    fork_addr: Optional[int]       #: creating fork site (None for the root)
+    region: FrozenSet[int]
+    live_in: FrozenSet[str]        #: flow-view live registers at entry
+    #: dynamic profile (attached by :func:`profile_program`)
+    sections: int = 0              #: dynamic sections entering here
+    instructions: int = 0          #: total dynamic instructions of those
+    max_length: int = 0            #: longest single dynamic section
+
+    @property
+    def is_root(self) -> bool:
+        return self.fork_addr is None
+
+    @property
+    def weight(self) -> int:
+        """Work estimate: dynamic instructions when profiled, else the
+        static region size."""
+        return self.instructions if self.instructions else len(self.region)
+
+    def describe(self) -> str:
+        kind = "root" if self.is_root else "fork@%d" % self.fork_addr
+        return "node @%d (%s, %s): region=%d live-in=%d" % (
+            self.entry, self.label or "?", kind, len(self.region),
+            len(self.live_in))
+
+
+@dataclass(frozen=True)
+class SpeedupBound:
+    """Analytic speedup bound, queryable in microseconds.
+
+    ``t1`` — total dynamic instructions; ``l_max`` — longest single
+    section; ``sections`` — dynamic section count.  All three come from
+    one functional profile run; :meth:`bound` is then pure arithmetic.
+    """
+
+    t1: int
+    l_max: int
+    sections: int
+    fetch_width: int = 1
+    retire_width: int = 1
+
+    def min_cycles(self, n_cores: int) -> int:
+        """A lower bound on the simulator's cycle count at *n_cores*."""
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        if not self.t1:
+            return 0
+        span = -(-self.l_max // self.fetch_width)          # ceil division
+        retiring = min(n_cores, self.sections) * self.retire_width
+        throughput = -(-self.t1 // retiring)
+        return max(span, throughput)
+
+    def bound(self, n_cores: int) -> float:
+        """Upper bound on ``instructions / cycles(n_cores)``."""
+        floor = self.min_cycles(n_cores)
+        return self.t1 / floor if floor else 0.0
+
+    def table(self, core_counts: Iterable[int]) -> Dict[int, float]:
+        return {n: self.bound(n) for n in core_counts}
+
+    def describe(self) -> str:
+        return ("speedup bound: T1=%d L_max=%d sections=%d -> "
+                "bound(64)=%.2fx bound(256)=%.2fx"
+                % (self.t1, self.l_max, self.sections,
+                   self.bound(64), self.bound(256)))
+
+
+class SectionDepGraph:
+    """The whole-program section dependence graph of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.cfg = CFG(program)
+        self.flow: Liveness = liveness(self.cfg, "flow")
+        self.rdefs = ReachingDefs(self.cfg)
+        self.nodes: Dict[int, SectionNode] = {}
+        self.edges: List[DepEdge] = []
+        self._edge_index: Set[Tuple[int, int, str, str]] = set()
+        self._build_nodes()
+        self._build_edges()
+
+    # -- construction -----------------------------------------------------
+
+    def _flow_region(self, start: int) -> FrozenSet[int]:
+        """Instructions a section starting at *start* may execute:
+        reachability over the ``flow`` view (calls followed, returns
+        over-approximated to every matching return site)."""
+        seen: Set[int] = set()
+        stack = [start]
+        code_len = len(self.program.code)
+        while stack:
+            addr = stack.pop()
+            if addr in seen or not 0 <= addr < code_len:
+                continue
+            seen.add(addr)
+            for dst, _ in self.cfg.succs(addr, "flow"):
+                if dst not in seen:
+                    stack.append(dst)
+        return frozenset(seen)
+
+    def _node_label(self, entry: int, fork_addr: Optional[int]) -> str:
+        label = self.program.label_of(entry)
+        if label:
+            return label
+        name = self.cfg.function_of(entry)
+        if fork_addr is None:
+            return name or "entry"
+        return "%s+%d" % (name, entry) if name else "@%d" % entry
+
+    def _build_nodes(self) -> None:
+        entries: List[Tuple[int, Optional[int]]] = [
+            (self.program.entry, None)]
+        for fork in self.cfg.fork_sites:
+            resume = self.cfg.resume_of(fork)
+            if resume is not None:
+                entries.append((resume, fork))
+        for entry, fork_addr in entries:
+            if entry in self.nodes:      # entry colliding with a resume
+                continue
+            self.nodes[entry] = SectionNode(
+                entry=entry,
+                label=self._node_label(entry, fork_addr),
+                fork_addr=fork_addr,
+                region=self._flow_region(entry),
+                live_in=self.flow.regs_in(entry))
+
+    def _add_edge(self, src: int, dst: int, kind: str, what: str,
+                  may: bool) -> None:
+        key = (src, dst, kind, what)
+        if key not in self._edge_index:
+            self._edge_index.add(key)
+            self.edges.append(DepEdge(src=src, dst=dst, kind=kind,
+                                      what=what, may=may))
+
+    def _build_edges(self) -> None:
+        # per-node static def and read sets, for producer mapping
+        code = self.program.code
+        defs_in: Dict[int, Dict[str, List[int]]] = {}
+        stores_in: Dict[int, bool] = {}
+        loads_in: Dict[int, bool] = {}
+        for entry, node in self.nodes.items():
+            regs: Dict[str, List[int]] = {}
+            stores = loads = False
+            for addr in node.region:
+                instr = code[addr]
+                for reg in instr.reg_writes():
+                    regs.setdefault(reg, []).append(addr)
+                stores = stores or instr.writes_memory()
+                loads = loads or instr.reads_memory()
+            defs_in[entry] = regs
+            stores_in[entry] = stores
+            loads_in[entry] = loads
+
+        for entry, node in self.nodes.items():
+            requested = node.live_in - FORK_COPIED_REGS
+            # -- register flow (precise + forwarding may-edges) -----------
+            for reg in sorted(requested):
+                reaching_addrs = {
+                    d.addr for d in self.rdefs.reaching(entry, reg)
+                    if not d.is_entry}
+                entry_reaches = any(
+                    d.is_entry for d in self.rdefs.reaching(entry, reg))
+                for src_entry, src_node in self.nodes.items():
+                    src_defs = defs_in[src_entry].get(reg, ())
+                    if any(a in reaching_addrs for a in src_defs):
+                        self._add_edge(src_entry, entry, "reg", reg,
+                                       may=False)
+                    elif src_defs or reg in src_node.live_in:
+                        # the producer may forward a cached import or a
+                        # non-reaching (but dynamically closest) write
+                        self._add_edge(src_entry, entry, "reg-forward",
+                                       reg, may=True)
+                if entry_reaches:
+                    # the machine-reset value lives in the root section's
+                    # seeded register file
+                    self._add_edge(self.program.entry, entry,
+                                   "reg-forward", reg, may=True)
+            # -- fork copies ----------------------------------------------
+            if node.fork_addr is not None:
+                for reg in sorted(node.live_in & FORK_COPIED_REGS):
+                    for src_entry, src_node in self.nodes.items():
+                        if node.fork_addr in src_node.region:
+                            self._add_edge(src_entry, entry, "fork-copy",
+                                           reg, may=False)
+            # -- memory flow ----------------------------------------------
+            if loads_in[entry]:
+                for src_entry in self.nodes:
+                    if stores_in[src_entry]:
+                        self._add_edge(src_entry, entry, "mem", "*",
+                                       may=True)
+
+    # -- queries ----------------------------------------------------------
+
+    def node(self, entry: int) -> SectionNode:
+        return self.nodes[entry]
+
+    def edges_between(self, src: int, dst: int) -> List[DepEdge]:
+        return [e for e in self.edges if e.src == src and e.dst == dst]
+
+    def covers_reg(self, src: int, dst: int, reg: str) -> Optional[str]:
+        """Edge kind covering a dynamic register dependence, or None."""
+        for kind in ("reg", "fork-copy", "reg-forward"):
+            if (src, dst, kind, reg) in self._edge_index:
+                return kind
+        return None
+
+    def covers_mem(self, src: int, dst: int) -> str:
+        """Edge kind covering a dynamic memory dependence (never None:
+        the implicit ``mem-cache`` class covers line-caching answers)."""
+        if (src, dst, "mem", "*") in self._edge_index:
+            return "mem"
+        return "mem-cache"
+
+    # -- critical path and core pressure ----------------------------------
+
+    def _condense(self) -> Tuple[List[List[int]], Dict[int, int],
+                                 Dict[int, Set[int]]]:
+        """SCC condensation of the explicit edges (iterative Tarjan).
+
+        Returns (components in topological order, node -> component id,
+        component DAG successor sets)."""
+        succs: Dict[int, List[int]] = {e: [] for e in self.nodes}
+        for edge in self.edges:
+            succs[edge.src].append(edge.dst)
+        index: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        comps: List[List[int]] = []
+        comp_of: Dict[int, int] = {}
+        counter = [0]
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                node, pos = work[-1]
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                targets = succs[node]
+                while pos < len(targets):
+                    dst = targets[pos]
+                    pos += 1
+                    if dst not in index:
+                        work[-1] = (node, pos)
+                        work.append((dst, 0))
+                        advanced = True
+                        break
+                    if dst in on_stack:
+                        low[node] = min(low[node], index[dst])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    comp: List[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp.append(member)
+                        comp_of[member] = len(comps)
+                        if member == node:
+                            break
+                    comps.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        # Tarjan emits components in reverse topological order
+        order = list(range(len(comps) - 1, -1, -1))
+        remap = {old: new for new, old in enumerate(order)}
+        comps = [comps[old] for old in order]
+        comp_of = {n: remap[c] for n, c in comp_of.items()}
+        dag: Dict[int, Set[int]] = {i: set() for i in range(len(comps))}
+        for edge in self.edges:
+            a, b = comp_of[edge.src], comp_of[edge.dst]
+            if a != b:
+                dag[a].add(b)
+        return comps, comp_of, dag
+
+    def critical_path(self) -> List[int]:
+        """Heaviest chain of node entries through the condensation DAG,
+        weighted by node work (profiled instructions when attached, else
+        static region size).  Diagnostics only — may-edges make this an
+        over-connected graph, so the chain is *not* a sound bound term."""
+        if not self.nodes:
+            return []
+        comps, _comp_of, dag = self._condense()
+        weight = [sum(self.nodes[n].weight for n in comp) for comp in comps]
+        best = list(weight)
+        nxt: List[Optional[int]] = [None] * len(comps)
+        for i in range(len(comps) - 1, -1, -1):
+            for j in dag[i]:
+                if weight[i] + best[j] > best[i]:
+                    best[i] = weight[i] + best[j]
+                    nxt[i] = j
+        start = max(range(len(comps)), key=lambda i: best[i])
+        path: List[int] = []
+        cursor: Optional[int] = start
+        while cursor is not None:
+            path.extend(sorted(comps[cursor]))
+            cursor = nxt[cursor]
+        return path
+
+    def critical_path_weight(self) -> int:
+        path = self.critical_path()
+        return sum(self.nodes[n].weight for n in path)
+
+    def core_pressure(self) -> Dict[int, Dict[str, int]]:
+        """Per node: how much parallelism it can source.
+
+        ``static_forks`` counts fork sites inside the node's region (the
+        children one activation can spawn); ``sections`` and
+        ``instructions`` are the dynamic profile when attached."""
+        fork_sites = set(self.cfg.fork_sites)
+        out: Dict[int, Dict[str, int]] = {}
+        for entry, node in self.nodes.items():
+            out[entry] = {
+                "static_forks": len(node.region & fork_sites),
+                "sections": node.sections,
+                "instructions": node.instructions,
+                "max_length": node.max_length,
+            }
+        return out
+
+    # -- renderings -------------------------------------------------------
+
+    def to_json_dict(self,
+                     bound: Optional[SpeedupBound] = None,
+                     core_counts: Sequence[int] = (2, 4, 16, 64, 256),
+                     ) -> Dict[str, Any]:
+        grouped: Dict[Tuple[int, int, str], List[str]] = {}
+        for edge in self.edges:
+            grouped.setdefault((edge.src, edge.dst, edge.kind),
+                               []).append(edge.what)
+        payload: Dict[str, Any] = {
+            "schema_version": DEPS_SCHEMA_VERSION,
+            "nodes": [
+                {
+                    "entry": node.entry,
+                    "label": node.label,
+                    "fork_addr": node.fork_addr,
+                    "region_size": len(node.region),
+                    "live_in": sorted(node.live_in),
+                    "sections": node.sections,
+                    "instructions": node.instructions,
+                    "max_length": node.max_length,
+                }
+                for node in sorted(self.nodes.values(),
+                                   key=lambda n: n.entry)
+            ],
+            "edges": [
+                {"src": src, "dst": dst, "kind": kind,
+                 "what": sorted(set(whats)),
+                 "may": kind in ("reg-forward", "mem")}
+                for (src, dst, kind), whats in sorted(grouped.items())
+            ],
+            "implicit_may_edges": [
+                "mem-cache: DMH line fills are cached into every visited "
+                "section's MAAT, so any older section may answer a memory "
+                "request"],
+            "critical_path": self.critical_path(),
+            "critical_path_weight": self.critical_path_weight(),
+            "core_pressure": {
+                str(k): v for k, v in sorted(self.core_pressure().items())},
+        }
+        if bound is not None:
+            payload["bound"] = {
+                "t1": bound.t1,
+                "l_max": bound.l_max,
+                "sections": bound.sections,
+                "fetch_width": bound.fetch_width,
+                "retire_width": bound.retire_width,
+                "speedup": {str(n): bound.bound(n) for n in core_counts},
+            }
+        return payload
+
+    def to_json(self, bound: Optional[SpeedupBound] = None) -> str:
+        return json.dumps(self.to_json_dict(bound), indent=2,
+                          sort_keys=True)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: solid register edges, dashed forwarding,
+        bold fork copies, dotted memory."""
+        styles = {"reg": "solid", "reg-forward": "dashed",
+                  "fork-copy": "bold", "mem": "dotted"}
+        lines = ["digraph section_deps {", "  rankdir=LR;",
+                 "  node [shape=box, fontname=monospace];"]
+        for node in sorted(self.nodes.values(), key=lambda n: n.entry):
+            shape = ', peripheries=2' if node.is_root else ""
+            lines.append(
+                '  n%d [label="%s\\n@%d  work=%d"%s];'
+                % (node.entry, node.label, node.entry, node.weight, shape))
+        grouped: Dict[Tuple[int, int, str], List[str]] = {}
+        for edge in self.edges:
+            grouped.setdefault((edge.src, edge.dst, edge.kind),
+                               []).append(edge.what)
+        for (src, dst, kind), whats in sorted(grouped.items()):
+            label = ",".join(sorted(set(whats)))
+            lines.append('  n%d -> n%d [style=%s, label="%s"];'
+                         % (src, dst, styles[kind], label))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        counts: Dict[str, int] = {k: 0 for k in DEP_EDGE_KINDS}
+        for edge in self.edges:
+            counts[edge.kind] += 1
+        return ("section deps: %d nodes, %d edges (%s), "
+                "critical path %d node(s) / weight %d"
+                % (len(self.nodes), len(self.edges),
+                   " ".join("%s=%d" % kv for kv in counts.items()),
+                   len(self.critical_path()),
+                   self.critical_path_weight()))
+
+
+def build_deps(program: Program) -> SectionDepGraph:
+    """Convenience constructor (mirrors :func:`~repro.analysis.build_cfg`)."""
+    return SectionDepGraph(program)
+
+
+# -------------------------------------------------------------------------
+# Profile: one cheap functional run attaches dynamic weights
+# -------------------------------------------------------------------------
+
+
+def profile_program(graph: SectionDepGraph,
+                    max_steps: Optional[int] = None) -> SpeedupBound:
+    """Run the functional :class:`ForkedMachine` once and attach the
+    dynamic profile (section counts and lengths per node); returns the
+    :class:`SpeedupBound` derived from it.
+
+    This is the *only* execution the bound needs — a functional replay,
+    orders of magnitude cheaper than a cycle simulation, after which
+    every ``bound(N)`` query is O(1) arithmetic.
+    """
+    from ..machine.forked import ForkedMachine
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    machine = ForkedMachine(graph.program, **kwargs)
+    machine.run()
+    total = 0
+    longest = 0
+    count = 0
+    for node in graph.nodes.values():
+        node.sections = 0
+        node.instructions = 0
+        node.max_length = 0
+    for info in machine.section_table():
+        node = graph.nodes.get(info.start_ip)
+        if node is None:
+            raise AssertionError(
+                "dynamic section %d starts at %d, which is no static "
+                "section entry" % (info.sid, info.start_ip))
+        node.sections += 1
+        node.instructions += info.length
+        node.max_length = max(node.max_length, info.length)
+        total += info.length
+        longest = max(longest, info.length)
+        count += 1
+    return SpeedupBound(t1=total, l_max=longest, sections=count)
+
+
+def analyze_program(program: Program,
+                    max_steps: Optional[int] = None
+                    ) -> Tuple[SectionDepGraph, SpeedupBound]:
+    """Graph + profiled bound in one call (the CLI/benchmark entry)."""
+    graph = SectionDepGraph(program)
+    bound = profile_program(graph, max_steps=max_steps)
+    return graph, bound
+
+
+# -------------------------------------------------------------------------
+# Differential validation against the simulator's event stream
+# -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DepObservation:
+    """One dynamic cross-section dependence, mapped to static nodes."""
+
+    rid: int
+    kind: str                    #: "reg" or "mem"
+    what: str                    #: register name or hex address
+    producer_entry: int
+    consumer_entry: int
+    covered_by: Optional[str]    #: edge kind, or None (soundness hole)
+
+    @property
+    def covered(self) -> bool:
+        return self.covered_by is not None
+
+
+@dataclass
+class DepValidationReport:
+    """Coverage of every observed dependence by the static graph."""
+
+    program: Program
+    graph: SectionDepGraph
+    scheduler: str
+    observations: List[DepObservation] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return all(obs.covered for obs in self.observations)
+
+    @property
+    def missed(self) -> List[DepObservation]:
+        return [obs for obs in self.observations if not obs.covered]
+
+    def coverage(self) -> Dict[str, int]:
+        """Observed dependences per covering edge kind (``None`` keyed
+        as ``"missed"``); precision = precise / total."""
+        counts: Dict[str, int] = {}
+        for obs in self.observations:
+            key = obs.covered_by or "missed"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def precision(self) -> Tuple[int, int]:
+        """(dependences on precise edges, total observed dependences).
+
+        Precise means the non-may kinds: ``reg`` and ``fork-copy`` for
+        registers, the explicit ``mem`` edge for memory."""
+        precise = sum(1 for obs in self.observations
+                      if obs.covered_by in ("reg", "fork-copy", "mem"))
+        return precise, len(self.observations)
+
+    def format(self) -> List[str]:
+        lines = []
+        for obs in self.missed:
+            lines.append(
+                "UNCOVERED r%d %s %s: producer @%d -> consumer @%d"
+                % (obs.rid, obs.kind, obs.what, obs.producer_entry,
+                   obs.consumer_entry))
+        hit, total = self.precision()
+        ratio = hit / total if total else 1.0
+        cover = " ".join("%s=%d" % kv
+                         for kv in sorted(self.coverage().items()))
+        lines.append(
+            "deps[%s]: %s, %d observed dependence(s), precise %d/%d "
+            "(%.0f%%) [%s]"
+            % (self.scheduler, "sound" if self.sound else "UNSOUND",
+               total, hit, total, 100.0 * ratio, cover or "none"))
+        return lines
+
+
+def validate_deps(program: Program,
+                  config: "Optional[SimConfig]" = None,
+                  graph: Optional[SectionDepGraph] = None,
+                  ) -> DepValidationReport:
+    """Simulate with event tracing and check that every renaming request
+    answered by another section is covered by a static dependence edge
+    (or a documented may-edge class).
+
+    DMH-answered requests carry no producer section and are skipped —
+    they are the machine's memory, not a cross-section dependence.
+    """
+    from ..obs.events import collect_requests
+    from ..sim import SimConfig, simulate
+    if graph is None:
+        graph = SectionDepGraph(program)
+    if config is None:
+        config = SimConfig(events=True)
+    elif not config.events:
+        import dataclasses
+        config = dataclasses.replace(config, events=True)
+    result, proc = simulate(program, config)
+    entry_of = {sec.sid: sec.start_ip for sec in proc.sections}
+    report = DepValidationReport(program=program, graph=graph,
+                                 scheduler=config.kernel or "event")
+    for rid, req in sorted(collect_requests(result.events or ()).items()):
+        producer = req["producer"]
+        if producer is None:            # answered by the DMH
+            continue
+        consumer_entry = entry_of[req["sid"]]
+        producer_entry = entry_of[producer]
+        if req["kind"] == "reg":
+            reg = req["what"]
+            covered = graph.covers_reg(producer_entry, consumer_entry, reg)
+            what = str(reg)
+        else:
+            covered = graph.covers_mem(producer_entry, consumer_entry)
+            what = "0x%x" % req["what"]
+        report.observations.append(DepObservation(
+            rid=rid, kind=req["kind"], what=what,
+            producer_entry=producer_entry,
+            consumer_entry=consumer_entry, covered_by=covered))
+    return report

@@ -142,10 +142,16 @@ def validate_machine(program: Program,
 
 
 def validate_sim(program: Program,
-                 config: "Optional[SimConfig]" = None) -> ValidationReport:
+                 config: "Optional[SimConfig]" = None,
+                 kernel: Optional[str] = None) -> ValidationReport:
     """Run the cycle simulator with event tracing and check the renaming
     requests each section issued (PR 2's event stream) against the static
     flow live-in.
+
+    ``kernel`` selects the simulation kernel (``"naive"``, ``"event"``
+    or ``"vector"``) so the theorem is provable against every kernel,
+    not just the default scheduler; it overrides the kernel of an
+    explicit *config*.
 
     The simulator satisfies fork-copied registers from the fork-time
     snapshot, so requests only cover non-copied registers; ``predicted``
@@ -153,14 +159,17 @@ def validate_sim(program: Program,
     with the whole architectural file, the predicted request set is
     empty).
     """
+    import dataclasses
     from ..obs.events import collect_reg_requests
     from ..sim import SimConfig, simulate
     cfg, flow = _build(program)
     if config is None:
-        config = SimConfig(events=True)
-    elif not config.events:
-        import dataclasses
-        config = dataclasses.replace(config, events=True)
+        config = SimConfig(events=True, kernel=kernel)
+    else:
+        if kernel is not None and config.kernel != kernel:
+            config = dataclasses.replace(config, kernel=kernel)
+        if not config.events:
+            config = dataclasses.replace(config, events=True)
     result, proc = simulate(program, config)
     requested = collect_reg_requests(result.events or ())
     checks: List[SectionCheck] = []
@@ -171,5 +180,7 @@ def validate_sim(program: Program,
         else:
             predicted = flow.regs_in(sec.start_ip) - FORK_COPIED_REGS
         checks.append(_check(sec.sid, sec.start_ip, observed, predicted))
+    source = ("sim" if config.kernel in (None, "event")
+              else "sim[%s]" % config.kernel)
     return ValidationReport(program=program, cfg=cfg, flow=flow,
-                            source="sim", checks=checks)
+                            source=source, checks=checks)

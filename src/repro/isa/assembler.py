@@ -34,7 +34,7 @@ entry-faithful round-trips); an explicit ``entry=`` argument to
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import AssemblerError
 from .instructions import CONDITION_CODES, OPCODES, Instruction
@@ -61,7 +61,7 @@ def assemble(source: str, entry: Optional[str] = None) -> Program:
 
 
 class _Assembler:
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self.source = source
         self.code: List[Instruction] = []
         self.data: Dict[int, int] = {}
@@ -367,7 +367,7 @@ def _split_operands(text: str) -> List[str]:
     return [f for f in out if f]
 
 
-def _canonical_opcode(mnemonic: str):
+def _canonical_opcode(mnemonic: str) -> Optional[str]:
     if mnemonic in OPCODES:
         return mnemonic
     if mnemonic.endswith("q") and mnemonic[:-1] in OPCODES:
@@ -387,8 +387,12 @@ def _is_directive_known(head: str) -> bool:
                     ".global", ".globl", ".align")
 
 
-def _replace(operands, predicate, replacement, transform=None):
-    out = []
+def _replace(operands: Tuple["Operand", ...],
+             predicate: "Callable[[Operand], bool]",
+             replacement: Optional["Operand"],
+             transform: "Optional[Callable[[Operand], Operand]]" = None,
+             ) -> Tuple["Operand", ...]:
+    out: List["Operand"] = []
     for op in operands:
         if predicate(op):
             out.append(transform(op) if transform is not None else replacement)

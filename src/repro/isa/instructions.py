@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .operands import Imm, LabelRef, Mem, Operand, Reg
 from .registers import FLAGS, STACK_POINTER
@@ -157,7 +157,7 @@ class InstrMeta:
                  "reads_memory", "writes_memory", "reg_reads", "reg_writes",
                  "addr_regs", "has_mem", "fetch_computable")
 
-    def __init__(self, instr: "Instruction"):
+    def __init__(self, instr: "Instruction") -> None:
         self.info = OPCODES[instr.opcode]
         self.kind = self.info.kind
         self.is_control = self.kind in ("jmp", "jcc", "call", "ret", "fork",
@@ -195,7 +195,7 @@ class Instruction:
     labels: Tuple[str, ...] = ()
     source_line: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.opcode not in OPCODES:
             raise ValueError("unknown opcode: %r" % (self.opcode,))
         info = OPCODES[self.opcode]
@@ -307,10 +307,10 @@ class Instruction:
 
     def _reg_reads(self) -> Tuple[str, ...]:
         info = OPCODES[self.opcode]
-        regs = []
+        regs: List[str] = []
         kind = info.kind
 
-        def add(name):
+        def add(name: str) -> None:
             if name not in regs:
                 regs.append(name)
 
@@ -337,10 +337,10 @@ class Instruction:
 
     def _reg_writes(self) -> Tuple[str, ...]:
         info = OPCODES[self.opcode]
-        regs = []
+        regs: List[str] = []
         kind = info.kind
 
-        def add(name):
+        def add(name: str) -> None:
             if name not in regs:
                 regs.append(name)
 

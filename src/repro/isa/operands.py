@@ -44,7 +44,7 @@ class Reg(Operand):
 
     name: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not is_gpr(self.name):
             raise ValueError("not a general purpose register: %r" % (self.name,))
 
@@ -67,7 +67,7 @@ class Mem(Operand):
     scale: int = 1
     symbol: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.base is not None and not is_gpr(self.base):
             raise ValueError("bad base register: %r" % (self.base,))
         if self.index is not None and not is_gpr(self.index):

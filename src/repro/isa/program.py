@@ -46,7 +46,7 @@ class Program:
     entry: int = 0
     source: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for addr in self.data:
             if addr % WORD:
                 raise AssemblerError("misaligned data word at %#x" % addr)

@@ -15,7 +15,10 @@ IQ/LSQ, stalled fetch stages, remote renaming requests) simply wait until
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .section import SectionState
 
 from ..isa.instructions import Instruction
 
@@ -31,7 +34,7 @@ class Cell:
 
     __slots__ = ("value", "ready_cycle", "origin", "is_import", "waiters")
 
-    def __init__(self, origin: str = "", is_import: bool = False):
+    def __init__(self, origin: str = "", is_import: bool = False) -> None:
         self.value: Optional[int] = None
         self.ready_cycle: Optional[int] = None
         self.origin = origin          #: debugging tag, e.g. "s3:i5:rax"
@@ -104,7 +107,8 @@ class DynInstr:
         "missing_srcs", "addr_regs", "in_iq", "in_lsq",
     )
 
-    def __init__(self, instr: Instruction, section, index: int):
+    def __init__(self, instr: Instruction, section: "SectionState",
+                 index: int) -> None:
         meta = instr.meta
         self.instr = instr
         self.section = section

@@ -94,6 +94,14 @@ class SimConfig:
     #: backward compatibility; an explicit kernel overrides and re-syncs
     #: ``event_driven`` so old call sites keep observing a coherent pair.
     kernel: Optional[str] = None
+    #: run the analysis-driven assembly optimizer
+    #: (:func:`repro.analysis.opt.optimize_program` — fork-mask-aware
+    #: dead-store elimination + copy propagation) over the program at
+    #: load time.  Architectural results (outputs, return value, final
+    #: memory) are proven bit-identical across all three kernels,
+    #: fault-free and under chaos plans; committed cycles drop.  Off by
+    #: default so every pinned golden cycle count stays exact.
+    optimize: bool = False
     #: cycle-domain metrics (:mod:`repro.obs.metrics`): fold windowed
     #: time-series (retire rate, running/parked cores, fork/redispatch
     #: rates, request-queue depth, per-link NoC traffic and drop/retry
@@ -104,7 +112,7 @@ class SimConfig:
     #: cache keys, BENCH cycles) byte-identical.
     metrics_window: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kernel is None:
             self.kernel = "event" if self.event_driven else "naive"
         elif self.kernel not in ("naive", "event", "vector"):
@@ -145,17 +153,21 @@ class SimConfig:
 
         Every field is emitted (no default elision) so the digest of the
         serialized form changes whenever any knob changes, including a
-        knob newly added with a default — with one deliberate exception:
-        ``metrics_window`` is elided when None.  The knob postdates
-        deployed content-addressed caches, and the disabled default must
-        keep every pre-metrics cache key (a sha256 over this dict)
-        byte-identical.  A *set* window is emitted, and should be:
-        metrics then ride inside cached payloads, so the key must fork.
+        knob newly added with a default — with two deliberate exceptions:
+        ``metrics_window`` is elided when None and ``optimize`` when
+        False.  Both knobs postdate deployed content-addressed caches,
+        and their disabled defaults must keep every pre-existing cache
+        key (a sha256 over this dict) byte-identical.  A *set* value is
+        emitted, and should be: metrics ride inside cached payloads,
+        and an optimized run commits different cycle counts, so the key
+        must fork.
         """
         payload: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
             if spec.name == "metrics_window" and value is None:
+                continue
+            if spec.name == "optimize" and not value:
                 continue
             payload[spec.name] = (value.to_dict()
                                   if isinstance(value, FaultPlan) else value)

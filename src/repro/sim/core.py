@@ -15,7 +15,12 @@ its example), a stalled fetch yields to another runnable hosted section.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .processor import Processor
 
 from ..errors import SimulationError
 from ..isa.registers import STACK_POINTER
@@ -42,7 +47,7 @@ class Core:
     to the naive every-core-every-cycle loop.
     """
 
-    def __init__(self, core_id: int, proc):
+    def __init__(self, core_id: int, proc: "Processor") -> None:
         self.id = core_id
         self.proc = proc
         self.hosted: List[SectionState] = []
@@ -142,7 +147,8 @@ class Core:
         if time_wake is not None:
             self.proc.schedule_wake(time_wake, self)
 
-    def _park_state(self, now: int):
+    def _park_state(self, now: int) -> Tuple[
+            bool, Optional[List[Cell]], Optional[int]]:
         """(ready, blockers, time_wake) after cycle *now* ran.
 
         ``ready`` means some structure can provably act at ``now + 1`` (or

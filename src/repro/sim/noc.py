@@ -18,7 +18,7 @@ contention either); the ablation benchmark sweeps them.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Tuple, Union
 
 from ..errors import SimulationError
 
@@ -29,7 +29,7 @@ class _NocStats:
     Updated by the processor's single transfer-accounting point, so both
     scheduler modes count identically."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.messages = 0      #: cross-core transfers
         self.hop_cycles = 0    #: total latency cycles of those transfers
         self.dmh_reads = 0     #: renaming walks answered by the DMH
@@ -46,7 +46,7 @@ class _NocStats:
 class UniformNoc(_NocStats):
     """Flat latency between distinct cores."""
 
-    def __init__(self, n_cores: int, hop_latency: int):
+    def __init__(self, n_cores: int, hop_latency: int) -> None:
         super().__init__()
         self.n_cores = n_cores
         self.hop_latency = hop_latency
@@ -64,7 +64,7 @@ class UniformNoc(_NocStats):
 class MeshNoc(_NocStats):
     """Near-square 2D mesh with XY (dimension-ordered) routing."""
 
-    def __init__(self, n_cores: int, hop_latency: int):
+    def __init__(self, n_cores: int, hop_latency: int) -> None:
         super().__init__()
         self.n_cores = n_cores
         self.hop_latency = hop_latency
@@ -91,7 +91,8 @@ class MeshNoc(_NocStats):
             self.hop_latency)
 
 
-def make_noc(topology: str, n_cores: int, hop_latency: int):
+def make_noc(topology: str, n_cores: int,
+             hop_latency: int) -> "Union[UniformNoc, MeshNoc]":
     """Factory keyed by :attr:`repro.sim.SimConfig.topology`.
 
     Raises :class:`~repro.errors.SimulationError` (a

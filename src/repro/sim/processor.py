@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import SimulationError
 from ..faults.recovery import FaultEngine
@@ -482,7 +482,8 @@ class Processor:
             self.tracer.emit(now, "request_fill", rid=req.rid,
                              sid=req.requester.sid, value=req.value)
 
-    def _step_request(self, req: RenameRequest, now: int):
+    def _step_request(self, req: RenameRequest, now: int
+                      ) -> "Union[SectionState, Cell, None]":
         """Advance *req* one cycle.
 
         The return value is a *park descriptor* for the vectorized
@@ -651,7 +652,8 @@ class Processor:
                 return True
         return False
 
-    def _step_shortcut_request(self, req: RenameRequest, now: int):
+    def _step_shortcut_request(self, req: RenameRequest, now: int
+                               ) -> Optional[SectionState]:
         """Stack-shortcut walk: query the creator chain against pre-fork
         cuts (see :mod:`repro.sim.requests`).  Returns the section the
         request parked on (a park descriptor for the vectorized kernel's
@@ -881,6 +883,10 @@ def simulate(program: Program, config: Optional[SimConfig] = None,
     selects the simulation kernel; all three are bit-identical on every
     compared result field."""
     cfg = config or SimConfig()
+    if cfg.optimize:
+        # imported lazily: repro.analysis is a consumer of this package
+        from ..analysis.opt import optimize_program
+        program = optimize_program(program).program
     if cfg.kernel == "vector":
         # imported lazily: vectorized depends on this module (and numpy)
         from .vectorized import VectorProcessor

@@ -1,0 +1,288 @@
+"""Whole-program section dependence graph, static speedup bound and the
+differential soundness proof (``repro.analysis.deps``).
+
+The two theorems under test:
+
+* **Graph soundness** — every dependence the simulator dynamically
+  observes (a renaming request filled by a producing section, PR 2's
+  event stream) is covered by a static graph edge or a documented
+  may-edge class, on all ten Table 1 workloads, under both schedulers.
+* **Bound soundness** — the analytic speedup bound is an upper bound on
+  the measured speedup (retired IPC) at every core count, because no
+  schedule can beat the longest section or retire more than one
+  instruction per section per cycle.
+"""
+
+import json
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.analysis import (
+    DepEdge,
+    SectionDepGraph,
+    SpeedupBound,
+    analyze_program,
+    build_deps,
+    profile_program,
+    validate_deps,
+)
+from repro.analysis.deps import DEP_EDGE_KINDS, DEPS_SCHEMA_VERSION
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import SimConfig
+from repro.workloads import WORKLOADS, get_workload
+
+SHORTS = [w.short for w in WORKLOADS]
+SCHEDULERS = ("event", "naive")
+
+
+@lru_cache(maxsize=None)
+def forked(short):
+    inst = get_workload(short).instance(scale=0)
+    return api.compile_c(inst.source, fork=True)
+
+
+@lru_cache(maxsize=None)
+def analyzed(short):
+    return analyze_program(forked(short))
+
+
+@lru_cache(maxsize=None)
+def measured_speedup(short, n_cores):
+    result = api.simulate(forked(short), SimConfig(n_cores=n_cores)).result
+    return result.instructions / result.cycles, result
+
+
+class TestGraphShape:
+    """Structure of the graph on the paper's Figure 5 program."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_deps(sum_forked_program(paper_array(5)))
+
+    def test_nodes_are_entry_plus_fork_resumes(self, graph):
+        entries = set(graph.nodes)
+        expected = {graph.program.entry}
+        expected.update(addr + 1 for addr in graph.cfg.fork_sites)
+        assert entries == expected
+
+    def test_exactly_one_root(self, graph):
+        roots = [n for n in graph.nodes.values() if n.is_root]
+        assert len(roots) == 1
+        assert roots[0].entry == graph.program.entry
+
+    def test_every_edge_kind_is_known(self, graph):
+        for edge in graph.edges:
+            assert edge.kind in DEP_EDGE_KINDS
+            assert edge.src in graph.nodes
+            assert edge.dst in graph.nodes
+
+    def test_may_flags_follow_kind(self, graph):
+        for edge in graph.edges:
+            if edge.kind in ("reg-forward", "mem"):
+                assert edge.may
+            elif edge.kind == "reg":
+                assert not edge.may
+
+    def test_regions_cover_program(self, graph):
+        covered = set()
+        for node in graph.nodes.values():
+            covered |= node.region
+        # flow regions overlap (a section runs into shared code) but
+        # their union is exactly the reachable program
+        assert graph.program.entry in covered
+        for addr in covered:
+            assert 0 <= addr < len(graph.program.code)
+
+    def test_covers_mem_never_misses(self, graph):
+        entries = list(graph.nodes)
+        for src in entries:
+            for dst in entries:
+                assert graph.covers_mem(src, dst) in ("mem", "mem-cache")
+
+
+class TestSoundness:
+    """The acceptance property: dynamic dependences ⊆ static edges."""
+
+    @pytest.mark.parametrize("kernel", SCHEDULERS)
+    @pytest.mark.parametrize("short", SHORTS)
+    def test_sound_on_all_workloads_both_schedulers(self, short, kernel):
+        graph, _ = analyzed(short)
+        report = validate_deps(forked(short),
+                               SimConfig(events=True, kernel=kernel),
+                               graph=graph)
+        assert report.sound, "\n".join(report.format())
+
+    def test_coverage_report_partitions_observations(self):
+        graph, _ = analyzed("quicksort")
+        report = validate_deps(forked("quicksort"), graph=graph)
+        assert sum(report.coverage().values()) == len(report.observations)
+        hit, total = report.precision()
+        assert hit <= total == len(report.observations)
+
+    def test_missed_empty_when_sound(self):
+        graph, _ = analyzed("dictionary")
+        report = validate_deps(forked("dictionary"), graph=graph)
+        assert report.sound
+        assert report.missed == []
+        assert "sound" in report.format()[-1]
+
+
+class TestBoundSoundness:
+    """bound(N) >= measured speedup at N — the acceptance criterion,
+    checked at 64 and 256 cores on every workload."""
+
+    @pytest.mark.parametrize("short", SHORTS)
+    def test_bound_dominates_measured(self, short):
+        _, bound = analyzed(short)
+        for n_cores in (64, 256):
+            measured, _ = measured_speedup(short, n_cores)
+            assert bound.bound(n_cores) >= measured, (
+                "%s @%d: bound %.3f < measured %.3f"
+                % (short, n_cores, bound.bound(n_cores), measured))
+
+    @pytest.mark.parametrize("short", ("quicksort", "bfs"))
+    def test_t1_is_exactly_the_instruction_count(self, short):
+        """The sequential-work term comes from the functional machine and
+        must equal the simulator's dynamic instruction count exactly —
+        both count the same committed instructions."""
+        _, bound = analyzed(short)
+        _, result = measured_speedup(short, 64)
+        assert bound.t1 == result.instructions
+
+
+class TestSpeedupBoundMath:
+    def test_two_term_max(self):
+        bound = SpeedupBound(t1=100, l_max=10, sections=4)
+        assert bound.min_cycles(1) == 100
+        assert bound.min_cycles(2) == 50
+        assert bound.min_cycles(4) == 25
+        # more cores than sections cannot help
+        assert bound.min_cycles(64) == 25
+        assert bound.bound(4) == pytest.approx(4.0)
+
+    def test_critical_section_floor(self):
+        bound = SpeedupBound(t1=100, l_max=40, sections=100)
+        # parallelism saturates at the longest section
+        assert bound.min_cycles(100) == 40
+        assert bound.bound(100) == pytest.approx(2.5)
+
+    def test_widths_scale_each_term(self):
+        bound = SpeedupBound(t1=100, l_max=40, sections=100,
+                             fetch_width=2, retire_width=2)
+        assert bound.min_cycles(100) == 20
+
+    def test_table_and_describe(self):
+        bound = SpeedupBound(t1=100, l_max=10, sections=4)
+        table = bound.table((1, 2, 4))
+        assert list(table) == [1, 2, 4]
+        assert table[4] == pytest.approx(4.0)
+        assert "T1=100" in bound.describe()
+
+    @given(t1=st.integers(1, 10**6), l_max=st.integers(1, 10**6),
+           sections=st.integers(1, 10**4),
+           n=st.integers(1, 1024))
+    @settings(max_examples=200, deadline=None)
+    def test_bound_properties(self, t1, l_max, sections, n):
+        l_max = min(l_max, t1)
+        bound = SpeedupBound(t1=t1, l_max=l_max, sections=sections)
+        # a schedule needs at least the longest section, and speedup is
+        # monotone non-decreasing in core count, never above min(N, S)
+        assert bound.min_cycles(n) >= l_max
+        assert bound.bound(n) <= min(n, sections)
+        assert bound.bound(n + 1) >= bound.bound(n)
+        assert bound.bound(1) <= 1.0 + 1e-9
+
+
+class TestCriticalPathAndPressure:
+    def test_critical_path_is_in_graph(self):
+        graph, _ = analyzed("quicksort")
+        path = graph.critical_path()
+        assert path
+        assert all(entry in graph.nodes for entry in path)
+        assert graph.critical_path_weight() >= max(
+            node.weight for node in graph.nodes.values())
+
+    def test_core_pressure_covers_all_nodes(self):
+        graph, _ = analyzed("quicksort")
+        pressure = graph.core_pressure()
+        assert set(pressure) == set(graph.nodes)
+        for row in pressure.values():
+            assert set(row) >= {"static_forks", "sections",
+                                "instructions", "max_length"}
+
+    def test_profile_attributes_all_dynamic_sections(self):
+        graph = build_deps(forked("dictionary"))
+        bound = profile_program(graph)
+        assert sum(n.sections for n in graph.nodes.values()) == bound.sections
+        assert sum(n.instructions for n in graph.nodes.values()) == bound.t1
+        assert max(n.max_length for n in graph.nodes.values()) == bound.l_max
+
+
+class TestSerialization:
+    def test_json_dict_round_trips(self):
+        graph, bound = analyzed("bfs")
+        payload = graph.to_json_dict(bound, core_counts=(2, 64))
+        again = json.loads(json.dumps(payload, sort_keys=True))
+        assert again["schema_version"] == DEPS_SCHEMA_VERSION
+        assert len(again["nodes"]) == len(graph.nodes)
+        # edges are grouped by (src, dst, kind) with the registers /
+        # address classes folded into the "what" list
+        grouped = {(e.src, e.dst, e.kind) for e in graph.edges}
+        assert len(again["edges"]) == len(grouped)
+        assert (sum(len(e["what"]) for e in again["edges"])
+                == len(graph.edges))
+        assert set(again["bound"]["speedup"]) == {"2", "64"}
+        assert again["implicit_may_edges"]
+
+    def test_dot_mentions_every_node(self):
+        graph, _ = analyzed("dictionary")
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        for entry in graph.nodes:
+            assert "n%d" % entry in dot
+
+    def test_describe_counts_edges(self):
+        graph, _ = analyzed("dictionary")
+        text = graph.describe()
+        assert "%d nodes" % len(graph.nodes) in text
+        assert "%d edges" % len(graph.edges) in text
+
+
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=9))
+@settings(max_examples=12, deadline=None)
+def test_property_sum_forked_deps_sound(values):
+    """Dependence-coverage soundness as a hypothesis property: for the
+    paper's forked-sum program over an arbitrary array, every observed
+    dependence is covered and the bound dominates the measurement."""
+    program = sum_forked_program(values)
+    graph, bound = analyze_program(program)
+    report = validate_deps(program, graph=graph)
+    assert report.sound, "\n".join(report.format())
+    result = api.simulate(program, SimConfig(n_cores=64)).result
+    assert bound.bound(64) >= result.instructions / result.cycles
+
+
+def test_precision_matches_golden(golden_precision):
+    """Precision pinned per workload (satellite d): the share of observed
+    dependences landing on *precise* edges (reg / fork-copy / mem, not
+    the documented may-classes) must not silently regress."""
+    for short in SHORTS:
+        graph, _ = analyzed(short)
+        report = validate_deps(forked(short), graph=graph)
+        hit, total = report.precision()
+        entry = golden_precision[short]
+        assert {"observed": total, "precise": hit,
+                "coverage": report.coverage()} == entry, short
+
+
+@pytest.fixture(scope="module")
+def golden_precision():
+    import os
+    path = os.path.join(os.path.dirname(__file__),
+                        "golden_deps_precision.json")
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,195 @@
+"""Analysis-driven assembly optimizer (``repro.analysis.opt``).
+
+Safety contract under test: the optimized program is architecturally
+indistinguishable from the original — same outputs, same return value,
+same final memory — on the functional machine and on all three
+simulation kernels, fault-free and under chaos plans.  Final *register*
+contents are deliberately outside the contract (a dead store is exactly
+a store no one observes).  Committed cycles must drop on real workloads.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro import api
+from repro.analysis import optimize_program
+from repro.faults import FaultPlan
+from repro.paper import paper_array, sum_forked_program
+from repro.sim import SimConfig
+from repro.workloads import WORKLOADS, get_workload
+
+SHORTS = [w.short for w in WORKLOADS]
+#: workloads the cycle-reduction acceptance criterion is pinned on
+REDUCED = ("bfs", "quicksort", "quickhull", "dictionary")
+KERNELS = ("event", "naive", "vector")
+
+
+@lru_cache(maxsize=None)
+def forked(short):
+    inst = get_workload(short).instance(scale=0)
+    return api.compile_c(inst.source, fork=True)
+
+
+@lru_cache(maxsize=None)
+def optimized(short):
+    return optimize_program(forked(short))
+
+
+def architectural(result):
+    return (result.outputs, result.final_regs["rax"],
+            dict(result.final_memory))
+
+
+class TestFunctionalOracle:
+    """run_forked on original vs. optimized: observable behaviour equal,
+    dynamic instruction count never higher."""
+
+    @pytest.mark.parametrize("short", SHORTS)
+    def test_oracle_equivalent_on_all_workloads(self, short):
+        report = optimized(short)
+        base = api.run_forked(forked(short)).result
+        opt = api.run_forked(report.program).result
+        assert opt.output == base.output
+        assert opt.return_value == base.return_value
+        assert opt.steps <= base.steps
+
+    @pytest.mark.parametrize("short", SHORTS)
+    def test_optimizer_finds_work_on_all_workloads(self, short):
+        report = optimized(short)
+        assert report.changed
+        assert report.removed_count > 0
+        assert len(report.program.code) < len(report.original.code)
+
+
+class TestSimulatorDifferential:
+    """Three-kernel differential: the optimized program's architectural
+    results are bit-identical across kernels and to the unoptimized
+    architectural results; cycles agree across kernels."""
+
+    @pytest.mark.parametrize("short", REDUCED)
+    def test_three_kernels_bit_identical(self, short):
+        prog = optimized(short).program
+        results = [api.simulate(prog, SimConfig(kernel=k)).result
+                   for k in KERNELS]
+        base = api.simulate(forked(short), SimConfig()).result
+        for result in results:
+            assert architectural(result) == architectural(results[0])
+            assert result.cycles == results[0].cycles
+            assert (result.outputs, result.final_regs["rax"]) == (
+                base.outputs, base.final_regs["rax"])
+            assert result.final_memory == base.final_memory
+
+    @pytest.mark.parametrize("short", REDUCED)
+    def test_cycles_reduced(self, short):
+        """The acceptance criterion asks for >= 2 workloads; we pin all
+        four measured ones so a regression in any is loud."""
+        base = api.simulate(forked(short), SimConfig()).result
+        opt = api.simulate(optimized(short).program, SimConfig()).result
+        assert opt.cycles < base.cycles, (
+            "%s: %d !< %d" % (short, opt.cycles, base.cycles))
+
+    @pytest.mark.parametrize("short", ("quicksort", "dictionary"))
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_chaos_differential(self, short, kernel):
+        """Under a chaos plan the recovery machinery re-sends and
+        re-dispatches, but the architectural results must still match
+        the unoptimized fault-free run (PR 4's theorem composed with the
+        optimizer's oracle equivalence)."""
+        plan = FaultPlan(seed=7, drop_rate=0.1)
+        base = api.simulate(forked(short), SimConfig()).result
+        result = api.simulate(optimized(short).program,
+                              SimConfig(kernel=kernel, faults=plan)).result
+        assert result.outputs == base.outputs
+        assert result.final_regs["rax"] == base.final_regs["rax"]
+        assert result.final_memory == base.final_memory
+
+    def test_simconfig_optimize_flag(self):
+        """`SimConfig(optimize=True)` runs the optimizer at load time:
+        same architectural results, fewer committed cycles."""
+        prog = forked("quicksort")
+        base = api.simulate(prog, SimConfig()).result
+        opt = api.simulate(prog, SimConfig(optimize=True)).result
+        assert opt.outputs == base.outputs
+        assert opt.final_regs["rax"] == base.final_regs["rax"]
+        assert opt.final_memory == base.final_memory
+        assert opt.cycles < base.cycles
+
+    def test_optimize_flag_elided_from_cache_key(self):
+        """Off-by-default must keep every content-addressed cache key
+        byte-identical to pre-optimizer configs; on must fork the key."""
+        assert "optimize" not in SimConfig().to_dict()
+        assert SimConfig(optimize=True).to_dict()["optimize"] is True
+        assert SimConfig.from_dict(
+            SimConfig(optimize=True).to_dict()).optimize
+
+
+class TestRebuild:
+    """Label/entry remapping on programs whose dead code sits under or
+    before labels and branch targets."""
+
+    def test_idempotent(self):
+        report = optimized("quicksort")
+        again = optimize_program(report.program)
+        assert not again.changed
+        assert len(again.program.code) == len(report.program.code)
+
+    def test_labels_reattach_and_branches_retarget(self):
+        src = "\n".join([
+            "main:",
+            "  mov $7, %rcx",        # dead: rcx rewritten before any read
+            "  mov $1, %rcx",
+            "  jmp tail",
+            "middle:",
+            "  mov $9, %rdx",        # unreachable is left alone (anchors)
+            "tail:",
+            "  mov %rcx, %rax",
+            "  ret",
+        ])
+        prog = api.assemble(src)
+        report = optimize_program(prog)
+        assert report.removed_count >= 1
+        out = api.run_sequential(report.program)
+        assert out.return_value == 1
+        # every branch target still resolves inside the program
+        for instr in report.program.code:
+            for op in instr.operands:
+                target = getattr(op, "target", None)
+                if target is not None:
+                    assert 0 <= target < len(report.program.code)
+
+    def test_entry_remaps_when_preamble_shrinks(self):
+        src = "\n".join([
+            "  mov $5, %r8",          # dead preamble before the entry
+            "start:",
+            "  mov $3, %rax",
+            "  ret",
+        ])
+        prog = api.assemble(src, entry="start")
+        report = optimize_program(prog)
+        out = api.run_sequential(report.program)
+        assert out.return_value == 3
+
+    def test_listing_round_trips_through_assembler(self):
+        report = optimized("dictionary")
+        listing = report.program.listing()
+        again = api.assemble(listing)
+        base = api.run_forked(report.program).result
+        rerun = api.run_forked(again).result
+        assert rerun.output == base.output
+        assert rerun.return_value == base.return_value
+
+    def test_fork_copy_mask_respected(self):
+        """A store to a fork-copied register that the child reads is NOT
+        dead even if the parent never reads it again."""
+        program = sum_forked_program(paper_array(5))
+        report = optimize_program(program)
+        base = api.run_forked(program).result
+        opt = api.run_forked(report.program).result
+        assert opt.output == base.output
+        assert opt.return_value == base.return_value
+
+    def test_describe_mentions_counts(self):
+        report = optimized("quicksort")
+        text = report.describe()
+        assert "removed" in text

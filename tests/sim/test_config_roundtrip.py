@@ -95,12 +95,14 @@ class TestRoundTrip:
         assert SimConfig.from_dict(wire) == config
 
     def test_every_field_emitted(self):
-        # metrics_window is the one deliberate elision: a None (default)
-        # window is omitted from the wire dict so pre-metrics cache keys
-        # stay byte-identical (see SimConfig.to_dict)
+        # metrics_window and optimize are the two deliberate elisions: a
+        # None window / False optimize (the defaults) are omitted from the
+        # wire dict so pre-existing cache keys stay byte-identical (see
+        # SimConfig.to_dict)
         from dataclasses import fields
         payload = SimConfig().to_dict()
-        expected = {f.name for f in fields(SimConfig)} - {"metrics_window"}
+        expected = ({f.name for f in fields(SimConfig)}
+                    - {"metrics_window", "optimize"})
         assert set(payload) == expected
 
     def test_metrics_window_elided_only_when_none(self):

@@ -251,6 +251,25 @@ class TestLintCLI:
         assert main(["lint", "--validate", minic_file]) == 0
         out = capsys.readouterr().out
         assert "machine: sound" in out and "sim: sound" in out
+        assert "sim[vector]: sound" in out
+
+    def test_json_payload(self, minic_file, capsys):
+        assert main(["lint", "--json", minic_file]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["failed"] is False
+        (target,) = payload["targets"]
+        assert target["name"] == minic_file
+        assert target["counts"]["error"] == 0
+        assert isinstance(target["findings"], list)
+
+    def test_json_validate_payload(self, minic_file, capsys):
+        assert main(["lint", "--json", "--validate", minic_file]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (target,) = payload["targets"]
+        sources = [v["source"] for v in target["validations"]]
+        assert sources == ["machine", "sim", "sim[vector]"]
+        assert all(v["sound"] for v in target["validations"])
 
     def test_diagnostics_carry_position(self, tmp_path, capsys):
         path = tmp_path / "bad.s"
@@ -274,6 +293,60 @@ class TestLintCLI:
     def test_runfork_sanitize(self, minic_file, capsys):
         assert main(["runfork", minic_file, "--sanitize"]) == 0
         assert capsys.readouterr().out.splitlines()[0] == "36"
+
+
+class TestDepsCLI:
+    def test_text_report(self, minic_file, capsys):
+        assert main(["deps", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "section deps:" in out
+        assert "speedup bound:" in out
+        assert "bound=" in out
+
+    def test_measure_prints_soundness(self, minic_file, capsys):
+        assert main(["deps", minic_file, "--measure", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "measured=" in out and "sound" in out
+        assert "VIOLATED" not in out
+
+    def test_validate_all_kernels(self, minic_file, capsys):
+        assert main(["deps", minic_file, "--validate"]) == 0
+        out = capsys.readouterr().out
+        for kernel in ("event", "naive", "vector"):
+            assert "deps[%s]: sound" % kernel in out
+
+    def test_dot_output(self, minic_file, capsys):
+        assert main(["deps", minic_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph section_deps")
+
+    def test_json_payload(self, minic_file, capsys):
+        assert main(["deps", minic_file, "--json", "--validate",
+                     "--cores", "16", "64"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is False
+        (target,) = payload["targets"]
+        assert target["name"] == minic_file
+        assert set(target["bound"]["speedup"]) == {"16", "64"}
+        assert [v["kernel"] for v in target["validations"]] == [
+            "event", "naive", "vector"]
+        assert all(v["sound"] for v in target["validations"])
+
+    def test_simulate_optimize_flag(self, minic_file, capsys):
+        assert main(["simulate", minic_file, "--cores", "4"]) == 0
+        base = capsys.readouterr().out
+        assert main(["simulate", minic_file, "--cores", "4",
+                     "--optimize"]) == 0
+        opt = capsys.readouterr().out
+        # same program output, strictly fewer committed cycles
+        assert base.splitlines()[0] == opt.splitlines()[0] == "36"
+        base_cycles = int(base.rsplit(" in ", 1)[1].split()[0])
+        opt_cycles = int(opt.rsplit(" in ", 1)[1].split()[0])
+        assert opt_cycles <= base_cycles
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["deps"]) == 2
+        assert capsys.readouterr().err
 
 
 class TestChaosCLI:
