@@ -1,0 +1,201 @@
+"""Serving-layer latency and throughput: cold vs LRU-warm vs disk-warm,
+plus the coalesced-burst throughput the daemon exists for.
+
+Three tiers of the same request, measured end-to-end over real HTTP
+(submit → stream → fetch):
+
+* **cold** — nothing cached: the full pipeline including the
+  simulation in the worker pool;
+* **disk-warm** — a fresh daemon sharing the disk cache of a previous
+  one (the restart story): admission resolves from the on-disk tier;
+* **lru-warm** — the same daemon asked again: a dict lookup, no
+  simulation, no filesystem.
+
+The burst section measures the coalescing win: K identical + M distinct
+jobs submitted concurrently against one busy worker must run exactly
+``1 + M`` simulations (never ``K + M``), with the K-1 duplicates riding
+the single in-flight execution.
+
+Wall-clock numbers are environment-dependent and are **not** gated; the
+deterministic skeleton — job keys, payload digests, execution and
+coalesce counts — is what ``check_regression.py`` holds fixed.
+"""
+
+import concurrent.futures
+import hashlib
+import json
+import tempfile
+import time
+
+from _common import emit, emit_json, table
+
+from repro.serve import DaemonThread, ServeConfig
+
+#: the two Table 1 workloads the serving benchmark exercises (one
+#: divide-and-conquer, one graph traversal — different payload shapes)
+SERVE_WORKLOADS = ("quicksort", "bfs")
+SERVE_CORES = 8
+
+#: burst shape: K identical submits racing M distinct ones
+K_IDENTICAL = 8
+M_DISTINCT = 4
+
+
+def _spec(short, n_cores=SERVE_CORES):
+    return {"jobs": [{"id": short, "workload": short,
+                      "config": {"n_cores": n_cores}}]}
+
+
+def _burst_asm(tag):
+    return """
+main:
+    movq $%d, %%rcx
+loop:
+    decq %%rcx
+    jnz loop
+    movq $%d, %%rax
+    out %%rax
+    hlt
+""" % (3000, tag)
+
+
+def _burst_spec(tag):
+    return {"jobs": [{"id": "burst-%d" % tag, "asm": _burst_asm(tag),
+                      "config": {"n_cores": 2,
+                                 "max_cycles": 2_000_000}}]}
+
+
+def _sha(payload):
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
+
+
+def _timed_run(client, spec):
+    """Submit → wait → fetch; returns (record, payload, milliseconds)."""
+    start = time.perf_counter()
+    record = client.submit(spec)[0]
+    if record["status"] != "cached":
+        final = client.wait(record["job"])
+        assert final == "done", (record, final)
+    payload = client.result(record["key"])["payload"]
+    return record, payload, 1e3 * (time.perf_counter() - start)
+
+
+def run_serve_bench():
+    """The full measurement; returns the BENCH payload dict.
+
+    Reused verbatim by ``check_regression.check_serve`` so the gate and
+    the benchmark can never drift apart on methodology.
+    """
+    records = {}
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # -- cold + lru-warm on one daemon --------------------------------
+        config = ServeConfig(port=0, pool_size=2, cache_dir=cache_dir)
+        with DaemonThread(config) as client:
+            for short in SERVE_WORKLOADS:
+                record, payload, cold_ms = _timed_run(client,
+                                                      _spec(short))
+                records[short] = {
+                    "benchmark": short, "n_cores": SERVE_CORES,
+                    "key": record["key"],
+                    "payload_sha": _sha(payload),
+                    "cold_ms": round(cold_ms, 3),
+                }
+            executions = client.healthz()["jobs"].get("done", 0)
+            for short in SERVE_WORKLOADS:
+                record, payload, lru_ms = _timed_run(client,
+                                                     _spec(short))
+                assert record["status"] == "cached", record
+                assert record["cache_tier"] == "lru", record
+                assert _sha(payload) == records[short]["payload_sha"]
+                records[short]["lru_ms"] = round(lru_ms, 3)
+            # warm fetches ran no additional simulations
+            assert client.healthz()["jobs"].get("done", 0) == executions
+
+        # -- disk-warm on a fresh daemon sharing the cache dir ------------
+        with DaemonThread(ServeConfig(port=0, pool_size=2,
+                                      cache_dir=cache_dir)) as client:
+            for short in SERVE_WORKLOADS:
+                record, payload, disk_ms = _timed_run(client,
+                                                      _spec(short))
+                assert record["status"] == "cached", record
+                assert record["cache_tier"] == "disk", record
+                assert _sha(payload) == records[short]["payload_sha"]
+                records[short]["disk_ms"] = round(disk_ms, 3)
+
+    # -- coalesced burst: K identical + M distinct, one busy worker ------
+    with DaemonThread(ServeConfig(port=0, pool_size=1,
+                                  queue_limit=2 * (K_IDENTICAL
+                                                   + M_DISTINCT))) \
+            as client:
+        # occupy the single worker so every burst key stays in flight
+        # for the whole submission window (deterministic coalescing)
+        blocker = client.submit(_burst_spec(999))[0]
+        specs = ([_burst_spec(0)] * K_IDENTICAL
+                 + [_burst_spec(tag + 1) for tag in range(M_DISTINCT)])
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(len(specs)) as pool:
+            submitted = list(pool.map(
+                lambda spec: client.submit(spec)[0], specs))
+        for record in submitted + [blocker]:
+            assert client.wait(record["job"]) == "done", record
+        burst_wall = time.perf_counter() - start
+        health = client.healthz()
+        metrics = client.metrics()
+
+        def counter(name):
+            for line in metrics.splitlines():
+                if line.startswith("repro_serve_%s{" % name):
+                    return int(float(line.rsplit(" ", 1)[1]))
+            return 0
+
+        burst = {
+            "k_identical": K_IDENTICAL,
+            "m_distinct": M_DISTINCT,
+            # 1 blocker + 1 for the identical key + M distinct
+            "executions": counter("executions"),
+            "coalesced": counter("coalesced"),
+            "jobs": health["jobs"],
+            "wall_s": round(burst_wall, 4),
+            "jobs_per_s": round(len(specs) / burst_wall, 2),
+        }
+        assert burst["executions"] == 1 + 1 + M_DISTINCT, burst
+        assert burst["coalesced"] == K_IDENTICAL - 1, burst
+
+    return {
+        "n_cores": SERVE_CORES,
+        "workloads": [records[short] for short in SERVE_WORKLOADS],
+        "burst": burst,
+    }
+
+
+def bench_serve(benchmark):
+    payload = benchmark.pedantic(run_serve_bench, rounds=1,
+                                 iterations=1)
+    rows = []
+    for record in payload["workloads"]:
+        rows.append((record["benchmark"],
+                     "%.1f" % record["cold_ms"],
+                     "%.1f" % record["disk_ms"],
+                     "%.1f" % record["lru_ms"],
+                     "%.0fx" % (record["cold_ms"] / record["lru_ms"]),
+                     record["key"][:12],
+                     record["payload_sha"][:12]))
+    burst = payload["burst"]
+    text = table(
+        "Serving tiers — end-to-end latency per tier (ms) and the "
+        "coalesced burst",
+        ["workload", "cold", "disk", "lru", "cold/lru", "key",
+         "sha"],
+        rows)
+    text += ("\n\nburst: %d identical + %d distinct -> %d executions "
+             "(%d coalesced), %.2f jobs/s"
+             % (burst["k_identical"], burst["m_distinct"],
+                burst["executions"], burst["coalesced"],
+                burst["jobs_per_s"]))
+    emit("serve", text)
+    emit_json("serve", payload)
+    for record in payload["workloads"]:
+        # the tier ordering claim: warm must beat cold
+        assert record["lru_ms"] < record["cold_ms"], record
+        assert record["disk_ms"] < record["cold_ms"], record

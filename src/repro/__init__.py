@@ -60,7 +60,27 @@ from .sim import Processor, SimConfig, SimResult, simulate
 from .runner import BatchReport, Job, ResultCache, run_batch
 from . import api
 
-__version__ = "1.0.0"
+#: fallback when the distribution is not installed (e.g. a bare
+#: ``PYTHONPATH=src`` checkout); keep in sync with pyproject.toml
+_FALLBACK_VERSION = "1.0.0"
+
+
+def _detect_version() -> str:
+    """Single-source the version from the installed package metadata
+    (pyproject.toml), falling back to the pinned constant on a plain
+    source checkout.  ``repro --version`` and the serve daemon's
+    ``/healthz`` payload both report this value."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:                               # pragma: no cover
+        return _FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "AssemblerError", "BatchReport", "CompileError", "DependencyModel",

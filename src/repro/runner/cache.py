@@ -15,12 +15,18 @@ can leave at worst a stale temp file, never a torn entry.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from .job import SCHEMA_VERSION
+
+#: distinguishes temp files written by different handles in one process
+#: (two threads, or a handle per server) so concurrent same-key writers
+#: can never collide on the temp path even with equal pids
+_PUT_COUNTER = itertools.count()
 
 
 class ResultCache:
@@ -67,9 +73,19 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"schema": SCHEMA_VERSION, "key": key,
                     "payload": payload}
-        tmp = path.parent / (".%s.tmp.%d" % (key, os.getpid()))
-        tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        tmp = path.parent / (".%s.tmp.%d.%d"
+                             % (key, os.getpid(), next(_PUT_COUNTER)))
+        try:
+            tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            # a failed write (full disk, revoked permissions) must not
+            # leave a stale temp file accumulating next to the entries
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         return path
 
     def __len__(self) -> int:

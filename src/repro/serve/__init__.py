@@ -1,0 +1,51 @@
+"""repro.serve — simulation-as-a-service daemon (``repro serve``).
+
+A stdlib-only asyncio HTTP server layered on the batch engine
+(:mod:`repro.runner`): submitted job specs are validated with the same
+``jobs_from_spec`` pipeline as ``repro batch``, executed in the same
+worker pool through the same worker function, and cached under the same
+content addresses — so a payload served by the daemon is bit-identical
+to one computed locally.
+
+The interesting machinery (see DESIGN.md §4.14):
+
+* **request coalescing** — concurrent submissions of the same job key
+  share one execution (:mod:`repro.serve.daemon`);
+* **two-level cache** — a sharded in-process LRU over the on-disk
+  content-addressed cache (:mod:`repro.serve.lru`,
+  :mod:`repro.serve.store`);
+* **per-tenant quotas** — token buckets with honest ``Retry-After``
+  hints (:mod:`repro.serve.quota`);
+* **backpressure + graceful drain** — a bounded queue that 429s when
+  full, and a shutdown path that finishes running jobs and cleanly
+  fails queued ones.
+"""
+
+from .daemon import (
+    CACHED,
+    CANCELLED,
+    DONE,
+    FAILED_STATE,
+    JobRecord,
+    QUEUED,
+    RUNNING,
+    SERVE_SCHEMA_VERSION,
+    ServeConfig,
+    ServeRejected,
+    SimServer,
+    TERMINAL_STATES,
+)
+from .client import DaemonThread, ServeClient, ServeError
+from .http import HttpFrontend, run_server, serve_forever
+from .lru import ShardedLRU
+from .quota import QuotaManager, TokenBucket
+from .store import DISK_TIER, LRU_TIER, TieredResultStore
+
+__all__ = [
+    "CACHED", "CANCELLED", "DISK_TIER", "DONE", "DaemonThread",
+    "FAILED_STATE", "HttpFrontend", "JobRecord", "LRU_TIER", "QUEUED",
+    "QuotaManager", "RUNNING", "SERVE_SCHEMA_VERSION", "ServeClient",
+    "ServeConfig", "ServeError", "ServeRejected", "ShardedLRU",
+    "SimServer", "TERMINAL_STATES", "TieredResultStore", "TokenBucket",
+    "run_server", "serve_forever",
+]

@@ -1,0 +1,212 @@
+"""Synchronous client + in-process daemon runner for ``repro.serve``.
+
+Two pieces, both stdlib-only:
+
+* :class:`ServeClient` — a blocking ``http.client`` wrapper over the
+  daemon's routes, for scripts that want to drive a server without
+  writing HTTP by hand (benchmarks, CI smoke checks, notebooks);
+* :class:`DaemonThread` — a real daemon on a real socket, running in a
+  background thread with its own event loop.  The benchmark harness and
+  the CI serve job use it to measure/exercise the daemon in-process
+  without shelling out.
+
+The *tests* deliberately keep their own lower-level harness
+(``tests/serve/_harness.py``) so the serving stack is exercised by raw
+requests too, not only through this client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .daemon import ServeConfig, SimServer
+from .http import HttpFrontend
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response, carrying the structured error payload."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        error = (payload or {}).get("error", {}) \
+            if isinstance(payload, dict) else {}
+        super().__init__("HTTP %d: %s" % (status,
+                                          error.get("message", payload)))
+        self.status = status
+        self.kind = error.get("kind")
+        self.retry_after_s = error.get("retry_after_s")
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str, port: int,
+                 tenant: Optional[str] = None,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> Tuple[int, Dict[str, str], Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            resp = conn.getresponse()
+            raw = resp.read()
+            kind = resp.headers.get("Content-Type", "")
+            parsed: Any = (json.loads(raw)
+                           if kind.startswith("application/json")
+                           else raw.decode())
+            return resp.status, dict(resp.headers), parsed
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[bytes] = None,
+              headers: Optional[Dict[str, str]] = None) -> Any:
+        status, _, parsed = self._request(method, path, body, headers)
+        if status >= 400:
+            raise ServeError(status, parsed)
+        return parsed
+
+    def healthz(self) -> Dict[str, Any]:
+        result: Dict[str, Any] = self._json("GET", "/healthz")
+        return result
+
+    def metrics(self) -> str:
+        status, _, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, text)
+        return str(text)
+
+    def submit(self, spec: Any) -> List[Dict[str, Any]]:
+        """POST a job spec; returns the record dicts."""
+        headers = ({"X-Repro-Tenant": self.tenant} if self.tenant
+                   else {})
+        payload = self._json("POST", "/jobs",
+                             body=json.dumps(spec).encode(),
+                             headers=headers)
+        records: List[Dict[str, Any]] = payload["jobs"]
+        return records
+
+    def status(self, record_id: str) -> Dict[str, Any]:
+        result: Dict[str, Any] = self._json("GET",
+                                            "/jobs/%s" % record_id)
+        return result
+
+    def events(self, record_id: str) -> List[Dict[str, Any]]:
+        """Follow the NDJSON stream to the terminal event; returns the
+        full event list (blocks until the job finishes)."""
+        status, _, text = self._request("GET",
+                                        "/jobs/%s/events" % record_id)
+        if status != 200:
+            raise ServeError(status, text)
+        return [json.loads(line) for line in str(text).splitlines()
+                if line]
+
+    def wait(self, record_id: str) -> str:
+        """Block until the record is terminal; returns its final
+        status string."""
+        return str(self.events(record_id)[-1]["status"])
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """Fetch a payload by content address; raises on a cache miss."""
+        result: Dict[str, Any] = self._json("GET", "/results/%s" % key)
+        return result
+
+    def run(self, spec: Any) -> List[Dict[str, Any]]:
+        """Submit, wait for every record, fetch every payload."""
+        records = self.submit(spec)
+        out = []
+        for record in records:
+            if record["status"] not in ("cached",):
+                final = self.wait(record["job"])
+                if final != "done":
+                    raise ServeError(500, {"error": {
+                        "kind": "job_" + final,
+                        "message": "job %s ended %s"
+                                   % (record["job"], final)}})
+            out.append(self.result(record["key"])["payload"])
+        return out
+
+
+class DaemonThread:
+    """A live daemon on an ephemeral port, in a background thread.
+
+    Usage::
+
+        with DaemonThread(ServeConfig(port=0, pool_size=2)) as client:
+            payloads = client.run(spec)
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server: Optional[SimServer] = None
+        self.client: Optional[ServeClient] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._done = threading.Event()
+
+    def start(self) -> ServeClient:
+        ready = threading.Event()
+        failure: List[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def run() -> None:
+                self.server = SimServer(self.config)
+                frontend = HttpFrontend(self.server)
+                try:
+                    host, port = await frontend.start()
+                except Exception as exc:
+                    failure.append(exc)
+                    ready.set()
+                    return
+                self.client = ServeClient(host, port)
+                self._stop = asyncio.Event()
+                ready.set()
+                await self._stop.wait()
+                await frontend.stop()
+
+            try:
+                loop.run_until_complete(run())
+            finally:
+                loop.close()
+                self._done.set()
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not ready.wait(timeout=30) or self.client is None:
+            raise RuntimeError("serve daemon failed to start: %r"
+                               % (failure[0] if failure else "timeout"))
+        return self.client
+
+    def stop(self, timeout: float = 120.0) -> None:
+        if self._loop is None or self._stop is None:
+            return
+        stop = self._stop
+        self._loop.call_soon_threadsafe(stop.set)
+        if not self._done.wait(timeout=timeout):
+            raise RuntimeError("serve daemon failed to drain")
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> ServeClient:
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,491 @@
+"""The simulation-as-a-service core: job admission, coalescing, tiered
+caching, quotas, and graceful shutdown — everything except the HTTP
+framing (:mod:`repro.serve.http`).
+
+Serving pipeline for one submitted job::
+
+    quota (per-tenant token bucket)          -> 429 + Retry-After
+      -> two-level cache (LRU -> disk)       -> terminal "cached" record
+      -> coalesce onto an in-flight key      -> rides the one execution
+      -> bounded queue (backpressure)        -> 429 + Retry-After
+      -> worker pool (repro.runner)          -> terminal "done"/"failed"
+
+Everything between parsing a spec and committing its records runs
+synchronously on the event loop (no await points), so admission is
+atomic: a rejected request leaves **no partial state** — quota tokens
+are refunded, no records exist, nothing is queued.
+
+Execution happens in the PR 5 worker pool
+(:class:`repro.runner.engine.WorkerPool`) off the event loop, through
+the same worker function as ``repro batch`` — daemon-served payloads
+are bit-identical to the engine's, which the daemon-vs-engine
+differential test (``tests/serve/test_differential.py``) compares
+verbatim.
+
+Request coalescing keys on the job's content address: while a key is in
+flight, further submissions of the same key attach to the running
+execution instead of enqueuing another — a burst of N identical submits
+performs exactly one simulation and N-1 coalesced attaches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..errors import ReproError
+from ..obs.metrics import HOST_DOMAIN, MetricsRegistry
+from ..runner.cache import ResultCache
+from ..runner.engine import FAILED, OK, WorkerPool, WorkerResult
+from ..runner.job import Job
+from ..runner.spec import jobs_from_spec
+from .lru import ShardedLRU
+from .quota import QuotaManager
+from .store import TieredResultStore
+
+#: version of the daemon's JSON envelopes (submit/status/healthz)
+SERVE_SCHEMA_VERSION = 1
+
+#: job record states; ``cached``/``done``/``failed``/``cancelled`` are
+#: terminal
+QUEUED, RUNNING, DONE, CACHED, FAILED_STATE, CANCELLED = (
+    "queued", "running", "done", "cached", "failed", "cancelled")
+TERMINAL_STATES = frozenset({DONE, CACHED, FAILED_STATE, CANCELLED})
+
+#: wall-clock histogram bounds for daemon-side job latency, seconds
+_WALL_BOUNDS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`SimServer` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    #: worker processes executing simulations (also the number of
+    #: concurrent executions the daemon dispatches)
+    pool_size: int = 2
+    #: max jobs waiting for a worker before submits get 429s
+    queue_limit: int = 32
+    #: in-process LRU capacity in entries (0 disables the hot tier)
+    lru_capacity: int = 256
+    lru_shards: int = 8
+    #: on-disk content-addressed cache directory (None = no disk tier)
+    cache_dir: Optional[str] = None
+    #: per-tenant token bucket: sustained jobs/second and burst size
+    quota_rate: float = 16.0
+    quota_burst: float = 64.0
+    #: request bodies above this are rejected with a structured 413
+    max_body_bytes: int = 1_000_000
+    #: Retry-After hint on queue-full backpressure, seconds
+    retry_after_s: float = 1.0
+    #: how long graceful shutdown waits for running jobs to finish
+    drain_timeout_s: float = 30.0
+    #: allow ``"file"`` job-spec entries (the daemon reads server-local
+    #: paths; off by default because remote tenants should not get to
+    #: point the server at its own filesystem)
+    allow_files: bool = False
+    #: base directory for ``"file"`` entries when enabled
+    spec_base_dir: str = "."
+    #: finished records kept for status/event queries before the oldest
+    #: terminal ones are evicted
+    record_limit: int = 10_000
+
+
+class ServeRejected(ReproError):
+    """An admission failure mapped to a structured HTTP error."""
+
+    def __init__(self, status: int, kind: str, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle, queryable and streamable."""
+
+    record_id: str
+    key: str
+    tenant: str
+    job_id: str
+    status: str = QUEUED
+    coalesced: bool = False
+    cache_tier: Optional[str] = None
+    error: Optional[str] = None
+    wall_s: Optional[float] = None
+    #: lifecycle events, append-only; the NDJSON/SSE stream replays
+    #: this history then follows live appends
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    _wake: asyncio.Event = field(default_factory=asyncio.Event,
+                                 repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def push(self, event: str, **extra: Any) -> None:
+        entry: Dict[str, Any] = {
+            "seq": len(self.events), "event": event,
+            "job": self.record_id, "key": self.key,
+            "status": self.status, "ts": round(time.time(), 3)}
+        entry.update(extra)
+        self.events.append(entry)
+        self._wake.set()
+
+    async def follow(self, cursor: int = 0) -> Any:
+        """Async-iterate events from *cursor*: replay history, then wait
+        for live appends until the record is terminal."""
+        while True:
+            while cursor < len(self.events):
+                yield self.events[cursor]
+                cursor += 1
+            if self.terminal:
+                return
+            self._wake.clear()
+            await self._wake.wait()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"job": self.record_id, "id": self.job_id,
+                "key": self.key, "tenant": self.tenant,
+                "status": self.status, "coalesced": self.coalesced,
+                "cache_tier": self.cache_tier, "error": self.error,
+                "wall_s": self.wall_s, "events": len(self.events)}
+
+
+@dataclass
+class _Inflight:
+    """One queued-or-running execution; coalesced records attach here."""
+
+    job: Job
+    records: List[JobRecord]
+
+
+class SimServer:
+    """The daemon core: admission, dispatch, caching, metrics.
+
+    Lifecycle: construct, ``await start()``, handle requests (the HTTP
+    layer calls :meth:`submit_spec` & friends), ``await shutdown()``.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        disk = (ResultCache(config.cache_dir)
+                if config.cache_dir else None)
+        self.store = TieredResultStore(
+            ShardedLRU(config.lru_capacity, config.lru_shards), disk)
+        self.quotas = QuotaManager(config.quota_rate, config.quota_burst)
+        self.registry = MetricsRegistry(HOST_DOMAIN)
+        self.records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._inflight: Dict[str, _Inflight] = {}
+        self._running_keys: set = set()
+        self._queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+        self._dispatchers: List["asyncio.Task[None]"] = []
+        self.pool: Optional[WorkerPool] = None
+        self.draining = False
+        self._seq = 0
+        self._healed_exported = 0
+        self._started_at = time.time()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spin up the worker pool and the dispatcher tasks."""
+        if self.pool is not None:
+            raise RuntimeError("server already started")
+        self.pool = WorkerPool(self.config.pool_size)
+        self._dispatchers = [
+            asyncio.get_running_loop().create_task(self._dispatch_loop())
+            for _ in range(self.config.pool_size)]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, fail queued jobs cleanly,
+        let running jobs finish (bounded by ``drain_timeout_s``)."""
+        self.draining = True
+        # fail everything still waiting for a worker
+        while True:
+            try:
+                key = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if key is None:
+                continue
+            inflight = self._inflight.pop(key, None)
+            if inflight is not None:
+                for record in inflight.records:
+                    record.status = CANCELLED
+                    record.error = "server shutting down"
+                    record.push("cancelled", reason="shutdown")
+                    self._count_job(CANCELLED)
+        # wake each dispatcher so it can observe the drain and exit
+        for _ in self._dispatchers:
+            self._queue.put_nowait(None)
+        if self._dispatchers:
+            done, pending = await asyncio.wait(
+                self._dispatchers, timeout=self.config.drain_timeout_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        # any record still marked running at this point overran the
+        # drain timeout — fail it instead of leaving it dangling
+        for record in self.records.values():
+            if not record.terminal:
+                record.status = FAILED_STATE
+                record.error = "server shut down before completion"
+                record.push("failed", error=record.error)
+                self._count_job(FAILED_STATE)
+        if self.pool is not None:
+            if self._running_keys:
+                self.pool.terminate()
+            else:
+                self.pool.close()
+
+    # -- admission -------------------------------------------------------
+
+    def _next_record_id(self) -> str:
+        self._seq += 1
+        return "j-%08d" % self._seq
+
+    def _count_job(self, status: str) -> None:
+        self.registry.counter("serve_jobs", "job records by terminal "
+                              "status", status=status).inc()
+
+    def _reject(self, status: int, kind: str, message: str,
+                retry_after_s: Optional[float] = None) -> ServeRejected:
+        self.registry.counter("serve_rejected", "rejected submissions "
+                              "by reason", reason=kind).inc()
+        return ServeRejected(status, kind, message,
+                             retry_after_s=retry_after_s)
+
+    def _parse_spec(self, spec: Any) -> List[Job]:
+        if not self.config.allow_files:
+            entries = spec.get("jobs") if isinstance(spec, dict) else spec
+            for entry in entries or ():
+                if isinstance(entry, dict) and "file" in entry:
+                    raise self._reject(
+                        400, "invalid_spec",
+                        "file job entries are disabled on this server "
+                        "(inline 'c'/'asm'/'workload' entries only)")
+        try:
+            return jobs_from_spec(spec,
+                                  base_dir=self.config.spec_base_dir)
+        except ReproError as exc:
+            raise self._reject(400, "invalid_spec", str(exc)) from None
+
+    def submit_spec(self, spec: Any,
+                    tenant: str = "default") -> Tuple[int, Dict[str, Any]]:
+        """Admit one job-spec payload for *tenant*.
+
+        Runs synchronously on the loop — no await between validation
+        and commit, so admission is atomic (a rejection leaves no
+        partial state).  Returns ``(http_status, response_payload)``;
+        raises :class:`ServeRejected` with a structured reason
+        otherwise.
+        """
+        if self.draining:
+            raise self._reject(503, "draining",
+                               "server is shutting down")
+        jobs = self._parse_spec(spec)
+        granted, retry_after = self.quotas.try_acquire(tenant,
+                                                       cost=len(jobs))
+        if not granted:
+            raise self._reject(
+                429, "quota",
+                "tenant %r exceeded its job quota (%d jobs requested)"
+                % (tenant, len(jobs)),
+                retry_after_s=retry_after)
+        # plan the whole spec before committing anything: dispositions
+        # are (payload, tier) for cache hits, "coalesce" for keys
+        # already in flight (or duplicated within this very spec), and
+        # "new" for keys that need an execution
+        plan: List[Tuple[Job, str, str,
+                         Optional[Dict[str, Any]], Optional[str]]] = []
+        new_keys: List[str] = []
+        spec_keys: set = set()
+        for job in jobs:
+            key = job.key()
+            payload, tier = self.store.get(key)
+            if payload is not None:
+                plan.append((job, key, "cached", payload, tier))
+            elif key in self._inflight or key in spec_keys:
+                plan.append((job, key, "coalesce", None, None))
+            else:
+                plan.append((job, key, "new", None, None))
+                spec_keys.add(key)
+                new_keys.append(key)
+        if self._queue.qsize() + len(new_keys) > self.config.queue_limit:
+            self.quotas.refund(tenant, len(jobs))
+            raise self._reject(
+                429, "backpressure",
+                "job queue is full (%d queued, limit %d)"
+                % (self._queue.qsize(), self.config.queue_limit),
+                retry_after_s=self.config.retry_after_s)
+        # commit
+        out: List[Dict[str, Any]] = []
+        for job, key, disposition, payload, tier in plan:
+            record = JobRecord(self._next_record_id(), key, tenant,
+                               job.job_id)
+            self.records[record.record_id] = record
+            record.push("submitted", tenant=tenant)
+            if disposition == "cached":
+                record.status = CACHED
+                record.cache_tier = tier
+                record.wall_s = 0.0
+                record.push("cache_hit", tier=tier)
+                self._count_job(CACHED)
+                self.registry.counter(
+                    "serve_cache_requests", "tiered lookups by result",
+                    tier=str(tier)).inc()
+            elif disposition == "coalesce":
+                inflight = self._inflight[key]
+                record.coalesced = True
+                record.status = inflight.records[0].status
+                inflight.records.append(record)
+                record.push("coalesced",
+                            onto=inflight.records[0].record_id)
+                self.registry.counter(
+                    "serve_coalesced",
+                    "submits attached to an in-flight execution").inc()
+                self.registry.counter(
+                    "serve_cache_requests", "tiered lookups by result",
+                    tier="miss").inc()
+            else:
+                self._inflight[key] = _Inflight(job, [record])
+                self._queue.put_nowait(key)
+                record.push("queued", depth=self._queue.qsize())
+                self.registry.counter(
+                    "serve_cache_requests", "tiered lookups by result",
+                    tier="miss").inc()
+            out.append(record.to_json_dict())
+        self._evict_records()
+        status = 200 if all(r["status"] in TERMINAL_STATES
+                            for r in out) else 202
+        return status, {"schema_version": SERVE_SCHEMA_VERSION,
+                        "tenant": tenant, "jobs": out}
+
+    def _evict_records(self) -> None:
+        """Drop the oldest *terminal* records past ``record_limit`` so
+        the status table cannot grow without bound."""
+        excess = len(self.records) - self.config.record_limit
+        if excess <= 0:
+            return
+        for record_id in [rid for rid, rec in self.records.items()
+                          if rec.terminal][:excess]:
+            del self.records[record_id]
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            key = await self._queue.get()
+            if key is None or self.draining:
+                return
+            inflight = self._inflight.get(key)
+            if inflight is None:            # cancelled while queued
+                continue
+            await self._execute(key, inflight)
+
+    async def _execute(self, key: str, inflight: _Inflight) -> None:
+        assert self.pool is not None
+        self._running_keys.add(key)
+        for record in inflight.records:
+            record.status = RUNNING
+            record.push("running")
+        try:
+            raw: WorkerResult = await self.pool.run_job(inflight.job)
+        except asyncio.CancelledError:
+            self._running_keys.discard(key)
+            raise
+        except Exception as exc:            # noqa: BLE001 — infra failure
+            raw = (FAILED, "worker pool error: %r" % (exc,),
+                   0.0, {}, 0.0, 0.0)
+        self._running_keys.discard(key)
+        # inflight.records may have grown while the job ran (coalesced
+        # attaches) — resolve whatever is there now, then unpublish the
+        # key so later submits hit the cache instead
+        del self._inflight[key]
+        status, value, wall, _phases, _t_in, _t_out = raw
+        if status == OK:
+            self.store.put(key, value)
+            self.registry.counter(
+                "serve_executions", "simulations actually run").inc()
+            self.registry.histogram(
+                "serve_job_wall_seconds", _WALL_BOUNDS,
+                "per-execution wall").observe(wall)
+            for record in inflight.records:
+                record.status = DONE
+                record.wall_s = wall
+                record.push("done", wall_s=round(wall, 6))
+                self._count_job(DONE)
+        else:
+            for record in inflight.records:
+                record.status = FAILED_STATE
+                record.error = str(value)
+                record.push("failed", error=record.error)
+                self._count_job(FAILED_STATE)
+
+    # -- queries ---------------------------------------------------------
+
+    def record(self, record_id: str) -> Optional[JobRecord]:
+        return self.records.get(record_id)
+
+    def result(self, key: str) -> Tuple[Optional[Dict[str, Any]],
+                                        Optional[str]]:
+        payload, tier = self.store.get(key)
+        if payload is not None:
+            self.registry.counter(
+                "serve_cache_requests", "tiered lookups by result",
+                tier=str(tier)).inc()
+        return payload, tier
+
+    def observe_http(self, route: str, status: int) -> None:
+        self.registry.counter("serve_http_requests",
+                              "HTTP requests by route and status",
+                              route=route, status=str(status)).inc()
+
+    def healthz(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for record in self.records.values():
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "pool_size": self.config.pool_size,
+            "queue_depth": self._queue.qsize(),
+            "running": len(self._running_keys),
+            "jobs": by_status,
+            "cache": self.store.stats(),
+            "tenants": self.quotas.tenants(),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the daemon's host-domain
+        instruments, with point-in-time gauges refreshed at scrape."""
+        stats = self.store.stats()
+        healed_delta = stats["healed"] - self._healed_exported
+        if healed_delta > 0:
+            self._healed_exported = stats["healed"]
+        self.registry.counter(
+            "serve_cache_healed",
+            "poisoned disk entries healed fail-open").inc(
+                max(0, healed_delta))
+        self.registry.gauge("serve_queue_depth",
+                            "jobs waiting for a worker").set(
+                                self._queue.qsize())
+        self.registry.gauge("serve_running",
+                            "executions in flight").set(
+                                len(self._running_keys))
+        self.registry.gauge("serve_lru_entries",
+                            "hot-tier entries").set(stats["lru_entries"])
+        self.registry.gauge("serve_records",
+                            "job records held").set(len(self.records))
+        return self.registry.render_prometheus()

@@ -1,0 +1,340 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`~repro.serve.daemon.
+SimServer` — stdlib only, one connection per request.
+
+Routes::
+
+    GET  /healthz            liveness + version + queue/cache snapshot
+    GET  /metrics            Prometheus text exposition (host domain)
+    POST /jobs               submit a job spec (repro batch spec JSON);
+                             tenant from the X-Repro-Tenant header
+    GET  /jobs/<id>          one record's status
+    GET  /jobs/<id>/events   lifecycle stream — NDJSON by default, SSE
+                             when Accept: text/event-stream
+    GET  /results/<key>      fetch a payload by content address
+
+Errors are structured JSON — ``{"error": {"kind": ..., "message":
+...}}`` — and throttling responses (429) carry both a ``Retry-After``
+header and a ``retry_after_s`` field, so clients can be dumb *or*
+clever about backoff.
+
+Deliberately not a web framework: no routing table, no middleware, no
+keep-alive.  The daemon's concurrency story lives in
+:mod:`repro.serve.daemon`; this module only frames bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import unquote, urlsplit
+
+from .daemon import ServeConfig, ServeRejected, SimServer
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                413: "Payload Too Large", 429: "Too Many Requests",
+                500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: request-line + headers may not exceed this (a spec body is bounded
+#: separately by ``ServeConfig.max_body_bytes``)
+_MAX_HEADER_BYTES = 32 * 1024
+
+
+class _HttpError(Exception):
+    """A framing/validation failure turned into a structured response."""
+
+    def __init__(self, status: int, kind: str, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+def _head(status: int, content_type: str,
+          extra: Mapping[str, str] = {},
+          length: Optional[int] = None) -> bytes:
+    lines = ["HTTP/1.1 %d %s" % (status,
+                                 _STATUS_TEXT.get(status, "Unknown")),
+             "Content-Type: %s" % content_type,
+             "Connection: close"]
+    if length is not None:
+        lines.append("Content-Length: %d" % length)
+    for name, value in extra.items():
+        lines.append("%s: %s" % (name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+def _json_body(status: int, payload: Any,
+               extra: Mapping[str, str] = {}) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _head(status, "application/json", extra, len(body)) + body
+
+
+def _error_body(status: int, kind: str, message: str,
+                retry_after_s: Optional[float] = None) -> bytes:
+    error: Dict[str, Any] = {"kind": kind, "message": message}
+    extra: Dict[str, str] = {}
+    if retry_after_s is not None and not math.isfinite(retry_after_s):
+        retry_after_s = None        # unservable (e.g. zero refill rate):
+                                    # no honest Retry-After exists
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(retry_after_s, 3)
+        extra["Retry-After"] = str(max(1, int(retry_after_s + 0.999)))
+    return _json_body(status, {"error": error}, extra)
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        max_body: int) -> Tuple[str, str, Dict[str, str],
+                                                bytes]:
+    """Parse one request: ``(method, path, headers, body)``.
+
+    Header names are lower-cased; the path is percent-decoded with the
+    query string split off (the daemon's routes take no query params
+    today, so the query is simply ignored)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(400, "bad_request", "header section too large")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionResetError("client closed the connection")
+        raise _HttpError(400, "bad_request", "truncated request")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(400, "bad_request", "header section too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, "bad_request",
+                         "malformed request line %r" % lines[0][:100])
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "bad_request",
+                         "malformed Content-Length header")
+    if length > max_body:
+        raise _HttpError(
+            413, "too_large",
+            "request body is %d bytes; this server accepts at most %d"
+            % (length, max_body))
+    body = await reader.readexactly(length) if length else b""
+    path = unquote(urlsplit(target).path)
+    return method, path, headers, body
+
+
+def _parse_json(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise _HttpError(400, "invalid_json",
+                         "request body is not valid JSON: %s" % exc)
+
+
+def _route_label(method: str, path: str) -> str:
+    """Stable low-cardinality label for the request counter (error
+    responses must attribute to the route they failed on, so this is
+    computed before dispatch, not returned by it)."""
+    if path == "/healthz":
+        return "healthz"
+    if path == "/metrics":
+        return "metrics"
+    if path == "/jobs":
+        return "jobs_submit"
+    if path.startswith("/jobs/"):
+        return ("jobs_events" if path.endswith("/events")
+                else "jobs_status")
+    if path.startswith("/results/"):
+        return "results"
+    return "other"
+
+
+class HttpFrontend:
+    """Binds a :class:`SimServer` to an asyncio stream server."""
+
+    def __init__(self, server: SimServer) -> None:
+        self.server = server
+        self._listener: Optional[asyncio.AbstractServer] = None
+
+    # -- routing ---------------------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        route = "other"
+        status = 500
+        try:
+            method, path, headers, body = await _read_request(
+                reader, self.server.config.max_body_bytes)
+            route = _route_label(method, path)
+            status = await self._dispatch(writer, method, path,
+                                          headers, body)
+        except ConnectionResetError:
+            status = 0            # nothing was served; don't count it
+        except _HttpError as exc:
+            status = exc.status
+            self._try_write(writer, _error_body(
+                exc.status, exc.kind, exc.message, exc.retry_after_s))
+        except ServeRejected as exc:
+            status = exc.status
+            self._try_write(writer, _error_body(
+                exc.status, exc.kind, str(exc), exc.retry_after_s))
+        except Exception as exc:    # noqa: BLE001 — last-resort handler
+            status = 500
+            self._try_write(writer, _error_body(
+                500, "internal", "unhandled server error: %r" % (exc,)))
+        finally:
+            if status:
+                self.server.observe_http(route, status)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _try_write(self, writer: asyncio.StreamWriter,
+                   data: bytes) -> None:
+        try:
+            writer.write(data)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, method: str,
+                        path: str, headers: Mapping[str, str],
+                        body: bytes) -> int:
+        """Route one parsed request; returns the response status for
+        the request counter."""
+        server = self.server
+        if path == "/healthz" and method == "GET":
+            writer.write(_json_body(200, server.healthz()))
+            return 200
+        if path == "/metrics" and method == "GET":
+            text = server.render_metrics().encode()
+            writer.write(_head(200, "text/plain; version=0.0.4",
+                               length=len(text)) + text)
+            return 200
+        if path == "/jobs" and method == "POST":
+            tenant = headers.get("x-repro-tenant", "default")
+            status, payload = server.submit_spec(_parse_json(body),
+                                                 tenant=tenant)
+            writer.write(_json_body(status, payload))
+            return status
+        if path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                record_id = rest[:-len("/events")]
+                sse = "text/event-stream" in headers.get("accept", "")
+                return await self._stream_events(writer, record_id, sse)
+            record = server.record(rest)
+            if record is None:
+                raise _HttpError(404, "not_found",
+                                 "no such job %r" % rest)
+            writer.write(_json_body(200, record.to_json_dict()))
+            return 200
+        if path.startswith("/results/") and method == "GET":
+            key = path[len("/results/"):]
+            payload, tier = server.result(key)
+            if payload is None:
+                raise _HttpError(404, "not_found",
+                                 "no cached result for key %r" % key)
+            writer.write(_json_body(200, {"key": key, "tier": tier,
+                                          "payload": payload}))
+            return 200
+        if path in ("/healthz", "/metrics", "/jobs") or \
+                path.startswith(("/jobs/", "/results/")):
+            raise _HttpError(405, "method_not_allowed",
+                             "%s is not supported on %s" % (method, path))
+        raise _HttpError(404, "not_found", "no route for %r" % path)
+
+    async def _stream_events(self, writer: asyncio.StreamWriter,
+                             record_id: str, sse: bool) -> int:
+        """Stream a record's lifecycle events until it is terminal —
+        newline-delimited JSON, or SSE ``data:`` frames on request."""
+        record = self.server.record(record_id)
+        if record is None:
+            raise _HttpError(404, "not_found",
+                             "no such job %r" % record_id)
+        content_type = ("text/event-stream" if sse
+                        else "application/x-ndjson")
+        writer.write(_head(200, content_type,
+                           {"Cache-Control": "no-store"}))
+        try:
+            async for event in record.follow():
+                line = json.dumps(event, sort_keys=True)
+                if sse:
+                    writer.write(("data: %s\n\n" % line).encode())
+                else:
+                    writer.write((line + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass                    # client went away mid-stream
+        return 200
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the daemon core and the listener; returns the bound
+        ``(host, port)`` (port 0 resolves to the kernel's pick)."""
+        await self.server.start()
+        self._listener = await asyncio.start_server(
+            self.handle, self.server.config.host,
+            self.server.config.port)
+        sock = self._listener.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return str(host), int(port)
+
+    async def stop(self) -> None:
+        """Stop accepting, then drain the daemon gracefully."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        await self.server.shutdown()
+
+
+async def run_server(config: ServeConfig,
+                     shutdown: Optional[asyncio.Event] = None) -> None:
+    """Serve until *shutdown* is set (or SIGINT/SIGTERM when running on
+    a loop that supports signal handlers), then drain and exit."""
+    frontend = HttpFrontend(SimServer(config))
+    host, port = await frontend.start()
+    stop = shutdown if shutdown is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    if shutdown is None:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass                # non-main thread / exotic platform
+    print("repro serve: listening on http://%s:%d (pool=%d, "
+          "queue=%d, lru=%d)"
+          % (host, port, config.pool_size, config.queue_limit,
+             config.lru_capacity), flush=True)
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        print("repro serve: draining...", flush=True)
+        await frontend.stop()
+        print("repro serve: stopped", flush=True)
+
+
+def serve_forever(config: ServeConfig) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,85 @@
+"""Sharded in-process LRU cache — the serve daemon's hot tier.
+
+Keys are spread over independent shards by a *stable* hash (crc32, not
+the per-process-randomized builtin ``hash``), so shard assignment — and
+therefore eviction behaviour — is reproducible across runs and
+processes.  Each shard is an insertion-ordered dict used LRU-style:
+hits move the entry to the back, eviction pops the front.
+
+Sharding keeps the worst-case cost of one operation bounded by the
+shard size rather than the whole cache, and is the shape a future
+multi-threaded or multi-interpreter server wants (one lock per shard);
+under the asyncio daemon everything runs on one loop, so no locks are
+needed yet.
+
+A capacity of 0 disables the cache entirely (every ``get`` is a miss,
+``put`` is a no-op) — the configuration knob for serving straight from
+disk.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+
+class ShardedLRU:
+    """Bounded in-process key/value cache over *shards* LRU shards."""
+
+    def __init__(self, capacity: int, shards: int = 8) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0 (got %r)"
+                             % (capacity,))
+        if shards < 1:
+            raise ValueError("shards must be >= 1 (got %r)" % (shards,))
+        self.capacity = capacity
+        #: per-shard entry budget; total capacity is distributed evenly
+        #: (ceiling division, so the sum is >= capacity and every shard
+        #: can hold at least one entry when capacity > 0)
+        self.shard_capacity = ((capacity + shards - 1) // shards
+                               if capacity else 0)
+        self._shards: List["OrderedDict[str, Any]"] = [
+            OrderedDict() for _ in range(shards)]
+        #: lifetime telemetry: ``hits``, ``misses``, ``evictions``
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0,
+                                      "evictions": 0}
+
+    def _shard(self, key: str) -> "OrderedDict[str, Any]":
+        return self._shards[zlib.crc32(key.encode()) % len(self._shards)]
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for *key* (refreshing its recency), or None."""
+        shard = self._shard(key)
+        if key not in shard:
+            self.stats["misses"] += 1
+            return None
+        shard.move_to_end(key)
+        self.stats["hits"] += 1
+        return shard[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh *key*, evicting the shard's LRU tail past
+        capacity."""
+        if self.capacity == 0:
+            return
+        shard = self._shard(key)
+        shard[key] = value
+        shard.move_to_end(key)
+        while len(shard) > self.shard_capacity:
+            shard.popitem(last=False)
+            self.stats["evictions"] += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def shard_sizes(self) -> List[int]:
+        """Entry count per shard (distribution diagnostics)."""
+        return [len(shard) for shard in self._shards]

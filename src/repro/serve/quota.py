@@ -1,0 +1,97 @@
+"""Per-tenant token-bucket quotas for the serve daemon.
+
+A :class:`TokenBucket` holds up to ``burst`` tokens and refills at
+``rate`` tokens per second; each admitted job costs one token.  A denied
+acquisition reports how long the caller must wait for enough tokens —
+the daemon surfaces that as a ``Retry-After`` header on its 429.
+
+The clock is injectable (default ``time.monotonic``) so tests can drive
+refill deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Tuple
+
+
+class TokenBucket:
+    """One tenant's budget: *burst* capacity, *rate* tokens/second."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if burst <= 0:
+            raise ValueError("burst must be > 0 (got %r)" % (burst,))
+        if rate < 0:
+            raise ValueError("rate must be >= 0 (got %r)" % (rate,))
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if now > self._stamp:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp)
+                               * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend *cost* tokens if available.
+
+        Returns ``(granted, retry_after_s)``: on a grant the wait is 0;
+        on a denial it is the time until the bucket will hold *cost*
+        tokens (``inf`` for a zero refill rate, or a cost above the
+        burst capacity, which can never be granted).  Denials spend
+        nothing.
+        """
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        if self.rate <= 0 or cost > self.burst:
+            return False, math.inf
+        return False, (cost - self._tokens) / self.rate
+
+    def refund(self, amount: float) -> None:
+        """Return *amount* tokens (an admitted request the server then
+        rejected for a different reason must not burn quota)."""
+        self._refill()
+        self._tokens = min(self.burst, self._tokens + amount)
+
+
+class QuotaManager:
+    """Lazily materialized per-tenant buckets sharing one rate/burst
+    policy."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        found = self._buckets.get(tenant)
+        if found is None:
+            found = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[tenant] = found
+        return found
+
+    def try_acquire(self, tenant: str,
+                    cost: float = 1.0) -> Tuple[bool, float]:
+        return self.bucket(tenant).try_acquire(cost)
+
+    def refund(self, tenant: str, amount: float) -> None:
+        self.bucket(tenant).refund(amount)
+
+    def tenants(self) -> List[str]:
+        return sorted(self._buckets)

@@ -1,0 +1,84 @@
+"""Two-level result store: sharded in-process LRU over the on-disk
+content-addressed :class:`~repro.runner.cache.ResultCache`.
+
+Lookup order is LRU -> disk -> miss.  A disk hit is promoted into the
+LRU so repeated fetches of a hot key never touch the filesystem again;
+a fresh execution writes through both tiers.  Because both tiers are
+keyed by the job's content address, an entry served from either tier is
+byte-identical to a fresh execution (the engine's normalization
+contract), so tiering is purely a latency/exhaustion trade:
+
+* the LRU absorbs the "millions of users ask the same question" burst
+  (a hit is a dict lookup, no JSON parse, no syscalls);
+* the disk tier is shared across server restarts and with every other
+  cache client (``repro batch``, the benchmark grids), and heals
+  poisoned entries fail-open exactly as in PR 5.
+
+``stats()`` folds both tiers' counters — including the disk tier's
+``healed`` count, this handle's delta — into one dict the daemon
+exports through its metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..runner.cache import ResultCache
+from .lru import ShardedLRU
+
+#: which tier served a hit
+LRU_TIER, DISK_TIER = "lru", "disk"
+
+
+class TieredResultStore:
+    """LRU-over-disk payload store keyed by job content address."""
+
+    def __init__(self, lru: ShardedLRU,
+                 disk: Optional[ResultCache] = None) -> None:
+        self.lru = lru
+        self.disk = disk
+        #: disk counters at attach time — ``stats()`` reports deltas so
+        #: a store wrapping a pre-used cache handle starts from zero
+        self._disk_base: Dict[str, int] = (dict(disk.stats)
+                                           if disk is not None else {})
+
+    def get(self, key: str) -> Tuple[Optional[Dict[str, Any]],
+                                     Optional[str]]:
+        """``(payload, tier)`` — tier is ``"lru"``/``"disk"`` on a hit,
+        None on a miss (both elements None)."""
+        payload = self.lru.get(key)
+        if payload is not None:
+            return payload, LRU_TIER
+        if self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None:
+                self.lru.put(key, payload)
+                return payload, DISK_TIER
+        return None, None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Write-through publish into both tiers."""
+        self.lru.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(key, payload)
+
+    def stats(self) -> Dict[str, int]:
+        """Folded two-tier counters: ``lru_hits``/``lru_misses``/
+        ``evictions`` from the hot tier, ``disk_hits``/``disk_misses``/
+        ``healed`` as this store's deltas on the disk handle."""
+        out = {
+            "lru_hits": self.lru.stats["hits"],
+            "lru_misses": self.lru.stats["misses"],
+            "evictions": self.lru.stats["evictions"],
+            "lru_entries": len(self.lru),
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "healed": 0,
+        }
+        if self.disk is not None:
+            for ours, theirs in (("disk_hits", "hits"),
+                                 ("disk_misses", "misses"),
+                                 ("healed", "healed")):
+                out[ours] = (self.disk.stats[theirs]
+                             - self._disk_base.get(theirs, 0))
+        return out

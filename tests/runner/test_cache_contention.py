@@ -1,0 +1,137 @@
+"""Multi-process cache contention: N processes hammering the same key
+must never observe a torn entry.
+
+The cache's concurrency contract is *atomic publish*: a reader sees
+either nothing (miss) or a complete, self-consistent payload — never a
+partially written file.  ``put`` guarantees it by writing to a unique
+temp name (pid + per-handle counter) and ``os.replace``-ing into place;
+this test drives that contract with real processes racing on one key
+and on overlapping key sets.
+
+Every observed torn read would show up twice: as a wrong checksum here
+and as a ``healed`` increment in the reader's stats — both must stay
+zero under pure put/get races (``healed`` is reserved for genuinely
+poisoned entries, which torn *atomic* writes can never create).
+"""
+
+import json
+import multiprocessing
+
+from repro.runner import ResultCache
+
+#: one shared content-address-shaped key all processes fight over
+KEY = "ab" + "0" * 62
+
+N_PROCESSES = 6
+N_ROUNDS = 150
+
+
+def _payload(stamp):
+    """A payload whose integrity is checkable: the body is large enough
+    that a torn write would cut it, and the checksum pins the body."""
+    body = list(range(stamp, stamp + 500))
+    return {"stamp": stamp, "body": body, "checksum": sum(body)}
+
+
+def _verify(payload):
+    assert set(payload) == {"stamp", "body", "checksum"}
+    assert payload["checksum"] == sum(payload["body"])
+    assert payload["body"][0] == payload["stamp"]
+
+
+def _hammer(root, worker, queue):
+    """Alternate put/get on the shared key as fast as possible; report
+    every anomaly and the final reader stats."""
+    cache = ResultCache(root)
+    errors = []
+    for round_no in range(N_ROUNDS):
+        stamp = worker * N_ROUNDS + round_no
+        try:
+            cache.put(KEY, _payload(stamp))
+            seen = cache.get(KEY)
+            if seen is not None:
+                _verify(seen)
+            # also race on a per-worker key to mix directory creation
+            # into the same window
+            own = "%02x" % worker + "1" * 62
+            cache.put(own, _payload(stamp))
+            mine = cache.get(own)
+            if mine is None:
+                errors.append("worker %d lost its own key" % worker)
+            else:
+                _verify(mine)
+        except Exception as exc:    # noqa: BLE001 — collected, not raised
+            errors.append("worker %d round %d: %r"
+                          % (worker, round_no, exc))
+    queue.put((worker, errors, dict(cache.stats)))
+
+
+class TestCacheContention:
+    def test_concurrent_putters_and_getters_never_tear(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        workers = [ctx.Process(target=_hammer,
+                               args=(str(tmp_path), i, queue))
+                   for i in range(N_PROCESSES)]
+        for proc in workers:
+            proc.start()
+        reports = [queue.get(timeout=120) for _ in workers]
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        all_errors = [err for _, errors, _ in reports for err in errors]
+        assert all_errors == [], all_errors
+        # atomic publish means pure write races can never poison an
+        # entry: no reader healed anything
+        assert sum(stats["healed"] for _, _, stats in reports) == 0
+        # and every reader that looked after its own put found a hit
+        assert all(stats["hits"] > 0 for _, _, stats in reports)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        workers = [ctx.Process(target=_hammer,
+                               args=(str(tmp_path), i, queue))
+                   for i in range(3)]
+        for proc in workers:
+            proc.start()
+        for _ in workers:
+            queue.get(timeout=120)
+        for proc in workers:
+            proc.join(timeout=60)
+        leftovers = [p for p in tmp_path.rglob(".*.tmp.*")]
+        assert leftovers == []
+
+    def test_final_state_is_a_valid_entry(self, tmp_path):
+        """After the dust settles the surviving entry parses, matches
+        its key, and carries one writer's complete payload."""
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        workers = [ctx.Process(target=_hammer,
+                               args=(str(tmp_path), i, queue))
+                   for i in range(4)]
+        for proc in workers:
+            proc.start()
+        for _ in workers:
+            queue.get(timeout=120)
+        for proc in workers:
+            proc.join(timeout=60)
+        cache = ResultCache(str(tmp_path))
+        final = cache.get(KEY)
+        assert final is not None
+        _verify(final)
+        raw = json.loads(cache.path_for(KEY).read_text())
+        assert raw["key"] == KEY
+
+    def test_same_process_handles_use_distinct_temp_names(self,
+                                                          tmp_path):
+        """Two handles in one process (equal pids) must not collide on
+        temp paths — the per-handle counter keeps them unique."""
+        one = ResultCache(str(tmp_path))
+        two = ResultCache(str(tmp_path))
+        for i in range(50):
+            one.put(KEY, _payload(i))
+            two.put(KEY, _payload(1000 + i))
+        final = one.get(KEY)
+        _verify(final)
+        assert list(tmp_path.rglob(".*.tmp.*")) == []

@@ -1,0 +1,140 @@
+"""The awaitable batch entry point: ``run_batch_async`` must produce
+the same outcomes as ``run_batch``, and ``WorkerPool`` must bridge the
+multiprocessing pool onto the event loop correctly (reuse across
+batches, failure isolation, clean close)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import assemble
+from repro.runner import (Job, ResultCache, WorkerPool, run_batch,
+                          run_batch_async)
+from repro.sim import SimConfig
+
+_GOOD = """
+main:
+    movq $41, %rax
+    incq %rax
+    out %rax
+    hlt
+"""
+
+_BAD = """
+main:
+    jmp main
+"""
+
+
+def _good_job(**kwargs):
+    return Job.from_program(assemble(_GOOD), config=SimConfig(n_cores=2),
+                            **kwargs)
+
+
+def _bad_job():
+    return Job.from_program(assemble(_BAD),
+                            config=SimConfig(n_cores=1, max_cycles=200),
+                            job_id="bad")
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestRunBatchAsync:
+    def test_matches_sync_run_batch(self):
+        jobs = [_good_job(job_id="a"), _good_job(job_id="b")]
+        sync = run_batch(jobs)
+        async_report = _run(run_batch_async(jobs, pool_size=2))
+        assert [o.job_id for o in async_report.outcomes] == \
+            [o.job_id for o in sync.outcomes]
+        for ours, theirs in zip(async_report.outcomes, sync.outcomes):
+            assert ours.status == theirs.status == "ok"
+            assert json.dumps(ours.payload, sort_keys=True) == \
+                json.dumps(theirs.payload, sort_keys=True)
+
+    def test_failure_isolation(self):
+        jobs = [_good_job(job_id="ok"), _bad_job()]
+        report = _run(run_batch_async(jobs, pool_size=2))
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert by_id["ok"].status == "ok"
+        assert by_id["bad"].status == "failed"
+        assert by_id["bad"].error
+        assert not report.ok
+
+    def test_cache_hits_settle_first(self):
+        cache_jobs = [_good_job(job_id="one")]
+        with_cache = []
+
+        def record(outcome):
+            with_cache.append(outcome.status)
+
+        async def scenario(tmp):
+            cache = ResultCache(tmp)
+            await run_batch_async(cache_jobs, cache=cache)
+            fresh = Job.from_program(assemble(_GOOD),
+                                     config=SimConfig(n_cores=4),
+                                     job_id="two")
+            return await run_batch_async(cache_jobs + [fresh],
+                                         cache=cache,
+                                         on_outcome=record)
+
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            report = _run(scenario(tmp))
+        assert with_cache[0] == "cached"
+        assert report.cache_stats["hits"] == 1
+        assert report.host_metrics is not None
+
+    def test_shared_pool_reused_across_batches(self):
+        async def scenario():
+            with WorkerPool(2) as pool:
+                first = await run_batch_async([_good_job(job_id="a")],
+                                              pool=pool)
+                second = await run_batch_async([_good_job(job_id="b")],
+                                               pool=pool)
+                assert not pool.closed     # shared pools stay open
+                return first, second
+
+        first, second = _run(scenario())
+        assert first.outcomes[0].status == "ok"
+        assert second.outcomes[0].status == "ok"
+
+    def test_private_pool_closed_even_on_failure(self):
+        report = _run(run_batch_async([_bad_job()], pool_size=1))
+        assert report.outcomes[0].status == "failed"
+
+
+class TestWorkerPool:
+    def test_run_job_returns_worker_tuple(self):
+        async def scenario():
+            with WorkerPool(1) as pool:
+                return await pool.run_job(_good_job())
+
+        status, payload, wall, phases, t_in, t_out = _run(scenario())
+        assert status == "ok"
+        assert payload["outputs"] == [42]
+        assert t_out >= t_in
+        assert "simulate_s" in phases
+
+    def test_concurrent_jobs_interleave(self):
+        async def scenario():
+            with WorkerPool(2) as pool:
+                return await asyncio.gather(
+                    *(pool.run_job(_good_job(job_id="j%d" % i))
+                      for i in range(4)))
+
+        results = _run(scenario())
+        assert [r[0] for r in results] == ["ok"] * 4
+
+    def test_closed_pool_rejects_work(self):
+        async def scenario():
+            pool = WorkerPool(1)
+            pool.close()
+            assert pool.closed
+            with pytest.raises(RuntimeError):
+                await pool.run_job(_good_job())
+            pool.close()               # idempotent
+
+        _run(scenario())

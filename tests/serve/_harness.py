@@ -1,0 +1,162 @@
+"""Test harness: a real serve daemon on a real socket, driven from
+synchronous test code.
+
+The daemon runs in a background thread with its own event loop (there
+is no pytest-asyncio in the toolchain, and running it for real — bytes
+over a socket — is exactly what the serve tests should exercise).
+Requests go through ``http.client`` so header/framing behaviour is the
+stdlib's, not ours.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+from repro.serve import HttpFrontend, ServeConfig, SimServer
+
+
+class Daemon:
+    """A live ``repro serve`` instance bound to an ephemeral port."""
+
+    def __init__(self, **config):
+        config.setdefault("port", 0)
+        config.setdefault("pool_size", 1)
+        self.config = ServeConfig(**config)
+        self.server = None          # the SimServer, for white-box asserts
+        self.host = None
+        self.port = None
+        self._loop = None
+        self._thread = None
+        self._stopped = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self):
+        ready = threading.Event()
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self.server = SimServer(self.config)
+            frontend = HttpFrontend(self.server)
+            self._stopped = threading.Event()
+
+            async def run():
+                self.host, self.port = await frontend.start()
+                ready.set()
+                stop = asyncio.Event()
+                self._stop_event = stop
+                await stop.wait()
+                await frontend.stop()
+
+            try:
+                loop.run_until_complete(run())
+            finally:
+                loop.close()
+                self._stopped.set()
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("daemon failed to start")
+        return self
+
+    def stop(self, timeout=60):
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        if not self._stopped.wait(timeout=timeout):
+            raise RuntimeError("daemon failed to stop")
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -- client ----------------------------------------------------------
+
+    def request(self, method, path, body=None, headers=None, timeout=60):
+        """One HTTP request; returns ``(status, headers, parsed_body)``.
+
+        JSON bodies parse to objects; anything else comes back as text.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            payload = None
+            sent_headers = dict(headers or {})
+            if body is not None:
+                payload = (json.dumps(body).encode()
+                           if not isinstance(body, bytes) else body)
+            conn.request(method, path, body=payload,
+                         headers=sent_headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            content_type = resp.headers.get("Content-Type", "")
+            if content_type.startswith("application/json"):
+                parsed = json.loads(raw)
+            else:
+                parsed = raw.decode()
+            return resp.status, dict(resp.headers), parsed
+        finally:
+            conn.close()
+
+    def submit(self, spec, tenant=None):
+        headers = {"X-Repro-Tenant": tenant} if tenant else None
+        return self.request("POST", "/jobs", body=spec, headers=headers)
+
+    def events(self, record_id, sse=False):
+        """Block until the record is terminal; return its event list."""
+        headers = {"Accept": "text/event-stream"} if sse else None
+        status, _, text = self.request(
+            "GET", "/jobs/%s/events" % record_id, headers=headers)
+        assert status == 200, text
+        if sse:
+            lines = [line[len("data: "):]
+                     for line in text.split("\n")
+                     if line.startswith("data: ")]
+        else:
+            lines = [line for line in text.splitlines() if line]
+        return [json.loads(line) for line in lines]
+
+    def wait_done(self, record_id):
+        """Follow the record's event stream to a terminal state and
+        return the final status string."""
+        return self.events(record_id)[-1]["status"]
+
+    def counter(self, name, **labels):
+        """Read one host-domain counter from the live registry."""
+        reg = self.server.registry
+        return reg.counter(name, **{k: str(v)
+                                    for k, v in labels.items()}).value
+
+
+#: a tiny assembly program; ``n`` scales simulated work linearly so
+#: tests can pick their own duration
+def slow_asm(n, out=7):
+    return """
+main:
+    movq $%d, %%rcx
+loop:
+    decq %%rcx
+    jnz loop
+    movq $%d, %%rax
+    out %%rax
+    hlt
+""" % (n, out)
+
+
+def asm_spec(source, job_id="job", n_cores=2, max_cycles=2_000_000):
+    """A one-job batch spec around inline assembly *source*."""
+    return {"jobs": [{"id": job_id, "asm": source,
+                      "config": {"n_cores": n_cores,
+                                 "max_cycles": max_cycles}}]}
+
+
+def workload_spec(short, job_id=None, n_cores=8):
+    return {"jobs": [{"id": job_id or short, "workload": short,
+                      "config": {"n_cores": n_cores}}]}

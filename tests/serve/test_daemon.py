@@ -1,0 +1,303 @@
+"""SimServer behaviour: admission, coalescing, tiered cache, quotas,
+backpressure, graceful shutdown.
+
+Two layers of tests:
+
+* white-box — a :class:`SimServer` that was never ``start()``-ed has no
+  dispatchers, so queued work sits still and admission decisions can be
+  asserted without races;
+* live — a real daemon on a real socket (``_harness.Daemon``), where
+  executions, event streams and counters are observed through HTTP.
+"""
+
+import concurrent.futures
+
+import pytest
+
+import repro
+from repro.serve import (CACHED, CANCELLED, DONE, QUEUED, ServeConfig,
+                         ServeRejected, SimServer)
+
+from ._harness import Daemon, asm_spec, slow_asm
+
+QUICK = slow_asm(300)           # ~30ms of simulation
+SLOW = slow_asm(8000)           # ~1s of simulation
+
+
+def _spec(source=QUICK, job_id="job"):
+    return asm_spec(source, job_id=job_id)
+
+
+def _server(**overrides):
+    overrides.setdefault("pool_size", 1)
+    return SimServer(ServeConfig(**overrides))
+
+
+class TestAdmission:
+    def test_submit_queues(self):
+        server = _server()
+        status, payload = server.submit_spec(_spec())
+        assert status == 202
+        record = payload["jobs"][0]
+        assert record["status"] == QUEUED
+        assert record["key"] in server._inflight
+        assert [e["event"] for e in
+                server.record(record["job"]).events] == ["submitted",
+                                                         "queued"]
+
+    def test_resubmit_coalesces(self):
+        server = _server()
+        _, first = server.submit_spec(_spec())
+        _, second = server.submit_spec(_spec())
+        record = second["jobs"][0]
+        assert record["coalesced"] is True
+        assert record["key"] == first["jobs"][0]["key"]
+        assert server.registry.counter("serve_coalesced").value == 1
+        # one queue entry, two records riding it
+        assert server._queue.qsize() == 1
+        assert len(server._inflight[record["key"]].records) == 2
+
+    def test_duplicate_keys_within_one_spec_coalesce(self):
+        spec = {"jobs": [dict(_spec()["jobs"][0], id="a"),
+                         dict(_spec()["jobs"][0], id="b")]}
+        server = _server()
+        _, payload = server.submit_spec(spec)
+        records = payload["jobs"]
+        assert records[0]["key"] == records[1]["key"]
+        assert not records[0]["coalesced"] and records[1]["coalesced"]
+        assert server._queue.qsize() == 1
+
+    def test_cached_submit_is_terminal(self):
+        server = _server()
+        _, first = server.submit_spec(_spec())
+        key = first["jobs"][0]["key"]
+        server.store.put(key, {"outputs": [7]})
+        del server._inflight[key]       # pretend the execution finished
+        status, payload = server.submit_spec(_spec())
+        record = payload["jobs"][0]
+        assert status == 200
+        assert record["status"] == CACHED
+        assert record["cache_tier"] == "lru"
+
+    def test_invalid_spec_is_structured_and_stateless(self):
+        server = _server()
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit_spec({"jobs": [{"id": "x", "bogus": 1}]})
+        assert exc_info.value.status == 400
+        assert exc_info.value.kind == "invalid_spec"
+        assert server.records == {}
+        assert server._queue.qsize() == 0
+
+    def test_file_entries_rejected_by_default(self):
+        server = _server()
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit_spec({"jobs": [{"id": "x",
+                                          "file": "/etc/passwd"}]})
+        assert exc_info.value.status == 400
+        assert "disabled" in str(exc_info.value)
+        assert server.records == {}
+
+    def test_draining_rejects(self):
+        server = _server()
+        server.draining = True
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit_spec(_spec())
+        assert exc_info.value.status == 503
+        assert exc_info.value.kind == "draining"
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_retry_after(self):
+        server = _server(queue_limit=2)
+        server.submit_spec(_spec(slow_asm(300, out=1), "a"))
+        server.submit_spec(_spec(slow_asm(300, out=2), "b"))
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit_spec(_spec(slow_asm(300, out=3), "c"))
+        assert exc_info.value.status == 429
+        assert exc_info.value.kind == "backpressure"
+        assert exc_info.value.retry_after_s > 0
+        assert len(server.records) == 2     # the reject left no record
+
+    def test_rejection_refunds_quota(self):
+        server = _server(queue_limit=1, quota_rate=0.0, quota_burst=3.0)
+        server.submit_spec(_spec(slow_asm(300, out=1), "a"))
+        with pytest.raises(ServeRejected):
+            server.submit_spec(_spec(slow_asm(300, out=2), "b"))
+        # the backpressure rejection refunded its token: 3 - 1 = 2 left
+        assert server.quotas.bucket("default").tokens == 2.0
+
+    def test_coalesced_submits_bypass_queue_limit_pressure(self):
+        # resubmitting an in-flight key adds no queue entry, so it is
+        # admitted even when the queue is at its limit
+        server = _server(queue_limit=1)
+        server.submit_spec(_spec())
+        _, payload = server.submit_spec(_spec())
+        assert payload["jobs"][0]["coalesced"] is True
+
+
+class TestQuota:
+    def test_quota_exhaustion_rejects(self):
+        server = _server(quota_rate=0.5, quota_burst=2.0)
+        server.submit_spec(_spec(slow_asm(300, out=1), "a"))
+        server.submit_spec(_spec(slow_asm(300, out=2), "b"))
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit_spec(_spec(slow_asm(300, out=3), "c"))
+        assert exc_info.value.status == 429
+        assert exc_info.value.kind == "quota"
+        # ~2s: one token at 0.5/s (real clock, so allow refill drift)
+        assert exc_info.value.retry_after_s == pytest.approx(2.0,
+                                                             abs=0.1)
+
+    def test_tenants_have_separate_buckets(self):
+        server = _server(quota_rate=0.0, quota_burst=1.0)
+        server.submit_spec(_spec(slow_asm(300, out=1), "a"),
+                           tenant="alice")
+        with pytest.raises(ServeRejected):
+            server.submit_spec(_spec(slow_asm(300, out=2), "b"),
+                               tenant="alice")
+        # bob is unaffected by alice's exhaustion
+        _, payload = server.submit_spec(_spec(slow_asm(300, out=3), "c"),
+                                        tenant="bob")
+        assert payload["jobs"][0]["status"] == QUEUED
+
+
+class TestLiveDaemon:
+    def test_submit_execute_stream_fetch(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit(_spec())
+            assert status == 202
+            record = payload["jobs"][0]
+            events = daemon.events(record["job"])
+            assert [e["event"] for e in events] == \
+                ["submitted", "queued", "running", "done"]
+            status, _, result = daemon.request(
+                "GET", "/results/%s" % record["key"])
+            assert status == 200
+            assert result["payload"]["outputs"] == [7]
+
+    def test_coalesced_burst_runs_once(self):
+        """The acceptance-criterion burst: N identical concurrent
+        submits perform exactly one simulation; the coalesced counter
+        reads N-1."""
+        n = 6
+        with Daemon(pool_size=1) as daemon:
+            # occupy the single worker so the burst's key stays in
+            # flight for the whole submission window
+            daemon.submit(asm_spec(SLOW, job_id="blocker"))
+            with concurrent.futures.ThreadPoolExecutor(n) as pool:
+                results = list(pool.map(
+                    lambda _: daemon.submit(asm_spec(slow_asm(400))),
+                    range(n)))
+            records = [payload["jobs"][0] for _, _, payload in results]
+            assert len({r["key"] for r in records}) == 1
+            assert sum(r["coalesced"] for r in records) == n - 1
+            for record in records:
+                assert daemon.wait_done(record["job"]) == DONE
+            # one execution for the burst key (plus the blocker)
+            assert daemon.counter("serve_executions") == 2
+            assert daemon.counter("serve_coalesced") == n - 1
+
+    def test_lru_warm_fetch_skips_worker_pool(self):
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(_spec())
+            record = payload["jobs"][0]
+            assert daemon.wait_done(record["job"]) == DONE
+            executions = daemon.counter("serve_executions")
+            for _ in range(3):
+                status, _, payload = daemon.submit(_spec())
+                assert status == 200
+                assert payload["jobs"][0]["status"] == CACHED
+                assert payload["jobs"][0]["cache_tier"] == "lru"
+            assert daemon.counter("serve_executions") == executions
+            assert daemon.counter("serve_cache_requests",
+                                  tier="lru") == 3
+
+    def test_disk_tier_survives_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with Daemon(cache_dir=cache_dir) as daemon:
+            _, _, payload = daemon.submit(_spec())
+            record = payload["jobs"][0]
+            assert daemon.wait_done(record["job"]) == DONE
+        # a fresh daemon has a cold LRU but shares the disk tier
+        with Daemon(cache_dir=cache_dir) as daemon:
+            status, _, payload = daemon.submit(_spec())
+            assert status == 200
+            assert payload["jobs"][0]["status"] == CACHED
+            assert payload["jobs"][0]["cache_tier"] == "disk"
+            assert daemon.counter("serve_executions") == 0
+            # promoted: the next hit is served from the LRU
+            _, _, payload = daemon.submit(_spec())
+            assert payload["jobs"][0]["cache_tier"] == "lru"
+
+    def test_backpressure_over_http(self):
+        with Daemon(pool_size=1, queue_limit=1) as daemon:
+            daemon.submit(asm_spec(SLOW, job_id="blocker"))
+            # the blocker is running; fill the one queue slot, then
+            # overflow it
+            seen_429 = None
+            for i in range(4):
+                status, headers, payload = daemon.submit(
+                    asm_spec(slow_asm(300, out=10 + i), job_id="q%d" % i))
+                if status == 429:
+                    seen_429 = (headers, payload)
+                    break
+            assert seen_429 is not None
+            headers, payload = seen_429
+            assert payload["error"]["kind"] == "backpressure"
+            assert "Retry-After" in headers
+            assert payload["error"]["retry_after_s"] > 0
+
+    def test_quota_over_http(self):
+        with Daemon(quota_rate=0.25, quota_burst=1.0) as daemon:
+            daemon.submit(_spec(slow_asm(300, out=1), "a"))
+            status, headers, payload = daemon.submit(
+                _spec(slow_asm(300, out=2), "b"))
+            assert status == 429
+            assert payload["error"]["kind"] == "quota"
+            assert int(headers["Retry-After"]) >= 1
+
+    def test_graceful_shutdown_drains(self):
+        daemon = Daemon(pool_size=1).start()
+        try:
+            _, _, running = daemon.submit(asm_spec(SLOW, job_id="run"))
+            _, _, queued = daemon.submit(
+                asm_spec(slow_asm(9000, out=2), job_id="wait"))
+        finally:
+            daemon.stop()
+        server = daemon.server
+        # the running job was allowed to finish; the queued one was
+        # failed cleanly, not left dangling
+        assert server.record(running["jobs"][0]["job"]).status == DONE
+        assert server.record(queued["jobs"][0]["job"]).status == \
+            CANCELLED
+        assert server.pool.closed
+
+    def test_healthz_reports_version_and_counts(self):
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(_spec())
+            daemon.wait_done(payload["jobs"][0]["job"])
+            status, _, health = daemon.request("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["version"] == repro.__version__
+            assert health["jobs"] == {"done": 1}
+            assert health["cache"]["lru_entries"] == 1
+
+    def test_metrics_exposition(self):
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(_spec())
+            daemon.wait_done(payload["jobs"][0]["job"])
+            status, headers, text = daemon.request("GET", "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert 'repro_serve_executions{domain="host"} 1' in text
+            assert "repro_serve_job_wall_seconds_bucket" in text
+            assert "repro_serve_cache_healed" in text
+            assert "repro_serve_queue_depth" in text
+
+    def test_sse_stream(self):
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(_spec())
+            events = daemon.events(payload["jobs"][0]["job"], sse=True)
+            assert events[-1]["event"] == "done"
+            assert [e["seq"] for e in events] == list(range(len(events)))

@@ -1,0 +1,75 @@
+"""Daemon-vs-engine differential: a payload served over HTTP must be
+**byte-identical** (canonical JSON) to the one ``repro batch`` computes
+locally for the same job.
+
+This is the serving layer's core correctness contract: coalescing,
+caching tiers and the asyncio worker-pool bridge are allowed to change
+*when* a simulation runs, never *what* it produces.  Both sides
+normalize through the same worker function, so any divergence here
+means the daemon corrupted a payload in flight.
+"""
+
+import json
+
+from repro.runner import jobs_from_spec, run_batch
+
+from ._harness import Daemon, workload_spec
+
+#: two Table 1 workloads of different character: divide-and-conquer
+#: quicksort and the breadth-first search graph traversal
+WORKLOADS = ("quicksort", "bfs")
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestDaemonEngineDifferential:
+    def test_served_payloads_byte_identical_to_engine(self):
+        specs = {short: workload_spec(short) for short in WORKLOADS}
+        # engine side: plain run_batch, no cache
+        engine = {}
+        for short, spec in specs.items():
+            report = run_batch(jobs_from_spec(spec))
+            outcome = report.outcomes[0]
+            assert outcome.status == "ok"
+            engine[short] = _canon(outcome.payload)
+        # daemon side: submit over HTTP, fetch by content address
+        with Daemon(pool_size=2) as daemon:
+            records = {}
+            for short, spec in specs.items():
+                _, _, payload = daemon.submit(spec)
+                records[short] = payload["jobs"][0]
+            for short, record in records.items():
+                assert daemon.wait_done(record["job"]) == "done"
+                status, _, result = daemon.request(
+                    "GET", "/results/%s" % record["key"])
+                assert status == 200
+                assert _canon(result["payload"]) == engine[short], \
+                    "daemon-served %s payload diverged from engine" \
+                    % short
+
+    def test_cached_fetch_remains_identical(self):
+        """The LRU round trip (and the JSON re-serialization it implies)
+        must not perturb a payload either."""
+        spec = workload_spec("quicksort")
+        report = run_batch(jobs_from_spec(spec))
+        want = _canon(report.outcomes[0].payload)
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(spec)
+            record = payload["jobs"][0]
+            daemon.wait_done(record["job"])
+            for _ in range(2):      # first warm fetch, then LRU re-hit
+                _, _, result = daemon.request(
+                    "GET", "/results/%s" % record["key"])
+                assert _canon(result["payload"]) == want
+
+    def test_content_address_matches_engine(self):
+        """The daemon keys its cache with the same content address the
+        engine computes — the property that lets ``repro batch`` and the
+        daemon share one disk cache."""
+        spec = workload_spec("bfs")
+        job = jobs_from_spec(spec)[0]
+        with Daemon() as daemon:
+            _, _, payload = daemon.submit(spec)
+            assert payload["jobs"][0]["key"] == job.key()

@@ -1,0 +1,159 @@
+"""HTTP error paths: every ``jobs_from_spec`` failure (and every
+framing failure) must surface as a structured JSON error with the right
+status code and leave **no partial state** behind — no records, no
+queue entries, no quota spend.
+
+Plus the hypothesis round trip: any valid generated spec, submitted
+over HTTP, fetches back exactly the payload the engine computes.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runner import execute_job, jobs_from_spec
+
+from ._harness import Daemon, asm_spec, slow_asm
+
+
+def _assert_error(payload, kind):
+    assert set(payload) == {"error"}
+    assert payload["error"]["kind"] == kind
+    assert payload["error"]["message"]
+
+
+def _assert_no_state(daemon):
+    _, _, health = daemon.request("GET", "/healthz")
+    assert health["jobs"] == {}
+    assert health["queue_depth"] == 0
+
+
+class TestSpecErrors:
+    def test_unknown_job_keys_400(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit(
+                {"jobs": [{"id": "x", "workload": "quicksort",
+                           "cores": 4}]})
+            assert status == 400
+            _assert_error(payload, "invalid_spec")
+            assert "unknown job-spec keys" in payload["error"]["message"]
+            _assert_no_state(daemon)
+
+    def test_unknown_top_level_keys_400(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit(
+                {"jobs": [], "workers": 4})
+            assert status == 400
+            _assert_error(payload, "invalid_spec")
+
+    def test_malformed_program_400(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit(
+                {"jobs": [{"id": "x", "asm": "main:\n    bogus %rax\n"}]})
+            assert status == 400
+            _assert_error(payload, "invalid_spec")
+            _assert_no_state(daemon)
+
+    def test_no_program_source_400(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit({"jobs": [{"id": "x"}]})
+            assert status == 400
+            _assert_error(payload, "invalid_spec")
+
+    def test_partial_spec_rejects_whole_submit(self):
+        """One bad entry poisons the whole spec: the valid sibling job
+        must not be admitted (all-or-nothing submission)."""
+        with Daemon() as daemon:
+            good = asm_spec(slow_asm(300))["jobs"][0]
+            status, _, payload = daemon.submit(
+                {"jobs": [good, {"id": "bad", "nope": 1}]})
+            assert status == 400
+            _assert_no_state(daemon)
+
+
+class TestFramingErrors:
+    def test_invalid_json_400(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.request(
+                "POST", "/jobs", body=b"{not json")
+            assert status == 400
+            _assert_error(payload, "invalid_json")
+            _assert_no_state(daemon)
+
+    def test_oversized_body_413(self):
+        with Daemon(max_body_bytes=512) as daemon:
+            big = asm_spec("main:\n" + "    incq %rax\n" * 200)
+            status, _, payload = daemon.request("POST", "/jobs",
+                                                body=big)
+            assert status == 413
+            _assert_error(payload, "too_large")
+            assert "512" in payload["error"]["message"]
+            _assert_no_state(daemon)
+
+    def test_unknown_route_404(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.request("GET", "/nope")
+            assert status == 404
+            _assert_error(payload, "not_found")
+
+    def test_unknown_job_404(self):
+        with Daemon() as daemon:
+            for path in ("/jobs/j-999", "/jobs/j-999/events"):
+                status, _, payload = daemon.request("GET", path)
+                assert status == 404
+                _assert_error(payload, "not_found")
+
+    def test_unknown_result_404(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.request("GET",
+                                                "/results/" + "0" * 64)
+            assert status == 404
+            _assert_error(payload, "not_found")
+
+    def test_wrong_method_405(self):
+        with Daemon() as daemon:
+            status, _, payload = daemon.request("DELETE", "/jobs")
+            assert status == 405
+            _assert_error(payload, "method_not_allowed")
+            status, _, payload = daemon.request("POST", "/healthz")
+            assert status == 405
+
+    def test_errors_count_in_request_metrics(self):
+        with Daemon() as daemon:
+            daemon.submit({"jobs": [{"id": "x", "zzz": 1}]})
+            _, _, text = daemon.request("GET", "/metrics")
+            assert ('repro_serve_http_requests{domain="host",'
+                    'route="jobs_submit",status="400"} 1') in text
+            assert ('repro_serve_rejected{domain="host",'
+                    'reason="invalid_spec"} 1') in text
+
+
+#: small but varied program space: work amount, output value, cores
+_SPEC = st.fixed_dictionaries({
+    "n": st.integers(min_value=1, max_value=400),
+    "out": st.integers(min_value=-5, max_value=5),
+    "n_cores": st.sampled_from([1, 2, 4]),
+})
+
+
+class TestRoundTrip:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(_SPEC)
+    def test_submitted_spec_fetches_engine_payload(self, params):
+        """spec → POST /jobs → GET /results/<key> == execute_job."""
+        spec = asm_spec(slow_asm(params["n"], out=params["out"]),
+                        n_cores=params["n_cores"])
+        job = jobs_from_spec(spec)[0]
+        want = json.dumps(execute_job(job), sort_keys=True)
+        with Daemon() as daemon:
+            status, _, payload = daemon.submit(spec)
+            assert status in (200, 202)
+            record = payload["jobs"][0]
+            assert record["key"] == job.key()
+            if record["status"] not in ("cached",):
+                assert daemon.wait_done(record["job"]) == "done"
+            status, _, result = daemon.request(
+                "GET", "/results/%s" % record["key"])
+            assert status == 200
+            assert json.dumps(result["payload"], sort_keys=True) == want

@@ -1,0 +1,100 @@
+"""ShardedLRU: recency semantics, sharded eviction, stable placement."""
+
+import zlib
+
+import pytest
+
+from repro.serve import ShardedLRU
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        lru = ShardedLRU(4)
+        assert lru.get("a") is None
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.stats == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_contains_and_len(self):
+        lru = ShardedLRU(8)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert "a" in lru and "b" in lru and "c" not in lru
+        assert len(lru) == 2
+
+    def test_put_refreshes_value(self):
+        lru = ShardedLRU(4)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert lru.get("a") == 2
+        assert len(lru) == 1
+
+    def test_clear(self):
+        lru = ShardedLRU(4)
+        lru.put("a", 1)
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.get("a") is None
+
+
+class TestEviction:
+    def test_single_shard_evicts_lru_order(self):
+        lru = ShardedLRU(2, shards=1)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")            # refresh: b is now least-recent
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru
+        assert "b" not in lru
+        assert lru.stats["evictions"] == 1
+
+    def test_eviction_is_per_shard(self):
+        lru = ShardedLRU(4, shards=4)   # one entry per shard
+        # force two keys into the same shard
+        shard = lambda k: zlib.crc32(k.encode()) % 4
+        keys = ["k%d" % i for i in range(64)]
+        a = keys[0]
+        b = next(k for k in keys[1:] if shard(k) == shard(a))
+        other = next(k for k in keys[1:] if shard(k) != shard(a))
+        lru.put(a, 1)
+        lru.put(other, 2)
+        lru.put(b, 3)           # evicts a (same shard), not other
+        assert a not in lru
+        assert other in lru and b in lru
+
+    def test_capacity_zero_disables(self):
+        lru = ShardedLRU(0)
+        lru.put("a", 1)
+        assert lru.get("a") is None
+        assert len(lru) == 0
+
+    def test_total_capacity_respected(self):
+        lru = ShardedLRU(16, shards=4)
+        for i in range(200):
+            lru.put("key-%d" % i, i)
+        assert len(lru) <= 16
+        assert all(size <= lru.shard_capacity
+                   for size in lru.shard_sizes())
+
+
+class TestSharding:
+    def test_placement_is_stable(self):
+        one, two = ShardedLRU(64, shards=8), ShardedLRU(64, shards=8)
+        for i in range(32):
+            one.put("key-%d" % i, i)
+            two.put("key-%d" % i, i)
+        assert one.shard_sizes() == two.shard_sizes()
+
+    def test_spread_over_shards(self):
+        lru = ShardedLRU(1024, shards=8)
+        for i in range(512):
+            lru.put("%064x" % i, i)   # hex keys like content addresses
+        sizes = lru.shard_sizes()
+        assert sum(sizes) == 512
+        assert all(size > 0 for size in sizes)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShardedLRU(-1)
+        with pytest.raises(ValueError):
+            ShardedLRU(4, shards=0)

@@ -1,0 +1,107 @@
+"""Token-bucket quotas: refill math, retry hints, refunds, isolation."""
+
+import math
+
+import pytest
+
+from repro.serve import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            granted, wait = bucket.try_acquire()
+            assert granted and wait == 0.0
+        granted, wait = bucket.try_acquire()
+        assert not granted
+        assert wait == pytest.approx(1.0)
+
+    def test_denial_spends_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(cost=2.0)[0]
+        before = bucket.tokens
+        assert not bucket.try_acquire(cost=1.0)[0]
+        assert bucket.tokens == before
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_acquire(cost=5.0)
+        clock.advance(100.0)
+        assert bucket.tokens == 5.0
+
+    def test_retry_after_is_honest(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        bucket.try_acquire(cost=4.0)
+        granted, wait = bucket.try_acquire(cost=3.0)
+        assert not granted
+        # waiting exactly the hint must make the next acquire succeed
+        clock.advance(wait)
+        assert bucket.try_acquire(cost=3.0)[0]
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock)
+        bucket.try_acquire(cost=2.0)
+        granted, wait = bucket.try_acquire()
+        assert not granted and wait == math.inf
+        clock.advance(1e9)
+        assert not bucket.try_acquire()[0]
+
+    def test_cost_above_burst_unservable(self):
+        bucket = TokenBucket(rate=5.0, burst=2.0, clock=FakeClock())
+        granted, wait = bucket.try_acquire(cost=3.0)
+        assert not granted and wait == math.inf
+
+    def test_refund(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=4.0, clock=clock)
+        bucket.try_acquire(cost=4.0)
+        bucket.refund(3.0)
+        assert bucket.tokens == 3.0
+        bucket.refund(100.0)          # refunds cap at burst too
+        assert bucket.tokens == 4.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+
+
+class TestQuotaManager:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = QuotaManager(rate=0.0, burst=1.0, clock=clock)
+        assert quotas.try_acquire("alice")[0]
+        assert not quotas.try_acquire("alice")[0]
+        assert quotas.try_acquire("bob")[0]   # bob's bucket is fresh
+
+    def test_buckets_materialize_lazily(self):
+        quotas = QuotaManager(rate=1.0, burst=1.0, clock=FakeClock())
+        assert quotas.tenants() == []
+        quotas.try_acquire("zed")
+        quotas.try_acquire("abe")
+        assert quotas.tenants() == ["abe", "zed"]
+
+    def test_refund_reaches_the_right_bucket(self):
+        clock = FakeClock()
+        quotas = QuotaManager(rate=0.0, burst=2.0, clock=clock)
+        quotas.try_acquire("alice", cost=2.0)
+        quotas.refund("alice", 2.0)
+        assert quotas.try_acquire("alice", cost=2.0)[0]

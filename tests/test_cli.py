@@ -458,3 +458,37 @@ class TestEntryPoint:
         assert entry is main
         assert entry(["workloads"]) == 0
         assert capsys.readouterr().out.count("\n") == 10
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() == repro.__version__
+
+    def test_version_is_single_sourced(self):
+        """``__version__`` comes from package metadata when installed,
+        and in any case matches the pyproject pin (the fallback is kept
+        in sync with it, so both paths agree)."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        text = (Path(__file__).resolve().parents[1]
+                / "pyproject.toml").read_text()
+        match = re.search(r'^version\s*=\s*"([^"]+)"$', text,
+                          re.MULTILINE)
+        assert match, "pyproject.toml version missing"
+        assert repro.__version__ == match.group(1)
+
+    def test_serve_healthz_reports_same_version(self):
+        import repro
+        from repro.serve import ServeConfig, SimServer
+
+        health = SimServer(ServeConfig()).healthz()
+        assert health["version"] == repro.__version__
+        assert health["status"] == "ok"
