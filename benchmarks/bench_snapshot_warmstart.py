@@ -1,0 +1,63 @@
+"""E12 — extension: warm-starting the chaos grid from one snapshot.
+
+E9's chaos grid replays each workload's deterministic prefix once per
+cell: 9 fault mixes x 10 workloads = 90 simulations from cycle 0, even
+though every cell's plan is gated to take effect only in the tail.
+``repro.snapshot`` removes that redundancy: capture the fault-free state
+once per workload at 90% of the run, then fork every cell off the
+restored state (copy-on-write ``os.fork`` cells; a restore-per-cell
+fallback keeps non-POSIX hosts working).
+
+The contract is the tentpole's resume-at-k proof applied at grid scale:
+each warm cell is also replayed cold from cycle 0 and the two results
+must agree on cycles, outputs, final registers, memory digest and fault
+counters.  The headline number is ``summary.speedup_vs_replay`` — grid
+cold wall over grid warm wall with the per-workload capture + restore
+cost charged to the warm side — gated at >= 3x by check_regression.py.
+"""
+
+from _common import BENCH_SCALE, emit, emit_json, table
+
+from repro.faults import warmstart_sweep
+from repro.workloads import WORKLOADS
+
+DROPS = (0.0, 0.05, 0.15)
+DEATH_COUNTS = (0, 1, 2)
+START_FRAC = 0.9
+
+
+def _sweep():
+    return warmstart_sweep([w.short for w in WORKLOADS], DROPS,
+                           DEATH_COUNTS, n_cores=16, seed=1234,
+                           scale=BENCH_SCALE, start_frac=START_FRAC)
+
+
+def bench_snapshot_warmstart(benchmark):
+    payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for rec in payload["records"]:
+        rows.append([
+            rec["benchmark"], "%.2f" % rec["drop_rate"], rec["deaths"],
+            rec["base_cycles"], rec["cycles"], "%.2fx" % rec["slowdown"],
+            "%.2f" % rec["cold_wall_s"], "%.2f" % rec["warm_wall_s"],
+            "%.1fx" % rec["speedup"],
+            "yes" if rec["identical"] else "NO",
+        ])
+    summary = payload["summary"]
+    text = table(
+        "E12  snapshot warm-start: E9 chaos grid forked from one "
+        "pre-fault snapshot per workload, 16 cores, seed %d, "
+        "start_frac %.2f" % (payload["seed"], payload["start_frac"]),
+        ["benchmark", "drop", "deaths", "base", "cycles", "slowdn",
+         "cold_s", "warm_s", "speedup", "identical"],
+        rows)
+    text += ("\ngrid: %d cells  cold %.1fs  warm %.1fs  capture %.1fs  "
+             "snapshots %d bytes  speedup_vs_replay %.2fx\n"
+             % (summary["cells"], summary["cold_wall_s"],
+                summary["warm_wall_s"], summary["capture_wall_s"],
+                summary["snapshot_bytes"],
+                summary["speedup_vs_replay"]))
+    emit("snapshot_warmstart", text)
+    emit_json("snapshot_warmstart", payload)
+    assert summary["all_identical"], (
+        "a warm-forked cell diverged from its cold replay")

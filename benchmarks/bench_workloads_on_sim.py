@@ -104,7 +104,7 @@ def _time_modes():
         results = {}
         for mode in ("naive", "event"):
             config = SimConfig(n_cores=64, stack_shortcut=True,
-                               event_driven=mode == "event")
+                               kernel=mode)
             start = time.perf_counter()
             result, _ = simulate(prog, config)
             wall = time.perf_counter() - start

@@ -67,7 +67,8 @@ VECTOR_KERNEL_CORES = 256
 
 #: BENCH_*.json artifacts the gate checks (deterministic baselines)
 GATED_BASELINES = ("scheduler_fast_path", "workloads_on_sim",
-                   "vector_kernel", "deps_bounds", "serve")
+                   "vector_kernel", "deps_bounds", "serve",
+                   "snapshot_warmstart")
 #: BENCH_*.json artifacts the gate deliberately ignores: these record
 #: *degradation* measurements (fault-injection sweeps, lint censuses)
 #: whose drift is an observation, not a regression — the invariants they
@@ -128,7 +129,7 @@ def run_fast_path(rounds: int = 3) -> dict:
         for short, n, prog in cases:
             for mode in ("naive", "event"):
                 config = SimConfig(n_cores=64, stack_shortcut=True,
-                                   event_driven=mode == "event")
+                                   kernel=mode)
                 start = time.perf_counter()
                 result, _ = simulate(prog, config)
                 walls[mode][short] = time.perf_counter() - start
@@ -467,6 +468,49 @@ def check_serve(gate: Gate, update: bool):
     return fresh
 
 
+#: the cheap identity re-check behind the snapshot warm-start gate: one
+#: workload, a 2x2 fault grid (4 forked cells, each verified against its
+#: cold replay inside warmstart_sweep itself)
+WARMSTART_CHECK = ("quicksort", (0.0, 0.15), (0, 1))
+#: the committed artifact's contract (mirrors bench_snapshot_warmstart)
+WARMSTART_CELLS = 90
+WARMSTART_MIN_SPEEDUP = 3.0
+
+
+def check_snapshot_warmstart(gate: Gate, update: bool) -> None:
+    """Gate the snapshot warm-start artifact: the committed 90-cell E9
+    chaos grid forked from one pre-fault snapshot per workload must be
+    bit-identical to full replay and beat it by >= 3x wall clock, and a
+    small fresh grid must still verify identical (the soundness contract
+    is re-executed, not just trusted).  Wall clock of the full grid is
+    *not* re-measured here — that is bench_snapshot_warmstart's job; the
+    gate holds the committed measurement to the contract."""
+    print("snapshot warm-start (BENCH_snapshot_warmstart.json):")
+    if update:
+        print("  [regenerate via bench_snapshot_warmstart.py, not "
+              "--update]")
+        return
+    baseline = _load("snapshot_warmstart")
+    summary = baseline["summary"]
+    gate.check(len(baseline["records"]) == WARMSTART_CELLS
+               and summary["cells"] == WARMSTART_CELLS,
+               "committed grid covers %d cells (%d records)"
+               % (WARMSTART_CELLS, len(baseline["records"])))
+    gate.check(summary["all_identical"]
+               and all(r["identical"] for r in baseline["records"]),
+               "every committed warm cell bit-identical to cold replay")
+    gate.check(summary["speedup_vs_replay"] >= WARMSTART_MIN_SPEEDUP,
+               "warm grid speedup %.2fx >= %.2fx over full replay"
+               % (summary["speedup_vs_replay"], WARMSTART_MIN_SPEEDUP))
+    from repro.faults import warmstart_sweep
+    short, drops, deaths = WARMSTART_CHECK
+    fresh = warmstart_sweep([short], drops, deaths, n_cores=16,
+                            seed=1234, scale=0, start_frac=0.9)
+    gate.check(fresh["summary"]["all_identical"],
+               "fresh %d-cell %s warm grid bit-identical to cold replay"
+               % (fresh["summary"]["cells"], short))
+
+
 def check_artifact_census(gate: Gate) -> None:
     """Every committed BENCH_*.json must be either gated or explicitly
     ignored — an unknown artifact means someone added a benchmark without
@@ -514,6 +558,7 @@ def main(argv=None) -> int:
     fast_path = check_fast_path(gate, args.tolerance, args.update)
     vector = check_vector_kernel(gate, args.tolerance, args.update)
     serve = check_serve(gate, args.update)
+    check_snapshot_warmstart(gate, args.update)
     sweep_report = None
     if args.full and not args.update:
         sweep_report = check_workload_sweep(gate, pool_size=args.jobs,

@@ -79,6 +79,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from . import __version__, api
 from .errors import ReproError
@@ -128,45 +130,181 @@ def cmd_runfork(args) -> int:
     return 0
 
 
-def _sim_config(args, **extra):
-    """The one config-builder every simulator subcommand routes through.
+def _is_blob_key(ref: str) -> bool:
+    return len(ref) == 64 and all(c in "0123456789abcdef" for c in ref)
 
-    Reads the shared surface (--cores/--shortcut/--placement/--topology/
-    --kernel/--scheduler/--faults) plus the observability flags that only some
-    subcommands define (--events/--trace/--chrome-trace; absent flags
-    default off via getattr), so no subcommand re-plumbs flags by hand.
-    ``extra`` force-overrides — e.g. ``trace``/``analyze`` force events
-    on.  ``--kernel`` wins over the legacy ``--scheduler`` spelling.
+
+@dataclass
+class SimOptions:
+    """The one shared CLI surface of every simulator subcommand.
+
+    ``simulate``/``stats``/``trace``/``analyze``/``metrics`` all declare
+    their flags through :meth:`add_arguments`, parse them through
+    :meth:`from_args` and execute through :meth:`run` — no subcommand
+    re-plumbs flags by hand, and a new shared flag is added in exactly
+    one place.  ``--kernel`` wins over the legacy ``--scheduler``
+    spelling; flags only some subcommands define (``--events``/
+    ``--trace``) default off.
     """
-    from .sim import SimConfig
-    faults = (FaultPlan.from_spec(args.faults)
-              if getattr(args, "faults", None) else None)
-    options = dict(
-        n_cores=args.cores, stack_shortcut=args.shortcut,
-        placement=args.placement,
-        topology=getattr(args, "topology", "uniform"),
-        kernel=getattr(args, "kernel", None) or args.scheduler,
-        optimize=bool(getattr(args, "optimize", False)),
-        trace=bool(getattr(args, "trace", False)),
-        events=(bool(getattr(args, "events", False))
-                or bool(getattr(args, "chrome_trace", None))),
-        metrics_window=getattr(args, "metrics", None),
-        faults=faults)
-    options.update(extra)
-    return SimConfig(**options)
+
+    file: str
+    cores: int = 8
+    shortcut: bool = False
+    placement: str = "round_robin"
+    topology: str = "uniform"
+    kernel: Optional[str] = None
+    scheduler: str = "event"
+    fork_loops: bool = False
+    optimize: bool = False
+    faults: Optional[str] = None
+    chrome_trace: Optional[str] = None
+    metrics: Optional[int] = None
+    trace: bool = False
+    events: bool = False
+    checkpoints: Tuple[int, ...] = ()
+    snapshot_dir: Optional[str] = None
+    resume_from: Optional[str] = None
+
+    @staticmethod
+    def add_arguments(cmd) -> None:
+        """Declare the shared simulator flags on subparser *cmd*."""
+        cmd.add_argument("file")
+        cmd.add_argument("--cores", type=int, default=8)
+        cmd.add_argument("--shortcut", action="store_true",
+                         help="enable the stack shortcut")
+        cmd.add_argument("--placement", default="round_robin",
+                         choices=["round_robin", "least_loaded", "same_core",
+                                  "random"])
+        cmd.add_argument("--topology", default="uniform",
+                         choices=["uniform", "mesh"],
+                         help="NoC topology: flat latency or 2D mesh")
+        cmd.add_argument("--scheduler", default="event",
+                         choices=["event", "naive", "vector"],
+                         help="main-loop scheduler (bit-identical results)")
+        cmd.add_argument("--kernel", default=None,
+                         choices=["naive", "event", "vector"],
+                         help="simulation kernel: naive reference loop, "
+                              "event park/wake fast path, or vector "
+                              "struct-of-arrays sweeps (all bit-identical; "
+                              "overrides --scheduler)")
+        cmd.add_argument("--fork-loops", action="store_true")
+        cmd.add_argument("--optimize", action="store_true",
+                         help="run the analysis-driven assembly optimizer "
+                              "(dead-store elimination + copy propagation) "
+                              "over the program before simulating; "
+                              "architectural results are unchanged, "
+                              "committed cycles drop")
+        cmd.add_argument(
+            "--faults", metavar="SPEC",
+            help="deterministic fault-injection plan, e.g. "
+                 "'seed=7,drop=0.1,die=3@500' (keys: seed, drop, spike, "
+                 "spike_extra, jitter, ackloss, die=CORE@CYCLE "
+                 "(repeatable), timeout, cap, resends, redispatch, "
+                 "redispatch_latency, start)")
+        cmd.add_argument("--chrome-trace", metavar="OUT.json",
+                         help="also write a Chrome trace-event JSON")
+        cmd.add_argument("--metrics", type=int, default=None, metavar="W",
+                         help="collect windowed cycle-domain metrics, one "
+                              "sample window every W cycles (carried in "
+                              "the result; exported by stats --json)")
+        cmd.add_argument("--checkpoint", type=int, action="append",
+                         default=None, metavar="CYCLE", dest="checkpoint",
+                         help="capture a full-state snapshot after CYCLE "
+                              "(repeatable; labels past the end collapse "
+                              "into one final-state snapshot)")
+        cmd.add_argument("--snapshot-dir", metavar="DIR",
+                         help="file captured snapshots content-addressed "
+                              "under DIR (prints one key per snapshot; "
+                              "also where --resume-from KEY looks)")
+        cmd.add_argument("--resume-from", metavar="SNAP",
+                         help="continue from a snapshot instead of cycle "
+                              "0: a file path, or a 64-hex blob key "
+                              "resolved in --snapshot-dir")
+
+    @classmethod
+    def from_args(cls, args) -> "SimOptions":
+        return cls(
+            file=args.file, cores=args.cores, shortcut=args.shortcut,
+            placement=args.placement,
+            topology=getattr(args, "topology", "uniform"),
+            kernel=getattr(args, "kernel", None), scheduler=args.scheduler,
+            fork_loops=args.fork_loops,
+            optimize=bool(getattr(args, "optimize", False)),
+            faults=getattr(args, "faults", None),
+            chrome_trace=getattr(args, "chrome_trace", None),
+            metrics=getattr(args, "metrics", None),
+            trace=bool(getattr(args, "trace", False)),
+            events=bool(getattr(args, "events", False)),
+            checkpoints=tuple(getattr(args, "checkpoint", None) or ()),
+            snapshot_dir=getattr(args, "snapshot_dir", None),
+            resume_from=getattr(args, "resume_from", None))
+
+    def config(self, **extra):
+        """Build the SimConfig; ``extra`` force-overrides — e.g.
+        ``trace``/``analyze`` force events on."""
+        from .sim import SimConfig
+        faults = FaultPlan.from_spec(self.faults) if self.faults else None
+        options = dict(
+            n_cores=self.cores, stack_shortcut=self.shortcut,
+            placement=self.placement, topology=self.topology,
+            kernel=self.kernel or self.scheduler,
+            optimize=self.optimize, trace=self.trace,
+            events=self.events or bool(self.chrome_trace),
+            metrics_window=self.metrics, faults=faults,
+            checkpoint_cycles=self.checkpoints or None)
+        options.update(extra)
+        return SimConfig(**options)
+
+    def _resolve_resume(self):
+        """Load the ``--resume-from`` snapshot (path or blob key)."""
+        if not self.resume_from:
+            return None
+        from .snapshot import Snapshot
+        if _is_blob_key(self.resume_from):
+            if not self.snapshot_dir:
+                raise ReproError(
+                    "--resume-from with a blob key needs --snapshot-dir")
+            from .runner import ResultCache
+            data = ResultCache(self.snapshot_dir).get_blob(self.resume_from)
+            if data is None:
+                raise ReproError("snapshot %s not found under %s"
+                                 % (self.resume_from, self.snapshot_dir))
+            return Snapshot.from_bytes(data)
+        return Snapshot.load(self.resume_from)
+
+    def _publish_snapshots(self, processor) -> None:
+        """File captured snapshots under ``--snapshot-dir``, one key per
+        line (the key feeds ``--resume-from``)."""
+        checkpoints = getattr(processor, "checkpoints", None)
+        if not self.snapshot_dir or not checkpoints:
+            return
+        from .runner import ResultCache
+        cache = ResultCache(self.snapshot_dir)
+        for snap in checkpoints:
+            key = cache.put_blob(snap.to_bytes())
+            print("# snapshot @cycle %d -> %s" % (snap.cycle, key))
+
+    def run(self, **extra):
+        """Load + configure + simulate (cold or resumed) + publish any
+        captured snapshots — the whole shared path of a sim subcommand."""
+        prog = _load_program(self.file, self.file.endswith(".c"),
+                             self.fork_loops)
+        run = api.simulate(prog, self.config(**extra),
+                           resume_from=self._resolve_resume())
+        self._publish_snapshots(run.processor)
+        return run
 
 
 def _simulate_cmd(args, **extra):
     """Shared load + configure + simulate path of every sim subcommand."""
-    prog = _load_program(args.file, args.file.endswith(".c"),
-                         args.fork_loops)
-    return api.simulate(prog, _sim_config(args, **extra))
+    return SimOptions.from_args(args).run(**extra)
 
 
-def _write_chrome_trace(result, path: str) -> None:
+def _write_chrome_trace(result, path: str,
+                        seek: Optional[int] = None) -> None:
     from .obs import to_chrome_trace
     with open(path, "w") as handle:
-        json.dump(to_chrome_trace(result), handle)
+        json.dump(to_chrome_trace(result, seek=seek), handle)
     print("# chrome trace written to %s (open at https://ui.perfetto.dev)"
           % path)
 
@@ -260,7 +398,7 @@ def cmd_metrics(args) -> int:
 
 def cmd_trace(args) -> int:
     result = _simulate_cmd(args, events=True).result
-    _write_chrome_trace(result, args.output)
+    _write_chrome_trace(result, args.output, seek=args.seek)
     print("# " + result.describe())
     return 0
 
@@ -508,10 +646,47 @@ def cmd_serve(args) -> int:
 _CHAOS_DEFAULT = ("quicksort", "dictionary", "bfs")
 
 
+def _chaos_warmstart(args, shorts) -> int:
+    """``repro chaos --warm-start``: fork every grid cell from one
+    pre-fault snapshot per workload instead of replaying the prefix."""
+    from .faults import warmstart_sweep
+    payload = warmstart_sweep(shorts, args.drops, args.deaths,
+                              n_cores=args.cores, seed=args.seed,
+                              scheduler=args.scheduler,
+                              start_frac=args.warm_start)
+    records = payload["records"]
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print("%-12s %5s %6s %8s %8s %7s %8s %s"
+              % ("benchmark", "drop", "deaths", "cycles", "start",
+                 "slowdn", "speedup", "identical"))
+        for rec in records:
+            print("%-12s %5.2f %6d %8d %8d %7.2fx %7.2fx %s"
+                  % (rec["benchmark"], rec["drop_rate"], rec["deaths"],
+                     rec["cycles"], rec["start_cycle"], rec["slowdown"],
+                     rec["speedup"], "yes" if rec["identical"] else "NO"))
+        summary = payload["summary"]
+        print("# warm grid: %d cells  cold=%.2fs  warm=%.2fs  "
+              "capture=%.2fs  speedup_vs_replay=%.2fx"
+              % (summary["cells"], summary["cold_wall_s"],
+                 summary["warm_wall_s"], summary["capture_wall_s"],
+                 summary["speedup_vs_replay"]))
+    broken = [r for r in records if not r["identical"]]
+    if broken:
+        print("error: %d/%d warm-forked runs diverged from the cold "
+              "replays" % (len(broken), len(records)), file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .faults import chaos_spec, chaos_sweep
     shorts = ([w.short for w in WORKLOADS] if args.workloads
               else list(_CHAOS_DEFAULT))
+    if args.warm_start is not None:
+        return _chaos_warmstart(args, shorts)
     cache = _batch_cache(args)
     if args.emit_jobs:
         spec = chaos_spec(shorts, args.drops, args.deaths,
@@ -577,46 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(fails on the offending instruction)")
     runfork.set_defaults(func=cmd_runfork)
 
-    def add_sim_options(cmd):
-        cmd.add_argument("file")
-        cmd.add_argument("--cores", type=int, default=8)
-        cmd.add_argument("--shortcut", action="store_true",
-                         help="enable the stack shortcut")
-        cmd.add_argument("--placement", default="round_robin",
-                         choices=["round_robin", "least_loaded", "same_core",
-                                  "random"])
-        cmd.add_argument("--topology", default="uniform",
-                         choices=["uniform", "mesh"],
-                         help="NoC topology: flat latency or 2D mesh")
-        cmd.add_argument("--scheduler", default="event",
-                         choices=["event", "naive", "vector"],
-                         help="main-loop scheduler (bit-identical results)")
-        cmd.add_argument("--kernel", default=None,
-                         choices=["naive", "event", "vector"],
-                         help="simulation kernel: naive reference loop, "
-                              "event park/wake fast path, or vector "
-                              "struct-of-arrays sweeps (all bit-identical; "
-                              "overrides --scheduler)")
-        cmd.add_argument("--fork-loops", action="store_true")
-        cmd.add_argument("--optimize", action="store_true",
-                         help="run the analysis-driven assembly optimizer "
-                              "(dead-store elimination + copy propagation) "
-                              "over the program before simulating; "
-                              "architectural results are unchanged, "
-                              "committed cycles drop")
-        cmd.add_argument(
-            "--faults", metavar="SPEC",
-            help="deterministic fault-injection plan, e.g. "
-                 "'seed=7,drop=0.1,die=3@500' (keys: seed, drop, spike, "
-                 "spike_extra, jitter, ackloss, die=CORE@CYCLE "
-                 "(repeatable), timeout, cap, resends, redispatch, "
-                 "redispatch_latency)")
-        cmd.add_argument("--chrome-trace", metavar="OUT.json",
-                         help="also write a Chrome trace-event JSON")
-        cmd.add_argument("--metrics", type=int, default=None, metavar="W",
-                         help="collect windowed cycle-domain metrics, one "
-                              "sample window every W cycles (carried in "
-                              "the result; exported by stats --json)")
+    add_sim_options = SimOptions.add_arguments
 
     sim = sub.add_parser("simulate", help="cycle-simulate on the many-core")
     add_sim_options(sim)
@@ -644,6 +780,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_sim_options(trace)
     trace.add_argument("-o", "--output", default="trace.json",
                        help="output path (default: trace.json)")
+    trace.add_argument("--seek", type=int, default=None, metavar="CYCLE",
+                       help="start the exported trace at CYCLE (pairs "
+                            "with --resume-from for cheap time travel "
+                            "into the tail of a long run)")
     trace.set_defaults(func=cmd_trace)
 
     analyze = sub.add_parser(
@@ -799,6 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scheduler", default="event",
                        choices=["event", "naive", "vector"])
     add_batch_options(chaos)
+    chaos.add_argument("--warm-start", type=float, default=None,
+                       metavar="FRAC",
+                       help="fork every grid cell from one pre-fault "
+                            "snapshot captured at FRAC of each "
+                            "workload's fault-free run (0 < FRAC < 1) "
+                            "instead of replaying the prefix per cell; "
+                            "each cell is cross-checked bit-identical "
+                            "against its cold replay")
     chaos.add_argument("--emit-jobs", metavar="SPEC.json",
                        help="write the grid as a 'repro batch' job spec "
                             "instead of sweeping it here")

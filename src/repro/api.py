@@ -14,18 +14,30 @@ the ``python -m repro`` CLI itself — should call this facade::
 
     report = api.batch(jobs, pool_size=4, cache_dir=".repro-cache")
 
-Six entry points cover the library's pipeline: :func:`compile_c` /
+The entry points cover the library's pipeline: :func:`compile_c` /
 :func:`assemble` produce a :class:`~repro.isa.program.Program`;
 :func:`run_sequential` / :func:`run_forked` execute it functionally;
 :func:`simulate` runs the cycle-level many-core; :func:`batch` fans a
 list of :class:`~repro.runner.Job` out over a worker pool with
 content-addressed result caching (:mod:`repro.runner`).
+
+API v2 (``API_SCHEMA_VERSION == 2``) adds time travel: :func:`snapshot`
+captures full simulator state at a chosen cycle, :func:`resume`
+continues a snapshot (optionally attaching a fault plan — the warm-fork
+used by the chaos grid), :func:`checkpoints_of` runs with checkpoints
+armed, and :func:`simulate` grew ``resume_from=``.  Resumed runs are
+bit-identical to cold ones on every compared result field.
+
+Deprecated in v2: ``SimConfig(event_driven=...)`` — say
+``kernel="event"`` / ``"naive"`` / ``"vector"``.  The boolean keeps
+working for one release with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Union)
 
 from .fork import fork_transform
 from .isa import assemble as _assemble
@@ -37,10 +49,19 @@ from .minic import compile_source as _compile_source
 from .runner import BatchReport, Job, JobOutcome, ResultCache, run_batch
 from .sim import (Processor, SimConfig, SimResult,
                   simulate as _simulate)
+from .snapshot import (Snapshot, SnapshotError,
+                       capture_prefix as _capture_prefix,
+                       resume as _resume)
+
+#: facade major version: bump on any breaking signature change here.
+#: v2 = snapshot/resume/checkpoints_of + kernel= replacing event_driven=.
+API_SCHEMA_VERSION = 2
 
 __all__ = [
-    "ForkRun", "SimRun", "assemble", "batch", "compile_c", "load_program",
-    "make_jobs", "run_forked", "run_sequential", "simulate",
+    "API_SCHEMA_VERSION", "ForkRun", "SimRun", "Snapshot",
+    "SnapshotError", "assemble", "batch", "checkpoints_of", "compile_c",
+    "load_program", "make_jobs", "resume", "run_forked",
+    "run_sequential", "simulate", "snapshot",
 ]
 
 
@@ -104,11 +125,59 @@ def run_forked(program: Program, record_trace: bool = False,
 
 
 def simulate(program: Program, config: Optional[SimConfig] = None,
-             initial_regs: Optional[Dict[str, int]] = None) -> SimRun:
-    """Cycle-simulate on the distributed many-core."""
+             initial_regs: Optional[Dict[str, int]] = None,
+             resume_from: Optional[Snapshot] = None) -> SimRun:
+    """Cycle-simulate on the distributed many-core.
+
+    ``resume_from`` continues a :class:`Snapshot` instead of starting
+    cold; *program* and *config* are then validated against the
+    snapshot's provenance rather than driving a fresh run."""
     result, processor = _simulate(program, config=config,
-                                  initial_regs=initial_regs)
+                                  initial_regs=initial_regs,
+                                  resume_from=resume_from)
     return SimRun(result=result, processor=processor)
+
+
+def snapshot(program: Program, cycle: int,
+             config: Optional[SimConfig] = None,
+             initial_regs: Optional[Dict[str, int]] = None) -> Snapshot:
+    """Capture full simulator state after *cycle* by running just the
+    prefix (the run is abandoned once the checkpoint is taken).  The
+    returned :class:`Snapshot` round-trips through ``to_bytes`` /
+    ``from_bytes`` and resumes via :func:`resume` or
+    ``simulate(resume_from=...)``."""
+    return _capture_prefix(program, cycle, config=config,
+                           initial_regs=initial_regs)
+
+
+def resume(snap: Snapshot, program: Optional[Program] = None,
+           config: Optional[SimConfig] = None,
+           faults: Optional[Any] = None,
+           checkpoint_cycles: Optional[Iterable[int]] = None) -> SimRun:
+    """Continue *snap* to completion — bit-identical to the cold run.
+
+    *program*/*config* are provenance cross-checks; *faults* attaches a
+    :class:`~repro.faults.FaultPlan` to a fault-free snapshot (it must
+    take effect strictly after the snapshot cycle — gate it with
+    ``start_cycle``); *checkpoint_cycles* re-arms future checkpoints."""
+    result, processor = _resume(snap, program=program, config=config,
+                                faults=faults,
+                                checkpoint_cycles=checkpoint_cycles)
+    return SimRun(result=result, processor=processor)
+
+
+def checkpoints_of(program: Program, cycles: Iterable[int],
+                   config: Optional[SimConfig] = None,
+                   initial_regs: Optional[Dict[str, int]] = None,
+                   ) -> List[Snapshot]:
+    """Run *program* to completion with checkpoints armed at *cycles*;
+    returns the captured snapshots (labels past the end of the run
+    collapse into one final-state snapshot)."""
+    import dataclasses
+    cfg = dataclasses.replace(config or SimConfig(),
+                              checkpoint_cycles=tuple(cycles))
+    run = simulate(program, cfg, initial_regs=initial_regs)
+    return list(run.processor.checkpoints)
 
 
 def make_jobs(programs: Sequence[Union[Program, Job]],

@@ -37,11 +37,12 @@ from .daemon import (
 )
 from .client import DaemonThread, ServeClient, ServeError
 from .http import HttpFrontend, run_server, serve_forever
-from .lru import ShardedLRU
+from .lru import ByteBudgetLRU, ShardedLRU
 from .quota import QuotaManager, TokenBucket
 from .store import DISK_TIER, LRU_TIER, TieredResultStore
 
 __all__ = [
+    "ByteBudgetLRU",
     "CACHED", "CANCELLED", "DISK_TIER", "DONE", "DaemonThread",
     "FAILED_STATE", "HttpFrontend", "JobRecord", "LRU_TIER", "QUEUED",
     "QuotaManager", "RUNNING", "SERVE_SCHEMA_VERSION", "ServeClient",

@@ -43,7 +43,7 @@ from ..runner.cache import ResultCache
 from ..runner.engine import FAILED, OK, WorkerPool, WorkerResult
 from ..runner.job import Job
 from ..runner.spec import jobs_from_spec
-from .lru import ShardedLRU
+from .lru import ByteBudgetLRU, ShardedLRU
 from .quota import QuotaManager
 from .store import TieredResultStore
 
@@ -74,6 +74,10 @@ class ServeConfig:
     #: in-process LRU capacity in entries (0 disables the hot tier)
     lru_capacity: int = 256
     lru_shards: int = 8
+    #: hot-tier budget for snapshot blobs in **bytes** (0 disables it);
+    #: blobs are byte-budgeted separately so one multi-MB snapshot can
+    #: never evict hundreds of small job payloads
+    blob_lru_bytes: int = 32 * 1024 * 1024
     #: on-disk content-addressed cache directory (None = no disk tier)
     cache_dir: Optional[str] = None
     #: per-tenant token bucket: sustained jobs/second and burst size
@@ -179,7 +183,9 @@ class SimServer:
         disk = (ResultCache(config.cache_dir)
                 if config.cache_dir else None)
         self.store = TieredResultStore(
-            ShardedLRU(config.lru_capacity, config.lru_shards), disk)
+            ShardedLRU(config.lru_capacity, config.lru_shards), disk,
+            blob_lru=ByteBudgetLRU(config.blob_lru_bytes,
+                                   config.lru_shards))
         self.quotas = QuotaManager(config.quota_rate, config.quota_burst)
         self.registry = MetricsRegistry(HOST_DOMAIN)
         self.records: "OrderedDict[str, JobRecord]" = OrderedDict()

@@ -15,6 +15,11 @@ needed yet.
 A capacity of 0 disables the cache entirely (every ``get`` is a miss,
 ``put`` is a no-op) — the configuration knob for serving straight from
 disk.
+
+Two variants share the sharding scheme: :class:`ShardedLRU` bounds the
+**entry count** (job payloads, whose sizes cluster) and
+:class:`ByteBudgetLRU` bounds the **total bytes** (snapshot blobs,
+whose sizes span orders of magnitude).
 """
 
 from __future__ import annotations
@@ -83,3 +88,87 @@ class ShardedLRU:
     def shard_sizes(self) -> List[int]:
         """Entry count per shard (distribution diagnostics)."""
         return [len(shard) for shard in self._shards]
+
+
+class ByteBudgetLRU:
+    """Sharded LRU bounded by total **bytes**, not entry count.
+
+    The entry-count cap of :class:`ShardedLRU` is the right bound for
+    job payloads, whose sizes cluster tightly; it is the wrong bound for
+    snapshot blobs, which span three orders of magnitude (a few KB for a
+    toy program to several MB for a scale-1 radixsort).  Caching "512
+    blobs" could mean 2 MB or 3 GB.  This variant accounts the byte
+    length of every value and evicts LRU-first until each shard is back
+    under its budget.
+
+    Values must be ``bytes``-like (anything with ``len()`` measuring
+    bytes).  An oversize value — larger than a whole shard's budget —
+    bypasses the cache entirely (counted in ``stats["oversize"]``)
+    rather than evicting everything else just to thrash.
+
+    A budget of 0 disables the cache, mirroring ``ShardedLRU``.
+    """
+
+    def __init__(self, budget_bytes: int, shards: int = 8) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 (got %r)"
+                             % (budget_bytes,))
+        if shards < 1:
+            raise ValueError("shards must be >= 1 (got %r)" % (shards,))
+        self.budget_bytes = budget_bytes
+        self.shard_budget = ((budget_bytes + shards - 1) // shards
+                             if budget_bytes else 0)
+        self._shards: List["OrderedDict[str, bytes]"] = [
+            OrderedDict() for _ in range(shards)]
+        self._shard_bytes: List[int] = [0] * shards
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0,
+                                      "evictions": 0, "oversize": 0}
+
+    def _index(self, key: str) -> int:
+        return zlib.crc32(key.encode()) % len(self._shards)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached bytes for *key* (refreshing recency), or None."""
+        shard = self._shards[self._index(key)]
+        if key not in shard:
+            self.stats["misses"] += 1
+            return None
+        shard.move_to_end(key)
+        self.stats["hits"] += 1
+        return shard[key]
+
+    def put(self, key: str, value: bytes) -> None:
+        """Insert/refresh *key*, evicting LRU entries until the shard is
+        within budget; oversize values bypass the cache."""
+        if self.budget_bytes == 0:
+            return
+        size = len(value)
+        if size > self.shard_budget:
+            self.stats["oversize"] += 1
+            return
+        index = self._index(key)
+        shard = self._shards[index]
+        if key in shard:
+            self._shard_bytes[index] -= len(shard[key])
+        shard[key] = value
+        shard.move_to_end(key)
+        self._shard_bytes[index] += size
+        while self._shard_bytes[index] > self.shard_budget:
+            _, evicted = shard.popitem(last=False)
+            self._shard_bytes[index] -= len(evicted)
+            self.stats["evictions"] += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shards[self._index(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held across all shards."""
+        return sum(self._shard_bytes)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+        self._shard_bytes = [0] * len(self._shards)

@@ -24,22 +24,33 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..runner.cache import ResultCache
-from .lru import ShardedLRU
+from .lru import ByteBudgetLRU, ShardedLRU
 
 #: which tier served a hit
 LRU_TIER, DISK_TIER = "lru", "disk"
 
 
 class TieredResultStore:
-    """LRU-over-disk payload store keyed by job content address."""
+    """LRU-over-disk payload store keyed by job content address.
+
+    Snapshot blobs get their own hot tier (:class:`ByteBudgetLRU`,
+    byte-budgeted) over the disk cache's blob directory — a multi-MB
+    snapshot must never evict hundreds of small job payloads from the
+    entry-counted LRU, and vice versa.
+    """
 
     def __init__(self, lru: ShardedLRU,
-                 disk: Optional[ResultCache] = None) -> None:
+                 disk: Optional[ResultCache] = None,
+                 blob_lru: Optional[ByteBudgetLRU] = None) -> None:
         self.lru = lru
         self.disk = disk
+        #: hot tier for snapshot blobs; None = serve blobs from disk only
+        self.blob_lru = blob_lru
         #: disk counters at attach time — ``stats()`` reports deltas so
         #: a store wrapping a pre-used cache handle starts from zero
         self._disk_base: Dict[str, int] = (dict(disk.stats)
+                                           if disk is not None else {})
+        self._blob_base: Dict[str, int] = (dict(disk.blob_stats)
                                            if disk is not None else {})
 
     def get(self, key: str) -> Tuple[Optional[Dict[str, Any]],
@@ -62,6 +73,32 @@ class TieredResultStore:
         if self.disk is not None:
             self.disk.put(key, payload)
 
+    def get_blob(self, key: str) -> Tuple[Optional[bytes], Optional[str]]:
+        """``(blob, tier)`` for a snapshot blob — same contract as
+        :meth:`get`, over the byte-budgeted hot tier."""
+        if self.blob_lru is not None:
+            blob = self.blob_lru.get(key)
+            if blob is not None:
+                return blob, LRU_TIER
+        if self.disk is not None:
+            blob = self.disk.get_blob(key)
+            if blob is not None:
+                if self.blob_lru is not None:
+                    self.blob_lru.put(key, blob)
+                return blob, DISK_TIER
+        return None, None
+
+    def put_blob(self, data: bytes) -> str:
+        """Write-through publish of a blob; returns its sha256 key."""
+        if self.disk is not None:
+            key = self.disk.put_blob(data)
+        else:
+            import hashlib
+            key = hashlib.sha256(data).hexdigest()
+        if self.blob_lru is not None:
+            self.blob_lru.put(key, data)
+        return key
+
     def stats(self) -> Dict[str, int]:
         """Folded two-tier counters: ``lru_hits``/``lru_misses``/
         ``evictions`` from the hot tier, ``disk_hits``/``disk_misses``/
@@ -81,4 +118,16 @@ class TieredResultStore:
                                  ("healed", "healed")):
                 out[ours] = (self.disk.stats[theirs]
                              - self._disk_base.get(theirs, 0))
+        if self.blob_lru is not None:
+            out["blob_lru_hits"] = self.blob_lru.stats["hits"]
+            out["blob_lru_misses"] = self.blob_lru.stats["misses"]
+            out["blob_evictions"] = self.blob_lru.stats["evictions"]
+            out["blob_oversize"] = self.blob_lru.stats["oversize"]
+            out["blob_bytes"] = self.blob_lru.total_bytes()
+        if self.disk is not None:
+            for ours, theirs in (("blob_disk_hits", "hits"),
+                                 ("blob_disk_misses", "misses"),
+                                 ("blob_healed", "healed")):
+                out[ours] = (self.disk.blob_stats[theirs]
+                             - self._blob_base.get(theirs, 0))
         return out

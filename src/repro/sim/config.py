@@ -9,8 +9,9 @@ producer and return the t[0] value").
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import SimulationError
 from ..faults.models import FaultPlan
@@ -58,12 +59,13 @@ class SimConfig:
     #: memory line size in bytes for DMH replies (paper footnote 5: full
     #: lines are fetched and cached along the return path)
     line_bytes: int = 64
-    #: scheduler: True runs the event-driven fast path (cores park when
-    #: blocked on renaming requests / NoC replies / an empty fetch queue
-    #: and are woken by the unblocking event; provably cycle-identical to
-    #: the naive loop — see tests/sim/test_differential.py); False runs
-    #: the reference loop that ticks every core every cycle
-    event_driven: bool = True
+    #: **deprecated** (since API v2) — use ``kernel=`` instead.  True runs
+    #: the event-driven fast path, False the reference loop; None — the
+    #: new default — means "derive from kernel".  Passing an explicit
+    #: bool still works for one release (it selects event/naive and
+    #: emits a DeprecationWarning); after ``__post_init__`` the field
+    #: always holds a concrete bool so the wire format is unchanged.
+    event_driven: Optional[bool] = None
     #: record the per-cycle core-state timeline (fetching / computing /
     #: blocked / parked) into ``SimResult.trace``; opt-in because a run of
     #: C cycles on N cores stores C*N state codes
@@ -111,10 +113,28 @@ class SimConfig:
     #: disables collection and keeps every existing output (goldens,
     #: cache keys, BENCH cycles) byte-identical.
     metrics_window: Optional[int] = None
+    #: capture a full-state snapshot (:mod:`repro.snapshot`) at the top
+    #: of each listed cycle; the captures land on ``Processor.
+    #: checkpoints`` in cycle order.  Labels past the end of the run
+    #: collapse into one final-state snapshot.  None — the default —
+    #: keeps the run loops checkpoint-free and (elided from the wire
+    #: form) every pre-existing cache key byte-identical.
+    checkpoint_cycles: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.event_driven is not None and self.kernel is None:
+            # Legacy call sites predate the three-kernel selector; keep
+            # them working one release, but steer toward kernel=.  A
+            # payload that carries both (every to_dict round trip does)
+            # is the kernel's own emission, not a legacy caller — silent.
+            warnings.warn(
+                "SimConfig(event_driven=...) is deprecated; use "
+                "kernel='event'/'naive' (API v2)", DeprecationWarning,
+                stacklevel=3)
         if self.kernel is None:
-            self.kernel = "event" if self.event_driven else "naive"
+            self.kernel = ("naive" if self.event_driven is False
+                           else "event")
+            self.event_driven = self.kernel != "naive"
         elif self.kernel not in ("naive", "event", "vector"):
             raise ValueError("unknown kernel %r (expected naive, event or "
                              "vector)" % (self.kernel,))
@@ -136,6 +156,15 @@ class SimConfig:
         if self.metrics_window is not None and self.metrics_window < 1:
             raise ValueError("metrics_window must be >= 1 (got %r)"
                              % (self.metrics_window,))
+        if self.checkpoint_cycles is not None:
+            cycles = tuple(sorted({int(c) for c in self.checkpoint_cycles}))
+            if not cycles:
+                raise ValueError("checkpoint_cycles must be non-empty "
+                                 "when set (use None to disable)")
+            if cycles[0] < 1:
+                raise ValueError("checkpoint_cycles must be >= 1 (got %r)"
+                                 % (cycles[0],))
+            self.checkpoint_cycles = cycles
         if self.faults is not None:
             self.faults.validate(self.n_cores)
 
@@ -153,22 +182,26 @@ class SimConfig:
 
         Every field is emitted (no default elision) so the digest of the
         serialized form changes whenever any knob changes, including a
-        knob newly added with a default — with two deliberate exceptions:
-        ``metrics_window`` is elided when None and ``optimize`` when
-        False.  Both knobs postdate deployed content-addressed caches,
-        and their disabled defaults must keep every pre-existing cache
-        key (a sha256 over this dict) byte-identical.  A *set* value is
-        emitted, and should be: metrics ride inside cached payloads,
-        and an optimized run commits different cycle counts, so the key
-        must fork.
+        knob newly added with a default — with three deliberate
+        exceptions: ``metrics_window`` is elided when None, ``optimize``
+        when False, and ``checkpoint_cycles`` when None.  These knobs
+        postdate deployed content-addressed caches, and their disabled
+        defaults must keep every pre-existing cache key (a sha256 over
+        this dict) byte-identical.  A *set* value is emitted, and should
+        be: metrics and checkpoints ride inside payloads, and an
+        optimized run commits different cycle counts, so the key must
+        fork.
         """
         payload: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            if spec.name == "metrics_window" and value is None:
+            if spec.name in ("metrics_window", "checkpoint_cycles") \
+                    and value is None:
                 continue
             if spec.name == "optimize" and not value:
                 continue
+            if spec.name == "checkpoint_cycles":
+                value = list(value)     # tuples are not JSON-native
             payload[spec.name] = (value.to_dict()
                                   if isinstance(value, FaultPlan) else value)
         return payload

@@ -152,6 +152,24 @@ class RegFileSoA(dict):
         for key, value in dict(*args, **kwargs).items():
             self[key] = value
 
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Default dict-subclass pickling replays items through
+        # __setitem__ before the __slots__ are restored.  Rebuild
+        # explicitly instead: the table planes serialize on their own
+        # (and stay shared via the pickle memo), so items restore raw.
+        return (_restore_regfile, (self.table, self.row, dict(self)))
+
+
+def _restore_regfile(table: RegTable, row: int,
+                     items: Dict[str, Any]) -> "RegFileSoA":
+    """Unpickle helper for :class:`RegFileSoA` (see its ``__reduce__``)."""
+    rf = RegFileSoA.__new__(RegFileSoA)
+    dict.__init__(rf)
+    rf.table = table
+    rf.row = row
+    dict.update(rf, items)      # raw: no write-through of restored state
+    return rf
+
 
 class VectorSectionState(SectionState):
     """A section whose fetch register file lives in the shared
@@ -279,6 +297,8 @@ class VectorProcessor(Processor):
                 raise SimulationError(
                     "cycle budget exhausted at cycle %d: %s"
                     % (now, self._stall_diagnostic()))
+            if self._pending_checkpoints:
+                self._take_checkpoints(now)
             self._advance_fold()
             if engine is not None:
                 engine.begin_cycle(now)

@@ -160,3 +160,35 @@ class TestFromSpec:
     def test_out_of_range_rate_still_validated(self):
         with pytest.raises(ReproError, match="drop_rate"):
             FaultPlan.from_spec("drop=1.5")
+
+
+class TestStartCycle:
+    """``start_cycle`` gates every probabilistic decision — the warm-fork
+    soundness knob (repro.snapshot)."""
+
+    def test_default_and_validation(self):
+        assert FaultPlan().start_cycle == 0
+        with pytest.raises(ReproError, match="start_cycle"):
+            FaultPlan(start_cycle=-1)
+
+    def test_from_spec_start(self):
+        assert FaultPlan.from_spec("drop=0.1,start=500").start_cycle == 500
+
+    def test_first_effect_inactive_plan(self):
+        assert FaultPlan().first_effect_cycle() == float("inf")
+
+    def test_first_effect_probabilistic(self):
+        assert FaultPlan(drop_rate=0.1).first_effect_cycle() == 1
+        assert FaultPlan(drop_rate=0.1,
+                         start_cycle=500).first_effect_cycle() == 500
+
+    def test_first_effect_death_wins_when_earlier(self):
+        plan = FaultPlan(drop_rate=0.1, start_cycle=500,
+                         deaths=(CoreDeath(core=0, cycle=200),))
+        assert plan.first_effect_cycle() == 200
+
+    def test_first_effect_scheduled_spike_respects_gate(self):
+        plan = FaultPlan(spikes=(LinkSpike(src=-1, dst=0, start=100,
+                                           end=300, extra=4),),
+                         start_cycle=250)
+        assert plan.first_effect_cycle() == 250

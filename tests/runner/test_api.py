@@ -70,3 +70,73 @@ class TestFacadeBatch:
         api.batch(jobs, cache_dir=str(tmp_path))
         again = api.batch(jobs, cache_dir=str(tmp_path), use_cache=False)
         assert again.executed == 1 and again.cache_hits == 0
+
+
+class TestApiV2:
+    """The v2 facade: snapshot/resume/checkpoints_of + the kernel=
+    spelling replacing event_driven=."""
+
+    _SIM = ("main:\n    movq $5, %rax\n    movq $7, %rbx\n"
+            "    addq %rbx, %rax\n    out %rax\n    hlt\n")
+
+    def test_schema_version_is_two(self):
+        assert api.API_SCHEMA_VERSION == 2
+
+    def test_snapshot_resume_roundtrip(self):
+        prog = api.assemble(self._SIM)
+        cold = api.simulate(prog)
+        snap = api.snapshot(prog, 3)
+        assert snap.cycle == 3
+        warm = api.resume(snap)
+        assert warm.result.cycles == cold.result.cycles
+        assert warm.result.outputs == cold.result.outputs
+        assert warm.result.final_regs == cold.result.final_regs
+
+    def test_simulate_resume_from(self):
+        prog = api.assemble(self._SIM)
+        cold = api.simulate(prog)
+        warm = api.simulate(prog, resume_from=api.snapshot(prog, 3))
+        assert warm.result.cycles == cold.result.cycles
+
+    def test_checkpoints_of(self):
+        prog = api.assemble(self._SIM)
+        cold = api.simulate(prog)
+        snaps = api.checkpoints_of(prog, [2, 10 ** 9])
+        assert [s.cycle for s in snaps] == [2, cold.result.cycles]
+
+    def test_event_driven_warns_and_maps(self):
+        import warnings
+        from repro.sim import SimConfig
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            naive = SimConfig(event_driven=False)
+            event = SimConfig(event_driven=True)
+        assert naive.kernel == "naive" and event.kernel == "event"
+        assert len(caught) == 2
+        assert all(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_kernel_spelling_does_not_warn(self):
+        import warnings
+        from repro.sim import SimConfig
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cfg = SimConfig(kernel="naive")
+        assert cfg.event_driven is False
+        assert not caught
+
+    def test_wire_form_configs_never_warn(self):
+        import warnings
+        from repro.sim import SimConfig
+        wire = SimConfig(kernel="event").to_dict()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            back = SimConfig.from_dict(wire)
+        assert back.kernel == "event"
+        assert not caught, "deserialized payloads must not deprecation-warn"
+
+    def test_snapshot_exported_at_package_root(self):
+        for name in ("Snapshot", "SnapshotError", "capture_prefix",
+                     "resume", "SNAPSHOT_SCHEMA_VERSION"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

@@ -1,10 +1,11 @@
-"""ShardedLRU: recency semantics, sharded eviction, stable placement."""
+"""ShardedLRU / ByteBudgetLRU: recency semantics, sharded eviction,
+stable placement, byte accounting."""
 
 import zlib
 
 import pytest
 
-from repro.serve import ShardedLRU
+from repro.serve import ByteBudgetLRU, ShardedLRU
 
 
 class TestBasics:
@@ -98,3 +99,72 @@ class TestSharding:
             ShardedLRU(-1)
         with pytest.raises(ValueError):
             ShardedLRU(4, shards=0)
+
+
+class TestByteBudget:
+    """ByteBudgetLRU: the blob tier's byte-accounted variant."""
+
+    def test_miss_then_hit(self):
+        lru = ByteBudgetLRU(1024, shards=1)
+        assert lru.get("a") is None
+        lru.put("a", b"xyz")
+        assert lru.get("a") == b"xyz"
+        assert lru.total_bytes() == 3
+
+    def test_evicts_by_bytes_not_entries(self):
+        lru = ByteBudgetLRU(100, shards=1)
+        lru.put("a", b"x" * 60)
+        lru.put("b", b"y" * 60)          # 120 > 100: a evicted
+        assert "a" not in lru and "b" in lru
+        assert lru.stats["evictions"] == 1
+        assert lru.total_bytes() == 60
+
+    def test_refresh_reaccounts_bytes(self):
+        lru = ByteBudgetLRU(100, shards=1)
+        lru.put("a", b"x" * 80)
+        lru.put("a", b"y" * 10)
+        assert lru.total_bytes() == 10
+        lru.put("b", b"z" * 80)          # 90 <= 100: both fit
+        assert "a" in lru and "b" in lru
+
+    def test_recency_decides_the_victim(self):
+        lru = ByteBudgetLRU(100, shards=1)
+        lru.put("a", b"x" * 40)
+        lru.put("b", b"y" * 40)
+        lru.get("a")                     # b is now least-recent
+        lru.put("c", b"z" * 40)
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+
+    def test_oversize_value_bypasses(self):
+        lru = ByteBudgetLRU(64, shards=1)
+        lru.put("small", b"s" * 10)
+        lru.put("huge", b"h" * 1000)     # larger than the whole shard
+        assert "huge" not in lru
+        assert "small" in lru, "oversize put must not thrash the shard"
+        assert lru.stats["oversize"] == 1
+
+    def test_budget_zero_disables(self):
+        lru = ByteBudgetLRU(0)
+        lru.put("a", b"data")
+        assert lru.get("a") is None
+        assert len(lru) == 0
+
+    def test_clear_resets_accounting(self):
+        lru = ByteBudgetLRU(1024, shards=4)
+        for i in range(8):
+            lru.put("key-%d" % i, b"v" * 16)
+        lru.clear()
+        assert len(lru) == 0 and lru.total_bytes() == 0
+
+    def test_per_shard_budget_respected(self):
+        lru = ByteBudgetLRU(4096, shards=4)
+        for i in range(256):
+            lru.put("%064x" % i, bytes(32))
+        assert lru.total_bytes() <= 4096
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ByteBudgetLRU(-1)
+        with pytest.raises(ValueError):
+            ByteBudgetLRU(64, shards=0)

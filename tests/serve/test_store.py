@@ -1,0 +1,65 @@
+"""TieredResultStore blob tier: byte-budgeted LRU over the disk blobs."""
+
+from repro.runner import ResultCache
+from repro.serve import (ByteBudgetLRU, DISK_TIER, LRU_TIER, ShardedLRU,
+                         TieredResultStore)
+
+
+def _store(tmp_path, budget=1 << 20):
+    return TieredResultStore(ShardedLRU(8), ResultCache(tmp_path),
+                             blob_lru=ByteBudgetLRU(budget))
+
+
+class TestBlobTiering:
+    def test_put_then_hot_hit(self, tmp_path):
+        store = _store(tmp_path)
+        key = store.put_blob(b"snapshot")
+        blob, tier = store.get_blob(key)
+        assert blob == b"snapshot" and tier == LRU_TIER
+
+    def test_disk_hit_promotes(self, tmp_path):
+        store = _store(tmp_path)
+        key = store.put_blob(b"snapshot")
+        store.blob_lru.clear()
+        blob, tier = store.get_blob(key)
+        assert blob == b"snapshot" and tier == DISK_TIER
+        blob, tier = store.get_blob(key)
+        assert tier == LRU_TIER, "a disk hit must promote into the LRU"
+
+    def test_survives_restart_via_disk(self, tmp_path):
+        key = _store(tmp_path).put_blob(b"persistent")
+        blob, tier = _store(tmp_path).get_blob(key)
+        assert blob == b"persistent" and tier == DISK_TIER
+
+    def test_miss(self, tmp_path):
+        assert _store(tmp_path).get_blob("0" * 64) == (None, None)
+
+    def test_no_hot_tier_serves_from_disk(self, tmp_path):
+        store = TieredResultStore(ShardedLRU(8), ResultCache(tmp_path))
+        key = store.put_blob(b"cold only")
+        assert store.get_blob(key) == (b"cold only", DISK_TIER)
+
+    def test_oversize_blob_served_from_disk(self, tmp_path):
+        store = _store(tmp_path, budget=64)
+        key = store.put_blob(b"b" * 4096)
+        blob, tier = store.get_blob(key)
+        assert blob == b"b" * 4096 and tier == DISK_TIER
+        assert store.blob_lru.stats["oversize"] >= 1
+
+    def test_stats_fold_both_blob_tiers(self, tmp_path):
+        store = _store(tmp_path)
+        key = store.put_blob(b"counted")
+        store.get_blob(key)
+        store.blob_lru.clear()
+        store.get_blob(key)
+        stats = store.stats()
+        assert stats["blob_lru_hits"] == 1
+        assert stats["blob_disk_hits"] == 1
+        assert stats["blob_bytes"] == len(b"counted")
+
+    def test_blobs_never_pollute_payload_lru(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("ab" * 32, {"cycles": 1})
+        store.put_blob(b"big blob " * 1000)
+        assert store.get("ab" * 32)[1] == LRU_TIER
+        assert len(store.lru) == 1
